@@ -1,0 +1,10 @@
+"""Bench A2 — ablation: benign schedulers decide, the adversary never."""
+
+
+def test_a2_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "A2")
+    for row in result.rows:
+        if row["scheduler"] == "flp-adversary":
+            assert row["decided"] == 0
+        else:
+            assert row["decided"] == row["runs"]

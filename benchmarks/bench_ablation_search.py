@@ -1,0 +1,9 @@
+"""Bench A1 — ablation: cost of the Lemma-3 search per stage."""
+
+
+def test_a1_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "A1")
+    big_budget = [row for row in result.rows if row["budget"] >= 100_000]
+    assert big_budget
+    for row in big_budget:
+        assert row["outcome"] != "stuck (budget too small)"

@@ -1,0 +1,22 @@
+"""Bench E7 — Ben-Or randomized consensus.
+
+Regenerates the E7 table and micro-benchmarks one N=4 run with a crash.
+"""
+
+from repro.experiments.exp_benor import benor_trial
+
+
+def test_e7_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E7")
+    for row in result.rows:
+        assert row["terminated"] == row["trials"]
+        assert row["agreement"] == row["trials"]
+
+
+def test_single_benor_run(benchmark):
+    def run():
+        return benor_trial(4, 1, seed=11, crash=True)
+
+    result, rounds = benchmark(run)
+    assert result.decided
+    assert rounds >= 1

@@ -1,0 +1,33 @@
+"""Bench E6 — the commit window of vulnerability.
+
+Regenerates the E6 table and micro-benchmarks a blocked 2PC run under a
+frozen coordinator.
+"""
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import TwoPhaseCommitProcess, make_protocol
+from repro.schedulers import DelayScheduler
+
+
+def test_e6_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E6")
+    for row in result.rows:
+        assert row["blocked"]
+        assert row["decides_after_lift"]
+
+
+def test_blocked_2pc_run(benchmark):
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    initial = protocol.initial_configuration([1, 1, 1])
+
+    def run():
+        return simulate(
+            protocol,
+            initial,
+            DelayScheduler({"p0"}, window=(0, None)),
+            max_steps=200,
+            stop=StopCondition.ALL_DECIDED,
+        )
+
+    result = benchmark(run)
+    assert not result.decided

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the core model operations.
+
+Not tied to a paper table; these quantify the substrate the proof
+machinery stands on — event application, exploration, and valency — so
+regressions in the hot paths are visible.
+"""
+
+from repro.core.events import NULL, Event
+from repro.core.exploration import explore
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import (
+    ArbiterProcess,
+    ParityArbiterProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+
+def test_apply_event(benchmark):
+    protocol = make_protocol(WaitForAllProcess, 3)
+    config = protocol.initial_configuration([0, 1, 1])
+
+    after = benchmark(protocol.apply_event, config, Event("p0", NULL))
+    assert len(after.buffer) == 2
+
+
+def test_apply_100_event_schedule(benchmark):
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    from repro.adversary.flp import FLPAdversary
+
+    certificate = FLPAdversary(protocol).build_run(stages=90)
+    config = certificate.initial
+    schedule = certificate.schedule[:100]
+    assert len(schedule) == 100
+
+    final = benchmark(protocol.apply_schedule, config, schedule)
+    assert not final.has_decision
+
+
+def test_explore_arbiter3(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+    root = protocol.initial_configuration([0, 0, 1])
+
+    graph = benchmark(explore, protocol, root)
+    assert graph.complete
+
+
+def test_explore_wait_for_all3(benchmark):
+    protocol = make_protocol(WaitForAllProcess, 3)
+    root = protocol.initial_configuration([0, 1, 1])
+
+    graph = benchmark(explore, protocol, root)
+    assert graph.complete
+
+
+def test_valency_cold(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+    root = protocol.initial_configuration([0, 0, 1])
+
+    def classify():
+        return ValencyAnalyzer(protocol).valency(root)
+
+    valency = benchmark(classify)
+    assert valency.value == "bivalent"
+
+
+def test_valency_warm_cache(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+    analyzer = ValencyAnalyzer(protocol)
+    root = protocol.initial_configuration([0, 0, 1])
+    analyzer.valency(root)
+
+    valency = benchmark(analyzer.valency, root)
+    assert valency.value == "bivalent"
+
+
+def test_enabled_events(benchmark):
+    protocol = make_protocol(WaitForAllProcess, 3)
+    config = protocol.initial_configuration([0, 1, 1])
+    for name in protocol.process_names:
+        config = protocol.apply_event(config, Event(name, NULL))
+
+    events = benchmark(protocol.enabled_events, config)
+    assert len(events) >= 6

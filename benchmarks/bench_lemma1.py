@@ -1,0 +1,32 @@
+"""Bench E1 — Lemma 1 / Figure 1 (commutativity diamonds).
+
+Regenerates the E1 table and micro-benchmarks one diamond closure.
+"""
+
+import random
+
+from repro.adversary.lemmas import (
+    commutativity_diamond,
+    random_disjoint_schedules,
+)
+from repro.protocols import ArbiterProcess, make_protocol
+
+
+def test_e1_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E1")
+    for row in result.rows:
+        assert row["failures"] == 0
+        assert row["diamonds_closed"] == row["trials"]
+
+
+def test_single_diamond_closure(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+    rng = random.Random(7)
+    config = protocol.initial_configuration([0, 1, 1])
+    sigma1, sigma2 = random_disjoint_schedules(protocol, config, rng)
+
+    def close():
+        return commutativity_diamond(protocol, config, sigma1, sigma2)
+
+    witness = benchmark(close)
+    assert witness.verify(protocol)

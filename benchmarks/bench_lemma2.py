@@ -1,0 +1,29 @@
+"""Bench E2 — Lemma 2 (bivalent initial configurations).
+
+Regenerates the E2 table and micro-benchmarks the full initial-hypercube
+classification for one protocol.
+"""
+
+from repro.adversary.lemmas import find_lemma2
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import ArbiterProcess, make_protocol
+
+
+def test_e2_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E2")
+    rows = {row["protocol"]: row for row in result.rows}
+    assert rows["arbiter/3"]["bivalent"] > 0
+    assert rows["2pc/3"]["bivalent"] == 0
+    for row in result.rows:
+        assert row["verified"]
+
+
+def test_hypercube_classification(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+
+    def classify():
+        analyzer = ValencyAnalyzer(protocol)  # cold cache each round
+        return find_lemma2(protocol, analyzer)
+
+    result = benchmark(classify)
+    assert result.certificate is not None

@@ -1,0 +1,62 @@
+"""Bench E3 — Lemma 3 / Figures 2-3 (bivalent-successor search).
+
+Regenerates the E3 table and micro-benchmarks one search, for both the
+success (parity arbiter) and Case-2-failure (plain arbiter) paths.
+"""
+
+import pytest
+
+from repro.adversary.lemmas import find_bivalent_successor
+from repro.core.events import NULL, Event
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import (
+    ArbiterProcess,
+    ParityArbiterProcess,
+    make_protocol,
+)
+
+
+def test_e3_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E3")
+    for row in result.rows:
+        assert (
+            row["immediate"] + row["deferred"] + row["case2_failures"]
+            == row["searches"]
+        )
+
+
+@pytest.fixture(scope="module")
+def warm_parity():
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    analyzer = ValencyAnalyzer(protocol)
+    config = protocol.initial_configuration([0, 0, 1])
+    config = protocol.apply_event(config, Event("p1", NULL))
+    config = protocol.apply_event(config, Event("p2", NULL))
+    analyzer.valency(config)  # warm the cache
+    return protocol, analyzer, config
+
+
+def test_search_success_path(benchmark, warm_parity):
+    protocol, analyzer, config = warm_parity
+    claim = Event("p0", ("claim", "p1", 0, 0))
+
+    def search():
+        return find_bivalent_successor(protocol, analyzer, config, claim)
+
+    outcome = benchmark(search)
+    assert outcome.found
+
+
+def test_search_failure_path(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+    analyzer = ValencyAnalyzer(protocol)
+    config = protocol.initial_configuration([0, 0, 1])
+    config = protocol.apply_event(config, Event("p1", NULL))
+    analyzer.valency(config)
+    claim = Event("p0", ("claim", "p1", 0))
+
+    def search():
+        return find_bivalent_successor(protocol, analyzer, config, claim)
+
+    outcome = benchmark(search)
+    assert outcome.failure is not None

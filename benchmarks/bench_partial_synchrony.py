@@ -1,0 +1,42 @@
+"""Bench E9 — partial synchrony (GST + failure detectors).
+
+Regenerates the E9 table and micro-benchmarks the rotating-coordinator
+protocol riding out a coordinator blackout until GST.
+"""
+
+from repro.synchrony import (
+    RotatingCoordinatorProcess,
+    coordinator_blackout,
+    run_partial_sync,
+)
+
+NAMES = tuple(f"p{i}" for i in range(5))
+
+
+def test_e9_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E9")
+    for row in result.rows:
+        assert row["agreement"] == row["trials"]
+    infinite = [
+        row
+        for row in result.rows
+        if row["panel"] == "GST" and row["param"] == "inf"
+    ]
+    assert infinite and infinite[0]["all_decided"] == 0
+
+
+def test_blackout_until_gst10(benchmark):
+    rule = coordinator_blackout(lambda r: NAMES[(r - 1) % 5])
+    inputs = dict(zip(NAMES, [1, 0, 1, 0, 1]))
+
+    def run():
+        processes = [
+            RotatingCoordinatorProcess(n, NAMES, f=2) for n in NAMES
+        ]
+        return run_partial_sync(
+            processes, inputs, gst=10, drop_rule=rule, max_rounds=20
+        )
+
+    result = benchmark(run)
+    assert result.all_live_decided
+    assert min(result.decision_rounds.values()) >= 10

@@ -1,0 +1,49 @@
+"""Bench E8 — FloodSet on the synchronous executor.
+
+Regenerates the E8 table and micro-benchmarks one N=9, f=4 execution
+with adversarial mid-round crashes.
+"""
+
+import random
+
+from repro.experiments.exp_synchronous import random_sync_crash_plan
+from repro.protocols import FloodSetProcess
+from repro.synchrony import run_rounds
+
+
+def test_e8_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E8")
+    for row in result.rows:
+        assert row["agreement"] == row["trials"]
+        assert row["exact_rounds"] == row["trials"]
+
+
+def test_phase_king_n13_f3(benchmark):
+    from repro.experiments.exp_synchronous import phase_king_trial
+
+    names = tuple(f"p{i}" for i in range(13))
+    inputs = {name: i % 2 for i, name in enumerate(names)}
+
+    def run():
+        return phase_king_trial(
+            13, 3, byzantine={"p1", "p6", "p11"}, inputs=inputs, seed=9
+        )
+
+    result = benchmark(run)
+    honest = [n for n in names if n not in ("p1", "p6", "p11")]
+    assert len({result.decisions[name] for name in honest}) == 1
+
+
+def test_floodset_n9_f4(benchmark):
+    names = tuple(f"p{i}" for i in range(9))
+    rng = random.Random(3)
+    plan = random_sync_crash_plan(names, 4, 5, rng)
+    inputs = {name: i % 2 for i, name in enumerate(names)}
+
+    def run():
+        processes = [FloodSetProcess(n, names, f=4) for n in names]
+        return run_rounds(processes, inputs, plan, max_rounds=6)
+
+    result = benchmark(run)
+    assert result.agreement_holds
+    assert result.all_live_decided

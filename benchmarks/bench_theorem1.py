@@ -1,0 +1,51 @@
+"""Bench E4 — Theorem 1 (the adversary's non-deciding runs).
+
+Regenerates the E4 table and micro-benchmarks adversary construction in
+both modes: sustained staged mode (parity arbiter) and the fault
+fallback (2PC), plus per-stage marginal cost.
+"""
+
+from repro.adversary.certificates import AdversaryMode
+from repro.adversary.flp import FLPAdversary
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import (
+    ParityArbiterProcess,
+    TwoPhaseCommitProcess,
+    make_protocol,
+)
+
+
+def test_e4_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E4")
+    for row in result.rows:
+        assert row["decisions"] == 0
+        assert row["verified"]
+
+
+def test_staged_mode_25_stages(benchmark):
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    analyzer = ValencyAnalyzer(protocol)
+    adversary = FLPAdversary(protocol, analyzer=analyzer)
+    adversary.build_run(stages=1)  # warm caches
+
+    certificate = benchmark(adversary.build_run, stages=25)
+    assert certificate.mode is AdversaryMode.BIVALENCE_PRESERVING
+    assert len(certificate.stages) == 25
+
+
+def test_fault_mode_2pc(benchmark):
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    analyzer = ValencyAnalyzer(protocol)
+    adversary = FLPAdversary(protocol, analyzer=analyzer)
+    adversary.build_run(stages=1)
+
+    certificate = benchmark(adversary.build_run, stages=5)
+    assert certificate.mode is AdversaryMode.FAULT
+
+
+def test_certificate_verification(benchmark):
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    adversary = FLPAdversary(protocol)
+    certificate = adversary.build_run(stages=25)
+
+    assert benchmark(certificate.verify, protocol)

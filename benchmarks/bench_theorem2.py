@@ -1,0 +1,57 @@
+"""Bench E5 — Theorem 2 (initially-dead-processes protocol).
+
+Regenerates the E5 table and micro-benchmarks one N=7 execution with a
+minority dead, plus the graph machinery (transitive closure + initial
+clique) on a Section-4-shaped graph.
+"""
+
+from repro.core.simulation import StopCondition, simulate
+from repro.graphs.digraph import Digraph
+from repro.protocols import InitiallyDeadProcess, make_protocol
+from repro.schedulers import CrashPlan, RoundRobinScheduler
+
+
+def test_e5_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "E5")
+    for row in result.rows:
+        if isinstance(row["dead"], int):
+            assert row["all_live_decided"] == row["trials"]
+
+
+def test_theorem2_n7_minority_dead(benchmark):
+    protocol = make_protocol(InitiallyDeadProcess, 7)
+    initial = protocol.initial_configuration([1, 0, 1, 0, 1, 0, 1])
+
+    def run():
+        scheduler = RoundRobinScheduler(
+            crash_plan=CrashPlan.initially_dead(frozenset({"p1", "p4"}))
+        )
+        return simulate(
+            protocol,
+            initial,
+            scheduler,
+            max_steps=4000,
+            stop=StopCondition.ALL_DECIDED,
+        )
+
+    result = benchmark(run)
+    assert result.decided
+    assert result.agreement_holds
+
+
+def test_initial_clique_on_section4_graph(benchmark):
+    # A clique of 5 live processes plus 4 stragglers hanging off it.
+    live = [f"L{i}" for i in range(5)]
+    graph = Digraph()
+    for a in live:
+        for b in live:
+            if a != b:
+                graph.add_edge(a, b)
+    for i in range(4):
+        graph.add_edge(live[i], f"S{i}")
+        graph.add_edge(live[(i + 1) % 5], f"S{i}")
+
+    def clique():
+        return graph.transitive_closure().initial_clique()
+
+    assert benchmark(clique) == frozenset(live)

@@ -1,0 +1,18 @@
+"""Bench A4 — timeouts trade blocking for disagreement."""
+
+from repro.core.correctness import check_partial_correctness
+from repro.protocols import TimeoutArbiterProcess, make_protocol
+
+
+def test_a4_table(benchmark, run_and_render):
+    result = run_and_render(benchmark, "A4")
+    rows = {row["protocol"]: row for row in result.rows}
+    assert rows["timeout-arbiter/4"]["exhaustive_agreement"] is False
+    assert rows["arbiter/4"]["exhaustive_agreement"] is True
+
+
+def test_exhaustive_disagreement_search(benchmark):
+    protocol = make_protocol(TimeoutArbiterProcess, 4, timeout=2)
+
+    report = benchmark(check_partial_correctness, protocol)
+    assert not report.agreement_ok

@@ -1,0 +1,35 @@
+"""Benchmark-suite helpers.
+
+Every experiment bench times the full experiment function (quick mode)
+and re-asserts the paper-shape expectations, so `pytest benchmarks/
+--benchmark-only` both measures the harness and regenerates every table
+and figure of EXPERIMENTS.md.  Rendered tables are attached to each
+benchmark's ``extra_info`` and printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import run_experiment
+
+
+@pytest.fixture
+def run_and_render():
+    """Run one experiment under the benchmark clock and print its table."""
+
+    def runner(benchmark, exp_id: str, rounds: int = 2):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(exp_id,),
+            kwargs={"quick": True, "seed": 0},
+            rounds=rounds,
+            iterations=1,
+        )
+        benchmark.extra_info["rows"] = len(result.rows)
+        benchmark.extra_info["exp_id"] = exp_id
+        print()
+        print(result.render())
+        return result
+
+    return runner

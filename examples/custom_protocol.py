@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Bring your own protocol: the full toolkit applied to YOUR algorithm.
+
+This walkthrough implements a brand-new consensus attempt from scratch
+against the public API and runs the whole analysis pipeline over it —
+the workflow a downstream user follows to find out *where FLP bites
+their design*.
+
+The example protocol, "token ring consensus", is a plausible design you
+might sketch on a whiteboard:
+
+* processes are arranged in a ring; process ``p0`` holds a token;
+* the token carries a value, initialized to the holder's input;
+* each holder folds its own input into the token (logical AND — a
+  commit-style rule), forwards it around the ring, and the process that
+  completes the ring broadcasts the result; everyone decides it.
+
+Looks reasonable.  The toolkit will tell us, in order: it is safe
+(partially correct), exactly how its initial hypercube is shaped, that
+it is live under fair scheduling — and then the adversary will put its
+finger on the precise process whose silence stalls the ring forever.
+
+Run:  python examples/custom_protocol.py
+"""
+
+from typing import Hashable
+
+from repro import (
+    FLPAdversary,
+    RoundRobinScheduler,
+    StopCondition,
+    check_partial_correctness,
+    check_validity,
+    make_protocol,
+    simulate,
+)
+from repro.analysis.diagrams import hypercube_diagram
+from repro.core.process import ProcessState, Transition
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols.base import ConsensusProcess
+
+
+class TokenRingProcess(ConsensusProcess):
+    """One node of token-ring AND-consensus.
+
+    Message universe: ``("token", value, hops)`` and ``("result", v)``.
+    """
+
+    @property
+    def successor(self) -> str:
+        return self.peers[(self.index + 1) % self.n]
+
+    def initial_data(self, input_value: int) -> Hashable:
+        # p0 starts holding the token (not yet launched).
+        return ("holding",) if self.index == 0 else ("waiting",)
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        sends: list = []
+        data = state.data
+
+        if data == ("holding",):
+            # Launch the token with our input folded in.
+            sends.append(
+                self.send_to(self.successor, ("token", state.input, 1))
+            )
+            data = ("forwarded",)
+
+        new_state = state.with_data(data)
+        if isinstance(message_value, tuple) and message_value:
+            kind = message_value[0]
+            if kind == "token" and data != ("done",):
+                _, value, hops = message_value
+                folded = value & new_state.input
+                if hops + 1 >= self.n:
+                    # Ring complete: announce and decide.
+                    sends.extend(
+                        self.broadcast(self.others, ("result", folded))
+                    )
+                    new_state = new_state.with_data(
+                        ("done",)
+                    ).with_decision(folded)
+                else:
+                    sends.append(
+                        self.send_to(
+                            self.successor, ("token", folded, hops + 1)
+                        )
+                    )
+                    new_state = new_state.with_data(("forwarded",))
+            elif kind == "result" and not new_state.decided:
+                new_state = new_state.with_decision(message_value[1])
+        return Transition(new_state, tuple(sends))
+
+
+def main() -> None:
+    protocol = make_protocol(TokenRingProcess, 3)
+    print(f"your protocol: {protocol}\n")
+
+    print("== 1. is it safe? (exhaustive) ==")
+    correctness = check_partial_correctness(protocol)
+    validity = check_validity(protocol)
+    print(f"  {correctness.summary()}")
+    print(f"  validity: {'holds' if validity.valid else 'VIOLATED'}")
+
+    print("\n== 2. the initial hypercube (Lemma 2's object) ==")
+    analyzer = ValencyAnalyzer(protocol)
+    print(hypercube_diagram(analyzer.classify_initials()))
+    print(
+        "  all corners univalent: the decision (AND of inputs) is a "
+        "pure function\n  of the inputs, like 2PC — the adversary will "
+        "use the 0/1 boundary."
+    )
+
+    print("\n== 3. is it live when nothing goes wrong? ==")
+    result = simulate(
+        protocol,
+        protocol.initial_configuration([1, 1, 1]),
+        RoundRobinScheduler(),
+        max_steps=200,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    print(
+        f"  fair round-robin: decided={result.decided} in "
+        f"{result.steps} steps -> {result.decisions}"
+    )
+
+    print("\n== 4. where does FLP bite? ==")
+    adversary = FLPAdversary(protocol, analyzer=analyzer)
+    certificate = adversary.build_run(stages=10)
+    print(f"  {certificate.summary()}")
+    print(f"  verified by replay: {certificate.verify(protocol)}")
+    print(
+        f"\n  Diagnosis: silence {certificate.faulty_process!r} and the "
+        "token never completes the ring;\n  every ring/chain topology "
+        "has this shape — each hop is a serialization point.\n"
+        "  (Compare: `python -m repro attack parity-arbiter` needs no "
+        "fault at all.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The timeout trap: why "just add a backup after T ticks" backfires.
+
+FLP assumes no synchronized clocks, "so algorithms based on time-outs,
+for example, cannot be used."  Every practitioner's first instinct is
+to try anyway: count your own steps, and when the arbiter has been
+quiet for T ticks, escalate to a backup.  This example shows the whole
+arc:
+
+1. the plain arbiter: safe, but one slow referee blocks the world;
+2. the timeout variant: the backup takes over — availability restored!
+3. the bill: a schedule where the "dead" arbiter was merely slow, both
+   referees rule, and the system decides 0 *and* 1 — rendered as a
+   space-time diagram so you can watch the split happen;
+4. the exhaustive verdict: agreement is violated in the reachable
+   state space, something no amount of lucky testing can repair.
+
+Run:  python examples/timeout_trap.py
+"""
+
+from repro import (
+    CrashPlan,
+    RoundRobinScheduler,
+    StopCondition,
+    check_partial_correctness,
+    make_protocol,
+    simulate,
+)
+from repro.analysis.spacetime import spacetime_diagram
+from repro.core.events import NULL, Event, Schedule
+from repro.protocols import ArbiterProcess, TimeoutArbiterProcess
+
+
+def banner(text: str) -> None:
+    print()
+    print(f"--- {text} ---")
+
+
+def main() -> None:
+    plain = make_protocol(ArbiterProcess, 4)
+    timed = make_protocol(TimeoutArbiterProcess, 4, timeout=2)
+
+    banner("1. plain arbiter: safe, but the referee is a single point of stall")
+    blocked = simulate(
+        plain,
+        plain.initial_configuration([0, 0, 0, 1]),
+        RoundRobinScheduler(crash_plan=CrashPlan({"p0": 0})),
+        max_steps=300,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    print(
+        f"arbiter dead: decisions after {blocked.steps} steps = "
+        f"{blocked.decisions or '{} — everyone waits forever'}"
+    )
+
+    banner("2. timeout + backup: availability restored")
+    rescued = simulate(
+        timed,
+        timed.initial_configuration([0, 0, 0, 1]),
+        RoundRobinScheduler(crash_plan=CrashPlan({"p0": 0})),
+        max_steps=600,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    print(
+        f"arbiter dead, timeout=2 ticks: decisions = {rescued.decisions}"
+        f"  (agreement: {rescued.agreement_holds})"
+    )
+
+    banner("3. the bill: the arbiter was only SLOW, not dead")
+    split = Schedule(
+        [
+            Event("p2", NULL),                # p2 claims 0 → arbiter
+            Event("p3", NULL),                # p3 claims 1 → arbiter; tick 1
+            Event("p3", NULL),                # tick 2 → escalate to backup
+            Event("p3", NULL),                # (extra lonely step: no-op)
+            Event("p0", ("claim", "p2", 0)),  # slow arbiter wakes: rules 0
+            Event("p1", ("claim", "p3", 1)),  # backup rules 1  ← SPLIT
+        ]
+    )
+    print(
+        spacetime_diagram(
+            timed, timed.initial_configuration([0, 0, 0, 1]), split
+        )
+    )
+    final = timed.apply_schedule(
+        timed.initial_configuration([0, 0, 0, 1]), split
+    )
+    print(f"\ndecision values in one configuration: "
+          f"{sorted(final.decision_values())}  ← agreement violated")
+
+    banner("4. exhaustive verdict")
+    plain_report = check_partial_correctness(plain)
+    timed_report = check_partial_correctness(timed)
+    print(f"plain arbiter:   {plain_report.summary()}")
+    print(f"timeout arbiter: {timed_report.summary()}")
+    print(
+        "\nThe timeout converted FLP's liveness failure into a safety "
+        "failure.  Systems that DO escalate safely (Paxos, Raft, "
+        "viewstamped replication) pay with quorums and epochs — i.e. "
+        "they import the partial-synchrony machinery of "
+        "repro.synchrony.partial, and give up deciding before the "
+        "network stabilizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

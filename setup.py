@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` (legacy editable installs) on offline
+machines where PEP 660 builds fail for lack of `wheel`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""The executable proof machinery: Lemmas 1-3 and the Theorem-1 adversary."""
+
+from repro.adversary.bundle import (
+    BundleReport,
+    export_bundle,
+    load_bundle,
+    verify_bundle,
+)
+from repro.adversary.certificates import (
+    AdversaryMode,
+    CommutativityWitness,
+    Lemma2Certificate,
+    Lemma3Case,
+    Lemma3Certificate,
+    NonDecidingRunCertificate,
+    StageRecord,
+)
+from repro.adversary.flp import DEFAULT_FAIR_TAIL_STEPS, FLPAdversary
+from repro.adversary.lemmas import (
+    Lemma2Result,
+    Lemma3Failure,
+    Lemma3Outcome,
+    commutativity_diamond,
+    find_bivalent_successor,
+    find_lemma2,
+    random_disjoint_schedules,
+)
+
+__all__ = [
+    "BundleReport",
+    "export_bundle",
+    "load_bundle",
+    "verify_bundle",
+    "AdversaryMode",
+    "CommutativityWitness",
+    "Lemma2Certificate",
+    "Lemma3Case",
+    "Lemma3Certificate",
+    "NonDecidingRunCertificate",
+    "StageRecord",
+    "DEFAULT_FAIR_TAIL_STEPS",
+    "FLPAdversary",
+    "Lemma2Result",
+    "Lemma3Failure",
+    "Lemma3Outcome",
+    "commutativity_diamond",
+    "find_bivalent_successor",
+    "find_lemma2",
+    "random_disjoint_schedules",
+]

@@ -1,0 +1,53 @@
+"""Analysis utilities: traces, figures, valency maps, fairness, tables."""
+
+from repro.analysis.admissibility import (
+    AdmissibilityReport,
+    analyze_admissibility,
+)
+from repro.analysis.coverage import CoverageReport, measure_coverage
+from repro.analysis.diagrams import (
+    figure1,
+    figure2,
+    figure3,
+    graph_to_dot,
+    hypercube_diagram,
+)
+from repro.analysis.spacetime import SpacetimeEvent, spacetime_diagram
+from repro.analysis.stats import (
+    format_table,
+    mean,
+    median,
+    quantile,
+    stddev,
+)
+from repro.analysis.trace import RunTrace, TraceStep, trace_run
+from repro.analysis.valency_map import (
+    CriticalStep,
+    ValencyMap,
+    build_valency_map,
+)
+
+__all__ = [
+    "AdmissibilityReport",
+    "analyze_admissibility",
+    "CoverageReport",
+    "measure_coverage",
+    "figure1",
+    "figure2",
+    "figure3",
+    "graph_to_dot",
+    "hypercube_diagram",
+    "SpacetimeEvent",
+    "spacetime_diagram",
+    "format_table",
+    "mean",
+    "median",
+    "quantile",
+    "stddev",
+    "RunTrace",
+    "TraceStep",
+    "trace_run",
+    "CriticalStep",
+    "ValencyMap",
+    "build_valency_map",
+]

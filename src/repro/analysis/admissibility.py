@@ -1,0 +1,207 @@
+"""Admissibility accounting for finite run prefixes.
+
+The paper (Section 2): "A process p is *nonfaulty* in a run provided
+that it takes infinitely many steps, and it is *faulty* otherwise.  A
+run is *admissible* provided that at most one process is faulty and
+that all messages sent to nonfaulty processes are eventually received."
+
+Admissibility is a property of infinite runs; a finite prefix can never
+*be* admissible, only *consistent with* an admissible extension.  This
+module quantifies that consistency as measurable debt:
+
+* **step gaps** — for each process designated nonfaulty, the longest
+  stretch of events during which it did not step (a fair scheduler
+  keeps this bounded; the FLP adversary's queue discipline bounds it by
+  construction);
+* **delivery lag** — for each message addressed to a nonfaulty process,
+  how many events elapsed between send and delivery (or how long it has
+  been pending at the end of the prefix);
+* **faulty-step placement** — designated faulty processes must take
+  finitely many steps; in a prefix that means: none after their fault
+  point.
+
+The E4 experiment and the adversary tests use this to show the
+non-deciding prefixes are not cheating on fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Schedule
+from repro.core.messages import Message
+from repro.core.protocol import Protocol
+
+__all__ = ["AdmissibilityReport", "analyze_admissibility"]
+
+
+@dataclass(frozen=True)
+class AdmissibilityReport:
+    """Fairness debt of one finite prefix.
+
+    Attributes
+    ----------
+    length:
+        Number of events in the prefix.
+    faulty:
+        The designated faulty set (must have ≤ 1 member for the
+        prefix to be FLP-admissible; checked by :attr:`fault_ok`).
+    steps:
+        Events taken per process.
+    max_step_gap:
+        Per nonfaulty process: the longest run of consecutive events in
+        which it did not step (counting from the prefix start and to
+        its end).  Bounded gaps are what "takes infinitely many steps"
+        looks like on a prefix.
+    max_delivery_lag:
+        Over all messages to nonfaulty processes *delivered* in the
+        prefix: the maximum events between send and delivery.
+    oldest_pending_age:
+        Over messages to nonfaulty processes still undelivered at the
+        end: the age (in events) of the oldest.  0 if none pending.
+    pending_to_faulty:
+        Messages still addressed to faulty processes — these need never
+        be delivered, so they are reported but not counted as debt.
+    violations:
+        Hard violations found: a faulty process stepping after its
+        designated fault point, or more than one faulty process.
+    """
+
+    length: int
+    faulty: frozenset[str]
+    steps: dict[str, int]
+    max_step_gap: dict[str, int]
+    max_delivery_lag: int
+    oldest_pending_age: int
+    pending_to_faulty: int
+    violations: tuple[str, ...] = ()
+
+    @property
+    def fault_ok(self) -> bool:
+        """At most one faulty process and no post-fault steps."""
+        return len(self.faulty) <= 1 and not self.violations
+
+    def consistent_with_admissible(
+        self, step_gap_bound: int, lag_bound: int
+    ) -> bool:
+        """Whether the prefix fits an admissible run whose scheduler
+        promises the given fairness bounds.
+
+        A prefix is consistent when ≤ 1 process is faulty, no hard
+        violations occurred, every nonfaulty process's step gap is
+        within *step_gap_bound*, and no live-addressed message was (or
+        still is) delayed beyond *lag_bound*.
+        """
+        if not self.fault_ok:
+            return False
+        if any(gap > step_gap_bound for gap in self.max_step_gap.values()):
+            return False
+        return (
+            self.max_delivery_lag <= lag_bound
+            and self.oldest_pending_age <= lag_bound
+        )
+
+    def summary(self) -> str:
+        worst_gap = max(self.max_step_gap.values(), default=0)
+        return (
+            f"{self.length} events, faulty={sorted(self.faulty) or 'none'}; "
+            f"worst step gap {worst_gap}, worst delivery lag "
+            f"{self.max_delivery_lag}, oldest pending "
+            f"{self.oldest_pending_age}"
+        )
+
+
+@dataclass
+class _PendingCopy:
+    message: Message
+    sent_at: int
+
+
+def analyze_admissibility(
+    protocol: Protocol,
+    initial: Configuration,
+    schedule: Schedule,
+    faulty: frozenset[str] = frozenset(),
+    fault_point: int | None = None,
+) -> AdmissibilityReport:
+    """Replay *schedule* from *initial* and account for fairness.
+
+    Parameters
+    ----------
+    faulty:
+        Processes designated faulty (the adversary's single victim, if
+        any).  Their silence and their undelivered mail are not debt.
+    fault_point:
+        Event index from which the faulty processes must be silent;
+        defaults to 0 (silent for the whole prefix).
+    """
+    live = [
+        name for name in protocol.process_names if name not in faulty
+    ]
+    last_step = {name: -1 for name in protocol.process_names}
+    max_gap = {name: 0 for name in live}
+    steps = {name: 0 for name in protocol.process_names}
+    pending: list[_PendingCopy] = [
+        _PendingCopy(message, 0)
+        for message in initial.buffer
+    ]
+    max_lag = 0
+    violations: list[str] = []
+    threshold = fault_point if fault_point is not None else 0
+
+    configuration = initial
+    for index, event in enumerate(schedule):
+        name = event.process
+        steps[name] = steps.get(name, 0) + 1
+        if name in faulty and index >= threshold:
+            violations.append(
+                f"faulty process {name} stepped at event {index}"
+            )
+        if name in max_gap:
+            gap = index - last_step[name] - 1
+            max_gap[name] = max(max_gap[name], gap)
+        last_step[name] = index
+        # Account the delivery, if any.
+        if not event.is_null_delivery:
+            target = event.message
+            for position, copy in enumerate(pending):
+                if copy.message == target:
+                    if target.destination not in faulty:
+                        max_lag = max(max_lag, index - copy.sent_at)
+                    del pending[position]
+                    break
+        # Apply and account new sends (buffer diff).
+        before = configuration.buffer
+        configuration = protocol.apply_event(configuration, event)
+        after = configuration.buffer
+        for message in after.distinct_messages():
+            delta = after.count(message) - before.count(message)
+            if not event.is_null_delivery and message == event.message:
+                delta += 1  # one copy was consumed by this very event
+            for _ in range(max(delta, 0)):
+                pending.append(_PendingCopy(message, index))
+
+    end = len(schedule)
+    for name in live:
+        gap = end - last_step[name] - 1
+        max_gap[name] = max(max_gap[name], gap)
+
+    oldest = 0
+    to_faulty = 0
+    for copy in pending:
+        if copy.message.destination in faulty:
+            to_faulty += 1
+        else:
+            oldest = max(oldest, end - copy.sent_at)
+
+    return AdmissibilityReport(
+        length=end,
+        faulty=faulty,
+        steps={name: count for name, count in steps.items() if count},
+        max_step_gap=max_gap,
+        max_delivery_lag=max_lag,
+        oldest_pending_age=oldest,
+        pending_to_faulty=to_faulty,
+        violations=tuple(violations),
+    )

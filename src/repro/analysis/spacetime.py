@@ -1,0 +1,156 @@
+"""Space-time (Lamport) diagrams for runs.
+
+Renders a run as the classic distributed-systems picture: one column
+per process, time flowing downward, each row one event — null steps,
+deliveries (annotated with the message value and the send step it came
+from), sends, and decisions.  Used by the examples and invaluable when
+staring at an adversary schedule trying to see *why* nobody decides.
+
+The renderer tracks message identity the same way the admissibility
+accountant does: FIFO per (value, destination), which matches the
+model's delivery nondeterminism up to permutation of identical copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Schedule
+from repro.core.protocol import Protocol
+
+__all__ = ["SpacetimeEvent", "spacetime_diagram"]
+
+
+@dataclass(frozen=True)
+class SpacetimeEvent:
+    """One row of the diagram, fully resolved."""
+
+    index: int
+    process: str
+    kind: str  # "null" | "recv"
+    value: object | None
+    sent_at: int | None
+    sends: tuple[tuple[str, object], ...]
+    decided: int | None
+
+
+def _resolve_events(
+    protocol: Protocol, initial: Configuration, schedule: Schedule
+) -> list[SpacetimeEvent]:
+    pending: list[tuple[str, object, int]] = [
+        (message.destination, message.value, -1)
+        for message in initial.buffer
+    ]
+    configuration = initial
+    decided_before = {
+        name for name, state in initial.states() if state.decided
+    }
+    rows: list[SpacetimeEvent] = []
+    for index, event in enumerate(schedule):
+        sent_at: int | None = None
+        if not event.is_null_delivery:
+            for position, (dest, value, origin) in enumerate(pending):
+                if dest == event.process and value == event.value:
+                    sent_at = origin
+                    del pending[position]
+                    break
+        state = configuration.state_of(event.process)
+        transition = protocol.process(event.process).apply(
+            state, event.value
+        )
+        configuration = protocol.apply_event(configuration, event)
+        for message in transition.sends:
+            pending.append((message.destination, message.value, index))
+        decided = None
+        if (
+            transition.state.decided
+            and event.process not in decided_before
+        ):
+            decided = transition.state.output
+            decided_before.add(event.process)
+        rows.append(
+            SpacetimeEvent(
+                index=index,
+                process=event.process,
+                kind="null" if event.is_null_delivery else "recv",
+                value=None if event.is_null_delivery else event.value,
+                sent_at=sent_at,
+                sends=tuple(
+                    (message.destination, message.value)
+                    for message in transition.sends
+                ),
+                decided=decided,
+            )
+        )
+    return rows
+
+
+def spacetime_diagram(
+    protocol: Protocol,
+    initial: Configuration,
+    schedule: Schedule,
+    max_rows: int | None = None,
+    column_width: int | None = None,
+) -> str:
+    """Render *schedule* from *initial* as an ASCII space-time diagram.
+
+    Each process owns a column; each event is a row in its column:
+
+    * ``·`` — null step;
+    * ``◁ value (from #k)`` — delivery of a message sent at step k
+      (``#-`` for messages already buffered in the initial
+      configuration);
+    * ``▷ dest:value`` — message(s) sent by this step;
+    * ``★ DECIDES v`` — the step set the output register.
+    """
+    rows = _resolve_events(protocol, initial, schedule)
+    names = protocol.process_names
+    column = {name: position for position, name in enumerate(names)}
+
+    def describe(row: SpacetimeEvent) -> str:
+        parts: list[str] = []
+        if row.kind == "null":
+            parts.append("·")
+        else:
+            origin = "#-" if row.sent_at == -1 else f"#{row.sent_at}"
+            parts.append(f"◁{row.value!r}({origin})")
+        for dest, value in row.sends:
+            parts.append(f"▷{dest}:{value!r}")
+        if row.decided is not None:
+            parts.append(f"★DECIDES {row.decided}")
+        return " ".join(parts)
+
+    shown = rows if max_rows is None else rows[:max_rows]
+    # Column width adapts to the widest cell unless pinned by the caller.
+    if column_width is None:
+        widest = max(
+            (len(describe(row)) for row in shown), default=8
+        )
+        column_width = max(widest + 2, 10)
+
+    def pad(text: str) -> str:
+        return text[:column_width].ljust(column_width)
+
+    header = "step  " + "".join(pad(name) for name in names)
+    lines = [header, "      " + "".join(pad("│") for _ in names)]
+    for row in shown:
+        cells = ["│"] * len(names)
+        cells[column[row.process]] = describe(row)
+        lines.append(
+            f"{row.index:4d}  " + "".join(pad(cell) for cell in cells)
+        )
+    if max_rows is not None and len(rows) > max_rows:
+        lines.append(f"      ... {len(rows) - max_rows} more steps")
+    decisions = [
+        (row.process, row.decided) for row in rows if row.decided is not None
+    ]
+    lines.append(
+        "      decisions: "
+        + (
+            ", ".join(f"{name}={value}" for name, value in decisions)
+            if decisions
+            else "none — nobody ever decided"
+        )
+    )
+    return "\n".join(lines)

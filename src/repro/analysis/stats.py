@@ -1,0 +1,89 @@
+"""Small statistics and table-formatting helpers for the harness.
+
+Kept dependency-free (no numpy) so the library core stays pure; the
+benchmark layer may use numpy independently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["mean", "median", "quantile", "stddev", "format_table"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    return sum(data) / len(data)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median; raises on empty input."""
+    return quantile(values, 0.5)
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation quantile, ``0 <= q <= 1``."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("quantile of empty sequence")
+    if len(data) == 1:
+        return data[0]
+    position = q * (len(data) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return data[low]
+    weight = position - low
+    return data[low] * (1 - weight) + data[high] * weight
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Population standard deviation; 0.0 for singletons."""
+    data = list(values)
+    if not data:
+        raise ValueError("stddev of empty sequence")
+    center = mean(data)
+    return math.sqrt(sum((x - center) ** 2 for x in data) / len(data))
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    headers: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned, plain-text table.
+
+    Column order follows *headers* if given, else the key order of the
+    first row.  Every experiment's printed output goes through here so
+    EXPERIMENTS.md and the harness stay visually consistent.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(headers) if headers else list(rows[0].keys())
+    rendered = [
+        [_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header_line = "  ".join(
+        column.ljust(width) for column, width in zip(columns, widths)
+    )
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

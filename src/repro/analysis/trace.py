@@ -1,0 +1,116 @@
+"""Run traces: human-readable renderings of schedules and runs.
+
+The proof objects (schedules, certificates) are exact but opaque; this
+module turns them into step-by-step narratives for examples, debugging,
+and the documentation. A :class:`RunTrace` pairs each event with the
+configuration it produced and annotates decisions as they appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Schedule
+from repro.core.protocol import Protocol
+
+__all__ = ["TraceStep", "RunTrace", "trace_run"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One step of a traced run."""
+
+    index: int
+    event: Event
+    configuration: Configuration
+    new_decisions: tuple[tuple[str, int], ...]
+
+    def describe(self) -> str:
+        delivery = (
+            "null" if self.event.is_null_delivery else repr(self.event.value)
+        )
+        decided = (
+            "  ** "
+            + ", ".join(f"{name} decides {v}" for name, v in self.new_decisions)
+            + " **"
+            if self.new_decisions
+            else ""
+        )
+        return (
+            f"[{self.index:4d}] {self.event.process} receives {delivery}; "
+            f"|buffer|={len(self.configuration.buffer)}{decided}"
+        )
+
+
+@dataclass(frozen=True)
+class RunTrace:
+    """A fully materialized run: initial configuration + annotated steps."""
+
+    initial: Configuration
+    steps: tuple[TraceStep, ...]
+
+    @property
+    def final(self) -> Configuration:
+        return self.steps[-1].configuration if self.steps else self.initial
+
+    @property
+    def decisions(self) -> dict[str, int]:
+        """Every decision made during the run, ``process -> value``."""
+        made: dict[str, int] = {}
+        for step in self.steps:
+            made.update(dict(step.new_decisions))
+        return made
+
+    @property
+    def first_decision_step(self) -> int | None:
+        """Index of the first deciding step, or ``None``."""
+        for step in self.steps:
+            if step.new_decisions:
+                return step.index
+        return None
+
+    def describe(self, limit: int | None = None) -> str:
+        """Multi-line narrative; *limit* truncates long runs."""
+        lines = [f"initial: {self.initial!r}"]
+        shown = self.steps if limit is None else self.steps[:limit]
+        lines.extend(step.describe() for step in shown)
+        if limit is not None and len(self.steps) > limit:
+            lines.append(f"... {len(self.steps) - limit} more steps")
+        decisions = self.decisions
+        if decisions:
+            lines.append(f"decisions: {decisions}")
+        else:
+            lines.append("decisions: none — nobody ever decided")
+        return "\n".join(lines)
+
+
+def trace_run(
+    protocol: Protocol,
+    initial: Configuration,
+    schedule: Schedule | Iterable[Event],
+) -> RunTrace:
+    """Apply *schedule* from *initial*, recording every step."""
+    steps: list[TraceStep] = []
+    current = initial
+    decided_before = {
+        name for name, state in initial.states() if state.decided
+    }
+    for index, event in enumerate(schedule):
+        current = protocol.apply_event(current, event)
+        decided_now = {
+            name: state.output
+            for name, state in current.states()
+            if state.decided and name not in decided_before
+        }
+        decided_before |= set(decided_now)
+        steps.append(
+            TraceStep(
+                index=index,
+                event=event,
+                configuration=current,
+                new_decisions=tuple(sorted(decided_now.items())),
+            )
+        )
+    return RunTrace(initial=initial, steps=tuple(steps))

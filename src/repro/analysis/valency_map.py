@@ -1,0 +1,124 @@
+"""Whole-graph valency decomposition and the critical frontier.
+
+Beyond classifying single configurations, the experiments need the full
+picture of a protocol instance: how the accessible graph splits into
+bivalent / 0-valent / 1-valent regions, and where the *critical steps*
+are — edges from a bivalent configuration to a univalent one, i.e. the
+single steps that "determine the eventual decision value" and that the
+Theorem-1 adversary must forever sidestep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event
+from repro.core.exploration import explore
+from repro.core.protocol import Protocol
+from repro.core.valency import Valency, ValencyAnalyzer
+
+__all__ = ["CriticalStep", "ValencyMap", "build_valency_map"]
+
+
+@dataclass(frozen=True)
+class CriticalStep:
+    """A single step from a bivalent to a univalent configuration."""
+
+    source: Configuration
+    event: Event
+    target: Configuration
+    target_valency: Valency
+
+
+@dataclass(frozen=True)
+class ValencyMap:
+    """Valency census of the graph reachable from one root.
+
+    Attributes
+    ----------
+    root:
+        The configuration the census is rooted at.
+    counts:
+        Number of reachable configurations per valency class.
+    critical_steps:
+        All bivalent → univalent edges.  Their existence (for deciding
+        protocols) is the observation opening the Theorem-1 endgame:
+        "there must be some single step that goes from a bivalent to a
+        univalent configuration."
+    complete:
+        Whether the underlying exploration exhausted the reachable set.
+    """
+
+    root: Configuration
+    counts: dict[Valency, int]
+    critical_steps: tuple[CriticalStep, ...]
+    complete: bool
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def bivalent_fraction(self) -> float:
+        """Share of reachable configurations that are still undetermined."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.counts.get(Valency.BIVALENT, 0) / total
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{valency.value}={count}"
+            for valency, count in sorted(
+                self.counts.items(), key=lambda item: item[0].value
+            )
+            if count
+        )
+        return (
+            f"{self.total} configurations ({parts}); "
+            f"{len(self.critical_steps)} critical steps"
+            + ("" if self.complete else " [bounded]")
+        )
+
+
+def build_valency_map(
+    protocol: Protocol,
+    root: Configuration,
+    analyzer: ValencyAnalyzer | None = None,
+    max_configurations: int = 200_000,
+) -> ValencyMap:
+    """Explore from *root* and classify every reachable configuration."""
+    analyzer = analyzer or ValencyAnalyzer(
+        protocol, max_configurations=max_configurations
+    )
+    graph = explore(protocol, root, max_configurations=max_configurations)
+
+    counts: dict[Valency, int] = {valency: 0 for valency in Valency}
+    node_valency: list[Valency] = []
+    for configuration in graph.configurations:
+        valency = analyzer.valency(configuration)
+        node_valency.append(valency)
+        counts[valency] += 1
+
+    critical: list[CriticalStep] = []
+    for source, event, target in graph.iter_edges():
+        if (
+            node_valency[source] is Valency.BIVALENT
+            and node_valency[target].is_univalent
+        ):
+            critical.append(
+                CriticalStep(
+                    source=graph.configurations[source],
+                    event=event,
+                    target=graph.configurations[target],
+                    target_valency=node_valency[target],
+                )
+            )
+
+    return ValencyMap(
+        root=root,
+        counts={v: c for v, c in counts.items() if c},
+        critical_steps=tuple(critical),
+        complete=graph.complete,
+    )

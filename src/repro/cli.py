@@ -1,0 +1,379 @@
+"""flpkit command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the protocol catalog.
+``check <protocol>``
+    Partial correctness + validity + initial-hypercube valency census.
+``attack <protocol>``
+    Run the FLP adversary and report the non-deciding run certificate,
+    with admissibility accounting.
+``simulate <protocol>``
+    Forward-simulate under a chosen scheduler/crash plan.
+``map <protocol>``
+    Valency map of the reachable graph; optional DOT export.
+``experiments [ids...]``
+    Alias for ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import registry
+from repro.adversary.flp import FLPAdversary
+from repro.analysis.admissibility import analyze_admissibility
+from repro.analysis.stats import format_table
+from repro.analysis.valency_map import build_valency_map
+from repro.core.correctness import (
+    check_determinism,
+    check_partial_correctness,
+    check_validity,
+)
+from repro.core.errors import AdversaryStuck
+from repro.core.simulation import StopCondition, simulate
+from repro.core.valency import ValencyAnalyzer
+from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+__all__ = ["main"]
+
+
+def _parse_inputs(text: str | None, n: int) -> list[int]:
+    if text is None:
+        return [i % 2 for i in range(n)]
+    bits = [int(c) for c in text if c in "01"]
+    if len(bits) != n:
+        raise SystemExit(
+            f"--inputs must supply exactly {n} bits, got {text!r}"
+        )
+    return bits
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for name in registry.names():
+        entry = registry.info(name)
+        rows.append(
+            {
+                "name": entry.name,
+                "N": entry.default_n,
+                "safe": entry.safe,
+                "order-sensitive": entry.order_sensitive,
+                "analyzable": entry.analyzable,
+                "description": entry.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    entry = registry.info(args.protocol)
+    protocol = entry.build(args.n)
+    print(f"protocol: {protocol}")
+    determinism = check_determinism(protocol)
+    print(f"determinism: {determinism.summary()}")
+    if entry.analyzable:
+        report = check_partial_correctness(protocol)
+        print(f"partial correctness: {report.summary()}")
+        validity = check_validity(protocol)
+        print(f"validity: {'holds' if validity.valid else 'VIOLATED'}")
+        analyzer = ValencyAnalyzer(protocol)
+        rows = [
+            {
+                "inputs": "".join(str(b) for b in vector),
+                "valency": valency.value,
+            }
+            for vector, valency in sorted(
+                analyzer.classify_initials().items()
+            )
+        ]
+        print()
+        print("initial-configuration valencies:")
+        print(format_table(rows))
+        return 0 if report.is_partially_correct else 1
+
+    # Unbounded state space: exhaustive checking is infeasible, so run
+    # a simulation sweep instead — every input vector under a fair
+    # scheduler and a few random ones — checking agreement, validity,
+    # and that both decision values occur.  Honest but not exhaustive.
+    print(
+        "(unbounded state space: exhaustive checking skipped; running "
+        "a simulation sweep instead)"
+    )
+    values_seen: set[int] = set()
+    agreement_ok = True
+    validity_ok = True
+    runs = 0
+    n = protocol.num_processes
+    for bits in range(2**n):
+        inputs = [(bits >> i) & 1 for i in range(n)]
+        for scheduler in (
+            RoundRobinScheduler(),
+            RandomScheduler(seed=bits),
+        ):
+            result = simulate(
+                protocol,
+                protocol.initial_configuration(inputs),
+                scheduler,
+                max_steps=4000,
+                stop=StopCondition.ALL_DECIDED,
+            )
+            runs += 1
+            values_seen |= result.decision_values
+            agreement_ok = agreement_ok and result.agreement_holds
+            validity_ok = validity_ok and (
+                result.decision_values <= set(inputs)
+            )
+    both = values_seen == {0, 1}
+    print(
+        f"simulation sweep over {runs} runs: agreement="
+        f"{agreement_ok}, validity={validity_ok}, "
+        f"both-values-reachable={both}"
+    )
+    return 0 if agreement_ok and validity_ok and both else 1
+
+
+def _cmd_attack(args) -> int:
+    entry = registry.info(args.protocol)
+    if not entry.analyzable:
+        print(
+            f"{entry.name} has an unbounded state space; the adversary "
+            "needs exact valency analysis.  Pick an analyzable protocol "
+            "(see `list`).",
+            file=sys.stderr,
+        )
+        return 2
+    protocol = entry.build(args.n)
+    adversary = FLPAdversary(protocol)
+    try:
+        certificate = adversary.build_run(stages=args.stages)
+    except AdversaryStuck as error:
+        print(f"adversary stuck: {error}", file=sys.stderr)
+        return 1
+    print(f"protocol: {protocol}")
+    print(f"outcome:  {certificate.summary()}")
+    faulty = (
+        frozenset({certificate.faulty_process})
+        if certificate.faulty_process
+        else frozenset()
+    )
+    admissibility = analyze_admissibility(
+        protocol,
+        certificate.initial,
+        certificate.schedule,
+        faulty=faulty,
+        fault_point=certificate.fault_point,
+    )
+    print(f"fairness: {admissibility.summary()}")
+    verified = certificate.verify(protocol)
+    print(f"verified by replay: {verified}")
+    if args.trace:
+        from repro.analysis.trace import trace_run
+
+        trace = trace_run(
+            protocol, certificate.initial, certificate.schedule
+        )
+        print()
+        print(trace.describe(limit=args.trace))
+    if args.spacetime:
+        from repro.analysis.spacetime import spacetime_diagram
+
+        print()
+        print(
+            spacetime_diagram(
+                protocol,
+                certificate.initial,
+                certificate.schedule,
+                max_rows=args.spacetime,
+            )
+        )
+    if args.save:
+        from repro.adversary.bundle import export_bundle
+
+        with open(args.save, "w") as handle:
+            handle.write(
+                export_bundle(args.protocol, certificate, protocol)
+            )
+        print(f"proof bundle written to {args.save}")
+    return 0 if verified else 1
+
+
+def _cmd_verify(args) -> int:
+    from repro.adversary.bundle import verify_bundle
+    from repro.core.errors import FLPError
+
+    with open(args.bundle) as handle:
+        text = handle.read()
+    try:
+        report = verify_bundle(text)
+    except (FLPError, ValueError, KeyError) as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.verified else 1
+
+
+def _cmd_simulate(args) -> int:
+    entry = registry.info(args.protocol)
+    protocol = entry.build(args.n)
+    inputs = _parse_inputs(args.inputs, protocol.num_processes)
+    crash_plan = CrashPlan(
+        dict(
+            (spec.split("@")[0], int(spec.split("@")[1]))
+            for spec in (args.crash or [])
+        )
+    )
+    if args.scheduler == "round-robin":
+        scheduler = RoundRobinScheduler(crash_plan=crash_plan)
+    else:
+        scheduler = RandomScheduler(seed=args.seed, crash_plan=crash_plan)
+    result = simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler,
+        max_steps=args.max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    print(f"protocol: {protocol}  inputs={inputs}")
+    print(
+        f"stop: {result.stop_reason} after {result.steps} steps; "
+        f"decisions: {result.decisions or 'none'}"
+    )
+    print(f"agreement: {'holds' if result.agreement_holds else 'VIOLATED'}")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    entry = registry.info(args.protocol)
+    if not entry.analyzable:
+        print(f"{entry.name} is not analyzable", file=sys.stderr)
+        return 2
+    protocol = entry.build(args.n)
+    inputs = _parse_inputs(args.inputs, protocol.num_processes)
+    root = protocol.initial_configuration(inputs)
+    analyzer = ValencyAnalyzer(protocol)
+    vmap = build_valency_map(protocol, root, analyzer=analyzer)
+    print(f"protocol: {protocol}  inputs={inputs}")
+    print(vmap.summary())
+    if args.hypercube:
+        from repro.analysis.diagrams import hypercube_diagram
+
+        print()
+        print(hypercube_diagram(analyzer.classify_initials()))
+    if args.dot:
+        from repro.analysis.diagrams import graph_to_dot
+        from repro.core.exploration import explore
+
+        graph = explore(protocol, root)
+        with open(args.dot, "w") as handle:
+            handle.write(graph_to_dot(graph, analyzer))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = list(args.ids)
+    if args.full:
+        argv.append("--full")
+    return experiments_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="flpkit: executable FLP impossibility toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="show the protocol catalog")
+
+    check = commands.add_parser("check", help="correctness + valency census")
+    check.add_argument("protocol", choices=registry.names())
+    check.add_argument("-n", type=int, default=None)
+
+    attack = commands.add_parser("attack", help="run the FLP adversary")
+    attack.add_argument("protocol", choices=registry.names())
+    attack.add_argument("-n", type=int, default=None)
+    attack.add_argument("--stages", type=int, default=20)
+    attack.add_argument(
+        "--trace",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print the first K steps of the run",
+    )
+    attack.add_argument(
+        "--spacetime",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print a space-time diagram of the first K steps",
+    )
+    attack.add_argument(
+        "--save",
+        metavar="PATH",
+        help="write a portable proof bundle (JSON) to PATH",
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="re-verify a proof bundle produced by `attack --save`",
+    )
+    verify.add_argument("bundle", help="path to the bundle JSON")
+
+    sim = commands.add_parser("simulate", help="forward simulation")
+    sim.add_argument("protocol", choices=registry.names())
+    sim.add_argument("-n", type=int, default=None)
+    sim.add_argument("--inputs", help="bit string, one per process")
+    sim.add_argument(
+        "--scheduler", choices=("round-robin", "random"),
+        default="round-robin",
+    )
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-steps", type=int, default=2000)
+    sim.add_argument(
+        "--crash",
+        action="append",
+        metavar="PROC@STEP",
+        help="crash PROC at STEP (repeatable)",
+    )
+
+    vmap = commands.add_parser("map", help="valency map of reachable graph")
+    vmap.add_argument("protocol", choices=registry.names())
+    vmap.add_argument("-n", type=int, default=None)
+    vmap.add_argument("--inputs")
+    vmap.add_argument("--dot", help="write Graphviz DOT to this path")
+    vmap.add_argument(
+        "--hypercube",
+        action="store_true",
+        help="also print the Lemma-2 initial hypercube (Gray-code walk)",
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="run the paper-reproduction experiments"
+    )
+    experiments.add_argument("ids", nargs="*")
+    experiments.add_argument("--full", action="store_true")
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "check": _cmd_check,
+    "attack": _cmd_attack,
+    "simulate": _cmd_simulate,
+    "map": _cmd_map,
+    "verify": _cmd_verify,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

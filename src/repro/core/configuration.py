@@ -1,0 +1,157 @@
+"""Configurations of the whole system (paper, Section 2).
+
+A *configuration* consists of the internal state of each process together
+with the contents of the message buffer.  An *initial configuration* is
+one in which each process is in an initial state and the buffer is empty.
+
+Configurations are immutable value objects with structural equality and
+hashing.  This is load-bearing: the exploration layer memoizes on
+configurations, and Lemma 1's commutativity claim ("both lead to the same
+configuration C3") is checked as a literal ``==``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.core.errors import UnknownProcess
+from repro.core.messages import MessageBuffer
+from repro.core.process import ProcessState
+
+__all__ = ["Configuration"]
+
+
+class Configuration:
+    """Immutable system snapshot: per-process states + message buffer."""
+
+    __slots__ = ("_states", "_buffer", "_key", "_hash")
+
+    def __init__(
+        self, states: Mapping[str, ProcessState], buffer: MessageBuffer
+    ):
+        if not states:
+            raise ValueError("a configuration needs at least one process")
+        self._states = dict(states)
+        self._buffer = buffer
+        self._key = tuple(sorted(self._states.items()))
+        self._hash = hash((self._key, buffer))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def buffer(self) -> MessageBuffer:
+        """The message buffer component of this configuration."""
+        return self._buffer
+
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """All process names, sorted."""
+        return tuple(name for name, _ in self._key)
+
+    def state_of(self, process: str) -> ProcessState:
+        """The internal state of *process*.
+
+        Raises
+        ------
+        UnknownProcess
+            If *process* is not part of this configuration.
+        """
+        try:
+            return self._states[process]
+        except KeyError:
+            raise UnknownProcess(process) from None
+
+    def states(self) -> Iterator[tuple[str, ProcessState]]:
+        """Iterate over ``(name, state)`` pairs in sorted name order."""
+        return iter(self._key)
+
+    # -- decision structure --------------------------------------------------
+
+    def decision_values(self) -> frozenset[int]:
+        """The set of values written to output registers in this
+        configuration.
+
+        The paper says a configuration *has decision value v* if some
+        process is in a decision state with ``y_p = v``.  Partial
+        correctness condition (1) requires this set to have size ≤ 1 in
+        every accessible configuration.
+        """
+        return frozenset(
+            state.output
+            for _, state in self._key
+            if state.decided
+        )
+
+    def decided_processes(self) -> tuple[str, ...]:
+        """Names of processes whose output register is set, sorted."""
+        return tuple(
+            name for name, state in self._key if state.decided
+        )
+
+    @property
+    def has_decision(self) -> bool:
+        """``True`` iff some process has decided in this configuration."""
+        return any(state.decided for _, state in self._key)
+
+    # -- functional updates ---------------------------------------------------
+
+    def with_state(self, process: str, state: ProcessState) -> "Configuration":
+        """Copy of this configuration with *process*'s state replaced."""
+        if process not in self._states:
+            raise UnknownProcess(process)
+        states = dict(self._states)
+        states[process] = state
+        return Configuration(states, self._buffer)
+
+    def with_buffer(self, buffer: MessageBuffer) -> "Configuration":
+        """Copy of this configuration with the buffer replaced."""
+        return Configuration(self._states, buffer)
+
+    def replace(
+        self, process: str, state: ProcessState, buffer: MessageBuffer
+    ) -> "Configuration":
+        """Copy with both one process state and the buffer replaced.
+
+        This is the shape of a single step: the stepping process's state
+        changes and the buffer loses the delivered message and gains the
+        sent ones; all other process states are untouched.
+        """
+        if process not in self._states:
+            raise UnknownProcess(process)
+        states = dict(self._states)
+        states[process] = state
+        return Configuration(states, buffer)
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __contains__(self, process: str) -> bool:
+        return process in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._key == other._key and self._buffer == other._buffer
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, state in self._key:
+            out = "b" if not state.decided else state.output
+            parts.append(f"{name}:x={state.input},y={out}")
+        return (
+            f"Configuration({'; '.join(parts)}; "
+            f"|buffer|={len(self._buffer)})"
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering (for traces and examples)."""
+        lines = ["Configuration:"]
+        for name, state in self._key:
+            lines.append(f"  {name}: {state!r}")
+        lines.append(f"  buffer: {self._buffer!r}")
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for flpkit.
+
+All library-raised exceptions derive from :class:`FLPError` so that callers
+can distinguish model violations from ordinary Python errors with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class FLPError(Exception):
+    """Base class for every error raised by flpkit."""
+
+
+class ModelError(FLPError):
+    """A request violates the formal model of Section 2 of the paper."""
+
+
+class InvalidEvent(ModelError):
+    """An event was applied to a configuration it is not applicable to.
+
+    An event ``(p, m)`` with ``m != NULL`` is applicable to a configuration
+    only if the message ``(p, m)`` is present in the message buffer.  Null
+    deliveries ``(p, NULL)`` are always applicable.
+    """
+
+
+class UnknownProcess(ModelError):
+    """A process name was used that does not belong to the protocol."""
+
+
+class ProtocolViolation(FLPError):
+    """A process transition broke one of the model's structural rules.
+
+    The canonical example is writing to the output register after it has
+    been set: the paper stipulates that the output register is write-once
+    ("the transition function cannot change the value of the output
+    register once the process has reached a decision state").
+    """
+
+
+class NotPartiallyCorrect(FLPError):
+    """A protocol failed one of the two partial-correctness conditions.
+
+    Condition (1): no accessible configuration has more than one decision
+    value.  Condition (2): for each ``v`` in ``{0, 1}`` some accessible
+    configuration has decision value ``v``.
+    """
+
+
+class ExplorationLimitExceeded(FLPError):
+    """Reachability exploration hit its node or depth budget.
+
+    Raised only when the caller requested *exact* answers; bounded-analysis
+    entry points return explicit ``UNKNOWN`` results instead.
+    """
+
+
+class AdversaryStuck(FLPError):
+    """The FLP adversary could not find a bivalence-preserving extension.
+
+    Against a partially correct protocol with exact valency information
+    this is impossible by Lemma 3, so seeing this error indicates either a
+    protocol that is not partially correct or an exploration budget that is
+    too small to certify bivalence.
+    """
+
+
+class SimulationLimitExceeded(FLPError):
+    """A forward simulation exceeded its maximum step budget."""

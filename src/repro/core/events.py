@@ -1,0 +1,170 @@
+"""Events and schedules (paper, Section 2).
+
+A step is completely determined by the pair ``e = (p, m)``: process ``p``
+receives message value ``m`` (or the null marker) and moves according to
+its transition function.  The paper calls ``e`` an *event*.  A *schedule*
+from a configuration ``C`` is a finite or infinite sequence of events
+that can be applied in turn starting from ``C``; the associated sequence
+of steps is a *run*.
+
+Events and schedules here are pure data.  Applying them to configurations
+requires the protocol's transition functions and lives on
+:class:`~repro.core.protocol.Protocol`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, overload
+
+from repro.core.configuration import Configuration
+from repro.core.messages import Message
+
+__all__ = ["NULL", "Event", "Schedule"]
+
+#: The null delivery marker: ``receive(p)`` returned nothing.
+NULL = None
+
+
+class Event:
+    """The event ``e = (p, m)``: process *p* receives message value *m*.
+
+    ``m`` may be :data:`NULL`, modeling a ``receive`` that returns the
+    empty marker — such an event is applicable to *every* configuration,
+    which is what lets a process "always take another step".
+    """
+
+    __slots__ = ("process", "value", "_hash")
+
+    def __init__(self, process: str, value: Hashable | None = NULL):
+        object.__setattr__(self, "process", process)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((process, value)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Event is immutable")
+
+    @property
+    def is_null_delivery(self) -> bool:
+        """``True`` iff this event delivers the null marker."""
+        return self.value is NULL
+
+    @property
+    def message(self) -> Message | None:
+        """The buffer message this event consumes, or ``None`` for null."""
+        if self.is_null_delivery:
+            return None
+        return Message(self.process, self.value)
+
+    def is_applicable(self, configuration: Configuration) -> bool:
+        """Whether this event can be applied to *configuration*.
+
+        Null deliveries are always applicable; a real delivery requires
+        the message ``(p, m)`` to be present in the buffer.
+        """
+        if self.process not in configuration:
+            return False
+        if self.is_null_delivery:
+            return True
+        return Message(self.process, self.value) in configuration.buffer
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.process == other.process and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        value = "NULL" if self.is_null_delivery else repr(self.value)
+        return f"Event({self.process!r}, {value})"
+
+
+class Schedule:
+    """A finite sequence of events, applied left to right.
+
+    Immutable; concatenation builds new schedules.  The empty schedule is
+    the identity: ``Schedule().apply_to(C) == C`` for every ``C`` (via
+    :meth:`Protocol.apply_schedule`).
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event] = ()):
+        self._events = tuple(events)
+        for event in self._events:
+            if not isinstance(event, Event):
+                raise TypeError(
+                    f"Schedule items must be Events, got "
+                    f"{type(event).__name__}"
+                )
+
+    @classmethod
+    def single(cls, event: Event) -> "Schedule":
+        """A one-event schedule."""
+        return cls((event,))
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """The events, in application order."""
+        return self._events
+
+    def processes(self) -> frozenset[str]:
+        """The set of processes taking steps in this schedule.
+
+        This is the set Lemma 1 requires to be disjoint between two
+        commuting schedules.
+        """
+        return frozenset(event.process for event in self._events)
+
+    def is_disjoint_from(self, other: "Schedule") -> bool:
+        """Lemma 1's hypothesis: no process steps in both schedules."""
+        return not (self.processes() & other.processes())
+
+    def then(self, other: "Schedule | Event") -> "Schedule":
+        """Concatenation: this schedule followed by *other*."""
+        if isinstance(other, Event):
+            return Schedule(self._events + (other,))
+        return Schedule(self._events + other._events)
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return Schedule(self._events + other._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    @overload
+    def __getitem__(self, index: int) -> Event: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> "Schedule": ...
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Schedule(self._events[index])
+        return self._events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        if len(self._events) > 6:
+            head = ", ".join(repr(e) for e in self._events[:3])
+            return (
+                f"Schedule([{head}, ... {len(self._events) - 3} more])"
+            )
+        inner = ", ".join(repr(e) for e in self._events)
+        return f"Schedule([{inner}])"

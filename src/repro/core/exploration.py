@@ -1,0 +1,266 @@
+"""Reachable-configuration graphs.
+
+The proof machinery of the paper quantifies over *accessible*
+configurations — those reachable from some initial configuration by a
+schedule.  For finite protocol instances the reachable set is a finite
+directed graph whose edges are events; this module builds that graph
+explicitly, with memoization on configuration identity and an explicit
+budget so unbounded protocols degrade to a truthful partial answer
+instead of hanging.
+
+The graph is the substrate for exact valency computation
+(:mod:`repro.core.valency`): valency is reverse reachability from
+decision configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ExplorationLimitExceeded
+from repro.core.events import Event
+from repro.core.protocol import Protocol
+
+__all__ = [
+    "ConfigurationGraph",
+    "TransitionCache",
+    "explore",
+    "reachable_set",
+]
+
+#: Default exploration budget (number of distinct configurations).
+DEFAULT_MAX_CONFIGURATIONS = 200_000
+
+
+class TransitionCache:
+    """Memoized ``(configuration, event) -> successor`` application.
+
+    The valency analyzer and the adversary explore heavily overlapping
+    graphs (the full accessible set, then one event-filtered 𝒞 per
+    stage, then each ``e``-successor's own reachable set).  Since the
+    model is deterministic, every transition computed once can be
+    reused across all of them; sharing one cache turns re-exploration
+    into dictionary lookups.
+
+    The cache belongs to exactly one protocol — mixing protocols would
+    conflate transition functions — which :meth:`apply` asserts.
+    """
+
+    def __init__(self, protocol: "Protocol"):
+        self.protocol = protocol
+        self._transitions: dict[
+            tuple[Configuration, Event], Configuration
+        ] = {}
+
+    def apply(
+        self, protocol: "Protocol", configuration: Configuration,
+        event: Event,
+    ) -> Configuration:
+        """``e(C)``, memoized."""
+        if protocol is not self.protocol:
+            raise ValueError(
+                "TransitionCache is bound to a different protocol"
+            )
+        key = (configuration, event)
+        successor = self._transitions.get(key)
+        if successor is None:
+            successor = protocol.apply_event(configuration, event)
+            self._transitions[key] = successor
+        return successor
+
+    def __len__(self) -> int:
+        return len(self._transitions)
+
+
+@dataclass
+class ConfigurationGraph:
+    """The explored portion of the configuration graph rooted at ``root``.
+
+    Attributes
+    ----------
+    root:
+        The configuration exploration started from.
+    configurations:
+        Every explored configuration, indexed by node id.  ``root`` is
+        node 0.
+    successors:
+        ``successors[i]`` lists ``(event, j)`` pairs: applying ``event``
+        to configuration ``i`` yields configuration ``j``.  Populated
+        only for *expanded* nodes.
+    predecessors:
+        Reverse adjacency (node ids only), for reverse reachability.
+    frontier:
+        Node ids that were discovered but never expanded because the
+        budget ran out.  Empty iff :attr:`complete`.
+    complete:
+        ``True`` iff the reachable set was exhausted — every discovered
+        configuration was expanded.  Only then are "cannot reach"
+        judgements sound.
+    """
+
+    root: Configuration
+    configurations: list[Configuration] = field(default_factory=list)
+    successors: list[list[tuple[Event, int]]] = field(default_factory=list)
+    predecessors: list[list[int]] = field(default_factory=list)
+    frontier: set[int] = field(default_factory=set)
+    complete: bool = True
+    _index: dict[Configuration, int] = field(default_factory=dict)
+
+    def node_id(self, configuration: Configuration) -> int:
+        """The id of *configuration* in this graph.
+
+        Raises
+        ------
+        KeyError
+            If the configuration was not discovered during exploration.
+        """
+        return self._index[configuration]
+
+    def __contains__(self, configuration: Configuration) -> bool:
+        return configuration in self._index
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+    def nodes_reaching(self, targets: set[int]) -> set[int]:
+        """All node ids with a path into *targets* (including targets).
+
+        This is reverse BFS over :attr:`predecessors` — the primitive
+        underlying valency: a configuration is (say) 0-valent iff it
+        reaches a 0-decision configuration and no 1-decision one.
+        """
+        seen = set(targets)
+        queue = deque(targets)
+        while queue:
+            node = queue.popleft()
+            for predecessor in self.predecessors[node]:
+                if predecessor not in seen:
+                    seen.add(predecessor)
+                    queue.append(predecessor)
+        return seen
+
+    def decision_nodes(self, value: int) -> set[int]:
+        """Node ids of configurations having decision value *value*."""
+        return {
+            i
+            for i, configuration in enumerate(self.configurations)
+            if value in configuration.decision_values()
+        }
+
+    def iter_edges(self) -> Iterator[tuple[int, Event, int]]:
+        """Iterate over all edges as ``(source, event, target)``."""
+        for source, out in enumerate(self.successors):
+            for event, target in out:
+                yield source, event, target
+
+
+def explore(
+    protocol: Protocol,
+    root: Configuration,
+    max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+    event_filter: Callable[[Configuration, Event], bool] | None = None,
+    include_null: bool = True,
+    cache: TransitionCache | None = None,
+) -> ConfigurationGraph:
+    """Breadth-first exploration of the configuration graph from *root*.
+
+    Parameters
+    ----------
+    protocol:
+        Supplies the step semantics and the enabled-event enumeration.
+    root:
+        Starting configuration (need not be initial).
+    max_configurations:
+        Budget on distinct configurations.  When exceeded, the result has
+        ``complete=False`` and the unexpanded nodes in ``frontier``; no
+        exception is raised (callers needing exactness check
+        ``complete``).
+    event_filter:
+        Optional predicate; events for which it returns ``False`` are not
+        taken.  Lemma 3's set 𝒞 ("reachable from C without applying e")
+        is exploration with the filter ``event != e``.
+    include_null:
+        Whether null-delivery events are explored.  The model always
+        allows them; protocols designed so that null deliveries are
+        no-ops keep the graph small either way, but excluding them is
+        useful for delivery-only analyses.
+    cache:
+        Optional shared :class:`TransitionCache`; explorations with
+        overlapping state spaces (the valency analyzer, the adversary's
+        per-stage 𝒞 searches) reuse each other's computed transitions.
+    """
+    graph = ConfigurationGraph(root=root)
+    graph.configurations.append(root)
+    graph.successors.append([])
+    graph.predecessors.append([])
+    graph._index[root] = 0
+
+    queue: deque[int] = deque([0])
+    expanded: set[int] = set()
+
+    while queue:
+        node = queue.popleft()
+        if node in expanded:
+            continue
+        expanded.add(node)
+        configuration = graph.configurations[node]
+        for event in protocol.enabled_events(
+            configuration, include_null=include_null
+        ):
+            if event_filter is not None and not event_filter(
+                configuration, event
+            ):
+                continue
+            if cache is not None:
+                successor = cache.apply(protocol, configuration, event)
+            else:
+                successor = protocol.apply_event(configuration, event)
+            existing = graph._index.get(successor)
+            if existing is None:
+                if len(graph.configurations) >= max_configurations:
+                    # Budget exhausted: record the truthful partial result.
+                    graph.complete = False
+                    graph.frontier = {
+                        n
+                        for n in range(len(graph.configurations))
+                        if n not in expanded
+                    }
+                    # The current node is only partially expanded.
+                    graph.frontier.add(node)
+                    return graph
+                existing = len(graph.configurations)
+                graph.configurations.append(successor)
+                graph.successors.append([])
+                graph.predecessors.append([])
+                graph._index[successor] = existing
+                queue.append(existing)
+            graph.successors[node].append((event, existing))
+            if node not in graph.predecessors[existing]:
+                graph.predecessors[existing].append(node)
+
+    graph.complete = True
+    graph.frontier = set()
+    return graph
+
+
+def reachable_set(
+    protocol: Protocol,
+    root: Configuration,
+    max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+    require_complete: bool = False,
+) -> set[Configuration]:
+    """The set of configurations reachable from *root*.
+
+    With ``require_complete=True`` an incomplete exploration raises
+    :class:`ExplorationLimitExceeded` instead of returning a partial set.
+    """
+    graph = explore(protocol, root, max_configurations=max_configurations)
+    if require_complete and not graph.complete:
+        raise ExplorationLimitExceeded(
+            f"reachable set from {root!r} exceeds "
+            f"{max_configurations} configurations"
+        )
+    return set(graph.configurations)

@@ -1,0 +1,228 @@
+"""Messages and the nondeterministic message buffer (paper, Section 2).
+
+A *message* is a pair ``(p, m)`` where ``p`` names the destination process
+and ``m`` is a message value drawn from a fixed universe ``M``.  The
+*message buffer* is a multiset of messages that have been sent but not yet
+delivered.  It supports two abstract operations:
+
+``send(p, m)``
+    places ``(p, m)`` in the buffer;
+
+``receive(p)``
+    either deletes some message ``(p, m)`` from the buffer and returns
+    ``m``, or returns the special null marker and leaves the buffer
+    unchanged.
+
+The *choice* of which message to deliver (or whether to return null) is
+the nondeterminism of the message system; in flpkit that choice is made
+by a :class:`~repro.schedulers.base.Scheduler`, so the buffer itself is a
+pure immutable multiset value.  Immutability is essential: configurations
+embed their buffer, and Lemma 1's commutativity claim is a literal
+equality between configurations.
+
+Note that the buffer carries no timestamps.  The fairness bookkeeping of
+the paper's Theorem-1 construction ("the message buffer is ordered
+according to the time the messages were sent") belongs to the adversary's
+strategy state, not to the configuration — two configurations reached by
+commuting disjoint schedules must compare equal (Lemma 1) even though
+their messages were sent in different global orders.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.core.errors import InvalidEvent
+
+__all__ = ["Message", "MessageBuffer"]
+
+
+class Message:
+    """An addressed message ``(p, m)``: destination process + value.
+
+    Both fields are immutable; the value must be hashable.  Protocols that
+    need to know who *sent* a message embed the sender in the value ``m``
+    (the paper's model does the same — a message is only a destination and
+    a value).
+    """
+
+    __slots__ = ("destination", "value", "_hash")
+
+    def __init__(self, destination: str, value: Hashable):
+        object.__setattr__(self, "destination", destination)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash((destination, value)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Message is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.destination == other.destination and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Message({self.destination!r}, {self.value!r})"
+
+
+class MessageBuffer:
+    """An immutable multiset of :class:`Message`.
+
+    All mutating operations return a *new* buffer; the receiver is never
+    modified.  Equality and hashing are by multiset contents, which makes
+    buffers usable as components of hashable configurations.
+    """
+
+    __slots__ = ("_counts", "_size", "_hash")
+
+    def __init__(self, counts: Mapping[Message, int] | None = None):
+        """Build a buffer from a ``message -> multiplicity`` mapping.
+
+        Entries with non-positive multiplicity are rejected rather than
+        silently dropped so that construction bugs surface early.
+        """
+        clean: dict[Message, int] = {}
+        if counts:
+            for message, count in counts.items():
+                if not isinstance(count, int) or count <= 0:
+                    raise ValueError(
+                        f"multiplicity of {message!r} must be a positive "
+                        f"int, got {count!r}"
+                    )
+                clean[message] = count
+        self._counts = clean
+        self._size = sum(clean.values())
+        self._hash = hash(frozenset(clean.items()))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "MessageBuffer":
+        """The empty buffer (the buffer of every initial configuration)."""
+        return _EMPTY
+
+    @classmethod
+    def of(cls, messages: Iterable[Message]) -> "MessageBuffer":
+        """Build a buffer containing each message in *messages* once per
+        occurrence (duplicates accumulate multiplicity)."""
+        counts: dict[Message, int] = {}
+        for message in messages:
+            counts[message] = counts.get(message, 0) + 1
+        return cls(counts)
+
+    # -- multiset operations ----------------------------------------------
+
+    def send(self, message: Message) -> "MessageBuffer":
+        """Return a new buffer with one more copy of *message*."""
+        counts = dict(self._counts)
+        counts[message] = counts.get(message, 0) + 1
+        return MessageBuffer(counts)
+
+    def send_all(self, messages: Iterable[Message]) -> "MessageBuffer":
+        """Return a new buffer with every message in *messages* added.
+
+        This models the paper's atomic broadcast: a process's single step
+        may place an arbitrary finite set of messages in the buffer.
+        """
+        counts = dict(self._counts)
+        for message in messages:
+            counts[message] = counts.get(message, 0) + 1
+        if len(counts) == len(self._counts) and self._size == sum(
+            counts.values()
+        ):
+            return self
+        return MessageBuffer(counts)
+
+    def deliver(self, message: Message) -> "MessageBuffer":
+        """Return a new buffer with one copy of *message* removed.
+
+        Raises
+        ------
+        InvalidEvent
+            If the message is not present — delivering it would violate
+            the model.
+        """
+        current = self._counts.get(message, 0)
+        if current == 0:
+            raise InvalidEvent(f"{message!r} is not in the message buffer")
+        counts = dict(self._counts)
+        if current == 1:
+            del counts[message]
+        else:
+            counts[message] = current - 1
+        return MessageBuffer(counts)
+
+    # -- queries ------------------------------------------------------------
+
+    def count(self, message: Message) -> int:
+        """Multiplicity of *message* in the buffer (0 if absent)."""
+        return self._counts.get(message, 0)
+
+    def messages_for(self, process: str) -> tuple[Message, ...]:
+        """All distinct messages addressed to *process*, in a deterministic
+        order (sorted by ``repr`` of the value for reproducibility)."""
+        addressed = [
+            m for m in self._counts if m.destination == process
+        ]
+        addressed.sort(key=lambda m: repr(m.value))
+        return tuple(addressed)
+
+    def has_message_for(self, process: str) -> bool:
+        """``True`` iff some undelivered message is addressed to *process*."""
+        return any(m.destination == process for m in self._counts)
+
+    def distinct_messages(self) -> tuple[Message, ...]:
+        """All distinct messages in the buffer, deterministically ordered."""
+        messages = list(self._counts)
+        messages.sort(key=lambda m: (m.destination, repr(m.value)))
+        return tuple(messages)
+
+    def items(self) -> Iterator[tuple[Message, int]]:
+        """Iterate over ``(message, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def destinations(self) -> frozenset[str]:
+        """The set of processes with at least one pending message."""
+        return frozenset(m.destination for m in self._counts)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __contains__(self, message: Message) -> bool:
+        return message in self._counts
+
+    def __len__(self) -> int:
+        """Total number of messages, counting multiplicity."""
+        return self._size
+
+    def __iter__(self) -> Iterator[Message]:
+        """Iterate over messages, repeating each per its multiplicity."""
+        for message, count in self._counts.items():
+            for _ in range(count):
+                yield message
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MessageBuffer):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "MessageBuffer.empty()"
+        inner = ", ".join(
+            f"{message!r}x{count}" for message, count in sorted(
+                self._counts.items(),
+                key=lambda item: (item[0].destination, repr(item[0].value)),
+            )
+        )
+        return f"MessageBuffer({{{inner}}})"
+
+
+_EMPTY = MessageBuffer()

@@ -1,0 +1,220 @@
+"""Processes as deterministic automata (paper, Section 2).
+
+Each process ``p`` has a one-bit input register ``x_p``, a write-once
+output register ``y_p`` with values in ``{b, 0, 1}`` (``b`` rendered here
+as :data:`~repro.core.values.UNDECIDED`), and internal storage.  The whole
+of it — input, output, and internal storage — is the process's *internal
+state*, modeled by the immutable :class:`ProcessState`.
+
+A process acts deterministically according to a transition function: in
+one atomic step it attempts to receive a message, performs local
+computation on the basis of whether (and which) message arrived, and
+sends a finite set of messages to other processes.  Concrete protocols
+subclass :class:`Process` and implement :meth:`Process.step`.
+
+The model requires the state space to be hashable (so configurations can
+be compared and memoized) but places no finiteness restriction — the
+paper allows "possibly infinitely many states".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, NamedTuple
+
+from repro.core.errors import ProtocolViolation
+from repro.core.messages import Message
+from repro.core.values import UNDECIDED, is_decision_value, is_input_value
+
+__all__ = ["ProcessState", "Transition", "Process"]
+
+
+class ProcessState:
+    """Immutable snapshot of one process's internal state.
+
+    Attributes
+    ----------
+    input:
+        The initial value in the input register ``x_p`` (0 or 1).  Fixed
+        for the lifetime of the process.
+    output:
+        The output register ``y_p``: :data:`UNDECIDED` until the process
+        decides, then 0 or 1, forever (write-once; enforced by
+        :meth:`Process.apply`).
+    data:
+        Protocol-specific internal storage.  Must be hashable; protocols
+        typically use tuples, frozensets, or frozen dataclasses.
+    """
+
+    __slots__ = ("input", "output", "data", "_hash")
+
+    def __init__(self, input: int, output: int | None, data: Hashable):
+        if not is_input_value(input):
+            raise ValueError(f"input register must be 0 or 1, got {input!r}")
+        if output is not UNDECIDED and not is_decision_value(output):
+            raise ValueError(
+                f"output register must be UNDECIDED, 0 or 1, got {output!r}"
+            )
+        object.__setattr__(self, "input", input)
+        object.__setattr__(self, "output", output)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "_hash", hash((input, output, data)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ProcessState is immutable")
+
+    @property
+    def decided(self) -> bool:
+        """``True`` iff this is a decision state (output register set)."""
+        return self.output is not UNDECIDED
+
+    def with_data(self, data: Hashable) -> "ProcessState":
+        """Copy of this state with new internal storage."""
+        return ProcessState(self.input, self.output, data)
+
+    def with_decision(self, value: int) -> "ProcessState":
+        """Copy of this state with the output register set to *value*.
+
+        Setting the same value twice is a no-op; changing a decision is a
+        :class:`ProtocolViolation` (the register is write-once).
+        """
+        if self.decided:
+            if self.output == value:
+                return self
+            raise ProtocolViolation(
+                f"output register is write-once: already {self.output}, "
+                f"cannot set {value}"
+            )
+        if not is_decision_value(value):
+            raise ValueError(f"decision must be 0 or 1, got {value!r}")
+        return ProcessState(self.input, value, self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProcessState):
+            return NotImplemented
+        return (
+            self.input == other.input
+            and self.output == other.output
+            and self.data == other.data
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        out = "b" if self.output is UNDECIDED else self.output
+        return f"ProcessState(x={self.input}, y={out}, data={self.data!r})"
+
+
+class Transition(NamedTuple):
+    """Result of one atomic step: the new state and the messages sent."""
+
+    state: ProcessState
+    sends: tuple[Message, ...]
+
+
+class Process(ABC):
+    """A deterministic process automaton.
+
+    Subclasses implement :meth:`initial_data` and :meth:`step`.  The
+    framework calls :meth:`apply`, which wraps :meth:`step` with the
+    structural checks of the model (write-once output register, no
+    self-renaming, finite send set).
+
+    Parameters
+    ----------
+    name:
+        The process's name, unique within its protocol.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    # -- hooks for subclasses ------------------------------------------------
+
+    @abstractmethod
+    def initial_data(self, input_value: int) -> Hashable:
+        """Initial internal storage, given the input-register value.
+
+        The paper's initial states "prescribe fixed starting values for
+        all but the input register", so everything except ``input_value``
+        must be a deterministic function of the protocol parameters.
+        """
+
+    @abstractmethod
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        """The transition function.
+
+        Called with the current state and the value of the delivered
+        message, or ``None`` for a null delivery (the ``receive`` returned
+        the empty marker).  Must be deterministic and must return a
+        :class:`Transition`.  Use :meth:`send_to` to construct outgoing
+        messages and :meth:`ProcessState.with_decision` to decide.
+        """
+
+    # -- framework API ---------------------------------------------------------
+
+    def initial_state(self, input_value: int) -> ProcessState:
+        """The process's initial state for the given input value."""
+        return ProcessState(
+            input_value, UNDECIDED, self.initial_data(input_value)
+        )
+
+    def apply(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        """Run one step with the model's structural rules enforced.
+
+        Raises
+        ------
+        ProtocolViolation
+            If the step changed a decided output register, altered the
+            input register, or returned malformed results.
+        """
+        transition = self.step(state, message_value)
+        if not isinstance(transition, Transition):
+            raise ProtocolViolation(
+                f"process {self.name}: step() must return a Transition, "
+                f"got {type(transition).__name__}"
+            )
+        new_state, sends = transition
+        if new_state.input != state.input:
+            raise ProtocolViolation(
+                f"process {self.name}: input register is read-only"
+            )
+        if state.decided and new_state.output != state.output:
+            raise ProtocolViolation(
+                f"process {self.name}: output register is write-once "
+                f"({state.output} -> {new_state.output})"
+            )
+        for message in sends:
+            if not isinstance(message, Message):
+                raise ProtocolViolation(
+                    f"process {self.name}: sends must be Message instances"
+                )
+        return transition
+
+    # -- helpers for subclasses -------------------------------------------------
+
+    @staticmethod
+    def send_to(destination: str, value: Hashable) -> Message:
+        """Construct an outgoing message ``(destination, value)``."""
+        return Message(destination, value)
+
+    @staticmethod
+    def broadcast(
+        destinations: Iterable[str], value: Hashable
+    ) -> tuple[Message, ...]:
+        """Construct the paper's atomic broadcast: one message per
+        destination, all placed in the buffer in a single step."""
+        return tuple(Message(d, value) for d in destinations)
+
+    @staticmethod
+    def stay(state: ProcessState) -> Transition:
+        """A no-op transition: keep the state, send nothing."""
+        return Transition(state, ())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

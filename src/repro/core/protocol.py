@@ -1,0 +1,227 @@
+"""The consensus protocol ``P``: N processes + transition functions.
+
+"A consensus protocol P is an asynchronous system of N processes
+(N ≥ 2). ... The entire system P is specified by the transition functions
+associated with each of the processes and the initial values of the input
+registers."  (paper, Section 2)
+
+:class:`Protocol` bundles the process automata and provides the semantics
+of steps: applying events and schedules to configurations, and
+enumerating the events applicable to a configuration.  Initial values are
+*not* baked in — a protocol paired with an input vector yields an initial
+configuration, and iterating over all ``2^N`` vectors gives the space
+Lemma 2 quantifies over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.configuration import Configuration
+from repro.core.errors import (
+    InvalidEvent,
+    ProtocolViolation,
+    UnknownProcess,
+)
+from repro.core.events import NULL, Event, Schedule
+from repro.core.messages import MessageBuffer
+from repro.core.process import Process
+from repro.core.values import validate_input_vector
+
+__all__ = ["Protocol"]
+
+
+class Protocol:
+    """An asynchronous system of N ≥ 2 deterministic processes."""
+
+    def __init__(self, processes: Sequence[Process]):
+        if len(processes) < 2:
+            raise ValueError(
+                f"the paper requires N >= 2 processes, got {len(processes)}"
+            )
+        names = [p.name for p in processes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate process names: {names}")
+        self._processes = {p.name: p for p in processes}
+        self._names = tuple(sorted(names))
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """All process names, sorted."""
+        return self._names
+
+    @property
+    def num_processes(self) -> int:
+        """N, the number of processes."""
+        return len(self._names)
+
+    def process(self, name: str) -> Process:
+        """The automaton for *name*.
+
+        Raises
+        ------
+        UnknownProcess
+            If no process has that name.
+        """
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise UnknownProcess(name) from None
+
+    # -- initial configurations ---------------------------------------------
+
+    def initial_configuration(
+        self, inputs: Mapping[str, int] | Sequence[int]
+    ) -> Configuration:
+        """The initial configuration for an assignment of input values.
+
+        Parameters
+        ----------
+        inputs:
+            Either a mapping ``name -> value`` covering every process, or
+            a sequence of values matched to :attr:`process_names` order.
+
+        The message buffer of an initial configuration is empty.
+        """
+        if isinstance(inputs, Mapping):
+            missing = set(self._names) - set(inputs)
+            extra = set(inputs) - set(self._names)
+            if missing or extra:
+                raise ValueError(
+                    f"input assignment mismatch: missing={sorted(missing)}, "
+                    f"unknown={sorted(extra)}"
+                )
+            vector = validate_input_vector(
+                inputs[name] for name in self._names
+            )
+        else:
+            vector = validate_input_vector(inputs)
+            if len(vector) != len(self._names):
+                raise ValueError(
+                    f"expected {len(self._names)} input values, "
+                    f"got {len(vector)}"
+                )
+        states = {
+            name: self._processes[name].initial_state(value)
+            for name, value in zip(self._names, vector)
+        }
+        return Configuration(states, MessageBuffer.empty())
+
+    def initial_configurations(self) -> Iterator[Configuration]:
+        """All ``2^N`` initial configurations, in lexicographic input order.
+
+        This is the space over which Lemma 2 finds a bivalent member:
+        "any two initial configurations are joined by a chain of initial
+        configurations, each adjacent to the next."
+        """
+        n = len(self._names)
+        for bits in range(2**n):
+            vector = tuple((bits >> i) & 1 for i in range(n))
+            yield self.initial_configuration(vector)
+
+    def input_vector(self, configuration: Configuration) -> tuple[int, ...]:
+        """The input-register values of *configuration*, in name order."""
+        return tuple(
+            configuration.state_of(name).input for name in self._names
+        )
+
+    # -- step semantics --------------------------------------------------------
+
+    def apply_event(
+        self, configuration: Configuration, event: Event
+    ) -> Configuration:
+        """``e(C)``: the configuration resulting from applying *event*.
+
+        The step occurs in two phases, exactly as in the paper: first
+        ``receive(p)`` removes the delivered message from the buffer (or
+        delivers the null marker and leaves it unchanged); then ``p``
+        enters a new internal state and sends a finite set of messages.
+
+        Raises
+        ------
+        InvalidEvent
+            If the event is not applicable to *configuration*.
+        ProtocolViolation
+            If the transition breaks a structural rule (write-once output,
+            read-only input, message to an unknown process).
+        """
+        if event.process not in self._processes:
+            raise UnknownProcess(event.process)
+        state = configuration.state_of(event.process)
+        if event.is_null_delivery:
+            buffer = configuration.buffer
+        else:
+            # Raises InvalidEvent if the message is absent.
+            buffer = configuration.buffer.deliver(event.message)
+        transition = self._processes[event.process].apply(state, event.value)
+        for message in transition.sends:
+            if message.destination not in self._processes:
+                raise ProtocolViolation(
+                    f"process {event.process} sent a message to unknown "
+                    f"process {message.destination!r}"
+                )
+        buffer = buffer.send_all(transition.sends)
+        return configuration.replace(event.process, transition.state, buffer)
+
+    def apply_schedule(
+        self, configuration: Configuration, schedule: Schedule | Iterable[Event]
+    ) -> Configuration:
+        """``σ(C)``: apply a finite schedule event by event."""
+        current = configuration
+        for event in schedule:
+            current = self.apply_event(current, event)
+        return current
+
+    def run(
+        self, configuration: Configuration, schedule: Schedule | Iterable[Event]
+    ) -> Iterator[Configuration]:
+        """Yield the configurations of the run ``C, e1(C), e2(e1(C)), ...``.
+
+        The initial configuration itself is yielded first, so the output
+        has ``len(schedule) + 1`` items for a finite schedule.
+        """
+        current = configuration
+        yield current
+        for event in schedule:
+            current = self.apply_event(current, event)
+            yield current
+
+    # -- enabled events -----------------------------------------------------------
+
+    def enabled_events(
+        self, configuration: Configuration, include_null: bool = True
+    ) -> tuple[Event, ...]:
+        """All events applicable to *configuration*, deterministically
+        ordered.
+
+        For every process the null-delivery event ``(p, NULL)`` is
+        applicable (if *include_null*); in addition, each distinct
+        buffered message yields a delivery event.  The branching of the
+        reachable-configuration graph is exactly this set.
+        """
+        events: list[Event] = []
+        if include_null:
+            events.extend(Event(name, NULL) for name in self._names)
+        for message in configuration.buffer.distinct_messages():
+            events.append(Event(message.destination, message.value))
+        return tuple(events)
+
+    def delivery_events(
+        self, configuration: Configuration, process: str
+    ) -> tuple[Event, ...]:
+        """The delivery events available to one process: its distinct
+        buffered messages, plus the always-applicable null delivery."""
+        events = [Event(process, NULL)]
+        events.extend(
+            Event(process, message.value)
+            for message in configuration.buffer.messages_for(process)
+        )
+        return tuple(events)
+
+    def __repr__(self) -> str:
+        return (
+            f"Protocol(N={len(self._names)}, "
+            f"processes={list(self._names)!r})"
+        )

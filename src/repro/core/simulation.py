@@ -1,0 +1,217 @@
+"""Forward simulation of a protocol under a scheduler.
+
+Where :mod:`repro.core.exploration` enumerates *all* behaviours, this
+module runs *one*: a :class:`~repro.schedulers.base.Scheduler` repeatedly
+chooses the next applicable event, and the simulator applies it, keeping
+the fairness bookkeeping needed to judge whether the produced prefix is
+consistent with an *admissible* run (at most one faulty process; every
+message sent to a nonfaulty process eventually delivered).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Schedule
+from repro.core.protocol import Protocol
+
+__all__ = ["StopCondition", "FairnessLedger", "SimulationResult", "simulate"]
+
+
+class StopCondition(enum.Enum):
+    """When a simulation should stop early (before the step budget)."""
+
+    #: Stop as soon as *some* process decides — the paper's weak
+    #: requirement ("we require only that some process eventually make a
+    #: decision").
+    ANY_DECIDED = "any-decided"
+    #: Stop when every live (non-crashed) process has decided — what "any
+    #: algorithm of interest" requires.
+    ALL_DECIDED = "all-decided"
+    #: Never stop early; run until the scheduler yields no event or the
+    #: step budget is reached.
+    NEVER = "never"
+
+
+@dataclass
+class FairnessLedger:
+    """Bookkeeping for admissibility judgements on finite prefixes.
+
+    A run is admissible when at most one process is faulty (takes only
+    finitely many steps) and every message sent to a nonfaulty process is
+    eventually received.  On a finite prefix we can only report the
+    *current debt*: how long each process has been idle and how long each
+    message has been pending.
+    """
+
+    #: Steps taken per process.
+    steps_taken: dict[str, int] = field(default_factory=dict)
+    #: Step index at which each process last took a step.
+    last_step_at: dict[str, int] = field(default_factory=dict)
+    #: Messages delivered per process.
+    deliveries: dict[str, int] = field(default_factory=dict)
+    #: Null deliveries per process.
+    null_deliveries: dict[str, int] = field(default_factory=dict)
+
+    def record(self, event: Event, step_index: int) -> None:
+        """Record one applied event."""
+        name = event.process
+        self.steps_taken[name] = self.steps_taken.get(name, 0) + 1
+        self.last_step_at[name] = step_index
+        if event.is_null_delivery:
+            self.null_deliveries[name] = (
+                self.null_deliveries.get(name, 0) + 1
+            )
+        else:
+            self.deliveries[name] = self.deliveries.get(name, 0) + 1
+
+    def silent_processes(self, process_names: tuple[str, ...]) -> tuple[str, ...]:
+        """Processes that took no steps at all in the prefix."""
+        return tuple(
+            name for name in process_names if name not in self.steps_taken
+        )
+
+    def max_idle_gap(
+        self, process_names: tuple[str, ...], current_step: int
+    ) -> int:
+        """The largest number of steps any process has gone without
+        stepping (∞-ish: silent processes count from step 0)."""
+        worst = 0
+        for name in process_names:
+            last = self.last_step_at.get(name, -1)
+            worst = max(worst, current_step - last)
+        return worst
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced.
+
+    Attributes
+    ----------
+    final_configuration:
+        The configuration after the last applied event.
+    schedule:
+        The full applied schedule (so the run can be replayed exactly).
+    steps:
+        Number of events applied.
+    decided:
+        Whether the stop condition's decision requirement was met.
+    decisions:
+        ``process -> value`` for every process decided at the end.
+    stop_reason:
+        Why the simulation ended: ``"decided"``, ``"scheduler-exhausted"``
+        (the scheduler returned no event), or ``"step-budget"``.
+    ledger:
+        Fairness bookkeeping for the prefix.
+    """
+
+    final_configuration: Configuration
+    schedule: Schedule
+    steps: int
+    decided: bool
+    decisions: dict[str, int]
+    stop_reason: str
+    ledger: FairnessLedger
+
+    @property
+    def decision_values(self) -> frozenset[int]:
+        """The distinct values decided in the final configuration."""
+        return frozenset(self.decisions.values())
+
+    @property
+    def agreement_holds(self) -> bool:
+        """No two processes decided differently (vacuously true if none)."""
+        return len(self.decision_values) <= 1
+
+
+def _stop_satisfied(
+    condition: StopCondition,
+    configuration: Configuration,
+    live: frozenset[str],
+) -> bool:
+    if condition is StopCondition.NEVER:
+        return False
+    if condition is StopCondition.ANY_DECIDED:
+        return configuration.has_decision
+    # ALL_DECIDED: every live process must have decided.
+    return all(
+        configuration.state_of(name).decided for name in sorted(live)
+    )
+
+
+def simulate(
+    protocol: Protocol,
+    initial: Configuration,
+    scheduler: "SchedulerLike",
+    max_steps: int = 10_000,
+    stop: StopCondition = StopCondition.ALL_DECIDED,
+) -> SimulationResult:
+    """Run *protocol* from *initial* under *scheduler*.
+
+    The scheduler is asked for one applicable event per step via
+    ``scheduler.next_event(protocol, configuration, step_index)``; a
+    ``None`` answer ends the run.  Crash faults are the scheduler's
+    business: a crashed process is simply one the scheduler stops
+    scheduling, which is exactly the paper's fault model (a faulty
+    process is one that takes finitely many steps).
+
+    The set of live processes used by :attr:`StopCondition.ALL_DECIDED`
+    is taken from ``scheduler.live_processes(protocol)`` when the
+    scheduler provides it, else all processes.
+    """
+    configuration = initial
+    events: list[Event] = []
+    ledger = FairnessLedger()
+    live = frozenset(
+        getattr(scheduler, "live_processes", lambda p: p.process_names)(
+            protocol
+        )
+    )
+
+    stop_reason = "step-budget"
+    for step_index in range(max_steps):
+        if _stop_satisfied(stop, configuration, live):
+            stop_reason = "decided"
+            break
+        event = scheduler.next_event(protocol, configuration, step_index)
+        if event is None:
+            stop_reason = "scheduler-exhausted"
+            break
+        configuration = protocol.apply_event(configuration, event)
+        events.append(event)
+        ledger.record(event, step_index)
+    else:
+        # Budget exhausted; check whether we happen to be decided anyway.
+        if _stop_satisfied(stop, configuration, live):
+            stop_reason = "decided"
+
+    decisions = {
+        name: configuration.state_of(name).output
+        for name in protocol.process_names
+        if configuration.state_of(name).decided
+    }
+    return SimulationResult(
+        final_configuration=configuration,
+        schedule=Schedule(events),
+        steps=len(events),
+        decided=stop_reason == "decided",
+        decisions=decisions,
+        stop_reason=stop_reason,
+        ledger=ledger,
+    )
+
+
+class SchedulerLike:
+    """Structural protocol for schedulers (duck-typed; see
+    :class:`repro.schedulers.base.Scheduler` for the real ABC)."""
+
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:  # pragma: no cover - interface stub
+        raise NotImplementedError

@@ -1,0 +1,277 @@
+"""Valency: the decision values reachable from a configuration.
+
+"Let C be a configuration and let V be the set of decision values of
+configurations reachable from C.  C is *bivalent* if |V| = 2, *univalent*
+if |V| = 1 — 0-valent or 1-valent according to the corresponding decision
+value." (paper, Section 3)
+
+For finite protocol instances valency is computable: build the reachable
+graph and take reverse reachability from decision configurations.  For
+bounded explorations the analyzer returns sound answers where the budget
+permits and an explicit :attr:`Valency.UNKNOWN` otherwise — never a
+silent guess.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Schedule
+from repro.core.exploration import (
+    DEFAULT_MAX_CONFIGURATIONS,
+    ConfigurationGraph,
+    TransitionCache,
+    explore,
+)
+from repro.core.protocol import Protocol
+from repro.core.values import ONE, ZERO
+
+__all__ = [
+    "Valency",
+    "ValencyAnalyzer",
+    "BivalenceWitness",
+    "shortest_schedule",
+]
+
+
+class Valency(enum.Enum):
+    """Classification of a configuration by its reachable decision set V."""
+
+    #: V = {0}: every reachable decision is 0.
+    ZERO_VALENT = "0-valent"
+    #: V = {1}: every reachable decision is 1.
+    ONE_VALENT = "1-valent"
+    #: V = {0, 1}: both decisions remain reachable.
+    BIVALENT = "bivalent"
+    #: V = ∅: no decision is reachable at all.  Cannot occur in a totally
+    #: correct protocol ("by the total correctness of P ... V ≠ ∅") but
+    #: the analyzer must be honest about protocols that are not.
+    NONE = "non-deciding"
+    #: The exploration budget was insufficient to determine V.
+    UNKNOWN = "unknown"
+
+    @property
+    def is_univalent(self) -> bool:
+        return self in (Valency.ZERO_VALENT, Valency.ONE_VALENT)
+
+    @property
+    def decided_value(self) -> int | None:
+        """The forced decision value for univalent classes, else ``None``."""
+        if self is Valency.ZERO_VALENT:
+            return ZERO
+        if self is Valency.ONE_VALENT:
+            return ONE
+        return None
+
+    @classmethod
+    def of_values(cls, values: frozenset[int]) -> "Valency":
+        """Classify an exactly-known decision-value set."""
+        if values == frozenset((ZERO, ONE)):
+            return cls.BIVALENT
+        if values == frozenset((ZERO,)):
+            return cls.ZERO_VALENT
+        if values == frozenset((ONE,)):
+            return cls.ONE_VALENT
+        if not values:
+            return cls.NONE
+        raise ValueError(f"not a binary decision-value set: {values!r}")
+
+
+@dataclass(frozen=True)
+class BivalenceWitness:
+    """Machine-checkable evidence that a configuration is bivalent.
+
+    ``to_zero`` applied to ``configuration`` reaches a configuration with
+    decision value 0; ``to_one`` likewise for 1.  ``verify`` replays both
+    schedules through the protocol semantics.
+    """
+
+    configuration: Configuration
+    to_zero: Schedule
+    to_one: Schedule
+
+    def verify(self, protocol: Protocol) -> bool:
+        """Re-run both witness schedules and check the decisions."""
+        zero_end = protocol.apply_schedule(self.configuration, self.to_zero)
+        one_end = protocol.apply_schedule(self.configuration, self.to_one)
+        return (
+            ZERO in zero_end.decision_values()
+            and ONE in one_end.decision_values()
+        )
+
+
+def shortest_schedule(
+    graph: ConfigurationGraph, source: int, targets: set[int]
+) -> Schedule | None:
+    """Shortest event path in *graph* from node *source* into *targets*.
+
+    Returns ``None`` when no target is reachable from *source* inside the
+    explored portion of the graph.
+    """
+    if source in targets:
+        return Schedule()
+    parents: dict[int, tuple[int, Event]] = {}
+    queue: deque[int] = deque([source])
+    seen = {source}
+    while queue:
+        node = queue.popleft()
+        for event, successor in graph.successors[node]:
+            if successor in seen:
+                continue
+            parents[successor] = (node, event)
+            if successor in targets:
+                events: list[Event] = []
+                current = successor
+                while current != source:
+                    parent, via = parents[current]
+                    events.append(via)
+                    current = parent
+                events.reverse()
+                return Schedule(events)
+            seen.add(successor)
+            queue.append(successor)
+    return None
+
+
+class ValencyAnalyzer:
+    """Computes and caches valencies for one protocol.
+
+    The analyzer explores the configuration graph lazily: the first query
+    from a configuration builds the graph rooted there, classifies every
+    node whose valency is determined soundly by that graph, and caches all
+    of them.  Queries from configurations inside an already-explored graph
+    are cache hits.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol whose semantics define reachability.
+    max_configurations:
+        Exploration budget per root.  Graphs larger than this produce
+        sound answers where reverse reachability from decisions can be
+        separated from the unexplored frontier, and
+        :attr:`Valency.UNKNOWN` elsewhere.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+    ):
+        self.protocol = protocol
+        self.max_configurations = max_configurations
+        self._cache: dict[Configuration, Valency] = {}
+        self._graphs: dict[Configuration, ConfigurationGraph] = {}
+        #: Shared transition memo; the adversary's searches reuse it.
+        self.transitions = TransitionCache(protocol)
+        #: Total configurations explored, across all roots (for reports).
+        self.configurations_explored = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def valency(self, configuration: Configuration) -> Valency:
+        """The valency of *configuration* (cached)."""
+        cached = self._cache.get(configuration)
+        if cached is not None:
+            return cached
+        graph = self._explore(configuration)
+        self._classify_graph(graph)
+        return self._cache.get(configuration, Valency.UNKNOWN)
+
+    def is_bivalent(self, configuration: Configuration) -> bool:
+        """``True`` iff *configuration* is (provably) bivalent."""
+        return self.valency(configuration) is Valency.BIVALENT
+
+    def decision_values(
+        self, configuration: Configuration
+    ) -> frozenset[int] | None:
+        """The exact set V for *configuration*, or ``None`` if unknown."""
+        valency = self.valency(configuration)
+        if valency is Valency.UNKNOWN:
+            return None
+        if valency is Valency.BIVALENT:
+            return frozenset((ZERO, ONE))
+        if valency is Valency.NONE:
+            return frozenset()
+        return frozenset((valency.decided_value,))
+
+    def bivalence_witness(
+        self, configuration: Configuration
+    ) -> BivalenceWitness | None:
+        """Witness schedules to both decisions, or ``None`` if not
+        (provably) bivalent."""
+        if self.valency(configuration) is not Valency.BIVALENT:
+            return None
+        graph = self._graph_for(configuration)
+        source = graph.node_id(configuration)
+        to_zero = shortest_schedule(graph, source, graph.decision_nodes(ZERO))
+        to_one = shortest_schedule(graph, source, graph.decision_nodes(ONE))
+        if to_zero is None or to_one is None:  # pragma: no cover - guarded
+            return None
+        return BivalenceWitness(configuration, to_zero, to_one)
+
+    def classify_initials(self) -> dict[tuple[int, ...], Valency]:
+        """Valency of every initial configuration, keyed by input vector."""
+        result: dict[tuple[int, ...], Valency] = {}
+        for initial in self.protocol.initial_configurations():
+            result[self.protocol.input_vector(initial)] = self.valency(
+                initial
+            )
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _explore(self, root: Configuration) -> ConfigurationGraph:
+        graph = explore(
+            self.protocol,
+            root,
+            max_configurations=self.max_configurations,
+            cache=self.transitions,
+        )
+        self.configurations_explored += len(graph)
+        self._graphs[root] = graph
+        return graph
+
+    def _graph_for(self, configuration: Configuration) -> ConfigurationGraph:
+        graph = self._graphs.get(configuration)
+        if graph is None:
+            graph = self._explore(configuration)
+        return graph
+
+    def _classify_graph(self, graph: ConfigurationGraph) -> None:
+        """Assign sound valencies to every node of *graph*.
+
+        A node is classified when its reverse-reachability relation to
+        decision nodes and to the unexplored frontier pins V down:
+
+        * reaches 0-decisions and 1-decisions  → BIVALENT (always sound);
+        * reaches exactly one decision value and cannot reach the
+          frontier → that univalent class;
+        * reaches nothing and cannot reach the frontier → NONE;
+        * anything else → UNKNOWN (not cached, so a later query with a
+          larger budget can improve it).
+        """
+        reach_zero = graph.nodes_reaching(graph.decision_nodes(ZERO))
+        reach_one = graph.nodes_reaching(graph.decision_nodes(ONE))
+        reach_frontier: set[int] = (
+            graph.nodes_reaching(set(graph.frontier))
+            if not graph.complete
+            else set()
+        )
+        for node, configuration in enumerate(graph.configurations):
+            in_zero = node in reach_zero
+            in_one = node in reach_one
+            escapes = node in reach_frontier
+            if in_zero and in_one:
+                self._cache[configuration] = Valency.BIVALENT
+            elif escapes:
+                continue  # V not pinned down; stay honest.
+            elif in_zero:
+                self._cache[configuration] = Valency.ZERO_VALENT
+            elif in_one:
+                self._cache[configuration] = Valency.ONE_VALENT
+            else:
+                self._cache[configuration] = Valency.NONE

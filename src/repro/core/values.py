@@ -1,0 +1,68 @@
+"""Binary consensus values and the undecided output marker.
+
+The paper's processes carry a one-bit input register ``x_p`` with values in
+``{0, 1}`` and an output register ``y_p`` with values in ``{b, 0, 1}``
+where ``b`` is a distinguished "blank" marker meaning *no decision yet*.
+This module pins those down as constants and provides small helpers used
+throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+#: The two possible consensus decisions.
+ZERO = 0
+ONE = 1
+
+#: All valid decision values, in canonical order.
+DECISION_VALUES = (ZERO, ONE)
+
+#: The blank output-register marker ``b``: the process has not decided.
+UNDECIDED = None
+
+
+def is_decision_value(value: object) -> bool:
+    """Return ``True`` iff *value* is a legal decision value (0 or 1)."""
+    return value is not UNDECIDED and value in DECISION_VALUES
+
+
+def is_input_value(value: object) -> bool:
+    """Return ``True`` iff *value* is a legal input-register value."""
+    return value in DECISION_VALUES
+
+
+def validate_input_vector(inputs: Iterable[int]) -> tuple[int, ...]:
+    """Normalize and validate a vector of initial input values.
+
+    Parameters
+    ----------
+    inputs:
+        One initial value per process, each in ``{0, 1}``.
+
+    Returns
+    -------
+    tuple[int, ...]
+        The inputs as an immutable tuple.
+
+    Raises
+    ------
+    ValueError
+        If any entry is not a legal input value.
+    """
+    vector = tuple(inputs)
+    for index, value in enumerate(vector):
+        if not is_input_value(value):
+            raise ValueError(
+                f"input register x_{index} must be 0 or 1, got {value!r}"
+            )
+    return vector
+
+
+def opposite(value: int) -> int:
+    """Return the other binary value: ``opposite(0) == 1`` and vice versa."""
+    if value == ZERO:
+        return ONE
+    if value == ONE:
+        return ZERO
+    raise ValueError(f"not a binary consensus value: {value!r}")

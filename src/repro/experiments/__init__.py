@@ -1,0 +1,27 @@
+"""The experiment suite: one module per paper artifact (see DESIGN.md §3).
+
+Run everything::
+
+    python -m repro.experiments            # quick mode
+    python -m repro.experiments --full     # full parameters
+
+or programmatically via :func:`repro.experiments.harness.run_all`.
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    available_experiments,
+    experiment,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "experiment",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]

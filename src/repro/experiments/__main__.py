@@ -1,0 +1,90 @@
+"""CLI entry point: ``python -m repro.experiments [--full] [ids...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.harness import available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the FLP reproduction experiment suite.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full parameter grids (slower) instead of quick mode",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit the EXPERIMENTS.md report instead of plain tables",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as a JSON array instead of plain tables",
+    )
+    args = parser.parse_args(argv)
+
+    catalog = available_experiments()
+    if args.list:
+        for exp_id, title in catalog.items():
+            print(f"{exp_id:4s} {title}")
+        return 0
+
+    # Paper artifacts (E*) first, ablations (A*) after.
+    selected = args.ids or sorted(
+        catalog, key=lambda exp_id: (exp_id[0] != "E", exp_id)
+    )
+    unknown = [exp_id for exp_id in selected if exp_id not in catalog]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(catalog)}", file=sys.stderr)
+        return 2
+
+    if args.markdown:
+        from repro.experiments.report import render_markdown
+
+        results = [
+            run_experiment(exp_id, quick=not args.full, seed=args.seed)
+            for exp_id in selected
+        ]
+        print(render_markdown(results))
+        return 0
+
+    if args.json:
+        results = [
+            run_experiment(exp_id, quick=not args.full, seed=args.seed)
+            for exp_id in selected
+        ]
+        print(
+            "[" + ",\n".join(result.to_json() for result in results) + "]"
+        )
+        return 0
+
+    for exp_id in selected:
+        started = time.perf_counter()
+        result = run_experiment(exp_id, quick=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"({elapsed:.2f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""A3 — ablation: state explosion vs. N (why the adversary stays small).
+
+Exact valency analysis is the price of a *certified* adversary: the
+reachable configuration graph grows combinatorially with N, and the
+staged construction re-explores an event-filtered graph every stage.
+This ablation quantifies the growth — reachable configurations, full
+valency-classification time, and per-stage adversary time — for
+N ∈ {3, 4} (N = 5 order-sensitive instances exceed a laptop budget,
+which is exactly the design rationale for running the impossibility
+demonstrations at small N; the theorem itself holds for all N ≥ 2).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary.flp import FLPAdversary
+from repro.core.exploration import explore
+from repro.core.valency import Valency, ValencyAnalyzer
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.protocols import (
+    ArbiterProcess,
+    ParityArbiterProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+__all__ = ["run"]
+
+_FAMILIES = {
+    "arbiter": ArbiterProcess,
+    "parity-arbiter": ParityArbiterProcess,
+    "wait-for-all": WaitForAllProcess,
+}
+
+
+@experiment("A3", "Ablation: state explosion vs. N")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    sizes = (3,) if quick else (3, 4)
+    stages = 6 if quick else 12
+    rows = []
+    for family, cls in _FAMILIES.items():
+        for n in sizes:
+            protocol = make_protocol(cls, n)
+            # Largest reachable graph over all initial configurations.
+            biggest = 0
+            started = time.perf_counter()
+            analyzer = ValencyAnalyzer(protocol)
+            bivalent = 0
+            total = 0
+            for initial in protocol.initial_configurations():
+                graph = explore(protocol, initial)
+                biggest = max(biggest, len(graph))
+                for configuration in graph.configurations:
+                    total += 1
+                    if (
+                        analyzer.valency(configuration)
+                        is Valency.BIVALENT
+                    ):
+                        bivalent += 1
+            classify_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            adversary = FLPAdversary(protocol, analyzer=analyzer)
+            certificate = adversary.build_run(stages=stages)
+            attack_seconds = time.perf_counter() - started
+
+            rows.append(
+                {
+                    "protocol": family,
+                    "N": n,
+                    "max_graph": biggest,
+                    "bivalent_frac": bivalent / max(total, 1),
+                    "classify_s": classify_seconds,
+                    "attack_s": attack_seconds,
+                    "mode": certificate.mode.value,
+                }
+            )
+    return ExperimentResult(
+        exp_id="A3",
+        title="Ablation: state explosion vs. N",
+        rows=tuple(rows),
+        notes=(
+            "max_graph grows combinatorially with N (the interleaving "
+            "explosion), and adversary cost follows it; the theorem "
+            "loses nothing at small N — 'even a single faulty process' "
+            "already bites at N = 3",
+            "bivalent_frac is the adversary's playground: the share of "
+            "accessible configurations from which both outcomes remain "
+            "possible",
+        ),
+        seed=seed,
+        quick=quick,
+    )

@@ -1,0 +1,96 @@
+"""A1 — ablation: what does the Lemma-3 search actually cost?
+
+The proof of Lemma 3 is non-constructive about effort: it says a
+bivalent successor *exists* in e(𝒞), not how far away it is.  This
+ablation measures the adversary's per-stage search — avoiding-schedule
+length (σ), configurations examined, and how often the trivial case
+σ = ∅ suffices — as a function of protocol and exploration budget.
+
+The headline finding mirrors the proof's structure: almost every stage
+is IMMEDIATE (e(C) is itself bivalent, depth 0), because the adversary
+only ever *stands* on bivalent configurations; the deferred case, when
+it appears, stays shallow.  Budgets below the reachable-graph size make
+the adversary honestly refuse (AdversaryStuck) rather than mis-schedule.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.flp import FLPAdversary
+from repro.analysis.stats import mean
+from repro.core.errors import AdversaryStuck
+from repro.core.valency import ValencyAnalyzer
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.experiments.zoo import bivalent_zoo
+from repro.adversary.certificates import Lemma3Case
+
+__all__ = ["run"]
+
+
+@experiment("A1", "Ablation: cost of the Lemma-3 search per stage")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    stages = 15 if quick else 60
+    budgets = (50, 100_000)
+    rows = []
+    for label, protocol in bivalent_zoo(quick):
+        for budget in budgets:
+            analyzer = ValencyAnalyzer(protocol)
+            adversary = FLPAdversary(
+                protocol, analyzer=analyzer, max_configurations=budget
+            )
+            try:
+                certificate = adversary.build_run(stages=stages)
+            except AdversaryStuck:
+                rows.append(
+                    {
+                        "protocol": label,
+                        "budget": budget,
+                        "stages": 0,
+                        "immediate": "-",
+                        "deferred": "-",
+                        "mean_sigma": "-",
+                        "mean_examined": "-",
+                        "outcome": "stuck (budget too small)",
+                    }
+                )
+                continue
+            records = certificate.stages
+            immediate = sum(
+                1 for r in records if r.case is Lemma3Case.IMMEDIATE
+            )
+            deferred = len(records) - immediate
+            rows.append(
+                {
+                    "protocol": label,
+                    "budget": budget,
+                    "stages": len(records),
+                    "immediate": immediate,
+                    "deferred": deferred,
+                    "mean_sigma": (
+                        mean([r.schedule_length for r in records])
+                        if records
+                        else 0.0
+                    ),
+                    "mean_examined": (
+                        mean(
+                            [r.configurations_examined for r in records]
+                        )
+                        if records
+                        else 0.0
+                    ),
+                    "outcome": certificate.mode.value,
+                }
+            )
+    return ExperimentResult(
+        exp_id="A1",
+        title="Ablation: cost of the Lemma-3 search per stage",
+        rows=tuple(rows),
+        notes=(
+            "the search cost stays small and flat across stages: the "
+            "adversary pays for exactness once (valency analysis) and "
+            "then each stage is near-constant work",
+            "an insufficient budget produces an explicit refusal, never "
+            "a silent wrong schedule (design decision #2 in DESIGN.md)",
+        ),
+        seed=seed,
+        quick=quick,
+    )

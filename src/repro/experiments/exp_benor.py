@@ -1,0 +1,167 @@
+"""E7 — conclusion / references [2] and [20]: randomized consensus.
+
+Two panels:
+
+**Termination panel** (Ben-Or, reference [2]): under a seeded random
+scheduler with one mid-run crash, across many random tapes, the
+protocol terminates in every trial (empirical frequency → 1) with
+agreement and validity intact — "termination with probability 1", the
+conclusion's escape from determinism.
+
+**Coin panel** (Ben-Or vs. Rabin's common coin, reference [20]): on the
+adversarial input split (half zeros, half ones — no initial majority),
+private coins must *happen* to agree before progress is made, so the
+round count grows with N; a shared coin gives every stuck round an
+independent constant probability of unanimity, so rounds stay O(1) in
+N.  Who wins and the growth-vs-flat shape is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.stats import mean, quantile
+from repro.core.simulation import StopCondition, simulate
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.protocols import BenOrProcess, CommonCoinProcess, make_protocol
+from repro.schedulers import CrashPlan, RandomScheduler
+
+__all__ = ["run", "benor_trial", "coin_trial"]
+
+
+def benor_trial(
+    n: int, f: int, seed: int, crash: bool, max_steps: int = 6000
+):
+    """One Ben-Or run; returns the SimulationResult and the max round
+    reached by any decided process."""
+    protocol = make_protocol(BenOrProcess, n, f=f, seed=seed)
+    rng = random.Random(seed)
+    inputs = [rng.randint(0, 1) for _ in range(n)]
+    plan = CrashPlan.none()
+    if crash and f > 0:
+        victim = f"p{rng.randrange(n)}"
+        plan = CrashPlan({victim: rng.randint(0, 30)})
+    scheduler = RandomScheduler(
+        seed=seed + 1, null_probability=0.2, crash_plan=plan
+    )
+    initial = protocol.initial_configuration(inputs)
+    result = simulate(
+        protocol,
+        initial,
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    rounds = [
+        result.final_configuration.state_of(name).data[1]
+        for name in protocol.process_names
+    ]
+    return result, max(rounds)
+
+
+def coin_trial(cls, n: int, seed: int, max_steps: int = 20_000):
+    """One run on the adversarial split input (half 0s, half 1s), fault
+    free, under a noisy random scheduler; returns (result, max round)."""
+    protocol = make_protocol(cls, n, f=(n - 1) // 2, seed=seed)
+    inputs = [i % 2 for i in range(n)]
+    scheduler = RandomScheduler(seed=seed + 7, null_probability=0.3)
+    result = simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    rounds = [
+        result.final_configuration.state_of(name).data[1]
+        for name in protocol.process_names
+    ]
+    return result, max(rounds)
+
+
+@experiment("E7", "Conclusion [2]/[20]: randomized consensus terminates")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    trials = 20 if quick else 100
+    settings = [(3, 1), (4, 1)] if quick else [(3, 1), (4, 1), (5, 2), (7, 3)]
+    rows = []
+    for n, f in settings:
+        for crash in (False, True):
+            decided = agreed = 0
+            rounds: list[int] = []
+            steps: list[int] = []
+            for trial in range(trials):
+                result, max_round = benor_trial(
+                    n, f, seed * 10_000 + trial, crash
+                )
+                if result.decided:
+                    decided += 1
+                    rounds.append(max_round)
+                    steps.append(result.steps)
+                if result.agreement_holds:
+                    agreed += 1
+            rows.append(
+                {
+                    "panel": "termination",
+                    "coin": "private",
+                    "N": n,
+                    "crash": crash,
+                    "trials": trials,
+                    "terminated": decided,
+                    "agreement": agreed,
+                    "mean_rounds": mean(rounds) if rounds else 0.0,
+                    "p90_rounds": quantile(rounds, 0.9) if rounds else 0.0,
+                }
+            )
+
+    # Coin panel: private vs. shared coins on the adversarial split.
+    coin_sizes = (4, 6) if quick else (4, 6, 8)
+    coin_trials = 15 if quick else 60
+    for n in coin_sizes:
+        for label, cls in (
+            ("private", BenOrProcess),
+            ("shared", CommonCoinProcess),
+        ):
+            decided = agreed = 0
+            rounds = []
+            for trial in range(coin_trials):
+                result, max_round = coin_trial(
+                    cls, n, seed * 20_000 + trial
+                )
+                if result.decided:
+                    decided += 1
+                    rounds.append(max_round)
+                if result.agreement_holds:
+                    agreed += 1
+            rows.append(
+                {
+                    "panel": "coin",
+                    "coin": label,
+                    "N": n,
+                    "crash": False,
+                    "trials": coin_trials,
+                    "terminated": decided,
+                    "agreement": agreed,
+                    "mean_rounds": mean(rounds) if rounds else 0.0,
+                    "p90_rounds": quantile(rounds, 0.9) if rounds else 0.0,
+                }
+            )
+
+    return ExperimentResult(
+        exp_id="E7",
+        title="Conclusion [2]/[20]: randomized consensus terminates",
+        rows=tuple(rows),
+        notes=(
+            "expected: terminated == trials on every row (probability-1 "
+            "termination shows up as 100% over finite samples against a "
+            "non-tape-reading scheduler); agreement == trials always "
+            "(safety is deterministic)",
+            "rounds grow with N and with a crash present, but the "
+            "distribution stays light-tailed — the coin breaks symmetry "
+            "quickly",
+            "coin panel (split inputs, no faults): private-coin rounds "
+            "grow with N while shared-coin rounds stay flat — Rabin's "
+            "common coin [20] buys O(1) expected rounds",
+        ),
+        seed=seed,
+        quick=quick,
+    )

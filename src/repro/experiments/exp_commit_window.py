@@ -1,0 +1,101 @@
+"""E6 — the introduction's "window of vulnerability", measured.
+
+"The asynchronous commit protocols in current use all seem to have a
+window of vulnerability — an interval of time during the execution of
+the algorithm in which the delay or inaccessibility of a single process
+can cause the entire algorithm to wait indefinitely."
+
+We drive 2PC and 3PC on an all-yes transaction (the commit-bound case)
+with the :class:`~repro.schedulers.partitioner.DelayScheduler` freezing
+a single process — the coordinator, or one participant — from step
+``window_start`` on.  The protocol stalls for as long as the delay holds
+(measured in scheduler steps with no decision), and completes promptly
+once the window lifts.  Delay is not death: the run stays admissible,
+which is exactly why no timeout logic could save the protocol in this
+model.
+"""
+
+from __future__ import annotations
+
+from repro.core.simulation import StopCondition, simulate
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.experiments.zoo import commit_zoo
+from repro.schedulers import DelayScheduler, RoundRobinScheduler
+
+__all__ = ["run"]
+
+
+@experiment("E6", "Intro: the commit window of vulnerability")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    window_steps = 120 if quick else 600
+    rows = []
+    for label, protocol in commit_zoo(quick):
+        names = protocol.process_names
+        all_yes = [1] * len(names)
+        initial = protocol.initial_configuration(all_yes)
+
+        # Baseline: no interference — the transaction commits.
+        baseline = simulate(
+            protocol,
+            initial,
+            RoundRobinScheduler(),
+            max_steps=window_steps,
+            stop=StopCondition.ALL_DECIDED,
+        )
+
+        for victim_label, victim in (
+            ("coordinator", names[0]),
+            ("participant", names[-1]),
+        ):
+            # Freeze the victim forever: blocked run.
+            frozen = simulate(
+                protocol,
+                initial,
+                DelayScheduler({victim}, window=(0, None)),
+                max_steps=window_steps,
+                stop=StopCondition.ALL_DECIDED,
+            )
+            undecided = [
+                name
+                for name in names
+                if name != victim and name not in frozen.decisions
+            ]
+            # Lift the window at half time: the run completes.
+            lifted = simulate(
+                protocol,
+                initial,
+                DelayScheduler(
+                    {victim}, window=(0, window_steps // 2)
+                ),
+                max_steps=window_steps * 2,
+                stop=StopCondition.ALL_DECIDED,
+            )
+            rows.append(
+                {
+                    "protocol": label,
+                    "delayed": victim_label,
+                    "baseline_steps": baseline.steps,
+                    "blocked": not frozen.decided,
+                    "stalled_undecided": len(undecided),
+                    "decides_after_lift": lifted.decided,
+                    "lift_steps": lifted.steps,
+                }
+            )
+    return ExperimentResult(
+        exp_id="E6",
+        title="Intro: the commit window of vulnerability",
+        rows=tuple(rows),
+        notes=(
+            "expected: delaying the coordinator blocks every participant "
+            "that voted yes (blocked=True, stalled_undecided > 0); "
+            "delaying one participant blocks the commit globally too — "
+            "the window the introduction describes, implied for EVERY "
+            "commit protocol by Theorem 1",
+            "the delayed process is slow, not dead: once the window "
+            "lifts, the protocol completes (decides_after_lift=True), "
+            "so no failure-detection logic could have distinguished the "
+            "two in time",
+        ),
+        seed=seed,
+        quick=quick,
+    )

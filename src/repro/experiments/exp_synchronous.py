@@ -1,0 +1,168 @@
+"""E8 — the abstract's contrast: synchronous consensus is solvable.
+
+Two panels:
+
+**Crash panel** — FloodSet over the round-synchronous executor, with up
+to f crash faults injected at adversarial times, including mid-round
+partial broadcasts (the worst case for information flow).  Expected
+shape: agreement and validity hold in every trial, and every live
+process decides in exactly f + 1 rounds.
+
+**Byzantine panel** — the abstract names "the Byzantine Generals
+problem" specifically, so we also run the Berman–Garay phase-king
+algorithm against up to f *equivocating* Byzantine processes (each
+receiver told something different, fake king claims, garbage,
+strategic silence).  Expected shape: all honest processes agree and
+honor unanimous honest inputs, deciding in exactly 2(f + 1) rounds,
+for N > 4f.
+
+Timing assumptions buy what asynchrony cannot — even against liars.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.protocols import ByzantineProcess, FloodSetProcess, PhaseKingProcess
+from repro.synchrony import SyncCrashPlan, run_rounds
+
+__all__ = ["run", "random_sync_crash_plan", "phase_king_trial"]
+
+
+def random_sync_crash_plan(
+    names: tuple[str, ...], max_faulty: int, max_round: int, rng: random.Random
+) -> SyncCrashPlan:
+    """Kill up to *max_faulty* processes at random rounds, each with a
+    random subset of receivers for its final, partial broadcast."""
+    count = rng.randint(0, max_faulty)
+    victims = rng.sample(list(names), count)
+    plan: dict[str, tuple[int, frozenset[str]]] = {}
+    for victim in victims:
+        round_number = rng.randint(1, max_round)
+        others = [name for name in names if name != victim]
+        receivers = frozenset(
+            rng.sample(others, rng.randint(0, len(others)))
+        )
+        plan[victim] = (round_number, receivers)
+    return SyncCrashPlan(plan)
+
+
+def phase_king_trial(
+    n: int, f: int, byzantine: set[str], inputs: dict[str, int], seed: int
+):
+    """One phase-king run with the given Byzantine set; returns the
+    SyncResult (decisions include only honest processes — Byzantine
+    ones never decide)."""
+    names = tuple(f"p{i}" for i in range(n))
+    processes = []
+    for name in names:
+        if name in byzantine:
+            processes.append(
+                ByzantineProcess(name, names, seed=seed)
+            )
+        else:
+            processes.append(PhaseKingProcess(name, names, f=f))
+    return run_rounds(processes, inputs, max_rounds=2 * (f + 1))
+
+
+@experiment("E8", "Abstract contrast: synchronous consensus (FloodSet)")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    trials = 25 if quick else 150
+    settings = [(4, 1), (5, 2)] if quick else [(4, 1), (5, 2), (7, 3), (9, 4)]
+    rng = random.Random(seed)
+    rows = []
+    for n, f in settings:
+        names = tuple(f"p{i}" for i in range(n))
+        agreement = validity = decided_all = exact_rounds = 0
+        for _ in range(trials):
+            processes = [FloodSetProcess(name, names, f=f) for name in names]
+            inputs = {name: rng.randint(0, 1) for name in names}
+            plan = random_sync_crash_plan(names, f, f + 1, rng)
+            result = run_rounds(processes, inputs, plan, max_rounds=f + 2)
+            if result.agreement_holds:
+                agreement += 1
+            decisions = set(result.decisions.values())
+            if decisions <= set(inputs.values()):
+                validity += 1
+            if result.all_live_decided:
+                decided_all += 1
+            if result.decision_rounds and all(
+                round_number == f + 1
+                for round_number in result.decision_rounds.values()
+            ):
+                exact_rounds += 1
+        rows.append(
+            {
+                "panel": "crash (FloodSet)",
+                "N": n,
+                "f": f,
+                "trials": trials,
+                "agreement": agreement,
+                "validity": validity,
+                "all_live_decided": decided_all,
+                "exact_rounds": exact_rounds,
+            }
+        )
+
+    byz_settings = [(5, 1), (9, 2)] if quick else [(5, 1), (9, 2), (13, 3)]
+    for n, f in byz_settings:
+        names = tuple(f"p{i}" for i in range(n))
+        agreement = validity = decided_all = exact_rounds = 0
+        for trial in range(trials):
+            byzantine = set(rng.sample(list(names), rng.randint(0, f)))
+            inputs = {name: rng.randint(0, 1) for name in names}
+            result = phase_king_trial(
+                n, f, byzantine, inputs, seed=seed * 1000 + trial
+            )
+            honest = [name for name in names if name not in byzantine]
+            decisions = {
+                name: value
+                for name, value in result.decisions.items()
+                if name in honest
+            }
+            if len(set(decisions.values())) <= 1:
+                agreement += 1
+            honest_inputs = {inputs[name] for name in honest}
+            if len(honest_inputs) > 1 or set(
+                decisions.values()
+            ) <= honest_inputs:
+                validity += 1
+            if all(name in decisions for name in honest):
+                decided_all += 1
+            if decisions and all(
+                result.decision_rounds[name] == 2 * (f + 1)
+                for name in decisions
+            ):
+                exact_rounds += 1
+        rows.append(
+            {
+                "panel": "byzantine (PhaseKing)",
+                "N": n,
+                "f": f,
+                "trials": trials,
+                "agreement": agreement,
+                "validity": validity,
+                "all_live_decided": decided_all,
+                "exact_rounds": exact_rounds,
+            }
+        )
+
+    return ExperimentResult(
+        exp_id="E8",
+        title="Abstract contrast: synchronous consensus (FloodSet)",
+        rows=tuple(rows),
+        notes=(
+            "expected: every column equals trials on every row — "
+            "lock-step rounds beat f crash faults (FloodSet, f+1 "
+            "rounds, even with adversarial mid-round partial "
+            "broadcasts) AND f equivocating Byzantine processes "
+            "(PhaseKing, 2(f+1) rounds, N > 4f)",
+            "this is 'solutions are known for the synchronous case, "
+            "the Byzantine Generals problem' of the abstract, "
+            "quantified — synchrony suffices even against liars, while "
+            "asynchrony fails against mere silence",
+        ),
+        seed=seed,
+        quick=quick,
+    )

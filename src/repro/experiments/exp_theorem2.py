@@ -1,0 +1,106 @@
+"""E5 — Theorem 2: the initially-dead-processes protocol.
+
+Positive direction: for N ∈ {3,5,7[,9]}, random input vectors, and random
+dead sets of size < N/2, run the Section-4 protocol under a fair
+scheduler and check that every live process decides, that all decisions
+agree, and that the decided value is valid (some process's input).
+
+Negative direction (the theorem's hypothesis is tight): with ⌈N/2⌉ or
+more processes dead, no live process ever decides — everyone waits
+forever for its (L-1)-th stage-1 message.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.simulation import StopCondition, simulate
+from repro.experiments.harness import ExperimentResult, experiment
+from repro.protocols import InitiallyDeadProcess, make_protocol
+from repro.schedulers import CrashPlan, RoundRobinScheduler
+
+__all__ = ["run"]
+
+
+def _trial(protocol, inputs, dead, max_steps):
+    scheduler = RoundRobinScheduler(
+        crash_plan=CrashPlan.initially_dead(frozenset(dead))
+    )
+    initial = protocol.initial_configuration(inputs)
+    return simulate(
+        protocol,
+        initial,
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+
+
+@experiment("E5", "Theorem 2: consensus with initially dead processes")
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    sizes = (3, 5) if quick else (3, 5, 7, 9)
+    trials = 10 if quick else 40
+    rng = random.Random(seed)
+    rows = []
+    for n in sizes:
+        protocol = make_protocol(InitiallyDeadProcess, n)
+        names = list(protocol.process_names)
+        max_dead_ok = (n - 1) // 2  # strict majority must stay alive
+        for num_dead in range(0, max_dead_ok + 1):
+            decided = agreed = valid = 0
+            for _ in range(trials):
+                inputs = [rng.randint(0, 1) for _ in names]
+                dead = rng.sample(names, num_dead)
+                result = _trial(protocol, inputs, dead, max_steps=40 * n * n)
+                live = [name for name in names if name not in dead]
+                if all(name in result.decisions for name in live):
+                    decided += 1
+                if result.agreement_holds:
+                    agreed += 1
+                values = set(result.decisions.values())
+                if values <= set(inputs):
+                    valid += 1
+            rows.append(
+                {
+                    "N": n,
+                    "dead": num_dead,
+                    "trials": trials,
+                    "all_live_decided": decided,
+                    "agreement": agreed,
+                    "validity": valid,
+                }
+            )
+        # Negative control: too many dead => nobody ever decides.  The
+        # protocol needs L = floor(N/2)+1 live processes, so killing
+        # ceil(N/2) of them leaves only L-1 alive.
+        num_dead = n - n // 2
+        stalled = 0
+        for _ in range(trials):
+            inputs = [rng.randint(0, 1) for _ in names]
+            dead = rng.sample(names, num_dead)
+            result = _trial(protocol, inputs, dead, max_steps=40 * n * n)
+            if not result.decisions:
+                stalled += 1
+        rows.append(
+            {
+                "N": n,
+                "dead": f"{num_dead} (majority gone)",
+                "trials": trials,
+                "all_live_decided": trials - stalled,
+                "agreement": trials,
+                "validity": trials,
+            }
+        )
+    return ExperimentResult(
+        exp_id="E5",
+        title="Theorem 2: consensus with initially dead processes",
+        rows=tuple(rows),
+        notes=(
+            "expected: with dead < N/2, all_live_decided == agreement == "
+            "validity == trials; with a majority dead, "
+            "all_live_decided == 0 (the protocol waits forever — the "
+            "hypothesis is tight)",
+        ),
+        seed=seed,
+        quick=quick,
+    )

@@ -1,0 +1,90 @@
+"""Shared protocol instances for the experiment suite.
+
+Centralizing the instances keeps experiment tables comparable: every
+experiment that says "arbiter/3" means exactly the same protocol object
+shape, and the quick/full switch scales N in one place.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import Protocol
+from repro.protocols import (
+    ArbiterProcess,
+    InitiallyDeadProcess,
+    InputEchoProcess,
+    ParityArbiterProcess,
+    QuorumVoteProcess,
+    ThreePhaseCommitProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+__all__ = [
+    "safe_zoo",
+    "bivalent_zoo",
+    "broken_zoo",
+    "commit_zoo",
+]
+
+
+def safe_zoo(quick: bool = True) -> list[tuple[str, Protocol]]:
+    """Partially correct asynchronous protocols — Theorem 1's subjects."""
+    members = [
+        ("arbiter/3", make_protocol(ArbiterProcess, 3)),
+        ("parity-arbiter/3", make_protocol(ParityArbiterProcess, 3)),
+        ("wait-for-all/3", make_protocol(WaitForAllProcess, 3)),
+        ("2pc/3", make_protocol(TwoPhaseCommitProcess, 3)),
+        ("3pc/3", make_protocol(ThreePhaseCommitProcess, 3)),
+    ]
+    if not quick:
+        members.extend(
+            [
+                ("arbiter/4", make_protocol(ArbiterProcess, 4)),
+                ("2pc/4", make_protocol(TwoPhaseCommitProcess, 4)),
+                # Theorem 2's own protocol is finite-state at N=3 and,
+                # like everything else, falls to Theorem 1: its stage-1
+                # hearing order makes initial configurations bivalent,
+                # and the fault mode is exactly a "death during
+                # execution", which Section 4's hypotheses exclude.
+                (
+                    "initially-dead/3",
+                    make_protocol(InitiallyDeadProcess, 3),
+                ),
+            ]
+        )
+    return members
+
+
+def bivalent_zoo(quick: bool = True) -> list[tuple[str, Protocol]]:
+    """Safe protocols that actually have bivalent initial configurations
+    (order-sensitive decisions) — Lemma 3's subjects."""
+    members = [
+        ("arbiter/3", make_protocol(ArbiterProcess, 3)),
+        ("parity-arbiter/3", make_protocol(ParityArbiterProcess, 3)),
+    ]
+    if not quick:
+        members.extend(
+            [
+                ("arbiter/4", make_protocol(ArbiterProcess, 4)),
+                ("parity-arbiter/4", make_protocol(ParityArbiterProcess, 4)),
+            ]
+        )
+    return members
+
+
+def broken_zoo(quick: bool = True) -> list[tuple[str, Protocol]]:
+    """Protocols that fail partial correctness — negative controls."""
+    return [
+        ("quorum-vote/3", make_protocol(QuorumVoteProcess, 3)),
+        ("input-echo/2", make_protocol(InputEchoProcess, 2)),
+    ]
+
+
+def commit_zoo(quick: bool = True) -> list[tuple[str, Protocol]]:
+    """The introduction's transaction-commit protocols."""
+    n = 3 if quick else 4
+    return [
+        (f"2pc/{n}", make_protocol(TwoPhaseCommitProcess, n)),
+        (f"3pc/{n}", make_protocol(ThreePhaseCommitProcess, n)),
+    ]

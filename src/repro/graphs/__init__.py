@@ -1,0 +1,5 @@
+"""Graph substrate for the Section-4 protocol (Theorem 2)."""
+
+from repro.graphs.digraph import Digraph
+
+__all__ = ["Digraph"]

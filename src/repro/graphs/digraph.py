@@ -1,0 +1,168 @@
+"""Directed graphs for Section 4: ancestors, closure, initial cliques.
+
+The initially-dead-processes protocol (Theorem 2) has the processes build
+a directed graph ``G`` (an edge ``i -> j`` iff ``j`` received a stage-1
+message from ``i``), take its transitive closure ``G+``, and locate the
+unique *initial clique* — "a clique with no incoming edges" — using the
+paper's characterization: "a node k is in an initial clique iff k is
+itself an ancestor of every node j that is an ancestor of k."
+
+This module implements exactly that vocabulary, from scratch (the test
+suite cross-validates it against networkx).  Graphs are small — one node
+per process — so simple set-based algorithms are the right tool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable
+
+__all__ = ["Digraph"]
+
+
+class Digraph:
+    """A finite directed graph over hashable node labels."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Hashable] = (),
+        edges: Iterable[tuple[Hashable, Hashable]] = (),
+    ):
+        self._succ: dict[Hashable, set[Hashable]] = {}
+        self._pred: dict[Hashable, set[Hashable]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Add *node* (idempotent)."""
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, source: Hashable, target: Hashable) -> None:
+        """Add the edge ``source -> target``, creating nodes as needed."""
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    # -- basic queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> frozenset[Hashable]:
+        return frozenset(self._succ)
+
+    def edges(self) -> frozenset[tuple[Hashable, Hashable]]:
+        return frozenset(
+            (source, target)
+            for source, targets in self._succ.items()
+            for target in targets
+        )
+
+    def has_edge(self, source: Hashable, target: Hashable) -> bool:
+        return target in self._succ.get(source, ())
+
+    def successors(self, node: Hashable) -> frozenset[Hashable]:
+        return frozenset(self._succ.get(node, ()))
+
+    def predecessors(self, node: Hashable) -> frozenset[Hashable]:
+        return frozenset(self._pred.get(node, ()))
+
+    def in_degree(self, node: Hashable) -> int:
+        return len(self._pred.get(node, ()))
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # -- reachability ---------------------------------------------------------------
+
+    def ancestors(self, node: Hashable) -> frozenset[Hashable]:
+        """Nodes with a path of length ≥ 1 *into* ``node``.
+
+        ``node`` itself is an ancestor of itself iff it lies on a cycle —
+        the convention the paper's initial-clique test relies on.
+        """
+        return self._reach(node, self._pred)
+
+    def descendants(self, node: Hashable) -> frozenset[Hashable]:
+        """Nodes reachable from ``node`` by a path of length ≥ 1."""
+        return self._reach(node, self._succ)
+
+    def _reach(
+        self, node: Hashable, adjacency: dict[Hashable, set[Hashable]]
+    ) -> frozenset[Hashable]:
+        if node not in self._succ:
+            raise KeyError(node)
+        seen: set[Hashable] = set()
+        queue: deque[Hashable] = deque(adjacency[node])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(adjacency[current] - seen)
+        return frozenset(seen)
+
+    def transitive_closure(self) -> "Digraph":
+        """``G+``: an edge ``i -> j`` iff G has a path ``i -> ... -> j``
+        of length ≥ 1."""
+        closure = Digraph(nodes=self.nodes)
+        for node in self._succ:
+            for descendant in self.descendants(node):
+                closure.add_edge(node, descendant)
+        return closure
+
+    # -- Section 4 vocabulary -----------------------------------------------------------
+
+    def in_initial_clique(self, node: Hashable) -> bool:
+        """The paper's test: ``k`` is in an initial clique iff ``k`` is an
+        ancestor of every node ``j`` that is an ancestor of ``k``."""
+        ancestors_of_node = self.ancestors(node)
+        return all(
+            node in self.ancestors(j) for j in ancestors_of_node
+        )
+
+    def initial_clique(self) -> frozenset[Hashable]:
+        """All nodes passing :meth:`in_initial_clique`.
+
+        For the graphs Section 4 produces (every node has in-degree ≥
+        L-1 in ``G``, hence ≥ L-1 predecessors in ``G+``), this set is a
+        single clique with no incoming edges and cardinality ≥ L; for an
+        arbitrary graph it is the union of the source strongly connected
+        components, restricted to those that are sources.
+        """
+        return frozenset(
+            node for node in self._succ if self.in_initial_clique(node)
+        )
+
+    def is_clique(self, nodes: Iterable[Hashable]) -> bool:
+        """Whether every ordered pair of distinct *nodes* is an edge."""
+        members = list(nodes)
+        return all(
+            self.has_edge(a, b)
+            for a in members
+            for b in members
+            if a != b
+        )
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "Digraph":
+        """The induced subgraph on *nodes*."""
+        keep = set(nodes)
+        sub = Digraph(nodes=keep & self.nodes)
+        for source in keep:
+            for target in self._succ.get(source, ()):
+                if target in keep:
+                    sub.add_edge(source, target)
+        return sub
+
+    def __repr__(self) -> str:
+        return (
+            f"Digraph(nodes={len(self._succ)}, "
+            f"edges={sum(len(t) for t in self._succ.values())})"
+        )

@@ -1,0 +1,63 @@
+"""The protocol zoo: consensus attempts, Theorem 2, and escape hatches.
+
+Asynchronous-model protocols (subject to Theorem 1):
+
+* :class:`~repro.protocols.trivial.AlwaysZeroProcess`,
+  :class:`~repro.protocols.trivial.InputEchoProcess` — negative controls
+  that fail partial correctness.
+* :class:`~repro.protocols.voting.WaitForAllProcess` — safe voting that a
+  single crash stalls.
+* :class:`~repro.protocols.voting.QuorumVoteProcess` — live voting that
+  violates agreement.
+* :class:`~repro.protocols.arbiter.ArbiterProcess` — order-sensitive,
+  safe, with genuinely bivalent initial configurations.
+* :class:`~repro.protocols.two_phase_commit.TwoPhaseCommitProcess`,
+  :class:`~repro.protocols.three_phase_commit.ThreePhaseCommitProcess` —
+  the introduction's transaction-commit problem.
+* :class:`~repro.protocols.initially_dead.InitiallyDeadProcess` —
+  Section 4's Theorem 2 protocol.
+* :class:`~repro.protocols.benor.BenOrProcess` — randomized consensus
+  (conclusion, reference [2]).
+
+Synchronous-model contrast:
+
+* :class:`~repro.protocols.floodset.FloodSetProcess` — crash-tolerant
+  consensus in f+1 rounds, on the
+  :mod:`repro.synchrony.rounds` executor.
+"""
+
+from repro.protocols.arbiter import ArbiterProcess
+from repro.protocols.base import ConsensusProcess, default_names, make_protocol
+from repro.protocols.parity_arbiter import ParityArbiterProcess
+from repro.protocols.benor import BenOrProcess
+from repro.protocols.common_coin import CommonCoinProcess
+from repro.protocols.floodset import FloodSetProcess
+from repro.protocols.initially_dead import InitiallyDeadProcess
+from repro.protocols.phase_king import ByzantineProcess, PhaseKingProcess
+from repro.protocols.three_phase_commit import ThreePhaseCommitProcess
+from repro.protocols.timeout_arbiter import TimeoutArbiterProcess
+from repro.protocols.trivial import AlwaysZeroProcess, InputEchoProcess
+from repro.protocols.two_phase_commit import TwoPhaseCommitProcess
+from repro.protocols.voting import QuorumVoteProcess, WaitForAllProcess, tally
+
+__all__ = [
+    "ArbiterProcess",
+    "ConsensusProcess",
+    "default_names",
+    "make_protocol",
+    "BenOrProcess",
+    "CommonCoinProcess",
+    "FloodSetProcess",
+    "InitiallyDeadProcess",
+    "ByzantineProcess",
+    "PhaseKingProcess",
+    "ThreePhaseCommitProcess",
+    "TimeoutArbiterProcess",
+    "AlwaysZeroProcess",
+    "InputEchoProcess",
+    "ParityArbiterProcess",
+    "TwoPhaseCommitProcess",
+    "QuorumVoteProcess",
+    "WaitForAllProcess",
+    "tally",
+]

@@ -1,0 +1,103 @@
+"""Arbiter consensus: agreement-safe, order-*sensitive* — and doomed.
+
+One process (by default ``p0``) acts as a referee: every other process
+races a claim carrying its input to the arbiter, the arbiter adopts the
+*first* claim it receives, decides it, and broadcasts the verdict; the
+proposers decide whatever the verdict says.
+
+Why this protocol matters to the reproduction: its decision depends on
+the *schedule*, not just the inputs, so mixed-input initial
+configurations are genuinely **bivalent** — it is the zoo's canonical
+subject for Lemma 2, Lemma 3, and the staged Theorem-1 construction.
+The adversary keeps it bivalent for as long as it likes by delaying
+claims, and when the forced delivery of a claim to the arbiter would
+univalate (the Lemma 3 search fails, Case 2 with ``p = p′`` = the
+arbiter), the fallback applies: silencing the arbiter — one faulty
+process — yields an admissible run in which nobody ever decides.
+
+Message universe: ``("claim", sender, value)`` and ``("verdict", value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["ArbiterProcess"]
+
+
+class ArbiterProcess(ConsensusProcess):
+    """A process of the arbiter protocol.
+
+    Parameters
+    ----------
+    arbiter:
+        Name of the refereeing process; defaults to the first process in
+        the roster.  The arbiter's own input register is unused (it is a
+        pure referee), which keeps the protocol's validity story simple:
+        the decision is always some *proposer's* input.
+    """
+
+    def __init__(self, name: str, peers, arbiter: str | None = None):
+        super().__init__(name, peers)
+        self.arbiter = arbiter if arbiter is not None else self.peers[0]
+        if self.arbiter not in self.peers:
+            raise ValueError(f"arbiter {self.arbiter!r} not in roster")
+
+    @property
+    def is_arbiter(self) -> bool:
+        return self.name == self.arbiter
+
+    def initial_data(self, input_value: int) -> Hashable:
+        if self.is_arbiter:
+            return ("waiting",)
+        return ("unclaimed",)
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if self.is_arbiter:
+            return self._arbiter_step(state, message_value)
+        return self._proposer_step(state, message_value)
+
+    def _arbiter_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if state.decided:
+            return self.noop(state)
+        if (
+            isinstance(message_value, tuple)
+            and message_value
+            and message_value[0] == "claim"
+        ):
+            _, _sender, value = message_value
+            decided = state.with_data(("closed",)).with_decision(value)
+            verdicts = self.broadcast(self.others, ("verdict", value))
+            return Transition(decided, verdicts)
+        # Null delivery (or stray verdict) while waiting: nothing to do.
+        return self.noop(state)
+
+    def _proposer_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        data = state.data
+        sends: tuple = ()
+        if data == ("unclaimed",):
+            # First step: race the claim to the arbiter.
+            sends = (
+                self.send_to(
+                    self.arbiter, ("claim", self.name, state.input)
+                ),
+            )
+            data = ("claimed",)
+        new_state = state.with_data(data)
+        if (
+            not new_state.decided
+            and isinstance(message_value, tuple)
+            and message_value
+            and message_value[0] == "verdict"
+        ):
+            new_state = new_state.with_decision(message_value[1])
+        return Transition(new_state, sends)

@@ -1,0 +1,84 @@
+"""Shared plumbing for the consensus protocol zoo.
+
+Every protocol in the zoo follows the paper's conventions: binary input
+register, write-once output register, message values from a small fixed
+universe.  :class:`ConsensusProcess` adds the bookkeeping all of them
+share — the full roster of process names, "everyone but me", and a
+factory that assembles a full :class:`~repro.core.protocol.Protocol` from
+a process class.
+
+Zoo protocols meant for *exact* valency analysis are written to keep the
+reachable configuration graph finite for small N: each process sends a
+bounded number of messages over its lifetime, and a null delivery in a
+state with nothing to do is a no-op (so it self-loops in the graph
+instead of minting fresh states).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+from repro.core.process import Process, ProcessState, Transition
+from repro.core.protocol import Protocol
+
+__all__ = ["ConsensusProcess", "make_protocol", "default_names"]
+
+
+def default_names(n: int) -> tuple[str, ...]:
+    """Canonical process names ``p0 .. p{n-1}``."""
+    if n < 2:
+        raise ValueError(f"need at least 2 processes, got {n}")
+    return tuple(f"p{i}" for i in range(n))
+
+
+class ConsensusProcess(Process):
+    """A zoo process: knows the full roster and its own position in it.
+
+    Parameters
+    ----------
+    name:
+        This process's name.
+    peers:
+        Names of *all* processes, including this one, in canonical order.
+        (Knowing N and the roster is standard: the paper's processes are
+        distinct automata wired into a fixed system.)
+    """
+
+    def __init__(self, name: str, peers: Sequence[str]):
+        super().__init__(name)
+        if name not in peers:
+            raise ValueError(f"{name!r} is not in the roster {list(peers)!r}")
+        self.peers = tuple(peers)
+        self.others = tuple(p for p in self.peers if p != name)
+        self.index = self.peers.index(name)
+
+    @property
+    def n(self) -> int:
+        """N, the number of processes in the system."""
+        return len(self.peers)
+
+    @property
+    def majority(self) -> int:
+        """L = ⌈(N+1)/2⌉ = ⌊N/2⌋ + 1, the strict-majority threshold used
+        by Section 4's protocol."""
+        return len(self.peers) // 2 + 1
+
+    def noop(self, state: ProcessState) -> Transition:
+        """A transition that changes nothing (used for null deliveries and
+        unexpected messages so the configuration graph stays small)."""
+        return Transition(state, ())
+
+
+def make_protocol(
+    process_class: Type[ConsensusProcess],
+    n: int,
+    **kwargs,
+) -> Protocol:
+    """Instantiate *process_class* for each of ``n`` canonical names and
+    wire them into a :class:`Protocol`.
+
+    Extra keyword arguments are forwarded to every process constructor —
+    protocol-level parameters like quorum sizes or coordinator choice.
+    """
+    names = default_names(n)
+    return Protocol([process_class(name, names, **kwargs) for name in names])

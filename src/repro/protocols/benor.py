@@ -1,0 +1,200 @@
+"""Ben-Or's randomized consensus — the conclusion's first escape hatch.
+
+The paper closes by noting that the impossibility "point[s] up the need
+for ... less stringent requirements on the solution ... (For example,
+termination might be required only with probability 1.)", citing Ben-Or's
+"Another advantage of free choice" (reference [2]).  This module
+implements that protocol for the crash-fault model with ``f < N/2``.
+
+Each round ``r`` has two phases:
+
+* **Report.**  Broadcast ``(R, r, x)``; wait for ``N - f`` round-``r``
+  reports (your own included).  If more than ``N/2`` of them carry the
+  same value ``v``, propose ``v``; otherwise propose ⊥.
+* **Propose.**  Broadcast ``(P, r, proposal)``; wait for ``N - f``
+  round-``r`` proposals.  If some value ``v ≠ ⊥`` appears at least
+  ``f + 1`` times, *decide* ``v`` (and broadcast a courtesy ``D``
+  message so laggards terminate too).  Else if any ``v ≠ ⊥`` appears,
+  adopt ``x = v``; else flip a coin for ``x``.  Continue to round
+  ``r + 1``.
+
+Randomness vs. the FLP model: FLP processes are deterministic automata —
+that is precisely the hypothesis Ben-Or escapes.  To keep our processes
+*mechanically* deterministic (hashable states, reproducible runs), the
+coin is a pseudo-random bit keyed by ``(protocol seed, process name,
+round)`` — i.e. each process carries a private random tape fixed in
+advance.  Against the schedulers in this library (which do not read the
+tapes) the termination-with-probability-1 behaviour is preserved, and
+experiment E7 measures it by varying the seed; a tape-reading adversary
+could stall any *fixed* tape, which is exactly why Ben-Or's guarantee is
+probabilistic and not certain.
+
+State grows with the round number, so this protocol is for forward
+simulation; exact valency analysis is reserved for the finite zoo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["BenOrProcess"]
+
+#: The ⊥ ("no proposal") marker of phase 2.
+BOTTOM = "?"
+
+
+def _coin(seed: int, name: str, round_number: int) -> int:
+    """A deterministic pseudo-random bit: the process's private tape."""
+    digest = hashlib.sha256(
+        f"{seed}:{name}:{round_number}".encode()
+    ).digest()
+    return digest[0] & 1
+
+
+class BenOrProcess(ConsensusProcess):
+    """One process of Ben-Or's randomized binary consensus.
+
+    Parameters
+    ----------
+    f:
+        Number of crash faults tolerated; must satisfy ``f < N/2``.
+        Defaults to the maximum, ``⌈N/2⌉ - 1``.
+    seed:
+        Seed of the private random tapes (vary per experiment trial).
+    """
+
+    def __init__(
+        self, name: str, peers, f: int | None = None, seed: int = 0
+    ):
+        super().__init__(name, peers)
+        max_f = (self.n - 1) // 2
+        self.f = f if f is not None else max_f
+        if not 0 <= self.f <= max_f:
+            raise ValueError(
+                f"Ben-Or requires 0 <= f < N/2; N={self.n} allows "
+                f"f <= {max_f}, got {self.f}"
+            )
+        self.seed = seed
+
+    @property
+    def quorum(self) -> int:
+        """N - f: messages awaited in each phase."""
+        return self.n - self.f
+
+    def _coin_flip(self, round_number: int) -> int:
+        """The round's coin.  Ben-Or: a *private* bit per process (the
+        tape).  Subclasses may substitute a shared coin (see
+        :mod:`repro.protocols.common_coin`)."""
+        return _coin(self.seed, self.name, round_number)
+
+    def initial_data(self, input_value: int) -> Hashable:
+        # (started, round, phase, current estimate x, reports)
+        # reports: frozenset of (kind, round, sender, value)
+        return (False, 1, 1, input_value, frozenset())
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _round_messages(
+        self,
+        reports: frozenset[tuple[str, int, str, Hashable]],
+        kind: str,
+        round_number: int,
+    ) -> tuple[Hashable, ...]:
+        """Values of all *kind* messages for *round_number*, by sender."""
+        return tuple(
+            value
+            for message_kind, r, _sender, value in sorted(
+                reports, key=lambda item: item[2]
+            )
+            if message_kind == kind and r == round_number
+        )
+
+    # -- transition ---------------------------------------------------------------
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        started, round_number, phase, x, reports = state.data
+        sends: list = []
+
+        if not started:
+            started = True
+            sends.extend(
+                self.broadcast(self.others, ("R", round_number, self.name, x))
+            )
+            reports = reports | {("R", round_number, self.name, x)}
+
+        if isinstance(message_value, tuple) and message_value:
+            kind = message_value[0]
+            if kind == "D":
+                # Courtesy decision notice: adopt it and stop.
+                new_state = state.with_data(
+                    (started, round_number, phase, x, reports)
+                )
+                if not new_state.decided:
+                    new_state = new_state.with_decision(message_value[1])
+                return Transition(new_state, tuple(sends))
+            if kind in ("R", "P"):
+                reports = reports | {message_value}
+
+        if state.decided:
+            return Transition(
+                state.with_data((started, round_number, phase, x, reports)),
+                tuple(sends),
+            )
+
+        # Phase progression may cascade (a buffered backlog can satisfy
+        # several thresholds), but each step handles at most one phase
+        # change: the next null delivery continues the cascade, keeping
+        # single steps small and the automaton honest.
+        if phase == 1:
+            round_reports = self._round_messages(reports, "R", round_number)
+            if len(round_reports) >= self.quorum:
+                ones = sum(1 for value in round_reports if value == 1)
+                zeros = sum(1 for value in round_reports if value == 0)
+                if ones * 2 > self.n:
+                    proposal: Hashable = 1
+                elif zeros * 2 > self.n:
+                    proposal = 0
+                else:
+                    proposal = BOTTOM
+                phase = 2
+                message = ("P", round_number, self.name, proposal)
+                sends.extend(self.broadcast(self.others, message))
+                reports = reports | {message}
+        elif phase == 2:
+            proposals = self._round_messages(reports, "P", round_number)
+            if len(proposals) >= self.quorum:
+                concrete = [v for v in proposals if v != BOTTOM]
+                decided_value: int | None = None
+                for candidate in (0, 1):
+                    if concrete.count(candidate) >= self.f + 1:
+                        decided_value = candidate
+                        break
+                new_state = state.with_data(
+                    (started, round_number, phase, x, reports)
+                )
+                if decided_value is not None:
+                    new_state = new_state.with_decision(decided_value)
+                    sends.extend(
+                        self.broadcast(self.others, ("D", decided_value))
+                    )
+                    return Transition(new_state, tuple(sends))
+                if concrete:
+                    x = concrete[0]
+                else:
+                    x = self._coin_flip(round_number)
+                round_number += 1
+                phase = 1
+                message = ("R", round_number, self.name, x)
+                sends.extend(self.broadcast(self.others, message))
+                reports = reports | {message}
+
+        new_state = state.with_data(
+            (started, round_number, phase, x, reports)
+        )
+        return Transition(new_state, tuple(sends))

@@ -1,0 +1,70 @@
+"""FloodSet: synchronous crash-tolerant consensus (the contrast class).
+
+The abstract's foil — "solutions are known for the synchronous case" —
+made concrete with the textbook FloodSet algorithm (Lynch, *Distributed
+Algorithms*, §6.2): every process maintains the set ``W`` of input values
+it has seen, floods ``W`` for ``f + 1`` rounds, and then decides —
+``W``'s only element if ``|W| = 1``, else a deterministic default
+(here: 1, matching the tie-break of the asynchronous zoo).
+
+With at most ``f`` crash faults there is at least one *clean* round among
+the ``f + 1`` (a round in which no process crashes), after which all live
+processes hold identical ``W`` — hence agreement.  Validity holds because
+``W`` only ever contains inputs.  Termination is exactly ``f + 1`` rounds
+for every process — the synchronous model's timing assumptions are
+visibly doing the work that FLP proves cannot be done without them.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.synchrony.rounds import SyncProcess
+
+__all__ = ["FloodSetProcess"]
+
+
+class FloodSetProcess(SyncProcess):
+    """One process of FloodSet consensus tolerating ``f`` crash faults.
+
+    Parameters
+    ----------
+    f:
+        Crash faults tolerated (any ``0 <= f < N`` works; the round count
+        is ``f + 1``).
+    default:
+        Decision when multiple values survive in ``W`` (must be the same
+        constant at every process).
+    """
+
+    def __init__(self, name: str, peers, f: int, default: int = 1):
+        super().__init__(name, peers)
+        if not 0 <= f < self.n:
+            raise ValueError(f"need 0 <= f < N; N={self.n}, got f={f}")
+        self.f = f
+        self.default = default
+
+    def initial_state(self, input_value: int) -> Hashable:
+        return frozenset((input_value,))
+
+    def outgoing(self, state: Hashable, round_number: int) -> Hashable:
+        return state  # Flood the whole known-values set.
+
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        merged: frozenset[int] = state
+        for values in received.values():
+            merged = merged | values
+        return merged
+
+    def decision(self, state: Hashable, round_number: int) -> int | None:
+        if round_number < self.f + 1:
+            return None
+        values: frozenset[int] = state
+        if len(values) == 1:
+            return next(iter(values))
+        return self.default

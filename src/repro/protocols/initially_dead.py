@@ -1,0 +1,165 @@
+"""Section 4: consensus despite initially dead processes (Theorem 2).
+
+"There is a partially correct consensus protocol in which all nonfaulty
+processes always reach a decision, provided no processes die during its
+execution and a strict majority of the processes are alive initially."
+
+The protocol works in two stages, with L = ⌈(N+1)/2⌉:
+
+**Stage 1.**  Every process broadcasts its process number, then listens
+for stage-1 messages from L-1 *other* processes.  This defines a directed
+graph ``G`` with an edge ``i -> j`` iff ``j`` received a message from
+``i`` — so ``G`` has in-degree exactly L-1 at every (live) node.
+
+**Stage 2.**  Each process broadcasts its process number, its initial
+value, and the names of the L-1 processes it heard from in stage 1.  It
+then waits until it has received a stage-2 message from *every ancestor
+in G it knows about* — initially its L-1 direct predecessors, with more
+ancestors learned transitively from arriving stage-2 messages.  When all
+currently-known ancestors have been heard from, the process knows all of
+its ancestors and every edge of ``G`` incident on them, computes the
+transitive closure ``G+`` restricted to them, and finds the *initial
+clique* (the unique clique of ``G+`` with no incoming edges; it has
+cardinality ≥ L) via the paper's test: ``k`` is in the initial clique iff
+``k`` is an ancestor of every node ``j`` that is an ancestor of ``k``.
+
+Finally every process decides by "any agreed-upon rule" applied to the
+initial values of the initial-clique members — here, majority with ties
+to 1 (the same rule as the voting zoo, :func:`repro.protocols.voting.tally`).
+
+Liveness holds because dead processes never broadcast and hence never
+become anyone's ancestor, while all live processes (≥ L of them) do.
+With a *majority* initially dead, every live process waits forever for
+its (L-1)-th stage-1 message — the experiment suite's negative control.
+
+Message universe: ``("s1", sender)`` and
+``("s2", sender, input, predecessors)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.graphs.digraph import Digraph
+from repro.protocols.base import ConsensusProcess
+from repro.protocols.voting import tally
+
+__all__ = ["InitiallyDeadProcess", "build_stage_graph"]
+
+
+def build_stage_graph(
+    entries: frozenset[tuple[str, int, frozenset[str]]]
+) -> Digraph:
+    """Reconstruct (the known part of) ``G`` from stage-2 entries.
+
+    Each entry ``(j, input_j, preds_j)`` contributes the edges
+    ``i -> j`` for every ``i`` in ``preds_j``.
+    """
+    graph = Digraph()
+    for name, _value, predecessors in entries:
+        graph.add_node(name)
+        for predecessor in predecessors:
+            graph.add_edge(predecessor, name)
+    return graph
+
+
+class InitiallyDeadProcess(ConsensusProcess):
+    """One process of the Section-4 protocol."""
+
+    def initial_data(self, input_value: int) -> Hashable:
+        # (stage-1 broadcast done, phase, stage-1 senders heard,
+        #  fixed predecessor set, stage-2 entries collected)
+        return (False, "s1", frozenset(), frozenset(), frozenset())
+
+    @property
+    def listen_quota(self) -> int:
+        """L - 1: how many stage-1 messages to wait for."""
+        return self.majority - 1
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        broadcast1, phase, heard1, preds, entries = state.data
+        sends: list = []
+
+        if not broadcast1:
+            # First step ever: stage-1 broadcast of our process number.
+            sends.extend(self.broadcast(self.others, ("s1", self.name)))
+            broadcast1 = True
+
+        if isinstance(message_value, tuple) and message_value:
+            kind = message_value[0]
+            if kind == "s1" and phase == "s1":
+                sender = message_value[1]
+                if len(heard1) < self.listen_quota:
+                    heard1 = heard1 | {sender}
+            elif kind == "s2":
+                _, sender, value, sender_preds = message_value
+                entries = entries | {(sender, value, sender_preds)}
+
+        if phase == "s1" and len(heard1) >= self.listen_quota:
+            # Enter stage 2: fix our predecessor set, broadcast it, and
+            # count our own entry as received.
+            phase = "s2"
+            preds = heard1
+            sends.extend(
+                self.broadcast(
+                    self.others, ("s2", self.name, state.input, preds)
+                )
+            )
+            entries = entries | {(self.name, state.input, preds)}
+
+        new_state = state.with_data(
+            (broadcast1, phase, heard1, preds, entries)
+        )
+
+        if phase == "s2" and not new_state.decided:
+            decision = self._try_decide(preds, entries)
+            if decision is not None:
+                new_state = new_state.with_data(
+                    (broadcast1, "done", heard1, preds, entries)
+                ).with_decision(decision)
+
+        return Transition(new_state, tuple(sends))
+
+    # -- stage-2 termination and decision -------------------------------------
+
+    def _known_ancestors(
+        self,
+        preds: frozenset[str],
+        entries: frozenset[tuple[str, int, frozenset[str]]],
+    ) -> frozenset[str]:
+        """Every ancestor of this process currently derivable: direct
+        predecessors, plus (transitively) the predecessors revealed by
+        the stage-2 messages of processes already known to be ancestors."""
+        by_sender = {name: sender_preds for name, _, sender_preds in entries}
+        known = set(preds)
+        frontier = list(preds)
+        while frontier:
+            current = frontier.pop()
+            for predecessor in by_sender.get(current, frozenset()):
+                if predecessor not in known:
+                    known.add(predecessor)
+                    frontier.append(predecessor)
+        return frozenset(known)
+
+    def _try_decide(
+        self,
+        preds: frozenset[str],
+        entries: frozenset[tuple[str, int, frozenset[str]]],
+    ) -> int | None:
+        """Decide if every known ancestor's stage-2 message has arrived."""
+        known = self._known_ancestors(preds, entries)
+        received_from = frozenset(name for name, _, _ in entries)
+        if not known <= received_from:
+            return None  # Keep waiting: some known ancestor is unheard.
+        graph = build_stage_graph(entries)
+        clique = graph.initial_clique() & (known | {self.name})
+        if not clique:  # pragma: no cover - cannot happen per Theorem 2
+            return None
+        values = {name: value for name, value, _ in entries}
+        clique_votes = frozenset(
+            (name, values[name]) for name in clique
+        )
+        return tally(clique_votes)

@@ -1,0 +1,141 @@
+"""Parity arbiter: the protocol the staged construction can ride forever.
+
+Every other zoo protocol has a *serialization point* — a message whose
+forced delivery commits the decision — so the staged Theorem-1
+construction reaches it within a few stages and exits through the fault
+fallback.  This protocol is engineered so the bivalent region contains a
+*cycle closed under forced deliveries*: the adversary can satisfy the
+fairness discipline (every process steps, every message is delivered,
+at every stage the head process receives its earliest message) for
+arbitrarily many stages while preserving bivalence, with **zero
+faults** — the closest a finite-state protocol can come to the paper's
+infinite non-deciding admissible run.
+
+Mechanics (one arbiter, N-1 proposers):
+
+* proposers stamp their claims with a *parity* bit (initially 0);
+* the arbiter holds a current parity (initially 0); a claim whose stamp
+  **matches** commits the protocol — the arbiter decides the claim's
+  value and broadcasts the verdict;
+* a claim whose stamp is **stale** is harmless: the arbiter answers
+  with a ``retry`` carrying its current parity, and the proposer
+  re-claims with the fresh stamp;
+* the arbiter's *null step* flips its parity (an internal "epoch bump").
+
+The benign environment decides quickly: under round-robin/FIFO the
+arbiter flips parity only while its queue is empty, so claims catch up
+and match.  The adversary, however, always has the move the Lemma-3
+search discovers: slip one arbiter null step (parity flip) in front of
+any threatening claim delivery, turning it stale.  Every claim is still
+delivered — fairness is intact — but the commit never happens.  Message
+traffic is one-in-one-out (claim ↔ retry), so the configuration graph
+stays finite and exact valency analysis applies.
+
+Message universe: ``("claim", sender, value, parity)``,
+``("retry", parity)``, ``("verdict", value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["ParityArbiterProcess"]
+
+
+class ParityArbiterProcess(ConsensusProcess):
+    """One process of the parity-arbiter protocol.
+
+    Parameters
+    ----------
+    arbiter:
+        Name of the refereeing process; defaults to the roster's first.
+        Its own input register is unused.
+    """
+
+    def __init__(self, name: str, peers, arbiter: str | None = None):
+        super().__init__(name, peers)
+        self.arbiter = arbiter if arbiter is not None else self.peers[0]
+        if self.arbiter not in self.peers:
+            raise ValueError(f"arbiter {self.arbiter!r} not in roster")
+
+    @property
+    def is_arbiter(self) -> bool:
+        return self.name == self.arbiter
+
+    def initial_data(self, input_value: int) -> Hashable:
+        if self.is_arbiter:
+            return ("judging", 0)  # (phase, current parity)
+        return ("unclaimed", 0)  # (phase, parity of next claim)
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if self.is_arbiter:
+            return self._arbiter_step(state, message_value)
+        return self._proposer_step(state, message_value)
+
+    # -- arbiter -------------------------------------------------------------
+
+    def _arbiter_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        phase, parity = state.data
+        if state.decided:
+            return self.noop(state)
+        if message_value is None:
+            # Null step: epoch bump.  This is the move that lets the
+            # adversary invalidate any in-flight claim.
+            return Transition(state.with_data((phase, parity ^ 1)), ())
+        if isinstance(message_value, tuple) and message_value:
+            kind = message_value[0]
+            if kind == "claim":
+                _, sender, value, stamp = message_value
+                if stamp == parity:
+                    # Fresh claim: commit.
+                    decided = state.with_data(
+                        ("closed", parity)
+                    ).with_decision(value)
+                    return Transition(
+                        decided,
+                        self.broadcast(self.others, ("verdict", value)),
+                    )
+                # Stale claim: harmless; tell the proposer to retry.
+                return Transition(
+                    state, (self.send_to(sender, ("retry", parity)),)
+                )
+        return self.noop(state)
+
+    # -- proposer --------------------------------------------------------------
+
+    def _proposer_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        phase, parity = state.data
+        sends: list = []
+        if phase == "unclaimed":
+            sends.append(
+                self.send_to(
+                    self.arbiter,
+                    ("claim", self.name, state.input, parity),
+                )
+            )
+            phase = "claimed"
+        new_state = state.with_data((phase, parity))
+        if isinstance(message_value, tuple) and message_value:
+            kind = message_value[0]
+            if kind == "retry" and not new_state.decided:
+                fresh = message_value[1]
+                if fresh != parity:
+                    sends.append(
+                        self.send_to(
+                            self.arbiter,
+                            ("claim", self.name, state.input, fresh),
+                        )
+                    )
+                    new_state = new_state.with_data((phase, fresh))
+            elif kind == "verdict" and not new_state.decided:
+                new_state = new_state.with_decision(message_value[1])
+        return Transition(new_state, tuple(sends))

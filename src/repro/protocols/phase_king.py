@@ -1,0 +1,183 @@
+"""Phase King: synchronous consensus under BYZANTINE faults.
+
+The abstract's contrast is specifically "the Byzantine Generals
+problem" — consensus when faulty processes may "go completely haywire,
+perhaps even sending messages according to some malevolent plan."  This
+module supplies that contrast with the Berman–Garay *phase king*
+algorithm (the simple N > 4f variant) plus a Byzantine process model
+for the round-synchronous executor.
+
+The algorithm runs ``f + 1`` phases of two rounds each:
+
+* **round A** — everyone broadcasts its current value; each process
+  tallies the received values (its own included) and records the
+  majority value ``m`` and its count ``c``;
+* **round B** — the phase's *king* (process ``peers[phase-1]``)
+  broadcasts its ``m``; a process keeps its own ``m`` if its count was
+  overwhelming (``c > N/2 + f`` — too strong for f liars to have
+  manufactured), otherwise it adopts the king's value (or a default if
+  the king said nothing — kings can be Byzantine too).
+
+After phase ``f + 1`` every process decides its current value.  With
+``N > 4f`` and at most ``f`` Byzantine processes: some phase has an
+honest king; after that phase all honest processes hold the same value,
+and unanimity, once reached, is never broken (an overwhelming count in
+every later round A).  Validity: if all honest processes start with
+``w``, every honest tally has ``c ≥ N - f > N/2 + f``, so nobody ever
+adopts a king's value.
+
+:class:`ByzantineProcess` is the adversary's puppet: it equivocates —
+each (receiver, round) gets an independently seeded arbitrary bit — and
+never decides.  Crash faults are a special case (Byzantine ⊇ crash), so
+this strictly strengthens the E8 contrast: even against *lying*
+processes, synchrony buys what FLP proves asynchrony cannot, and it
+needs only silence to fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Mapping
+
+from repro.synchrony.rounds import SyncProcess
+
+__all__ = ["PhaseKingProcess", "ByzantineProcess"]
+
+
+class PhaseKingProcess(SyncProcess):
+    """One honest process of phase-king consensus (``N > 4f``)."""
+
+    def __init__(self, name: str, peers, f: int, default: int = 1):
+        super().__init__(name, peers)
+        if not 0 <= f * 4 < self.n:
+            raise ValueError(
+                f"phase king (simple variant) requires N > 4f; "
+                f"N={self.n}, got f={f}"
+            )
+        self.f = f
+        self.default = default
+
+    # -- round bookkeeping ----------------------------------------------------
+
+    @property
+    def total_rounds(self) -> int:
+        return 2 * (self.f + 1)
+
+    def phase_of(self, round_number: int) -> int:
+        return (round_number + 1) // 2
+
+    def is_round_a(self, round_number: int) -> bool:
+        return round_number % 2 == 1
+
+    def king_of(self, phase: int) -> str:
+        return self.peers[phase - 1]
+
+    # -- SyncProcess hooks -------------------------------------------------------
+
+    def initial_state(self, input_value: int) -> Hashable:
+        # (current value, stored majority m, stored count c)
+        return (input_value, input_value, 0)
+
+    def outgoing(self, state: Hashable, round_number: int) -> Hashable:
+        value, majority, _count = state
+        if self.is_round_a(round_number):
+            return ("value", value)
+        if self.name == self.king_of(self.phase_of(round_number)):
+            return ("king", majority)
+        return None  # Non-kings are silent in round B.
+
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        value, majority, count = state
+        if self.is_round_a(round_number):
+            votes = [value]  # own vote counts
+            for payload in received.values():
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "value"
+                    and payload[1] in (0, 1)
+                ):
+                    votes.append(payload[1])
+            ones = sum(votes)
+            zeros = len(votes) - ones
+            if ones >= zeros:
+                majority, count = 1, ones
+            else:
+                majority, count = 0, zeros
+            return (value, majority, count)
+
+        # Round B: keep an overwhelming majority, else trust the king.
+        king = self.king_of(self.phase_of(round_number))
+        if count > self.n / 2 + self.f:
+            value = majority
+        else:
+            payload = received.get(king)
+            if self.name == king:
+                value = majority  # the king trusts itself
+            elif (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "king"
+                and payload[1] in (0, 1)
+            ):
+                value = payload[1]
+            else:
+                value = self.default  # silent or garbage king
+        return (value, majority, count)
+
+    def decision(self, state: Hashable, round_number: int) -> int | None:
+        if round_number < self.total_rounds:
+            return None
+        return state[0]
+
+
+class ByzantineProcess(SyncProcess):
+    """A malevolent process: equivocates arbitrarily, never decides.
+
+    Each ``(receiver, round)`` pair gets an independently seeded
+    message — sometimes a well-formed vote, sometimes a fake king
+    claim, sometimes garbage, sometimes silence — the strongest
+    behaviour the phase-king analysis must survive.
+    """
+
+    def __init__(self, name: str, peers, seed: int = 0):
+        super().__init__(name, peers)
+        self.seed = seed
+
+    def initial_state(self, input_value: int) -> Hashable:
+        return ()
+
+    def outgoing(self, state: Hashable, round_number: int) -> Hashable:
+        return None  # Unused: outgoing_to does the lying.
+
+    def outgoing_to(
+        self, state: Hashable, round_number: int, receiver: str
+    ) -> Hashable:
+        digest = hashlib.sha256(
+            f"{self.seed}:{self.name}:{round_number}:{receiver}".encode()
+        ).digest()
+        choice = digest[0] % 4
+        bit = digest[1] & 1
+        if choice == 0:
+            return ("value", bit)
+        if choice == 1:
+            return ("king", bit)
+        if choice == 2:
+            return ("garbage", digest[2])
+        return None  # Sometimes silence is the sharpest lie.
+
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        return state
+
+    def decision(self, state: Hashable, round_number: int) -> int | None:
+        return None

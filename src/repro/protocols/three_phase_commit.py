@@ -1,0 +1,159 @@
+"""Three-phase commit: the "non-blocking" protocol that still blocks.
+
+3PC inserts a *prepared* phase between voting and committing so that no
+process commits while another might still abort unilaterally — under a
+synchronous timing model with reliable failure detection this makes the
+protocol non-blocking.  FLP's point is precisely that those assumptions
+are doing all the work: in the fully asynchronous model, 3PC is just as
+vulnerable as 2PC, because a process cannot distinguish a dead
+coordinator from a slow one and *timeouts do not exist*.
+
+Phases (centralized, crash-stop):
+
+1. participants send votes to the coordinator; a 0-voter unilaterally
+   aborts;
+2. on all-yes votes the coordinator broadcasts ``prepare`` and waits for
+   acks (it does **not** decide yet — that is the 3PC refinement);
+   on any no-vote it decides 0 and broadcasts ``abort``;
+3. once all acks arrive the coordinator decides 1 and broadcasts
+   ``commit``; participants decide on receiving ``commit``/``abort``.
+
+The decision is again a pure function of the inputs (commit iff all
+votes are 1), so all initial configurations are univalent, and the
+Theorem-1 fault mode stalls it: silence one process at the adjacency
+boundary and the survivors wait forever — now with a *wider* window of
+vulnerability than 2PC (experiment E6 compares the two).
+
+Message universe: ``("vote", sender, v)``, ``("prepare",)``,
+``("ack", sender)``, ``("outcome", v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["ThreePhaseCommitProcess"]
+
+COMMIT = 1
+ABORT = 0
+
+
+class ThreePhaseCommitProcess(ConsensusProcess):
+    """One node of centralized three-phase commit."""
+
+    def __init__(self, name: str, peers, coordinator: str | None = None):
+        super().__init__(name, peers)
+        self.coordinator = (
+            coordinator if coordinator is not None else self.peers[0]
+        )
+        if self.coordinator not in self.peers:
+            raise ValueError(f"coordinator {self.coordinator!r} not in roster")
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.name == self.coordinator
+
+    def initial_data(self, input_value: int) -> Hashable:
+        if self.is_coordinator:
+            return ("collecting", frozenset(), frozenset())
+        return ("fresh",)
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if self.is_coordinator:
+            return self._coordinator_step(state, message_value)
+        return self._participant_step(state, message_value)
+
+    # -- coordinator ---------------------------------------------------------
+
+    def _coordinator_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if state.decided:
+            return self.noop(state)
+        phase, votes, acks = state.data
+        sends: list = []
+
+        if phase == "collecting":
+            votes = votes | {(self.name, state.input)}
+            if (
+                isinstance(message_value, tuple)
+                and message_value
+                and message_value[0] == "vote"
+            ):
+                _, sender, vote = message_value
+                votes = votes | {(sender, vote)}
+            if len(votes) == self.n:
+                if all(vote == 1 for _, vote in votes):
+                    # 3PC refinement: broadcast prepare, do NOT decide yet.
+                    sends.extend(self.broadcast(self.others, ("prepare",)))
+                    return Transition(
+                        state.with_data(("preparing", votes, acks)),
+                        tuple(sends),
+                    )
+                decided = state.with_data(
+                    ("done", votes, acks)
+                ).with_decision(ABORT)
+                sends.extend(self.broadcast(self.others, ("outcome", ABORT)))
+                return Transition(decided, tuple(sends))
+            return Transition(state.with_data((phase, votes, acks)), ())
+
+        if phase == "preparing":
+            if (
+                isinstance(message_value, tuple)
+                and message_value
+                and message_value[0] == "ack"
+            ):
+                acks = acks | {message_value[1]}
+            if len(acks) == self.n - 1:
+                decided = state.with_data(
+                    ("done", votes, acks)
+                ).with_decision(COMMIT)
+                sends.extend(
+                    self.broadcast(self.others, ("outcome", COMMIT))
+                )
+                return Transition(decided, tuple(sends))
+            return Transition(state.with_data((phase, votes, acks)), ())
+
+        return self.noop(state)
+
+    # -- participant ----------------------------------------------------------
+
+    def _participant_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        data = state.data
+        sends: list = []
+        if data == ("fresh",):
+            sends.append(
+                self.send_to(
+                    self.coordinator, ("vote", self.name, state.input)
+                )
+            )
+            data = ("voted",)
+
+        new_state = state.with_data(data)
+        if (
+            isinstance(message_value, tuple)
+            and message_value
+            and message_value[0] == "prepare"
+            and data == ("voted",)
+        ):
+            sends.append(self.send_to(self.coordinator, ("ack", self.name)))
+            new_state = new_state.with_data(("prepared",))
+
+        if not new_state.decided:
+            if new_state.input == 0:
+                # Unilateral abort is still sound in 3PC's voting phase.
+                new_state = new_state.with_decision(ABORT)
+            elif (
+                isinstance(message_value, tuple)
+                and message_value
+                and message_value[0] == "outcome"
+            ):
+                new_state = new_state.with_decision(message_value[1])
+        return Transition(new_state, tuple(sends))

@@ -1,0 +1,162 @@
+"""Timeout escalation: why "just add a timeout" cannot fix FLP.
+
+The paper: "we assume that processes do not have access to synchronized
+clocks, so algorithms based on time-outs, for example, cannot be used."
+A tempting workaround is *self-clocking* — a process counts its own
+steps and escalates when "too much time" has passed.  This protocol
+implements that idea so the library can demonstrate, exhaustively, why
+it fails:
+
+* roles: an **arbiter**, a **backup arbiter**, and proposers;
+* proposers race claims to the arbiter, exactly as in
+  :mod:`repro.protocols.arbiter`;
+* every *null delivery* a proposer experiences ticks its local clock;
+  after ``timeout`` ticks without a verdict it re-sends its claim to
+  the backup;
+* both arbiter and backup decide the first claim they receive and
+  broadcast verdicts; proposers decide the first verdict to arrive.
+
+Under a prompt scheduler the timeout never fires and the protocol
+behaves like the plain arbiter.  But in an asynchronous system "slow"
+and "partitioned" are indistinguishable: a schedule that starves one
+proposer of its verdict fires the timeout, wakes the backup, and the
+two referees can commit to *opposite* values —
+:func:`repro.core.correctness.check_partial_correctness` finds the
+disagreeing configuration by exhaustive search.  Escalation converted
+FLP's liveness failure into a safety failure; it did not remove the
+window.  (Real systems thread this needle by making the escalation
+*safe* — quorums, epochs, leases — which is exactly the partial-
+synchrony machinery of :mod:`repro.synchrony.partial`.)
+
+Message universe: ``("claim", sender, value)``, ``("verdict", value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["TimeoutArbiterProcess"]
+
+
+class TimeoutArbiterProcess(ConsensusProcess):
+    """One process of the timeout-escalation arbiter protocol.
+
+    Parameters
+    ----------
+    timeout:
+        Null-delivery ticks a proposer waits before escalating to the
+        backup.  Small values keep the reachable graph small; the
+        safety violation exists for every value.
+    arbiter, backup:
+        Referee roles; default to the first two roster members.  Needs
+        at least two proposers (N ≥ 4) for a disagreement to be
+        *possible* — with one proposer both referees see the same value.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        peers,
+        timeout: int = 2,
+        arbiter: str | None = None,
+        backup: str | None = None,
+    ):
+        super().__init__(name, peers)
+        if len(peers) < 4:
+            raise ValueError(
+                "timeout-arbiter needs N >= 4 (two referees + two "
+                f"proposers), got N={len(peers)}"
+            )
+        if timeout < 1:
+            raise ValueError(f"timeout must be >= 1, got {timeout}")
+        self.timeout = timeout
+        self.arbiter = arbiter if arbiter is not None else self.peers[0]
+        self.backup = backup if backup is not None else self.peers[1]
+        if self.arbiter == self.backup:
+            raise ValueError("arbiter and backup must differ")
+
+    @property
+    def role(self) -> str:
+        if self.name == self.arbiter:
+            return "arbiter"
+        if self.name == self.backup:
+            return "backup"
+        return "proposer"
+
+    def initial_data(self, input_value: int) -> Hashable:
+        if self.role in ("arbiter", "backup"):
+            return ("waiting",)
+        # (phase, ticks, escalated)
+        return ("unclaimed", 0, False)
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if self.role in ("arbiter", "backup"):
+            return self._referee_step(state, message_value)
+        return self._proposer_step(state, message_value)
+
+    def _referee_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if state.decided:
+            return self.noop(state)
+        if isinstance(message_value, tuple) and message_value:
+            kind = message_value[0]
+            if kind == "claim":
+                value = message_value[2]
+                decided = state.with_data(("closed",)).with_decision(value)
+                return Transition(
+                    decided,
+                    self.broadcast(self.others, ("verdict", value)),
+                )
+            if kind == "verdict":
+                # The other referee ruled; adopt it (keeps the happy
+                # path live for the idle backup).
+                return Transition(
+                    state.with_data(("closed",)).with_decision(
+                        message_value[1]
+                    ),
+                    (),
+                )
+        return self.noop(state)
+
+    def _proposer_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        phase, ticks, escalated = state.data
+        sends: list = []
+        if phase == "unclaimed":
+            sends.append(
+                self.send_to(self.arbiter, ("claim", self.name, state.input))
+            )
+            phase = "claimed"
+
+        if (
+            message_value is None
+            and not state.decided
+            and phase == "claimed"
+        ):
+            # A lonely step: the local clock ticks.
+            ticks = min(ticks + 1, self.timeout)
+            if ticks >= self.timeout and not escalated:
+                # "The arbiter must be dead" — except it might not be.
+                sends.append(
+                    self.send_to(
+                        self.backup, ("claim", self.name, state.input)
+                    )
+                )
+                escalated = True
+
+        new_state = state.with_data((phase, ticks, escalated))
+        if (
+            not new_state.decided
+            and isinstance(message_value, tuple)
+            and message_value
+            and message_value[0] == "verdict"
+        ):
+            new_state = new_state.with_decision(message_value[1])
+        return Transition(new_state, sends and tuple(sends) or ())

@@ -1,0 +1,55 @@
+"""Degenerate protocols: negative controls for the correctness checkers.
+
+"The trivial solution in which, say, 0 is always chosen is ruled out by
+stipulating that both 0 and 1 are possible decision values."  These two
+protocols fail partial correctness in the two possible ways — one per
+condition — and the test suite uses them to prove the checkers can say
+*no*.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["AlwaysZeroProcess", "InputEchoProcess"]
+
+
+class AlwaysZeroProcess(ConsensusProcess):
+    """Decides 0 unconditionally on its first step.
+
+    Satisfies agreement (condition 1) trivially but fails condition (2):
+    no accessible configuration ever has decision value 1.  This is the
+    paper's "trivial solution" that the problem statement rules out.
+    """
+
+    def initial_data(self, input_value: int) -> Hashable:
+        return ()
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if state.decided:
+            return self.noop(state)
+        return Transition(state.with_decision(0), ())
+
+
+class InputEchoProcess(ConsensusProcess):
+    """Decides its own input immediately, without communicating.
+
+    Satisfies condition (2) — both values are reachable — but fails
+    agreement: from any mixed-input initial configuration, a configuration
+    with decision values {0, 1} is accessible.
+    """
+
+    def initial_data(self, input_value: int) -> Hashable:
+        return ()
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if state.decided:
+            return self.noop(state)
+        return Transition(state.with_decision(state.input), ())

@@ -1,0 +1,150 @@
+"""Two-phase commit, modeled as binary consensus.
+
+The paper's introduction motivates consensus with the *transaction
+commit problem*: "all the data manager processes that have participated
+in the processing of a particular transaction [must] agree on whether to
+install the transaction's results in the database or to discard them."
+
+The consensus mapping is the standard one: a process's input register is
+its vote (1 = "my part of the transaction succeeded, commit", 0 =
+"abort"), and the decision value is the global outcome (1 = commit,
+0 = abort), which must be 1 iff every vote is 1.
+
+The protocol is classic centralized 2PC:
+
+* every participant sends its vote to the coordinator (the coordinator's
+  own input counts as its vote);
+* a participant voting 0 *unilaterally aborts* — deciding 0 immediately
+  is safe because the coordinator can then never commit;
+* the coordinator, once it has all N votes, decides ``AND`` of the votes
+  and broadcasts the outcome;
+* participants decide the broadcast outcome.
+
+2PC is partially correct, and its decision is a function of the inputs
+alone — every initial configuration is univalent.  Theorem 1 therefore
+defeats it through the fault-mode construction, and the *window of
+vulnerability* of the introduction is concrete and demonstrable here: a
+participant that voted 1 and then sees the coordinator go silent can
+neither commit (it does not know the other votes) nor abort (the
+coordinator may have committed) — experiment E6 measures exactly this.
+
+Message universe: ``("vote", sender, v)`` and ``("outcome", v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["TwoPhaseCommitProcess"]
+
+COMMIT = 1
+ABORT = 0
+
+
+class TwoPhaseCommitProcess(ConsensusProcess):
+    """One node of centralized two-phase commit.
+
+    Parameters
+    ----------
+    coordinator:
+        Name of the coordinating process; defaults to the first in the
+        roster.
+    unilateral_abort:
+        Whether a participant voting 0 decides 0 immediately (real 2PC
+        behaviour, default) or waits for the coordinator's outcome.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        peers,
+        coordinator: str | None = None,
+        unilateral_abort: bool = True,
+    ):
+        super().__init__(name, peers)
+        self.coordinator = (
+            coordinator if coordinator is not None else self.peers[0]
+        )
+        if self.coordinator not in self.peers:
+            raise ValueError(f"coordinator {self.coordinator!r} not in roster")
+        self.unilateral_abort = unilateral_abort
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.name == self.coordinator
+
+    def initial_data(self, input_value: int) -> Hashable:
+        if self.is_coordinator:
+            # Votes collected so far; own vote is cast on the first step.
+            return ("collecting", frozenset())
+        return ("fresh",)
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if self.is_coordinator:
+            return self._coordinator_step(state, message_value)
+        return self._participant_step(state, message_value)
+
+    # -- coordinator ---------------------------------------------------------
+
+    def _coordinator_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        if state.decided:
+            return self.noop(state)
+        phase, votes = state.data
+        # The coordinator's first action is casting its own vote.
+        votes = votes | {(self.name, state.input)}
+        if (
+            isinstance(message_value, tuple)
+            and message_value
+            and message_value[0] == "vote"
+        ):
+            _, sender, vote = message_value
+            votes = votes | {(sender, vote)}
+        new_state = state.with_data((phase, votes))
+        if len(votes) == self.n:
+            outcome = (
+                COMMIT
+                if all(vote == 1 for _, vote in votes)
+                else ABORT
+            )
+            decided = new_state.with_data(("done", votes)).with_decision(
+                outcome
+            )
+            return Transition(
+                decided, self.broadcast(self.others, ("outcome", outcome))
+            )
+        return Transition(new_state, ())
+
+    # -- participant ----------------------------------------------------------
+
+    def _participant_step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        data = state.data
+        sends: tuple = ()
+        if data == ("fresh",):
+            # First step: send the vote to the coordinator.
+            sends = (
+                self.send_to(
+                    self.coordinator, ("vote", self.name, state.input)
+                ),
+            )
+            data = ("voted",)
+        new_state = state.with_data(data)
+        if not new_state.decided:
+            if self.unilateral_abort and new_state.input == 0:
+                # A no-voter knows the outcome: abort, unilaterally.
+                new_state = new_state.with_decision(ABORT)
+            elif (
+                isinstance(message_value, tuple)
+                and message_value
+                and message_value[0] == "outcome"
+            ):
+                new_state = new_state.with_decision(message_value[1])
+        return Transition(new_state, sends)

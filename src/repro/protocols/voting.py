@@ -1,0 +1,118 @@
+"""Broadcast-voting consensus attempts.
+
+Two variants of the obvious protocol — "everyone broadcasts their vote,
+then applies a deterministic rule":
+
+* :class:`WaitForAllProcess` waits for all N votes.  It is partially
+  correct (everyone who decides has seen the same full vote multiset),
+  but a single crash leaves every other process waiting forever: the
+  canonical liveness casualty of Theorem 1.
+* :class:`QuorumVoteProcess` decides after a quorum of votes.  It is
+  live with up to ``N - quorum`` crashes but *unsafe*: two processes can
+  observe different quorums and decide differently.  It is the zoo's
+  negative control for agreement (partial-correctness condition 1).
+
+Together they illustrate the trade-off the theorem makes unavoidable:
+with binary voting you can have safety or crash-liveness, not both.
+
+Message universe: ``("vote", sender, value)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.process import ProcessState, Transition
+from repro.protocols.base import ConsensusProcess
+
+__all__ = ["WaitForAllProcess", "QuorumVoteProcess", "tally"]
+
+
+def tally(votes: frozenset[tuple[str, int]]) -> int:
+    """Deterministic decision rule: majority value, ties broken to 1."""
+    ones = sum(1 for _, value in votes if value == 1)
+    zeros = len(votes) - ones
+    return 1 if ones >= zeros else 0
+
+
+class _VotingProcess(ConsensusProcess):
+    """Shared mechanics: broadcast once, collect votes, decide at a
+    threshold.  Subclasses fix the threshold."""
+
+    #: Number of votes (including one's own) required before deciding.
+    def _threshold(self) -> int:
+        raise NotImplementedError
+
+    def initial_data(self, input_value: int) -> Hashable:
+        # (has_broadcast, votes collected so far)
+        return (False, frozenset())
+
+    def step(
+        self, state: ProcessState, message_value: Hashable | None
+    ) -> Transition:
+        broadcast_done, votes = state.data
+        sends: tuple = ()
+
+        if not broadcast_done:
+            # First step: atomically broadcast own vote to everyone else
+            # and record it locally.
+            sends = self.broadcast(
+                self.others, ("vote", self.name, state.input)
+            )
+            votes = votes | {(self.name, state.input)}
+            broadcast_done = True
+
+        if (
+            message_value is not None
+            and isinstance(message_value, tuple)
+            and message_value[0] == "vote"
+        ):
+            _, sender, value = message_value
+            votes = votes | {(sender, value)}
+
+        new_state = state.with_data((broadcast_done, votes))
+        if not new_state.decided and len(votes) >= self._threshold():
+            new_state = new_state.with_decision(tally(votes))
+        return Transition(new_state, sends)
+
+
+class WaitForAllProcess(_VotingProcess):
+    """Vote, then wait for all N votes; decide the majority (ties → 1).
+
+    Partially correct: any process that decides has the full vote set, so
+    all deciders compute the same tally, and all-0 / all-1 inputs reach
+    both decision values.  Every initial configuration is *univalent*
+    (the decision is a function of the inputs alone), so the FLP
+    adversary defeats it in fault mode: silencing any single process at
+    the Lemma-2 adjacency boundary yields an admissible run in which
+    nobody ever decides.
+    """
+
+    def _threshold(self) -> int:
+        return self.n
+
+
+class QuorumVoteProcess(_VotingProcess):
+    """Vote, then decide on the majority of the first *quorum* votes seen.
+
+    Parameters
+    ----------
+    quorum:
+        Votes needed before deciding; defaults to a strict majority.
+
+    Unsafe by design: with N = 3 and inputs (0, 0, 1), one process can
+    collect quorum {0, 0} and decide 0 while another collects {0, 1} and
+    decides 1.  :func:`repro.core.correctness.check_partial_correctness`
+    must find the disagreement witness.
+    """
+
+    def __init__(self, name: str, peers, quorum: int | None = None):
+        super().__init__(name, peers)
+        self.quorum = quorum if quorum is not None else self.majority
+        if not 1 <= self.quorum <= self.n:
+            raise ValueError(
+                f"quorum must be in [1, {self.n}], got {self.quorum}"
+            )
+
+    def _threshold(self) -> int:
+        return self.quorum

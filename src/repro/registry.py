@@ -1,0 +1,201 @@
+"""Named protocol registry, for the CLI and for user convenience.
+
+Maps short names ("arbiter", "2pc", ...) to factories so protocols can
+be constructed from strings: ``build("arbiter", n=3)``.  The registry
+also records each protocol's character — whether it is safe, whether it
+is order-sensitive, whether exact valency analysis is feasible — which
+the CLI uses to pick sensible defaults and refuse nonsensical requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.protocol import Protocol
+from repro.protocols import (
+    AlwaysZeroProcess,
+    ArbiterProcess,
+    BenOrProcess,
+    CommonCoinProcess,
+    InitiallyDeadProcess,
+    InputEchoProcess,
+    ParityArbiterProcess,
+    QuorumVoteProcess,
+    ThreePhaseCommitProcess,
+    TimeoutArbiterProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+__all__ = ["ProtocolInfo", "REGISTRY", "build", "names", "info"]
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Catalog entry for one named protocol."""
+
+    name: str
+    factory: Callable[..., Protocol]
+    description: str
+    #: Partially correct (agreement + both values reachable)?
+    safe: bool
+    #: Has bivalent initial configurations (order-sensitive decisions)?
+    order_sensitive: bool
+    #: Finite reachable graph for small N (exact valency feasible)?
+    analyzable: bool
+    #: Default number of processes.
+    default_n: int = 3
+
+    def build(self, n: int | None = None, **kwargs) -> Protocol:
+        return self.factory(n if n is not None else self.default_n, **kwargs)
+
+
+def _entry(name, cls, description, safe, order_sensitive, analyzable,
+           default_n=3):
+    return ProtocolInfo(
+        name=name,
+        factory=lambda n, **kw: make_protocol(cls, n, **kw),
+        description=description,
+        safe=safe,
+        order_sensitive=order_sensitive,
+        analyzable=analyzable,
+        default_n=default_n,
+    )
+
+
+REGISTRY: dict[str, ProtocolInfo] = {
+    entry.name: entry
+    for entry in (
+        _entry(
+            "arbiter",
+            ArbiterProcess,
+            "proposers race claims to a referee; first claim wins",
+            safe=True,
+            order_sensitive=True,
+            analyzable=True,
+        ),
+        _entry(
+            "parity-arbiter",
+            ParityArbiterProcess,
+            "arbiter with parity-stamped claims; eternally stallable "
+            "bivalent region",
+            safe=True,
+            order_sensitive=True,
+            analyzable=True,
+        ),
+        _entry(
+            "wait-for-all",
+            WaitForAllProcess,
+            "broadcast votes, wait for all N, majority decides",
+            safe=True,
+            order_sensitive=False,
+            analyzable=True,
+        ),
+        _entry(
+            "quorum-vote",
+            QuorumVoteProcess,
+            "decide on the first majority quorum of votes (UNSAFE)",
+            safe=False,
+            order_sensitive=True,
+            analyzable=True,
+        ),
+        _entry(
+            "2pc",
+            TwoPhaseCommitProcess,
+            "two-phase commit: vote, then coordinator decides AND",
+            safe=True,
+            order_sensitive=False,
+            analyzable=True,
+        ),
+        _entry(
+            "3pc",
+            ThreePhaseCommitProcess,
+            "three-phase commit: prepare round between vote and commit",
+            safe=True,
+            order_sensitive=False,
+            analyzable=True,
+        ),
+        _entry(
+            "initially-dead",
+            InitiallyDeadProcess,
+            "Theorem 2: two-stage graph protocol, majority alive",
+            safe=True,
+            order_sensitive=True,
+            analyzable=False,
+            default_n=5,
+        ),
+        _entry(
+            "benor",
+            BenOrProcess,
+            "Ben-Or randomized consensus (terminates w.p. 1)",
+            safe=True,
+            order_sensitive=True,
+            analyzable=False,
+            default_n=4,
+        ),
+        _entry(
+            "common-coin",
+            CommonCoinProcess,
+            "Rabin-style shared-coin consensus (O(1) expected rounds)",
+            safe=True,
+            order_sensitive=True,
+            analyzable=False,
+            default_n=4,
+        ),
+        _entry(
+            "timeout-arbiter",
+            TimeoutArbiterProcess,
+            "arbiter + self-clocked backup escalation (UNSAFE: the "
+            "timeout converts blocking into disagreement)",
+            safe=False,
+            order_sensitive=True,
+            analyzable=True,
+            default_n=4,
+        ),
+        _entry(
+            "always-zero",
+            AlwaysZeroProcess,
+            "degenerate: decides 0 unconditionally (fails condition 2)",
+            safe=False,
+            order_sensitive=False,
+            analyzable=True,
+        ),
+        _entry(
+            "input-echo",
+            InputEchoProcess,
+            "degenerate: decides own input (fails agreement)",
+            safe=False,
+            order_sensitive=False,
+            analyzable=True,
+            default_n=2,
+        ),
+    )
+}
+
+
+def names() -> list[str]:
+    """All registered protocol names, sorted."""
+    return sorted(REGISTRY)
+
+
+def info(name: str) -> ProtocolInfo:
+    """Catalog entry for *name*.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, if unknown.
+    """
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {names()}"
+        ) from None
+
+
+def build(name: str, n: int | None = None, **kwargs) -> Protocol:
+    """Construct a registered protocol by name."""
+    return info(name).build(n, **kwargs)

@@ -1,0 +1,34 @@
+"""Schedulers: explicit realizations of the model's nondeterminism.
+
+A scheduler chooses, step by step, which process moves and which pending
+message (if any) it receives.  The library ships a fair round-robin
+scheduler (the benign network), a seeded random scheduler (the
+unpredictable network), a delay scheduler (the window-of-vulnerability
+attack), and crash-plan helpers.  The FLP adversary lives in
+:mod:`repro.adversary` because it needs valency analysis, not just the
+scheduler interface.
+"""
+
+from repro.schedulers.base import CrashPlan, FifoTracker, Scheduler
+from repro.schedulers.crash import (
+    initially_dead_plans,
+    random_crash_plan,
+    single_crash_plans,
+)
+from repro.schedulers.partitioner import DelayScheduler
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+from repro.schedulers.scripted import ScriptedScheduler
+
+__all__ = [
+    "CrashPlan",
+    "FifoTracker",
+    "Scheduler",
+    "initially_dead_plans",
+    "random_crash_plan",
+    "single_crash_plans",
+    "DelayScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ScriptedScheduler",
+]

@@ -1,0 +1,179 @@
+"""Scheduler interface: the message system's nondeterminism, reified.
+
+In the paper the message system "acts nondeterministically", choosing
+which pending message a ``receive(p)`` returns (possibly the null marker)
+— and the interleaving of process steps is likewise unconstrained.  A
+:class:`Scheduler` makes both choices explicit: given the current
+configuration, it picks the next event to apply.  Different schedulers
+realize different environments — fair round-robin, uniformly random,
+crash-prone, partitioned — and the FLP adversary
+(:mod:`repro.adversary.flp`) is just one more scheduler, albeit one with
+an agenda.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Mapping
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event
+from repro.core.messages import Message, MessageBuffer
+from repro.core.protocol import Protocol
+
+__all__ = ["Scheduler", "CrashPlan", "FifoTracker"]
+
+
+class CrashPlan:
+    """A crash-fault schedule: which processes die, and when.
+
+    The paper's fault model is crash-stop with no detection: a faulty
+    process "takes finitely many steps" and is indistinguishable from a
+    slow one.  A plan maps process names to the step index at which they
+    stop being scheduled (0 = initially dead).
+    """
+
+    def __init__(self, crash_times: Mapping[str, int] | None = None):
+        self._crash_times = dict(crash_times or {})
+        for name, step in self._crash_times.items():
+            if step < 0:
+                raise ValueError(
+                    f"crash time for {name!r} must be >= 0, got {step}"
+                )
+
+    @classmethod
+    def none(cls) -> "CrashPlan":
+        """No crashes: every process is nonfaulty."""
+        return cls()
+
+    @classmethod
+    def initially_dead(cls, names: set[str] | frozenset[str]) -> "CrashPlan":
+        """Processes dead from the start (Section 4's fault model)."""
+        return cls({name: 0 for name in names})
+
+    @property
+    def crash_times(self) -> dict[str, int]:
+        """Copy of the ``process -> crash step`` mapping."""
+        return dict(self._crash_times)
+
+    @property
+    def faulty(self) -> frozenset[str]:
+        """Processes that crash at some point."""
+        return frozenset(self._crash_times)
+
+    def is_live(self, process: str, step_index: int) -> bool:
+        """Whether *process* is still taking steps at *step_index*."""
+        crash = self._crash_times.get(process)
+        return crash is None or step_index < crash
+
+    def live_at(
+        self, names: tuple[str, ...], step_index: int
+    ) -> tuple[str, ...]:
+        """The subset of *names* still live at *step_index*."""
+        return tuple(n for n in names if self.is_live(n, step_index))
+
+    def survivors(self, names: tuple[str, ...]) -> tuple[str, ...]:
+        """Processes that never crash."""
+        return tuple(n for n in names if n not in self._crash_times)
+
+    def __repr__(self) -> str:
+        if not self._crash_times:
+            return "CrashPlan.none()"
+        return f"CrashPlan({self._crash_times!r})"
+
+
+class FifoTracker:
+    """Per-destination FIFO ordering of buffered messages.
+
+    The configuration's buffer is an unordered multiset (it must be, for
+    Lemma 1), but fair schedulers — and the paper's Theorem-1 stage
+    discipline, which delivers "the earliest message ... first" — need
+    send-order bookkeeping.  The tracker diffs successive buffers to
+    maintain arrival queues per destination.
+    """
+
+    def __init__(self):
+        self._queues: dict[str, deque[Message]] = {}
+        self._last_buffer = MessageBuffer.empty()
+
+    def observe(self, buffer: MessageBuffer) -> None:
+        """Update the queues from the latest buffer contents.
+
+        New messages (present more times than before) are enqueued in a
+        deterministic order; vanished messages (delivered) are removed
+        from the front-most matching position.
+        """
+        if buffer == self._last_buffer:
+            return
+        # Removals first: each delivered copy leaves its queue.
+        for message, old_count in self._last_buffer.items():
+            new_count = buffer.count(message)
+            for _ in range(old_count - new_count):
+                self._remove_one(message)
+        # Then arrivals, in the buffer's deterministic ordering.
+        arrivals: list[Message] = []
+        for message in buffer.distinct_messages():
+            delta = buffer.count(message) - self._last_buffer.count(message)
+            arrivals.extend([message] * max(delta, 0))
+        for message in arrivals:
+            self._queues.setdefault(message.destination, deque()).append(
+                message
+            )
+        self._last_buffer = buffer
+
+    def earliest_for(self, process: str) -> Message | None:
+        """The oldest undelivered message addressed to *process*."""
+        queue = self._queues.get(process)
+        if not queue:
+            return None
+        return queue[0]
+
+    def pending_count(self, process: str) -> int:
+        """Number of undelivered messages addressed to *process*."""
+        queue = self._queues.get(process)
+        return len(queue) if queue else 0
+
+    def _remove_one(self, message: Message) -> None:
+        queue = self._queues.get(message.destination)
+        if not queue:  # pragma: no cover - defensive
+            return
+        try:
+            queue.remove(message)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+
+class Scheduler(ABC):
+    """Chooses the next event of a run, one step at a time.
+
+    Subclasses implement :meth:`next_event`.  Returning ``None`` ends the
+    simulation ("the environment stopped doing anything") — distinct from
+    the protocol deciding.
+    """
+
+    #: Crash plan honoured by the scheduler (default: no crashes).
+    crash_plan: CrashPlan
+
+    def __init__(self, crash_plan: CrashPlan | None = None):
+        self.crash_plan = crash_plan or CrashPlan.none()
+
+    @abstractmethod
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:
+        """The next event to apply, or ``None`` to stop."""
+
+    def live_processes(self, protocol: Protocol) -> tuple[str, ...]:
+        """Processes that never crash under this scheduler's plan.
+
+        Used by :func:`repro.core.simulation.simulate` to evaluate the
+        ALL_DECIDED stop condition.
+        """
+        return self.crash_plan.survivors(protocol.process_names)
+
+    def reset(self) -> None:
+        """Clear any internal state so the scheduler can be reused."""

@@ -1,0 +1,84 @@
+"""Crash-fault plan construction helpers.
+
+The paper's fault model is the *unannounced process death*: a faulty
+process simply stops, and no other process can distinguish death from
+slowness.  :class:`~repro.schedulers.base.CrashPlan` encodes who dies and
+when; this module builds plans — random ones for statistical experiments
+and targeted ones (e.g. "kill the coordinator right after it decides to
+commit") for the window-of-vulnerability demonstrations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.schedulers.base import CrashPlan
+
+__all__ = [
+    "random_crash_plan",
+    "single_crash_plans",
+    "initially_dead_plans",
+]
+
+
+def random_crash_plan(
+    process_names: Sequence[str],
+    max_faulty: int,
+    max_step: int,
+    rng: random.Random,
+) -> CrashPlan:
+    """A random plan killing up to *max_faulty* processes.
+
+    Each selected victim crashes at a uniformly random step in
+    ``[0, max_step]``.  The number of victims is uniform in
+    ``[0, max_faulty]`` so fault-free runs occur too.
+    """
+    if max_faulty > len(process_names):
+        raise ValueError(
+            f"cannot crash {max_faulty} of {len(process_names)} processes"
+        )
+    count = rng.randint(0, max_faulty)
+    victims = rng.sample(list(process_names), count)
+    return CrashPlan(
+        {name: rng.randint(0, max_step) for name in victims}
+    )
+
+
+def single_crash_plans(
+    process_names: Sequence[str], crash_steps: Sequence[int]
+) -> list[CrashPlan]:
+    """Every plan that kills exactly one process at one of the given
+    steps — the space Theorem 1 quantifies over ("even a single
+    unannounced process death")."""
+    return [
+        CrashPlan({name: step})
+        for name in process_names
+        for step in crash_steps
+    ]
+
+
+def initially_dead_plans(
+    process_names: Sequence[str], num_dead: int
+) -> list[CrashPlan]:
+    """All plans with exactly *num_dead* processes dead from step 0.
+
+    This is Section 4's fault model: "no process knows in advance which
+    of the processes are initially dead."
+    """
+    names = list(process_names)
+    if num_dead > len(names):
+        raise ValueError(
+            f"cannot have {num_dead} dead of {len(names)} processes"
+        )
+    plans: list[CrashPlan] = []
+
+    def choose(start: int, chosen: list[str]) -> None:
+        if len(chosen) == num_dead:
+            plans.append(CrashPlan.initially_dead(frozenset(chosen)))
+            return
+        for index in range(start, len(names)):
+            choose(index + 1, chosen + [names[index]])
+
+    choose(0, [])
+    return plans

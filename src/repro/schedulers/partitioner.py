@@ -1,0 +1,90 @@
+"""Delay/partition scheduling: the "window of vulnerability".
+
+The introduction observes that asynchronous commit protocols "all seem to
+have a window of vulnerability — an interval of time during the execution
+of the algorithm in which the delay or inaccessibility of a single
+process can cause the entire algorithm to wait indefinitely", and
+Theorem 1 implies every commit protocol has one.
+
+:class:`DelayScheduler` realizes the attack: it behaves like a fair
+round-robin scheduler except that a designated set of processes is
+*delayed* — not scheduled, and with their inbound messages frozen —
+during a step window.  Delay is not death: after the window closes the
+victims resume and all their messages flow again, so the run can remain
+admissible while the protocol stalls exactly as the folklore predicts.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.events import NULL, Event
+from repro.core.protocol import Protocol
+from repro.schedulers.base import CrashPlan, FifoTracker, Scheduler
+
+__all__ = ["DelayScheduler"]
+
+
+class DelayScheduler(Scheduler):
+    """Round-robin, except *delayed* processes are frozen in a window.
+
+    Parameters
+    ----------
+    delayed:
+        Names of the processes to freeze.
+    window:
+        ``(start, end)`` step interval during which the delay holds;
+        ``end=None`` means the delay never lifts (an indefinitely slow —
+        but not dead! — process).
+    crash_plan:
+        Optional additional crash faults.
+    """
+
+    def __init__(
+        self,
+        delayed: frozenset[str] | set[str],
+        window: tuple[int, int | None] = (0, None),
+        crash_plan: CrashPlan | None = None,
+    ):
+        super().__init__(crash_plan)
+        start, end = window
+        if start < 0 or (end is not None and end < start):
+            raise ValueError(f"malformed delay window: {window!r}")
+        self._delayed = frozenset(delayed)
+        self._window = (start, end)
+        self._cursor = 0
+        self._fifo = FifoTracker()
+
+    def is_delayed(self, process: str, step_index: int) -> bool:
+        """Whether *process* is frozen at *step_index*."""
+        start, end = self._window
+        in_window = step_index >= start and (end is None or step_index < end)
+        return in_window and process in self._delayed
+
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:
+        self._fifo.observe(configuration.buffer)
+        live = self.crash_plan.live_at(protocol.process_names, step_index)
+        candidates = tuple(
+            name for name in live if not self.is_delayed(name, step_index)
+        )
+        if not candidates:
+            return None
+        for offset in range(len(candidates)):
+            process = candidates[(self._cursor + offset) % len(candidates)]
+            earliest = self._fifo.earliest_for(process)
+            decided = configuration.state_of(process).decided
+            if earliest is None and decided:
+                continue
+            self._cursor = (self._cursor + offset + 1) % len(candidates)
+            if earliest is None:
+                return Event(process, NULL)
+            return Event(process, earliest.value)
+        return None
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._fifo = FifoTracker()

@@ -1,0 +1,71 @@
+"""Uniformly random scheduling with seeded determinism.
+
+Models a benign but unpredictable asynchronous environment: at each step
+a uniformly random live process takes a step and receives either a
+uniformly random pending message or (with configurable probability) the
+null marker.  All randomness flows through one seeded ``random.Random``
+so every run is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.configuration import Configuration
+from repro.core.events import NULL, Event
+from repro.core.protocol import Protocol
+from repro.schedulers.base import CrashPlan, Scheduler
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Pick a random live process; deliver a random pending message.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal PRNG.
+    null_probability:
+        Chance that a scheduled process receives the null marker even
+        though messages are pending (the message system "is allowed to
+        return ∅ a finite number of times").  When a process has no
+        pending messages it always receives null.
+    crash_plan:
+        Optional crash-fault schedule; crashed processes are never
+        scheduled again.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        null_probability: float = 0.1,
+        crash_plan: CrashPlan | None = None,
+    ):
+        super().__init__(crash_plan)
+        if not 0.0 <= null_probability < 1.0:
+            raise ValueError(
+                f"null_probability must be in [0, 1), got {null_probability}"
+            )
+        self._seed = seed
+        self._null_probability = null_probability
+        self._rng = random.Random(seed)
+
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:
+        live = self.crash_plan.live_at(protocol.process_names, step_index)
+        if not live:
+            return None
+        process = self._rng.choice(live)
+        pending = configuration.buffer.messages_for(process)
+        if not pending or self._rng.random() < self._null_probability:
+            return Event(process, NULL)
+        message = self._rng.choice(pending)
+        return Event(process, message.value)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

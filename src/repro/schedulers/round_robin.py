@@ -1,0 +1,74 @@
+"""Fair round-robin scheduling with FIFO message delivery.
+
+The friendliest asynchronous environment: processes take steps in a fixed
+cyclic order and each step delivers the process's *earliest* pending
+message (FIFO by send time, tracked by
+:class:`~repro.schedulers.base.FifoTracker`), or null when its queue is
+empty.  Every live process takes infinitely many steps and every message
+to a live process is eventually delivered, so infinite round-robin runs
+are admissible — this scheduler is what "a correctly functioning network"
+looks like in the model, and the baseline against which the FLP
+adversary's malice is measured.
+"""
+
+from __future__ import annotations
+
+from repro.core.configuration import Configuration
+from repro.core.events import NULL, Event
+from repro.core.protocol import Protocol
+from repro.schedulers.base import CrashPlan, FifoTracker, Scheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through live processes; deliver FIFO or null.
+
+    Parameters
+    ----------
+    crash_plan:
+        Optional crash-fault schedule; crashed processes drop out of the
+        rotation at their crash step.
+    skip_decided:
+        When ``True`` (default), processes that have decided and have no
+        pending messages are skipped — they would only take no-op null
+        steps.  Set ``False`` to model the letter of the paper, where a
+        nonfaulty process steps forever.
+    """
+
+    def __init__(
+        self,
+        crash_plan: CrashPlan | None = None,
+        skip_decided: bool = True,
+    ):
+        super().__init__(crash_plan)
+        self._skip_decided = skip_decided
+        self._cursor = 0
+        self._fifo = FifoTracker()
+
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:
+        self._fifo.observe(configuration.buffer)
+        live = self.crash_plan.live_at(protocol.process_names, step_index)
+        if not live:
+            return None
+        for offset in range(len(live)):
+            process = live[(self._cursor + offset) % len(live)]
+            earliest = self._fifo.earliest_for(process)
+            decided = configuration.state_of(process).decided
+            if earliest is None and decided and self._skip_decided:
+                continue
+            self._cursor = (self._cursor + offset + 1) % len(live)
+            if earliest is None:
+                return Event(process, NULL)
+            return Event(process, earliest.value)
+        # Everyone is decided with empty queues: nothing useful remains.
+        return None
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._fifo = FifoTracker()

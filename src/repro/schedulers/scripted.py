@@ -1,0 +1,79 @@
+"""Scripted scheduling: replay an exact event sequence, then hand off.
+
+Reproducibility workhorse: replay a schedule captured from a
+certificate, a bundle, or a failing simulation, and optionally continue
+with a live scheduler afterwards ("play these 40 adversarial steps,
+then let round-robin try to recover").  The examples and the
+timeout-trap analysis are exactly this pattern; promoting it to the
+library saves every user from re-writing the same ten lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event, Schedule
+from repro.core.protocol import Protocol
+from repro.schedulers.base import CrashPlan, Scheduler
+
+__all__ = ["ScriptedScheduler"]
+
+
+class ScriptedScheduler(Scheduler):
+    """Plays back a fixed event sequence, then delegates or stops.
+
+    Parameters
+    ----------
+    script:
+        Events to emit, in order.  Events that are not applicable when
+        their turn comes raise at application time (the simulator
+        applies them verbatim) — a scripted replay that diverges from
+        the state it was recorded against *should* fail loudly.
+    then:
+        Optional scheduler that takes over once the script is
+        exhausted; ``None`` ends the run there.
+    """
+
+    def __init__(
+        self,
+        script: Schedule | Iterable[Event],
+        then: Scheduler | None = None,
+    ):
+        super().__init__(
+            then.crash_plan if then is not None else CrashPlan.none()
+        )
+        self._script = tuple(script)
+        self._then = then
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Scripted events not yet emitted."""
+        return max(len(self._script) - self._cursor, 0)
+
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:
+        if self._cursor < len(self._script):
+            event = self._script[self._cursor]
+            self._cursor += 1
+            return event
+        if self._then is not None:
+            return self._then.next_event(
+                protocol, configuration, step_index
+            )
+        return None
+
+    def live_processes(self, protocol: Protocol) -> tuple[str, ...]:
+        if self._then is not None:
+            return self._then.live_processes(protocol)
+        return protocol.process_names
+
+    def reset(self) -> None:
+        self._cursor = 0
+        if self._then is not None:
+            self._then.reset()

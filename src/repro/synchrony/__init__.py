@@ -1,0 +1,60 @@
+"""Refined timing models: the escape hatches the conclusion points to.
+
+The asynchronous impossibility "point[s] up the need for more refined
+models of distributed computing that better reflect realistic
+assumptions about processor and communication timings".  This subpackage
+supplies three such refinements:
+
+* :mod:`repro.synchrony.rounds` — full lock-step synchrony (the
+  Byzantine-Generals contrast of the abstract);
+* :mod:`repro.synchrony.partial` — partial synchrony with a Global
+  Stabilization Time (Dwork-Lynch-Stockmeyer, reference [10]);
+* :mod:`repro.synchrony.detectors` — unreliable failure detectors
+  (Chandra-Toueg's later formulation of the same boundary).
+"""
+
+from repro.synchrony.detectors import (
+    DetectorGuidedProcess,
+    EventuallyStrongDetector,
+    FailureDetector,
+    PerfectDetector,
+    check_eventual_weak_accuracy,
+    check_strong_accuracy,
+    check_strong_completeness,
+)
+from repro.synchrony.partial import (
+    PartialSyncResult,
+    PhasedProcess,
+    RotatingCoordinatorProcess,
+    always_deliver,
+    coordinator_blackout,
+    random_drops,
+    run_partial_sync,
+)
+from repro.synchrony.rounds import (
+    SyncCrashPlan,
+    SyncProcess,
+    SyncResult,
+    run_rounds,
+)
+
+__all__ = [
+    "DetectorGuidedProcess",
+    "EventuallyStrongDetector",
+    "FailureDetector",
+    "PerfectDetector",
+    "check_eventual_weak_accuracy",
+    "check_strong_accuracy",
+    "check_strong_completeness",
+    "PartialSyncResult",
+    "PhasedProcess",
+    "RotatingCoordinatorProcess",
+    "always_deliver",
+    "coordinator_blackout",
+    "random_drops",
+    "run_partial_sync",
+    "SyncCrashPlan",
+    "SyncProcess",
+    "SyncResult",
+    "run_rounds",
+]

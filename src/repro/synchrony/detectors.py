@@ -1,0 +1,220 @@
+"""Unreliable failure detectors: the post-FLP formulation of the boundary.
+
+Chandra and Toueg later recast "how much synchrony does consensus need?"
+as axioms on a *failure detector* oracle each process may query.  Two
+classes matter here:
+
+* **P** (perfect): strong completeness — every crashed process is
+  eventually suspected by every live process — and strong accuracy — no
+  process is suspected before it crashes.
+* **◇S** (eventually strong): strong completeness, plus *eventual weak*
+  accuracy — there is a time after which *some* live process is never
+  suspected by anyone.  ◇S is the weakest detector that makes consensus
+  solvable with a majority of correct processes; it is the
+  failure-detector face of the GST model in
+  :mod:`repro.synchrony.partial`.
+
+Detectors here are oracles over a known crash schedule (the simulator
+knows the ground truth; the *processes* only see suspicion sets).  The
+module provides the two oracles, property checkers that verify the
+axioms over a run horizon, and a detector-guided consensus built from
+the rotating-coordinator protocol: a process acks a round's proposal
+only if it does not currently suspect the coordinator, and the round is
+wasted whenever the coordinator is suspected — so termination tracks
+exactly the detector's accuracy, which is the Chandra-Toueg statement
+in miniature.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Hashable, Mapping, Sequence
+
+from repro.synchrony.partial import RotatingCoordinatorProcess
+
+__all__ = [
+    "FailureDetector",
+    "PerfectDetector",
+    "EventuallyStrongDetector",
+    "check_strong_completeness",
+    "check_strong_accuracy",
+    "check_eventual_weak_accuracy",
+    "DetectorGuidedProcess",
+]
+
+
+class FailureDetector(ABC):
+    """An oracle answering "whom does *observer* suspect at *time*?".
+
+    Time is measured in rounds (matching the phased runtimes).  The
+    detector knows the ground-truth crash schedule — unrealistic for a
+    real system, exactly right for a simulator whose job is to *grant*
+    a protocol the axioms and observe what follows.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[str],
+        crash_rounds: Mapping[str, int] | None = None,
+    ):
+        self.processes = tuple(processes)
+        self.crash_rounds = dict(crash_rounds or {})
+
+    def crashed_by(self, time: int) -> frozenset[str]:
+        """Processes that have crashed strictly before *time*."""
+        return frozenset(
+            name
+            for name, crash in self.crash_rounds.items()
+            if crash <= time
+        )
+
+    @abstractmethod
+    def suspects(self, observer: str, time: int) -> frozenset[str]:
+        """The suspicion set output to *observer* at *time*."""
+
+
+class PerfectDetector(FailureDetector):
+    """P: suspects exactly the processes that have actually crashed."""
+
+    def suspects(self, observer: str, time: int) -> frozenset[str]:
+        return self.crashed_by(time) - {observer}
+
+
+class EventuallyStrongDetector(FailureDetector):
+    """◇S: noisy before ``stabilization_time``, trustworthy after.
+
+    Before stabilization, each (observer, suspect, time) triple is an
+    independent seeded coin flip — wrong suspicions of live processes
+    abound.  From ``stabilization_time`` on, the output equals the
+    crashed set: strong completeness and (more than) eventual weak
+    accuracy hold.
+    """
+
+    def __init__(
+        self,
+        processes: Sequence[str],
+        crash_rounds: Mapping[str, int] | None = None,
+        stabilization_time: int = 8,
+        seed: int = 0,
+        noise: float = 0.4,
+    ):
+        super().__init__(processes, crash_rounds)
+        self.stabilization_time = stabilization_time
+        self.seed = seed
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self.noise = noise
+
+    def suspects(self, observer: str, time: int) -> frozenset[str]:
+        crashed = self.crashed_by(time)
+        if time >= self.stabilization_time:
+            return crashed - {observer}
+        suspected = set(crashed)
+        for name in self.processes:
+            if name == observer:
+                continue
+            key = hash((self.seed, observer, name, time))
+            if random.Random(key).random() < self.noise:
+                suspected.add(name)
+        return frozenset(suspected - {observer})
+
+
+# ---------------------------------------------------------------------------
+# Axiom checkers
+# ---------------------------------------------------------------------------
+
+
+def check_strong_completeness(
+    detector: FailureDetector, horizon: int
+) -> bool:
+    """Eventually, every crashed process is suspected by every live one.
+
+    Checked at the horizon: at time ``horizon`` every crashed process
+    must be in every live observer's suspicion set.
+    """
+    crashed = detector.crashed_by(horizon)
+    live = [p for p in detector.processes if p not in crashed]
+    return all(
+        crashed <= detector.suspects(observer, horizon)
+        for observer in live
+    )
+
+
+def check_strong_accuracy(
+    detector: FailureDetector, horizon: int
+) -> bool:
+    """No process is suspected before it crashes (P's signature axiom)."""
+    for time in range(horizon + 1):
+        crashed = detector.crashed_by(time)
+        for observer in detector.processes:
+            if observer in crashed:
+                continue
+            if not detector.suspects(observer, time) <= crashed:
+                return False
+    return True
+
+
+def check_eventual_weak_accuracy(
+    detector: FailureDetector, horizon: int
+) -> int | None:
+    """◇S's signature axiom: some live process is, from some time on,
+    suspected by nobody.
+
+    Returns the earliest such stabilization time within the horizon, or
+    ``None`` if the axiom fails on this horizon.
+    """
+    crashed = detector.crashed_by(horizon)
+    live = [p for p in detector.processes if p not in crashed]
+    for start in range(horizon + 1):
+        for candidate in live:
+            trusted_throughout = all(
+                candidate not in detector.suspects(observer, time)
+                for time in range(start, horizon + 1)
+                for observer in live
+                if observer != candidate
+            )
+            if trusted_throughout:
+                return start
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Detector-guided consensus
+# ---------------------------------------------------------------------------
+
+
+class DetectorGuidedProcess(RotatingCoordinatorProcess):
+    """Rotating-coordinator consensus gated by a failure detector.
+
+    Identical to :class:`RotatingCoordinatorProcess` except a process
+    contributes to a round (estimate + ack) only while it does *not*
+    suspect that round's coordinator.  With ◇S the pre-stabilization
+    noise wastes rounds; after stabilization, the first trusted live
+    coordinator drives a decision — the Chandra-Toueg termination
+    argument, measured empirically in experiment E9's detector panel.
+    """
+
+    def __init__(self, name: str, peers, f: int, detector: FailureDetector):
+        super().__init__(name, peers, f)
+        self.detector = detector
+
+    def _trusts_coordinator(self, round_number: int) -> bool:
+        coordinator = self.coordinator_of(round_number)
+        if coordinator == self.name:
+            return True
+        return coordinator not in self.detector.suspects(
+            self.name, round_number
+        )
+
+    def outgoing(
+        self, state: Hashable, round_number: int, phase: int
+    ) -> Mapping[str, Hashable]:
+        decided = state[2]
+        if (
+            phase in (0, 2)
+            and decided is None
+            and not self._trusts_coordinator(round_number)
+        ):
+            return {}  # Boycott rounds with a suspected coordinator.
+        return super().outgoing(state, round_number, phase)

@@ -1,0 +1,356 @@
+"""Partial synchrony: the Global-Stabilization-Time model (DLS).
+
+The conclusion cites Dwork, Lynch, and Stockmeyer's "Consensus in the
+presence of partial synchrony" (reference [10]) as one of the two
+escape hatches: a model where timing is eventually well-behaved — there
+is an unknown *Global Stabilization Time* (GST) after which every
+message sent is delivered within a round — even though before GST the
+network may lose or delay messages arbitrarily.
+
+This module supplies:
+
+* a phased round executor, :func:`run_partial_sync`, in which each round
+  consists of a fixed number of message-exchange phases, and a pluggable
+  *drop rule* decides which inter-process messages survive each phase —
+  before GST the rule may drop anything; from GST on, everything is
+  delivered;
+* two drop rules: seeded random loss and a targeted coordinator
+  blackout;
+* :class:`RotatingCoordinatorProcess`, a Paxos-style rotating-coordinator
+  consensus for crash faults with ``N > 2f``: estimates carry
+  timestamps, coordinators pick the highest-timestamped estimate from an
+  ``N - f`` quorum, and a decision requires ``N - f`` acks — quorum
+  intersection gives safety *always* (even before GST), while
+  termination arrives within ``f + 1`` rounds after GST (the first
+  stabilized round whose coordinator is alive).  FLP is visible at the
+  boundary: with GST = ∞ the pre-GST adversary can stall the protocol
+  forever, losing no safety but never deciding.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping, Sequence
+
+__all__ = [
+    "DropRule",
+    "random_drops",
+    "coordinator_blackout",
+    "always_deliver",
+    "PhasedProcess",
+    "PartialSyncResult",
+    "run_partial_sync",
+    "RotatingCoordinatorProcess",
+]
+
+#: ``rule(sender, receiver, round, phase) -> delivered?`` — consulted only
+#: for rounds before GST; self-addressed messages are always delivered.
+DropRule = Callable[[str, str, int, int], bool]
+
+
+def always_deliver(
+    _sender: str, _receiver: str, _round: int, _phase: int
+) -> bool:
+    """The trivial drop rule: a fully synchronous network."""
+    return True
+
+
+def random_drops(seed: int, deliver_probability: float = 0.5) -> DropRule:
+    """Each message independently survives with *deliver_probability*.
+
+    The rule is a deterministic function of (sender, receiver, round,
+    phase, seed) so runs are reproducible.
+    """
+    if not 0.0 <= deliver_probability <= 1.0:
+        raise ValueError(
+            f"deliver_probability must be in [0, 1], "
+            f"got {deliver_probability}"
+        )
+
+    def rule(sender: str, receiver: str, round_number: int, phase: int) -> bool:
+        key = hash((seed, sender, receiver, round_number, phase))
+        return random.Random(key).random() < deliver_probability
+
+    return rule
+
+
+def coordinator_blackout(
+    coordinator_of: Callable[[int], str]
+) -> DropRule:
+    """Worst-case pre-GST adversary: isolate each round's coordinator.
+
+    Drops every message to or from the round's coordinator — the
+    targeted attack that keeps Paxos-style protocols spinning while GST
+    has not arrived.
+    """
+
+    def rule(sender: str, receiver: str, round_number: int, _phase: int) -> bool:
+        coordinator = coordinator_of(round_number)
+        return sender != coordinator and receiver != coordinator
+
+    return rule
+
+
+class PhasedProcess(ABC):
+    """A process of a phased-round partially synchronous protocol."""
+
+    #: Number of message-exchange phases per round.
+    PHASES: int = 1
+
+    def __init__(self, name: str, peers: Sequence[str]):
+        self.name = name
+        self.peers = tuple(peers)
+
+    @property
+    def n(self) -> int:
+        return len(self.peers)
+
+    @abstractmethod
+    def initial_state(self, input_value: int) -> Hashable:
+        """State before round 1."""
+
+    @abstractmethod
+    def outgoing(
+        self, state: Hashable, round_number: int, phase: int
+    ) -> Mapping[str, Hashable]:
+        """Messages to send this phase: ``destination -> value``.
+
+        Return an empty mapping to stay silent.  Sending to yourself is
+        allowed and never dropped.
+        """
+
+    @abstractmethod
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        phase: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        """New state after this phase's deliveries (sender -> value)."""
+
+    @abstractmethod
+    def decision(self, state: Hashable) -> int | None:
+        """Current decision, or ``None``."""
+
+
+@dataclass
+class PartialSyncResult:
+    """Outcome of a partially synchronous execution."""
+
+    decisions: dict[str, int]
+    decision_rounds: dict[str, int]
+    rounds_executed: int
+    gst: int
+    live: frozenset[str]
+
+    @property
+    def decision_values(self) -> frozenset[int]:
+        return frozenset(self.decisions.values())
+
+    @property
+    def agreement_holds(self) -> bool:
+        return len(self.decision_values) <= 1
+
+    @property
+    def all_live_decided(self) -> bool:
+        return all(name in self.decisions for name in self.live)
+
+
+def run_partial_sync(
+    processes: Sequence[PhasedProcess],
+    inputs: Mapping[str, int],
+    gst: int,
+    drop_rule: DropRule,
+    crash_rounds: Mapping[str, int] | None = None,
+    max_rounds: int = 64,
+) -> PartialSyncResult:
+    """Execute a phased protocol under the GST model.
+
+    Parameters
+    ----------
+    gst:
+        First *stabilized* round: from round ``gst`` on, every message
+        between live processes is delivered.  Use a value beyond
+        ``max_rounds`` to model "GST never comes" (the FLP regime).
+    drop_rule:
+        Pre-GST delivery decision, per message.
+    crash_rounds:
+        ``name -> round``: the process takes no part in that round or
+        any later one (clean round-boundary crashes; mid-round crash
+        adversaries live in :mod:`repro.synchrony.rounds`).
+    """
+    crashes = dict(crash_rounds or {})
+    roster = {p.name: p for p in processes}
+    states: dict[str, Hashable] = {
+        name: process.initial_state(inputs[name])
+        for name, process in roster.items()
+    }
+    decisions: dict[str, int] = {}
+    decision_rounds: dict[str, int] = {}
+    live = frozenset(
+        name for name in roster if name not in crashes
+    )
+    phases = max(p.PHASES for p in processes)
+
+    rounds_executed = 0
+    for round_number in range(1, max_rounds + 1):
+        active = [
+            name
+            for name in roster
+            if crashes.get(name, max_rounds + 1) > round_number
+        ]
+        for phase in range(phases):
+            outbox: dict[str, dict[str, Hashable]] = {}
+            for name in active:
+                outbox[name] = dict(
+                    roster[name].outgoing(states[name], round_number, phase)
+                )
+            for name in active:
+                received: dict[str, Hashable] = {}
+                for sender in active:
+                    payload = outbox[sender].get(name)
+                    if payload is None:
+                        continue
+                    delivered = (
+                        sender == name
+                        or round_number >= gst
+                        or drop_rule(sender, name, round_number, phase)
+                    )
+                    if delivered:
+                        received[sender] = payload
+                states[name] = roster[name].update(
+                    states[name], round_number, phase, received
+                )
+        for name in active:
+            if name not in decisions:
+                decided = roster[name].decision(states[name])
+                if decided is not None:
+                    decisions[name] = decided
+                    decision_rounds[name] = round_number
+        rounds_executed = round_number
+        if all(name in decisions for name in live):
+            break
+
+    return PartialSyncResult(
+        decisions=decisions,
+        decision_rounds=decision_rounds,
+        rounds_executed=rounds_executed,
+        gst=gst,
+        live=live,
+    )
+
+
+class RotatingCoordinatorProcess(PhasedProcess):
+    """Paxos-style rotating-coordinator consensus for crash faults.
+
+    Requires ``N > 2f``.  Round ``r``'s coordinator is
+    ``peers[(r - 1) % N]``.  Phases:
+
+    0. every process sends its ``(estimate, timestamp)`` to the
+       coordinator;
+    1. a coordinator holding ≥ ``N - f`` estimates broadcasts the value
+       with the highest timestamp as the round's proposal;
+    2. processes that received the proposal adopt it (timestamp = this
+       round) and ack the coordinator;
+    3. a coordinator holding ≥ ``N - f`` acks decides and broadcasts the
+       decision; decided processes rebroadcast the decision in this
+       phase of every later round, so laggards catch up after GST.
+
+    Safety is the quorum-intersection argument (any two ``N - f``
+    quorums share a process when ``N > 2f``), and holds under *any*
+    drop rule; only termination needs GST.
+    """
+
+    PHASES = 4
+
+    def __init__(self, name: str, peers, f: int):
+        super().__init__(name, peers)
+        if not 0 <= f < self.n / 2:
+            raise ValueError(
+                f"rotating coordinator requires N > 2f; N={self.n}, "
+                f"got f={f}"
+            )
+        self.f = f
+
+    @property
+    def quorum(self) -> int:
+        return self.n - self.f
+
+    def coordinator_of(self, round_number: int) -> str:
+        return self.peers[(round_number - 1) % self.n]
+
+    def initial_state(self, input_value: int) -> Hashable:
+        # (estimate, timestamp, decided value or None,
+        #  round scratch: estimates, proposal, acks)
+        return (input_value, 0, None, frozenset(), None, frozenset())
+
+    # -- phases ----------------------------------------------------------------
+
+    def outgoing(
+        self, state: Hashable, round_number: int, phase: int
+    ) -> Mapping[str, Hashable]:
+        estimate, timestamp, decided, estimates, proposal, acks = state
+        coordinator = self.coordinator_of(round_number)
+        if phase == 0:
+            if decided is not None:
+                return {}
+            return {coordinator: ("est", estimate, timestamp)}
+        if phase == 1 and self.name == coordinator and decided is None:
+            if len(estimates) >= self.quorum:
+                # Highest timestamp wins; ties broken deterministically
+                # by (value, sender) so runs are reproducible.  Any
+                # tie-break is safe: after a decision on (v, r), r
+                # strictly exceeds every other timestamp in any quorum.
+                best = max(
+                    estimates, key=lambda item: (item[1], item[0], item[2])
+                )[0]
+                return {peer: ("prop", best) for peer in self.peers}
+            return {}
+        if phase == 2:
+            if decided is None and proposal is not None:
+                return {coordinator: ("ack", self.name)}
+            return {}
+        if phase == 3:
+            if decided is not None:
+                # Decision gossip: keep rebroadcasting so everyone
+                # eventually hears it once the network stabilizes.
+                return {peer: ("decide", decided) for peer in self.peers}
+            if self.name == coordinator and len(acks) >= self.quorum:
+                assert proposal is not None
+                return {peer: ("decide", proposal) for peer in self.peers}
+            return {}
+        return {}
+
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        phase: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        estimate, timestamp, decided, estimates, proposal, acks = state
+        coordinator = self.coordinator_of(round_number)
+
+        for sender, payload in received.items():
+            kind = payload[0]
+            if kind == "est" and self.name == coordinator and phase == 0:
+                estimates = estimates | {(payload[1], payload[2], sender)}
+            elif kind == "prop" and sender == coordinator and phase == 1:
+                proposal = payload[1]
+                estimate, timestamp = payload[1], round_number
+            elif kind == "ack" and self.name == coordinator and phase == 2:
+                acks = acks | {payload[1]}
+            elif kind == "decide" and decided is None:
+                decided = payload[1]
+                estimate = payload[1]
+
+        if phase == 3:
+            # End of round: clear the scratch space.
+            return (estimate, timestamp, decided, frozenset(), None, frozenset())
+        return (estimate, timestamp, decided, estimates, proposal, acks)
+
+    def decision(self, state: Hashable) -> int | None:
+        return state[2]

@@ -1,0 +1,229 @@
+"""Round-synchronous execution: the model where consensus IS solvable.
+
+The paper's abstract contrasts the asynchronous impossibility with the
+synchronous case: "By way of contrast, solutions are known for the
+synchronous case, the Byzantine Generals problem."  This module supplies
+the synchronous substrate for that contrast: computation proceeds in
+lock-step rounds; in each round every live process broadcasts a message,
+all messages are delivered within the round, and every process updates
+its state on the full batch.
+
+Crash faults are adversarially *mid-round*: a process crashing in round
+``r`` gets its final broadcast delivered to an arbitrary subset of the
+other processes — the classic wrinkle that makes f+1 rounds necessary.
+
+This executor deliberately does not reuse the asynchronous core: the
+whole point is that it is a *different model*, with the timing
+assumptions FLP removes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["SyncProcess", "SyncCrashPlan", "SyncResult", "run_rounds"]
+
+
+class SyncProcess(ABC):
+    """A process of a round-synchronous protocol."""
+
+    def __init__(self, name: str, peers: Sequence[str]):
+        self.name = name
+        self.peers = tuple(peers)
+        self.others = tuple(p for p in self.peers if p != name)
+
+    @property
+    def n(self) -> int:
+        return len(self.peers)
+
+    @abstractmethod
+    def initial_state(self, input_value: int) -> Hashable:
+        """State before round 1."""
+
+    @abstractmethod
+    def outgoing(self, state: Hashable, round_number: int) -> Hashable:
+        """The value broadcast to every other process this round."""
+
+    def outgoing_to(
+        self, state: Hashable, round_number: int, receiver: str
+    ) -> Hashable:
+        """Per-receiver message; defaults to the uniform broadcast.
+
+        Honest processes send everyone the same value.  *Byzantine*
+        processes override this hook to equivocate — telling different
+        receivers different things — which is precisely the failure
+        mode the Byzantine Generals problem is about (and which the
+        asynchronous core model excludes: FLP's impossibility needs no
+        lying, only silence).
+        """
+        return self.outgoing(state, round_number)
+
+    @abstractmethod
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        """New state after receiving this round's batch (sender -> value)."""
+
+    @abstractmethod
+    def decision(self, state: Hashable, round_number: int) -> int | None:
+        """The decision after this round, or ``None`` if undecided."""
+
+
+class SyncCrashPlan:
+    """Mid-round crash faults for the synchronous model.
+
+    ``plan[name] = (crash_round, receivers)``: the process participates
+    fully through round ``crash_round - 1``; in round ``crash_round`` its
+    broadcast reaches only ``receivers`` (possibly empty), after which it
+    is dead.
+    """
+
+    def __init__(
+        self,
+        plan: Mapping[str, tuple[int, frozenset[str]]] | None = None,
+    ):
+        self._plan = {
+            name: (round_number, frozenset(receivers))
+            for name, (round_number, receivers) in (plan or {}).items()
+        }
+        for name, (round_number, _) in self._plan.items():
+            if round_number < 1:
+                raise ValueError(
+                    f"crash round for {name!r} must be >= 1"
+                )
+
+    @classmethod
+    def none(cls) -> "SyncCrashPlan":
+        return cls()
+
+    @property
+    def faulty(self) -> frozenset[str]:
+        return frozenset(self._plan)
+
+    def is_live_in(self, name: str, round_number: int) -> bool:
+        """Fully participating in *round_number* (not yet at crash round)."""
+        entry = self._plan.get(name)
+        return entry is None or round_number < entry[0]
+
+    def delivers_to(
+        self, sender: str, receiver: str, round_number: int
+    ) -> bool:
+        """Whether *sender*'s round-*round_number* broadcast reaches
+        *receiver*."""
+        entry = self._plan.get(sender)
+        if entry is None:
+            return True
+        crash_round, receivers = entry
+        if round_number < crash_round:
+            return True
+        if round_number == crash_round:
+            return receiver in receivers
+        return False
+
+    def __repr__(self) -> str:
+        return f"SyncCrashPlan({self._plan!r})"
+
+
+@dataclass
+class SyncResult:
+    """Outcome of a synchronous execution."""
+
+    decisions: dict[str, int]
+    decision_rounds: dict[str, int]
+    rounds_executed: int
+    live: frozenset[str]
+    states: dict[str, Hashable] = field(repr=False, default_factory=dict)
+
+    @property
+    def decision_values(self) -> frozenset[int]:
+        return frozenset(self.decisions.values())
+
+    @property
+    def agreement_holds(self) -> bool:
+        return len(self.decision_values) <= 1
+
+    @property
+    def all_live_decided(self) -> bool:
+        return all(name in self.decisions for name in self.live)
+
+
+def run_rounds(
+    processes: Sequence[SyncProcess],
+    inputs: Mapping[str, int],
+    crash_plan: SyncCrashPlan | None = None,
+    max_rounds: int = 64,
+) -> SyncResult:
+    """Execute a synchronous protocol until all live processes decide.
+
+    Rounds are numbered from 1.  A process that has decided keeps
+    participating (synchronous protocols fix their round count anyway);
+    execution stops when every live process has decided or *max_rounds*
+    elapses.
+    """
+    plan = crash_plan or SyncCrashPlan.none()
+    roster = {p.name: p for p in processes}
+    states: dict[str, Hashable] = {
+        name: process.initial_state(inputs[name])
+        for name, process in roster.items()
+    }
+    decisions: dict[str, int] = {}
+    decision_rounds: dict[str, int] = {}
+    live = frozenset(roster) - plan.faulty
+
+    rounds_executed = 0
+    for round_number in range(1, max_rounds + 1):
+        # Who sends anything at all this round?  Crashed-in-this-round
+        # processes still emit (partially delivered) broadcasts.
+        senders = [
+            name
+            for name, process in roster.items()
+            if plan.is_live_in(name, round_number)
+            or any(
+                plan.delivers_to(name, other, round_number)
+                for other in process.others
+            )
+        ]
+        # Deliver and update only for processes still fully live.
+        # Messages are resolved per (sender, receiver) pair so that
+        # Byzantine senders can equivocate via outgoing_to.  All sends
+        # read the round-start snapshot: within a round, everyone
+        # speaks before anyone's update lands (lock-step semantics).
+        round_states = dict(states)
+        for name, process in roster.items():
+            if not plan.is_live_in(name, round_number):
+                continue
+            received: dict[str, Hashable] = {}
+            for sender in senders:
+                if sender == name:
+                    continue
+                if not plan.delivers_to(sender, name, round_number):
+                    continue
+                value = roster[sender].outgoing_to(
+                    round_states[sender], round_number, name
+                )
+                if value is not None:
+                    received[sender] = value
+            states[name] = process.update(
+                round_states[name], round_number, received
+            )
+            if name not in decisions:
+                decided = process.decision(states[name], round_number)
+                if decided is not None:
+                    decisions[name] = decided
+                    decision_rounds[name] = round_number
+        rounds_executed = round_number
+        if all(name in decisions for name in live):
+            break
+
+    return SyncResult(
+        decisions=decisions,
+        decision_rounds=decision_rounds,
+        rounds_executed=rounds_executed,
+        live=live,
+        states=states,
+    )

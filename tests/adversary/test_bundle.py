@@ -1,0 +1,164 @@
+"""Tests for portable proof bundles."""
+
+import json
+
+import pytest
+
+from repro.adversary.bundle import (
+    _decode_value,
+    _encode_value,
+    export_bundle,
+    load_bundle,
+    verify_bundle,
+)
+from repro.adversary.flp import FLPAdversary
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+
+@pytest.fixture(scope="module")
+def bundle_text(parity_arbiter3, parity_arbiter3_analyzer):
+    adversary = FLPAdversary(
+        parity_arbiter3, analyzer=parity_arbiter3_analyzer
+    )
+    certificate = adversary.build_run(stages=12)
+    return export_bundle(
+        "parity-arbiter", certificate, parity_arbiter3
+    )
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            0,
+            1,
+            "hello",
+            ("claim", "p1", 0, 1),
+            ("s2", "p0", 1, frozenset({"p1", "p2"})),
+            ((("nested",),), frozenset({("a", 1)})),
+            True,
+        ],
+    )
+    def test_round_trip(self, value):
+        assert _decode_value(_encode_value(value)) == value
+
+    def test_rejects_unencodable(self):
+        with pytest.raises(TypeError):
+            _encode_value(object())
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            _decode_value({"weird": 1})
+
+
+class TestExport:
+    def test_bundle_is_json(self, bundle_text):
+        payload = json.loads(bundle_text)
+        assert payload["format"].startswith("flpkit")
+        assert payload["protocol"] == "parity-arbiter"
+        assert payload["n"] == 3
+        assert payload["schedule"]
+
+    def test_rejects_mid_run_initial(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        from repro.core.events import NULL, Event
+
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=3)
+        from dataclasses import replace
+
+        stepped = parity_arbiter3.apply_event(
+            certificate.initial, Event("p1", NULL)
+        )
+        forged = replace(certificate, initial=stepped)
+        with pytest.raises(ValueError, match="initial configuration"):
+            export_bundle("parity-arbiter", forged, parity_arbiter3)
+
+
+class TestRoundTrip:
+    def test_load_reconstructs_certificate(self, bundle_text):
+        protocol, certificate, _payload = load_bundle(bundle_text)
+        assert protocol.num_processes == 3
+        assert certificate.length == len(certificate.schedule)
+        assert not certificate.final.has_decision
+
+    def test_verify_accepts_genuine(self, bundle_text):
+        report = verify_bundle(bundle_text)
+        assert report.verified
+        assert "VERIFIED" in report.summary()
+
+    def test_verify_rejects_decision_producing_tamper(
+        self, bundle_text, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        payload = json.loads(bundle_text)
+        _protocol, certificate, _ = load_bundle(bundle_text)
+        witness = parity_arbiter3_analyzer.bivalence_witness(
+            certificate.final
+        )
+        for event in witness.to_one:
+            payload["schedule"].append(
+                {
+                    "p": event.process,
+                    "m": _encode_value(event.value)
+                    if not event.is_null_delivery
+                    else None,
+                    "null": event.is_null_delivery,
+                }
+            )
+        report = verify_bundle(json.dumps(payload))
+        assert not report.verified
+
+    def test_verify_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="format"):
+            verify_bundle(json.dumps({"format": "something-else"}))
+
+    def test_verify_rejects_inapplicable_schedule(self, bundle_text):
+        from repro.core.errors import InvalidEvent
+
+        payload = json.loads(bundle_text)
+        payload["schedule"].insert(
+            0,
+            {
+                "p": "p0",
+                "m": _encode_value(("claim", "ghost", 1, 1)),
+                "null": False,
+            },
+        )
+        with pytest.raises(InvalidEvent):
+            load_bundle(json.dumps(payload))
+
+
+class TestCliIntegration:
+    def test_attack_save_then_verify(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "proof.json"
+        assert (
+            main(
+                [
+                    "attack",
+                    "parity-arbiter",
+                    "--stages",
+                    "5",
+                    "--save",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["verify", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+
+    def test_verify_rejects_garbage_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "nope"}))
+        assert main(["verify", str(bad)]) == 1
+        assert "REJECTED" in capsys.readouterr().err

@@ -1,0 +1,144 @@
+"""Dedicated tests for certificate objects: honest verifiers that
+reject tampered evidence."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.adversary.certificates import (
+    AdversaryMode,
+    Lemma3Case,
+    NonDecidingRunCertificate,
+)
+from repro.adversary.flp import FLPAdversary
+from repro.adversary.lemmas import (
+    commutativity_diamond,
+    find_bivalent_successor,
+    find_lemma2,
+)
+from repro.core.events import NULL, Event, Schedule
+
+
+@pytest.fixture(scope="module")
+def lemma3_certificate(parity_arbiter3, parity_arbiter3_analyzer):
+    protocol = parity_arbiter3
+    config = protocol.initial_configuration([0, 0, 1])
+    config = protocol.apply_event(config, Event("p1", NULL))
+    config = protocol.apply_event(config, Event("p2", NULL))
+    outcome = find_bivalent_successor(
+        protocol,
+        parity_arbiter3_analyzer,
+        config,
+        Event("p0", ("claim", "p1", 0, 0)),
+    )
+    assert outcome.certificate is not None
+    return outcome.certificate
+
+
+class TestLemma3Certificate:
+    def test_genuine_verifies(self, parity_arbiter3, lemma3_certificate):
+        assert lemma3_certificate.verify(parity_arbiter3)
+
+    def test_sigma_containing_e_rejected(
+        self, parity_arbiter3, lemma3_certificate
+    ):
+        forged = replace(
+            lemma3_certificate,
+            avoiding_schedule=lemma3_certificate.avoiding_schedule.then(
+                lemma3_certificate.event
+            ),
+        )
+        assert not forged.verify(parity_arbiter3)
+
+    def test_wrong_result_rejected(
+        self, parity_arbiter3, lemma3_certificate
+    ):
+        forged = replace(
+            lemma3_certificate,
+            result=lemma3_certificate.configuration,
+        )
+        assert not forged.verify(parity_arbiter3)
+
+    def test_case_classification(self, lemma3_certificate):
+        # This particular search must defer (fresh claim univalates).
+        assert lemma3_certificate.case is Lemma3Case.DEFERRED
+        assert len(lemma3_certificate.avoiding_schedule) >= 1
+
+
+class TestLemma2Certificate:
+    def test_genuine_verifies(self, arbiter3, arbiter3_analyzer):
+        result = find_lemma2(arbiter3, arbiter3_analyzer)
+        assert result.certificate.verify(arbiter3)
+
+    def test_non_initial_configuration_rejected(
+        self, arbiter3, arbiter3_analyzer
+    ):
+        result = find_lemma2(arbiter3, arbiter3_analyzer)
+        certificate = result.certificate
+        # Swap in a reachable-but-not-initial configuration (buffer
+        # nonempty after a step).
+        stepped = arbiter3.apply_event(
+            certificate.bivalent_initial, Event("p1", NULL)
+        )
+        forged = replace(certificate, bivalent_initial=stepped)
+        assert not forged.verify(arbiter3)
+
+
+class TestCommutativityWitness:
+    def test_overlapping_schedules_fail_verification(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        witness = commutativity_diamond(
+            arbiter3,
+            config,
+            Schedule([Event("p1", NULL)]),
+            Schedule([Event("p2", NULL)]),
+        )
+        forged = replace(
+            witness, sigma2=Schedule([Event("p1", NULL)])
+        )
+        assert not forged.verify(arbiter3)
+
+
+class TestNonDecidingRunCertificate:
+    @pytest.fixture(scope="class")
+    def certificate(self, parity_arbiter3, parity_arbiter3_analyzer):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        return adversary.build_run(stages=8)
+
+    def test_genuine_verifies(self, parity_arbiter3, certificate):
+        assert certificate.verify(parity_arbiter3)
+
+    def test_inapplicable_event_rejected(
+        self, parity_arbiter3, certificate
+    ):
+        bogus = certificate.schedule.then(
+            Event("p0", ("claim", "ghost", 9, 9))
+        )
+        forged = replace(certificate, schedule=bogus)
+        assert not forged.verify(parity_arbiter3)
+
+    def test_deciding_schedule_rejected(
+        self, parity_arbiter3, parity_arbiter3_analyzer, certificate
+    ):
+        """Extend the run with a decision-producing suffix: the
+        verifier must notice somebody decided."""
+        witness = parity_arbiter3_analyzer.bivalence_witness(
+            certificate.final
+        )
+        deciding = certificate.schedule.then(witness.to_zero)
+        final = parity_arbiter3.apply_schedule(
+            certificate.initial, deciding
+        )
+        forged = NonDecidingRunCertificate(
+            initial=certificate.initial,
+            schedule=deciding,
+            final=final,
+            mode=AdversaryMode.BIVALENCE_PRESERVING,
+        )
+        assert not forged.verify(parity_arbiter3)
+
+    def test_length_and_summary(self, certificate):
+        assert certificate.length == len(certificate.schedule)
+        assert "no process ever decided" in certificate.summary()

@@ -1,0 +1,229 @@
+"""Tests for the FLP adversary (Theorem 1)."""
+
+import pytest
+
+from repro.adversary.certificates import AdversaryMode
+from repro.adversary.flp import FLPAdversary
+from repro.core.errors import AdversaryStuck
+from repro.core.valency import Valency, ValencyAnalyzer
+from repro.protocols import (
+    AlwaysZeroProcess,
+    ThreePhaseCommitProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+
+class TestStagedMode:
+    def test_parity_arbiter_sustains_all_stages(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=30)
+        assert certificate.mode is AdversaryMode.BIVALENCE_PRESERVING
+        assert len(certificate.stages) == 30
+        assert certificate.faulty_process is None
+        assert certificate.verify(parity_arbiter3)
+
+    def test_prefix_grows_with_stages(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        short = adversary.build_run(stages=10)
+        long = adversary.build_run(stages=40)
+        assert long.length > short.length
+
+    def test_every_stage_ends_bivalent(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=12)
+        # Replay and check the invariant at each stage boundary.
+        config = certificate.initial
+        offset = 0
+        for record in certificate.stages:
+            for event in certificate.schedule[
+                offset : offset + record.schedule_length
+            ]:
+                config = parity_arbiter3.apply_event(config, event)
+            offset += record.schedule_length
+            assert (
+                parity_arbiter3_analyzer.valency(config)
+                is Valency.BIVALENT
+            )
+
+    def test_fairness_every_process_steps(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=9)
+        assert set(certificate.steps_per_process) == set(
+            parity_arbiter3.process_names
+        )
+        # The stage queue rotates, so steps split roughly evenly.
+        counts = certificate.steps_per_process
+        assert max(counts.values()) <= 3 * min(counts.values()) + 3
+
+    def test_stage_discipline_queue_rotates(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=6)
+        scheduled = [r.scheduled_process for r in certificate.stages]
+        names = list(parity_arbiter3.process_names)
+        assert scheduled == [names[i % 3] for i in range(6)]
+
+
+class TestFaultMode:
+    @pytest.mark.parametrize(
+        "factory, expected_faulty",
+        [
+            (lambda: make_protocol(WaitForAllProcess, 3), None),
+            (lambda: make_protocol(TwoPhaseCommitProcess, 3), None),
+            (lambda: make_protocol(ThreePhaseCommitProcess, 3), None),
+        ],
+    )
+    def test_univalent_protocols_fall_to_fault_mode(
+        self, factory, expected_faulty
+    ):
+        protocol = factory()
+        adversary = FLPAdversary(protocol)
+        certificate = adversary.build_run(stages=5)
+        assert certificate.mode is AdversaryMode.FAULT
+        assert certificate.faulty_process in protocol.process_names
+        assert certificate.verify(protocol)
+
+    def test_arbiter_fault_is_the_arbiter(self, arbiter3, arbiter3_analyzer):
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        certificate = adversary.build_run(stages=10)
+        assert certificate.mode is AdversaryMode.FAULT
+        assert certificate.faulty_process == "p0"  # the arbiter
+        assert len(certificate.stages) >= 1  # some staged progress first
+
+    def test_faulty_process_silent_after_fault_point(
+        self, arbiter3, arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        certificate = adversary.build_run(stages=10)
+        for index, event in enumerate(certificate.schedule):
+            if index >= certificate.fault_point:
+                assert event.process != certificate.faulty_process
+
+    def test_fair_tail_length_configurable(self, two_pc3):
+        adversary = FLPAdversary(two_pc3)
+        certificate = adversary.build_run(stages=2, fair_tail_steps=14)
+        assert certificate.length == 14  # boundary entry: tail only
+
+
+class TestExplicitStart:
+    def test_requires_bivalent_start(self, arbiter3, arbiter3_analyzer):
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        univalent = arbiter3.initial_configuration([0, 0, 0])
+        with pytest.raises(ValueError, match="bivalent"):
+            adversary.build_run(stages=3, initial=univalent)
+
+    def test_explicit_bivalent_start_used(self, arbiter3, arbiter3_analyzer):
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        start = arbiter3.initial_configuration([1, 1, 0])
+        certificate = adversary.build_run(stages=4, initial=start)
+        assert certificate.initial == start
+
+
+class StubbornProcess:
+    """Module-local degenerate protocol: decides 1 iff its input is 1;
+    with input 0 it does nothing, ever.  The all-zeros initial
+    configuration is NONE-valent — no decision is reachable at all —
+    which is the adversary's DEAD_END shortcut."""
+
+
+def _stubborn_protocol():
+    from typing import Hashable
+
+    from repro.core.process import Process, ProcessState, Transition
+    from repro.core.protocol import Protocol
+
+    class Stubborn(Process):
+        def initial_data(self, input_value: int) -> Hashable:
+            return ()
+
+        def step(self, state: ProcessState, message_value):
+            if not state.decided and state.input == 1:
+                return Transition(state.with_decision(1), ())
+            return Transition(state, ())
+
+    return Protocol([Stubborn("p0"), Stubborn("p1")])
+
+
+class TestDeadEndMode:
+    def test_none_valent_initial_triggers_dead_end(self):
+        protocol = _stubborn_protocol()
+        adversary = FLPAdversary(protocol)
+        certificate = adversary.build_run(stages=5, fair_tail_steps=12)
+        assert certificate.mode is AdversaryMode.DEAD_END
+        assert certificate.faulty_process is None
+        assert certificate.length == 12
+        assert certificate.verify(protocol)
+
+    def test_dead_end_initial_is_all_zeros(self):
+        protocol = _stubborn_protocol()
+        adversary = FLPAdversary(protocol)
+        certificate = adversary.build_run(stages=2)
+        assert protocol.input_vector(certificate.initial) == (0, 0)
+
+    def test_dead_end_runs_everyone_fairly(self):
+        protocol = _stubborn_protocol()
+        certificate = FLPAdversary(protocol).build_run(
+            stages=2, fair_tail_steps=10
+        )
+        assert set(certificate.steps_per_process) == {"p0", "p1"}
+
+
+class TestStuck:
+    def test_always_zero_makes_adversary_stuck(self):
+        # AlwaysZero decides instantly from every configuration; no
+        # bivalence, no boundary, nothing to stall.
+        protocol = make_protocol(AlwaysZeroProcess, 2)
+        adversary = FLPAdversary(protocol)
+        with pytest.raises(AdversaryStuck, match="partially correct"):
+            adversary.build_run(stages=3)
+
+
+class TestCertificateVerification:
+    def test_tampered_schedule_fails_verification(
+        self, arbiter3, arbiter3_analyzer
+    ):
+        from dataclasses import replace
+
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        certificate = adversary.build_run(stages=5)
+        # Claim a different final configuration: replay must disagree.
+        forged = replace(certificate, final=certificate.initial)
+        assert not forged.verify(arbiter3)
+        # Claim the fault started later than it did: the faulty process
+        # "stepping" before certificate.fault_point is fine, but moving
+        # fault_point to 0 makes its early steps violations.
+        if certificate.fault_point and certificate.fault_point > 0:
+            earlier = replace(certificate, fault_point=0)
+            assert not earlier.verify(arbiter3)
+
+    def test_summary_mentions_mode(self, arbiter3, arbiter3_analyzer):
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        certificate = adversary.build_run(stages=3)
+        assert certificate.mode.value in certificate.summary()
+
+    def test_deterministic_across_calls(self, two_pc3):
+        a = FLPAdversary(two_pc3).build_run(stages=4)
+        b = FLPAdversary(two_pc3).build_run(stages=4)
+        assert a.schedule == b.schedule
+        assert a.final == b.final

@@ -1,0 +1,114 @@
+"""Tests for the executable Lemma 1 (commutativity) checker.
+
+Includes the hypothesis property test that is this reproduction's
+strongest check of the step semantics: for random reachable
+configurations and random disjoint applicable schedule pairs, the
+Figure-1 diamond must always close.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary.lemmas import (
+    commutativity_diamond,
+    random_disjoint_schedules,
+)
+from repro.core.events import NULL, Event, Schedule
+from repro.protocols import (
+    ArbiterProcess,
+    ParityArbiterProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+PROTOCOL_FACTORIES = {
+    "arbiter": lambda: make_protocol(ArbiterProcess, 3),
+    "parity": lambda: make_protocol(ParityArbiterProcess, 3),
+    "wait-for-all": lambda: make_protocol(WaitForAllProcess, 3),
+    "2pc": lambda: make_protocol(TwoPhaseCommitProcess, 3),
+}
+_CACHE = {}
+
+
+def protocol_named(name):
+    if name not in _CACHE:
+        _CACHE[name] = PROTOCOL_FACTORIES[name]()
+    return _CACHE[name]
+
+
+class TestDiamond:
+    def test_empty_schedules_commute_trivially(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        witness = commutativity_diamond(
+            arbiter3, config, Schedule(), Schedule()
+        )
+        assert witness.meet == config
+        assert witness.verify(arbiter3)
+
+    def test_null_steps_commute(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        witness = commutativity_diamond(
+            arbiter3,
+            config,
+            Schedule([Event("p1", NULL)]),
+            Schedule([Event("p2", NULL)]),
+        )
+        assert witness.verify(arbiter3)
+        # Both proposers claimed, in either order: same configuration.
+        assert len(witness.meet.buffer) == 2
+
+    def test_overlapping_schedules_rejected(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        with pytest.raises(ValueError, match="disjoint"):
+            commutativity_diamond(
+                arbiter3,
+                config,
+                Schedule([Event("p1", NULL)]),
+                Schedule([Event("p1", NULL)]),
+            )
+
+    def test_witness_rejects_tampering(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        witness = commutativity_diamond(
+            arbiter3,
+            config,
+            Schedule([Event("p1", NULL)]),
+            Schedule([Event("p2", NULL)]),
+        )
+        from dataclasses import replace
+
+        forged = replace(witness, meet=witness.configuration)
+        assert not forged.verify(arbiter3)
+
+
+class TestRandomDisjointSchedules:
+    def test_generated_schedules_are_disjoint_and_applicable(self, arbiter3):
+        rng = random.Random(0)
+        config = arbiter3.initial_configuration([0, 1, 1])
+        for _ in range(30):
+            sigma1, sigma2 = random_disjoint_schedules(arbiter3, config, rng)
+            assert sigma1.is_disjoint_from(sigma2)
+            arbiter3.apply_schedule(config, sigma1)  # must not raise
+            arbiter3.apply_schedule(config, sigma2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(PROTOCOL_FACTORIES)),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_lemma1_property(name, seed):
+    """Lemma 1, property-based: every random diamond closes."""
+    protocol = protocol_named(name)
+    rng = random.Random(seed)
+    inputs = [rng.randint(0, 1) for _ in protocol.process_names]
+    config = protocol.initial_configuration(inputs)
+    for _ in range(rng.randint(0, 8)):
+        events = protocol.enabled_events(config)
+        config = protocol.apply_event(config, rng.choice(events))
+    sigma1, sigma2 = random_disjoint_schedules(protocol, config, rng)
+    witness = commutativity_diamond(protocol, config, sigma1, sigma2)
+    assert witness.verify(protocol)

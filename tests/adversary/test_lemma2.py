@@ -1,0 +1,91 @@
+"""Tests for the executable Lemma 2 checker."""
+
+from repro.adversary.lemmas import find_lemma2
+from repro.core.valency import Valency, ValencyAnalyzer
+from repro.protocols import (
+    AlwaysZeroProcess,
+    InputEchoProcess,
+    make_protocol,
+)
+
+
+class TestBivalentInitials:
+    def test_arbiter_has_bivalent_initial(self, arbiter3, arbiter3_analyzer):
+        result = find_lemma2(arbiter3, arbiter3_analyzer)
+        assert result.certificate is not None
+        assert result.certificate.verify(arbiter3)
+        vector = arbiter3.input_vector(result.certificate.bivalent_initial)
+        # The proposers (p1, p2) must disagree for bivalence.
+        assert vector[1] != vector[2]
+
+    def test_parity_arbiter_has_bivalent_initial(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        result = find_lemma2(parity_arbiter3, parity_arbiter3_analyzer)
+        assert result.certificate is not None
+        assert result.certificate.verify(parity_arbiter3)
+
+    def test_classification_covers_all_initials(
+        self, arbiter3, arbiter3_analyzer
+    ):
+        result = find_lemma2(arbiter3, arbiter3_analyzer)
+        assert len(result.classification) == 8
+        census = list(result.classification.values())
+        assert census.count(Valency.BIVALENT) == 4
+
+
+class TestBoundary:
+    def test_wait_for_all_has_boundary_not_bivalence(
+        self, wait_for_all3, wait_for_all3_analyzer
+    ):
+        result = find_lemma2(wait_for_all3, wait_for_all3_analyzer)
+        assert result.certificate is None
+        assert result.boundary is not None
+        zero, one, process = result.boundary
+        assert (
+            wait_for_all3_analyzer.valency(zero) is Valency.ZERO_VALENT
+        )
+        assert wait_for_all3_analyzer.valency(one) is Valency.ONE_VALENT
+        # The two initial configurations differ exactly at `process`.
+        zero_vec = wait_for_all3.input_vector(zero)
+        one_vec = wait_for_all3.input_vector(one)
+        diffs = [
+            name
+            for name, a, b in zip(
+                wait_for_all3.process_names, zero_vec, one_vec
+            )
+            if a != b
+        ]
+        assert diffs == [process]
+
+    def test_boundary_orientation(self, two_pc3):
+        analyzer = ValencyAnalyzer(two_pc3)
+        result = find_lemma2(two_pc3, analyzer)
+        zero, one, _ = result.boundary
+        # 2PC commits (decides 1) iff all inputs are 1.
+        assert two_pc3.input_vector(one) == (1, 1, 1)
+        assert sum(two_pc3.input_vector(zero)) == 2
+
+
+class TestDegenerateProtocols:
+    def test_always_zero_has_no_lemma2_objects(self):
+        protocol = make_protocol(AlwaysZeroProcess, 2)
+        analyzer = ValencyAnalyzer(protocol)
+        result = find_lemma2(protocol, analyzer)
+        assert result.certificate is None
+        assert result.boundary is None  # no 1-valent initial exists
+        assert result.none_valent is None
+        assert all(
+            valency is Valency.ZERO_VALENT
+            for valency in result.classification.values()
+        )
+
+    def test_input_echo_counts_as_bivalent(self):
+        # InputEcho violates agreement, so mixed-input initials reach
+        # configurations with decision values {0} and {1}: V = {0, 1}.
+        # Lemma 2 machinery reports them as bivalent — correctly, since
+        # bivalence is defined via V, not via safety.
+        protocol = make_protocol(InputEchoProcess, 2)
+        analyzer = ValencyAnalyzer(protocol)
+        result = find_lemma2(protocol, analyzer)
+        assert result.certificate is not None

@@ -1,0 +1,77 @@
+"""Integration: Theorem 1's adversary defeats Theorem 2's own protocol.
+
+Section 4's protocol is partially correct and totally *usable* when all
+failures are initial — but it is not totally correct in spite of one
+fault, and Theorem 1 says no protocol is.  This test runs the adversary
+against the initially-dead-processes protocol at N=3 (where its
+reachable graph is finite) and checks the collision plays out exactly
+as the two theorems predict:
+
+* the protocol HAS bivalent initial configurations — its decision
+  depends on the stage-1 hearing order, not just the inputs;
+* the staged construction makes progress, then hits a serialization
+  point and exits through fault mode;
+* the silenced process is a mid-protocol death — precisely the failure
+  Section 4's hypotheses ("no processes die during its execution")
+  exclude, observed here being *necessary*.
+"""
+
+import pytest
+
+from repro.adversary.certificates import AdversaryMode
+from repro.adversary.flp import FLPAdversary
+from repro.protocols import InitiallyDeadProcess, make_protocol
+
+
+@pytest.fixture(scope="module")
+def collision():
+    protocol = make_protocol(InitiallyDeadProcess, 3)
+    adversary = FLPAdversary(protocol)
+    certificate = adversary.build_run(stages=10)
+    return protocol, adversary, certificate
+
+
+class TestTheoremsCollide:
+    def test_theorem2_protocol_has_bivalent_initials(self, collision):
+        _protocol, adversary, _certificate = collision
+        lemma2 = adversary.last_lemma2
+        assert lemma2 is not None
+        assert lemma2.certificate is not None  # bivalent initial exists
+
+    def test_adversary_wins_via_fault_mode(self, collision):
+        _protocol, _adversary, certificate = collision
+        assert certificate.mode is AdversaryMode.FAULT
+        assert certificate.faulty_process is not None
+        assert len(certificate.stages) >= 1  # staged progress first
+
+    def test_certificate_verifies(self, collision):
+        protocol, _adversary, certificate = collision
+        assert certificate.verify(protocol)
+
+    def test_hypercube_census(self, collision):
+        """Uniform inputs are univalent (validity pins the outcome);
+        mixed inputs are bivalent (the stage-1 hearing order decides
+        who is in the initial clique)."""
+        from repro.core.valency import Valency
+
+        _protocol, adversary, _certificate = collision
+        classification = adversary.last_lemma2.classification
+        assert classification[(0, 0, 0)] is Valency.ZERO_VALENT
+        assert classification[(1, 1, 1)] is Valency.ONE_VALENT
+        mixed = [
+            valency
+            for vector, valency in classification.items()
+            if len(set(vector)) == 2
+        ]
+        assert Valency.BIVALENT in mixed
+
+    def test_fault_is_a_mid_protocol_death(self, collision):
+        """The victim took steps before being silenced: this is a death
+        DURING execution, the case Theorem 2 excludes."""
+        _protocol, _adversary, certificate = collision
+        victim = certificate.faulty_process
+        pre_fault = [
+            event.process
+            for event in certificate.schedule[: certificate.fault_point]
+        ]
+        assert victim in pre_fault

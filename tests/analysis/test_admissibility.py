@@ -1,0 +1,158 @@
+"""Tests for admissibility accounting."""
+
+from repro.adversary.certificates import AdversaryMode
+from repro.adversary.flp import FLPAdversary
+from repro.analysis.admissibility import analyze_admissibility
+from repro.core.events import NULL, Event, Schedule
+from repro.core.simulation import StopCondition, simulate
+from repro.schedulers import RoundRobinScheduler
+
+
+class TestBasicAccounting:
+    def test_empty_prefix(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        report = analyze_admissibility(arbiter3, initial, Schedule())
+        assert report.length == 0
+        assert report.fault_ok
+        assert report.max_delivery_lag == 0
+        assert report.oldest_pending_age == 0
+
+    def test_step_gaps_counted(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule(
+            [Event("p1", NULL), Event("p1", NULL), Event("p2", NULL)]
+        )
+        report = analyze_admissibility(arbiter3, initial, schedule)
+        # p0 never stepped: gap spans the whole 3-event prefix.
+        assert report.max_step_gap["p0"] == 3
+        assert report.max_step_gap["p2"] == 2
+
+    def test_delivery_lag_measured(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule(
+            [
+                Event("p1", NULL),  # sends claim at index 0
+                Event("p2", NULL),
+                Event("p0", ("claim", "p1", 0)),  # delivered at 2
+            ]
+        )
+        report = analyze_admissibility(arbiter3, initial, schedule)
+        assert report.max_delivery_lag == 2
+
+    def test_pending_age_at_end(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p1", NULL), Event("p2", NULL)])
+        report = analyze_admissibility(arbiter3, initial, schedule)
+        # p1's claim has been pending since index 0: age 2.
+        assert report.oldest_pending_age == 2
+
+    def test_mail_to_faulty_not_debt(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p1", NULL), Event("p2", NULL)])
+        report = analyze_admissibility(
+            arbiter3, initial, schedule, faulty=frozenset({"p0"})
+        )
+        assert report.oldest_pending_age == 0
+        assert report.pending_to_faulty == 2
+
+
+class TestViolations:
+    def test_faulty_step_after_fault_point(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p0", NULL)])
+        report = analyze_admissibility(
+            arbiter3,
+            initial,
+            schedule,
+            faulty=frozenset({"p0"}),
+            fault_point=0,
+        )
+        assert not report.fault_ok
+        assert report.violations
+
+    def test_faulty_step_before_fault_point_is_fine(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p0", NULL), Event("p1", NULL)])
+        report = analyze_admissibility(
+            arbiter3,
+            initial,
+            schedule,
+            faulty=frozenset({"p0"}),
+            fault_point=1,
+        )
+        assert report.fault_ok
+
+    def test_two_faulty_processes_rejected(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        report = analyze_admissibility(
+            arbiter3,
+            initial,
+            Schedule(),
+            faulty=frozenset({"p0", "p1"}),
+        )
+        assert not report.fault_ok
+
+
+class TestConsistencyJudgement:
+    def test_fair_run_is_consistent(self, wait_for_all3):
+        result = simulate(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([1, 0, 1]),
+            RoundRobinScheduler(),
+            max_steps=200,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        report = analyze_admissibility(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([1, 0, 1]),
+            result.schedule,
+        )
+        assert report.consistent_with_admissible(
+            step_gap_bound=10, lag_bound=20
+        )
+
+    def test_starving_run_is_not(self, wait_for_all3):
+        initial = wait_for_all3.initial_configuration([1, 0, 1])
+        schedule = Schedule([Event("p0", NULL)] * 12)
+        report = analyze_admissibility(wait_for_all3, initial, schedule)
+        assert not report.consistent_with_admissible(
+            step_gap_bound=5, lag_bound=100
+        )
+
+
+class TestAdversaryFairness:
+    def test_staged_certificate_is_fair(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=24)
+        assert certificate.mode is AdversaryMode.BIVALENCE_PRESERVING
+        report = analyze_admissibility(
+            parity_arbiter3, certificate.initial, certificate.schedule
+        )
+        assert report.fault_ok
+        n = len(parity_arbiter3.process_names)
+        # Queue discipline bounds gaps and lags by ~2 queue rotations.
+        assert report.consistent_with_admissible(
+            step_gap_bound=4 * n, lag_bound=6 * n
+        ), report.summary()
+
+    def test_fault_certificate_is_fair_modulo_one_victim(
+        self, arbiter3, arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(arbiter3, analyzer=arbiter3_analyzer)
+        certificate = adversary.build_run(stages=10)
+        faulty = frozenset({certificate.faulty_process})
+        report = analyze_admissibility(
+            arbiter3,
+            certificate.initial,
+            certificate.schedule,
+            faulty=faulty,
+            fault_point=certificate.fault_point,
+        )
+        assert report.fault_ok
+        assert report.oldest_pending_age <= len(certificate.schedule)
+        # All remaining mail is addressed to the victim.
+        assert report.pending_to_faulty >= 0

@@ -1,0 +1,38 @@
+"""Tests for the Lemma-2 hypercube renderer."""
+
+from repro.analysis.diagrams import hypercube_diagram
+from repro.core.valency import ValencyAnalyzer
+
+
+class TestHypercubeDiagram:
+    def test_gray_code_rows_are_adjacent(self, arbiter3, arbiter3_analyzer):
+        text = hypercube_diagram(arbiter3_analyzer.classify_initials())
+        lines = [l for l in text.splitlines()[1:] if l.strip()]
+        assert len(lines) == 8
+        previous = None
+        for line in lines:
+            bits = line.split()[0]
+            vector = tuple(int(c) for c in bits)
+            if previous is not None:
+                assert sum(
+                    a != b for a, b in zip(previous, vector)
+                ) == 1  # Gray code: one flip per row
+                assert "flip p" in line
+            previous = vector
+
+    def test_valency_glyphs_present(self, arbiter3_analyzer):
+        text = hypercube_diagram(arbiter3_analyzer.classify_initials())
+        assert "[±]" in text  # bivalent corners exist for the arbiter
+        assert "[0]" in text and "[1]" in text
+
+    def test_boundary_visible_for_input_determined(
+        self, wait_for_all3_analyzer
+    ):
+        text = hypercube_diagram(
+            wait_for_all3_analyzer.classify_initials()
+        )
+        assert "[±]" not in text  # no bivalent corner
+        assert "[0]" in text and "[1]" in text
+
+    def test_empty_classification(self):
+        assert "empty" in hypercube_diagram({})

@@ -1,0 +1,74 @@
+"""Tests for the space-time diagram renderer."""
+
+from repro.adversary.flp import FLPAdversary
+from repro.analysis.spacetime import _resolve_events, spacetime_diagram
+from repro.core.events import NULL, Event, Schedule
+
+
+def arbiter_schedule():
+    return Schedule(
+        [
+            Event("p1", NULL),
+            Event("p2", NULL),
+            Event("p0", ("claim", "p1", 0)),
+            Event("p1", ("verdict", 0)),
+        ]
+    )
+
+
+class TestResolveEvents:
+    def test_delivery_links_to_send_step(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        rows = _resolve_events(arbiter3, initial, arbiter_schedule())
+        delivery = rows[2]
+        assert delivery.kind == "recv"
+        assert delivery.sent_at == 0  # p1's claim was sent at step 0
+
+    def test_sends_recorded(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        rows = _resolve_events(arbiter3, initial, arbiter_schedule())
+        assert rows[0].sends == (("p0", ("claim", "p1", 0)),)
+        # The arbiter's decision broadcasts two verdicts.
+        assert len(rows[2].sends) == 2
+
+    def test_decisions_marked_once(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        rows = _resolve_events(arbiter3, initial, arbiter_schedule())
+        decided = [(r.process, r.decided) for r in rows if r.decided is not None]
+        assert decided == [("p0", 0), ("p1", 0)]
+
+    def test_null_steps(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        rows = _resolve_events(arbiter3, initial, arbiter_schedule())
+        assert rows[0].kind == "null"
+        assert rows[0].value is None
+
+
+class TestDiagram:
+    def test_columns_and_markers(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        text = spacetime_diagram(arbiter3, initial, arbiter_schedule())
+        assert "p0" in text.splitlines()[0]
+        assert "◁" in text and "▷" in text and "·" in text
+        assert "★DECIDES 0" in text
+        assert "decisions: p0=0, p1=0" in text
+
+    def test_truncation(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        text = spacetime_diagram(
+            arbiter3, initial, arbiter_schedule(), max_rows=2
+        )
+        assert "2 more steps" in text
+
+    def test_adversary_run_shows_no_decisions(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        adversary = FLPAdversary(
+            parity_arbiter3, analyzer=parity_arbiter3_analyzer
+        )
+        certificate = adversary.build_run(stages=6)
+        text = spacetime_diagram(
+            parity_arbiter3, certificate.initial, certificate.schedule
+        )
+        assert "nobody ever decided" in text
+        assert "★" not in text

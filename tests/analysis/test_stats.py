@@ -1,0 +1,90 @@
+"""Unit tests for the stats/table helpers."""
+
+import pytest
+
+from repro.analysis.stats import format_table, mean, median, quantile, stddev
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_single(self):
+        assert mean([5]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_generators(self):
+        assert mean(x for x in (2, 4)) == 3.0
+
+
+class TestQuantiles:
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert quantile(data, 0.0) == 1
+        assert quantile(data, 1.0) == 9
+
+    def test_interpolation(self):
+        assert quantile([0, 10], 0.25) == 2.5
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_single_value(self):
+        assert quantile([7], 0.9) == 7
+
+
+class TestStddev:
+    def test_constant_sequence(self):
+        assert stddev([4, 4, 4]) == 0.0
+
+    def test_known_value(self):
+        assert stddev([0, 2]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stddev([])
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_headers(self):
+        rows = [
+            {"name": "arbiter", "ok": True},
+            {"name": "2pc", "ok": False},
+        ]
+        rendered = format_table(rows)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("name")
+        assert "arbiter" in lines[2]
+        # Columns align: every line equally wide or shorter.
+        assert lines[1].startswith("-")
+
+    def test_explicit_header_order(self):
+        rows = [{"a": 1, "b": 2}]
+        rendered = format_table(rows, headers=["b", "a"])
+        assert rendered.splitlines()[0].startswith("b")
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        rendered = format_table(rows, headers=["a", "b"])
+        assert "3" in rendered
+
+    def test_floats_formatted(self):
+        rendered = format_table([{"x": 1.23456}])
+        assert "1.235" in rendered

@@ -1,0 +1,68 @@
+"""Unit tests for run traces."""
+
+from repro.analysis.trace import trace_run
+from repro.core.events import NULL, Event, Schedule
+
+
+class TestTraceRun:
+    def test_steps_align_with_schedule(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p1", NULL), Event("p2", NULL)])
+        trace = trace_run(arbiter3, initial, schedule)
+        assert len(trace.steps) == 2
+        assert trace.steps[0].event == Event("p1", NULL)
+        assert trace.initial == initial
+
+    def test_final_matches_apply_schedule(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p1", NULL), Event("p2", NULL)])
+        trace = trace_run(arbiter3, initial, schedule)
+        assert trace.final == arbiter3.apply_schedule(initial, schedule)
+
+    def test_empty_schedule(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        trace = trace_run(arbiter3, initial, Schedule())
+        assert trace.final == initial
+        assert trace.decisions == {}
+        assert trace.first_decision_step is None
+
+    def test_decisions_annotated_once(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule(
+            [
+                Event("p1", NULL),
+                Event("p0", ("claim", "p1", 0)),
+                Event("p1", ("verdict", 0)),
+            ]
+        )
+        trace = trace_run(arbiter3, initial, schedule)
+        assert trace.decisions == {"p0": 0, "p1": 0}
+        assert trace.first_decision_step == 1
+        # Each decision reported exactly once.
+        announced = [
+            name
+            for step in trace.steps
+            for name, _ in step.new_decisions
+        ]
+        assert sorted(announced) == ["p0", "p1"]
+
+    def test_describe_mentions_decisions(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule(
+            [Event("p1", NULL), Event("p0", ("claim", "p1", 0))]
+        )
+        text = trace_run(arbiter3, initial, schedule).describe()
+        assert "p0 decides 0" in text
+
+    def test_describe_truncation(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        schedule = Schedule([Event("p1", NULL)] * 10)
+        text = trace_run(arbiter3, initial, schedule).describe(limit=3)
+        assert "7 more steps" in text
+
+    def test_nondeciding_run_reported(self, arbiter3):
+        initial = arbiter3.initial_configuration([0, 0, 1])
+        text = trace_run(
+            arbiter3, initial, Schedule([Event("p1", NULL)])
+        ).describe()
+        assert "nobody ever decided" in text

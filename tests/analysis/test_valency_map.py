@@ -1,0 +1,57 @@
+"""Tests for the whole-graph valency decomposition."""
+
+from repro.analysis.valency_map import build_valency_map
+from repro.core.valency import Valency
+
+
+class TestValencyMap:
+    def test_census_totals(self, arbiter3, arbiter3_analyzer):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        vmap = build_valency_map(arbiter3, root, analyzer=arbiter3_analyzer)
+        assert vmap.complete
+        assert vmap.total > 0
+        assert sum(vmap.counts.values()) == vmap.total
+        assert vmap.counts[Valency.BIVALENT] >= 1
+
+    def test_univalent_root_has_no_bivalent_region(
+        self, arbiter3, arbiter3_analyzer
+    ):
+        root = arbiter3.initial_configuration([0, 0, 0])
+        vmap = build_valency_map(arbiter3, root, analyzer=arbiter3_analyzer)
+        assert Valency.BIVALENT not in vmap.counts
+        assert vmap.bivalent_fraction == 0.0
+        assert vmap.critical_steps == ()
+
+    def test_critical_steps_are_real_edges(self, arbiter3, arbiter3_analyzer):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        vmap = build_valency_map(arbiter3, root, analyzer=arbiter3_analyzer)
+        assert vmap.critical_steps
+        for step in vmap.critical_steps:
+            assert (
+                arbiter3_analyzer.valency(step.source) is Valency.BIVALENT
+            )
+            target = arbiter3.apply_event(step.source, step.event)
+            assert target == step.target
+            assert (
+                arbiter3_analyzer.valency(target) is step.target_valency
+            )
+            assert step.target_valency.is_univalent
+
+    def test_parity_arbiter_critical_steps_exist(
+        self, parity_arbiter3, parity_arbiter3_analyzer
+    ):
+        # Even the eternally-stallable protocol HAS critical steps (the
+        # fresh-claim deliveries); the adversary just never takes them.
+        root = parity_arbiter3.initial_configuration([0, 0, 1])
+        vmap = build_valency_map(
+            parity_arbiter3, root, analyzer=parity_arbiter3_analyzer
+        )
+        assert vmap.critical_steps
+        assert 0 < vmap.bivalent_fraction < 1
+
+    def test_summary_mentions_counts(self, arbiter3, arbiter3_analyzer):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        vmap = build_valency_map(arbiter3, root, analyzer=arbiter3_analyzer)
+        text = vmap.summary()
+        assert "configurations" in text
+        assert "critical steps" in text

@@ -1,0 +1,60 @@
+"""Shared fixtures: session-scoped protocol instances and analyzers.
+
+Valency analysis amortizes across tests through shared
+:class:`ValencyAnalyzer` caches, so the suite stays fast even though
+many tests ask exhaustive questions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import (
+    ArbiterProcess,
+    ParityArbiterProcess,
+    ThreePhaseCommitProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+
+@pytest.fixture(scope="session")
+def arbiter3():
+    return make_protocol(ArbiterProcess, 3)
+
+
+@pytest.fixture(scope="session")
+def parity_arbiter3():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+@pytest.fixture(scope="session")
+def wait_for_all3():
+    return make_protocol(WaitForAllProcess, 3)
+
+
+@pytest.fixture(scope="session")
+def two_pc3():
+    return make_protocol(TwoPhaseCommitProcess, 3)
+
+
+@pytest.fixture(scope="session")
+def three_pc3():
+    return make_protocol(ThreePhaseCommitProcess, 3)
+
+
+@pytest.fixture(scope="session")
+def arbiter3_analyzer(arbiter3):
+    return ValencyAnalyzer(arbiter3)
+
+
+@pytest.fixture(scope="session")
+def parity_arbiter3_analyzer(parity_arbiter3):
+    return ValencyAnalyzer(parity_arbiter3)
+
+
+@pytest.fixture(scope="session")
+def wait_for_all3_analyzer(wait_for_all3):
+    return ValencyAnalyzer(wait_for_all3)

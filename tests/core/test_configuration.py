@@ -1,0 +1,108 @@
+"""Unit tests for configurations."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.errors import UnknownProcess
+from repro.core.messages import Message, MessageBuffer
+from repro.core.process import ProcessState
+from repro.core.values import UNDECIDED
+
+
+def make_config(outputs=(UNDECIDED, UNDECIDED), buffer=None):
+    states = {
+        f"p{i}": ProcessState(0, output, ())
+        for i, output in enumerate(outputs)
+    }
+    return Configuration(states, buffer or MessageBuffer.empty())
+
+
+class TestConstruction:
+    def test_requires_at_least_one_process(self):
+        with pytest.raises(ValueError):
+            Configuration({}, MessageBuffer.empty())
+
+    def test_process_names_sorted(self):
+        config = make_config((UNDECIDED, UNDECIDED, UNDECIDED))
+        assert config.process_names == ("p0", "p1", "p2")
+
+    def test_state_of_unknown_process(self):
+        with pytest.raises(UnknownProcess):
+            make_config().state_of("p99")
+
+    def test_len_and_contains(self):
+        config = make_config()
+        assert len(config) == 2
+        assert "p0" in config
+        assert "p9" not in config
+
+
+class TestDecisionStructure:
+    def test_no_decisions_initially(self):
+        config = make_config()
+        assert config.decision_values() == frozenset()
+        assert not config.has_decision
+        assert config.decided_processes() == ()
+
+    def test_single_decision(self):
+        config = make_config((1, UNDECIDED))
+        assert config.decision_values() == frozenset({1})
+        assert config.has_decision
+        assert config.decided_processes() == ("p0",)
+
+    def test_conflicting_decisions_both_reported(self):
+        # Such configurations violate partial correctness but must be
+        # representable so the checker can point at them.
+        config = make_config((0, 1))
+        assert config.decision_values() == frozenset({0, 1})
+
+
+class TestFunctionalUpdates:
+    def test_with_state_replaces_one_process(self):
+        config = make_config()
+        updated = config.with_state("p0", ProcessState(0, 1, ()))
+        assert updated.state_of("p0").output == 1
+        assert config.state_of("p0").output is UNDECIDED  # original intact
+
+    def test_with_state_unknown_process(self):
+        with pytest.raises(UnknownProcess):
+            make_config().with_state("p9", ProcessState(0, UNDECIDED, ()))
+
+    def test_with_buffer(self):
+        buffer = MessageBuffer.of([Message("p0", "x")])
+        updated = make_config().with_buffer(buffer)
+        assert updated.buffer == buffer
+
+    def test_replace_changes_state_and_buffer_atomically(self):
+        buffer = MessageBuffer.of([Message("p1", "y")])
+        updated = make_config().replace(
+            "p1", ProcessState(0, 0, ("d",)), buffer
+        )
+        assert updated.state_of("p1").data == ("d",)
+        assert updated.buffer == buffer
+        assert updated.state_of("p0") == make_config().state_of("p0")
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert make_config() == make_config()
+        assert hash(make_config()) == hash(make_config())
+
+    def test_buffer_contents_matter(self):
+        a = make_config(buffer=MessageBuffer.of([Message("p0", "x")]))
+        assert a != make_config()
+
+    def test_state_differences_matter(self):
+        assert make_config((1, UNDECIDED)) != make_config((0, UNDECIDED))
+
+    def test_usable_in_sets(self):
+        assert len({make_config(), make_config()}) == 1
+
+
+class TestRendering:
+    def test_repr_is_compact(self):
+        text = repr(make_config((1, UNDECIDED)))
+        assert "p0" in text and "y=1" in text and "y=b" in text
+
+    def test_describe_is_multiline(self):
+        assert len(make_config().describe().splitlines()) >= 3

@@ -1,0 +1,101 @@
+"""Unit tests for the partial-correctness and validity checkers."""
+
+from repro.core.correctness import check_partial_correctness, check_validity
+from repro.protocols import (
+    AlwaysZeroProcess,
+    ArbiterProcess,
+    InputEchoProcess,
+    ParityArbiterProcess,
+    QuorumVoteProcess,
+    ThreePhaseCommitProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+
+class TestPartialCorrectnessPositive:
+    def test_arbiter(self, arbiter3):
+        report = check_partial_correctness(arbiter3)
+        assert report.is_partially_correct
+        assert report.complete
+        assert report.disagreement_witness is None
+
+    def test_parity_arbiter(self, parity_arbiter3):
+        assert check_partial_correctness(
+            parity_arbiter3
+        ).is_partially_correct
+
+    def test_wait_for_all(self, wait_for_all3):
+        assert check_partial_correctness(wait_for_all3).is_partially_correct
+
+    def test_two_phase_commit(self, two_pc3):
+        assert check_partial_correctness(two_pc3).is_partially_correct
+
+    def test_three_phase_commit(self, three_pc3):
+        assert check_partial_correctness(three_pc3).is_partially_correct
+
+
+class TestPartialCorrectnessNegative:
+    def test_always_zero_fails_condition_two(self):
+        protocol = make_protocol(AlwaysZeroProcess, 3)
+        report = check_partial_correctness(protocol)
+        assert not report.is_partially_correct
+        assert report.agreement_ok  # condition (1) holds
+        assert report.zero_reachable
+        assert not report.one_reachable  # condition (2) fails
+
+    def test_input_echo_fails_agreement(self):
+        protocol = make_protocol(InputEchoProcess, 2)
+        report = check_partial_correctness(protocol)
+        assert not report.agreement_ok
+        witness = report.disagreement_witness
+        assert witness is not None
+        assert len(witness.decision_values()) == 2
+
+    def test_quorum_vote_fails_agreement(self):
+        protocol = make_protocol(QuorumVoteProcess, 3)
+        report = check_partial_correctness(protocol)
+        assert not report.agreement_ok
+        assert report.disagreement_witness is not None
+
+    def test_summary_strings(self):
+        good = check_partial_correctness(make_protocol(ArbiterProcess, 3))
+        bad = check_partial_correctness(make_protocol(InputEchoProcess, 2))
+        assert "NOT" not in good.summary()
+        assert "NOT" in bad.summary()
+
+
+class TestBoundedExploration:
+    def test_incomplete_flag_reported(self):
+        protocol = make_protocol(WaitForAllProcess, 3)
+        report = check_partial_correctness(protocol, max_configurations=5)
+        assert not report.complete
+
+
+class TestValidity:
+    def test_safe_zoo_is_valid(self):
+        for cls in (
+            ArbiterProcess,
+            ParityArbiterProcess,
+            WaitForAllProcess,
+            TwoPhaseCommitProcess,
+            ThreePhaseCommitProcess,
+        ):
+            report = check_validity(make_protocol(cls, 3))
+            assert report.valid, cls.__name__
+
+    def test_quorum_vote_is_valid_but_disagrees(self):
+        # Quorum voting decides only input values — it is valid; its sin
+        # is disagreement, and the two checkers must separate the two.
+        protocol = make_protocol(QuorumVoteProcess, 3)
+        assert check_validity(protocol).valid
+        assert not check_partial_correctness(protocol).agreement_ok
+
+    def test_always_zero_violates_validity(self):
+        # With all-ones inputs, AlwaysZero still decides 0: invalid.
+        protocol = make_protocol(AlwaysZeroProcess, 2)
+        report = check_validity(protocol)
+        assert not report.valid
+        assert report.violating_value == 0
+        assert report.violation_witness is not None

@@ -1,0 +1,73 @@
+"""Tests for the determinism spot-checker."""
+
+import pytest
+
+from repro.core.correctness import check_determinism
+from repro.core.process import Process, Transition
+from repro.core.protocol import Protocol
+from repro.protocols import (
+    ArbiterProcess,
+    BenOrProcess,
+    ParityArbiterProcess,
+    TwoPhaseCommitProcess,
+    make_protocol,
+)
+
+
+class FlakyProcess(Process):
+    """Deliberately nondeterministic: alternates behaviours per call."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self._flip = False
+
+    def initial_data(self, input_value):
+        return ()
+
+    def step(self, state, message_value):
+        self._flip = not self._flip
+        if self._flip and not state.decided:
+            return Transition(state.with_decision(state.input), ())
+        return Transition(state, ())
+
+
+class TestCheckDeterminism:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            ArbiterProcess,
+            ParityArbiterProcess,
+            TwoPhaseCommitProcess,
+        ],
+    )
+    def test_zoo_is_deterministic(self, cls):
+        report = check_determinism(make_protocol(cls, 3))
+        assert report.deterministic
+        assert report.transitions_checked > 0
+        assert "deterministic" in report.summary()
+
+    def test_benor_tapes_are_deterministic(self):
+        # Randomized consensus with PRE-COMMITTED tapes is mechanically
+        # deterministic — the design point the docstring makes.
+        report = check_determinism(make_protocol(BenOrProcess, 3, seed=4))
+        assert report.deterministic
+
+    def test_flaky_process_caught(self):
+        protocol = Protocol([FlakyProcess("p0"), FlakyProcess("p1")])
+        report = check_determinism(protocol, walks=5, max_steps=4)
+        assert not report.deterministic
+        assert report.violation_process in ("p0", "p1")
+        assert "NONDETERMINISTIC" in report.summary()
+
+    def test_reproducible_given_seed(self):
+        protocol = make_protocol(ArbiterProcess, 3)
+        a = check_determinism(protocol, seed=9)
+        b = check_determinism(protocol, seed=9)
+        assert a.transitions_checked == b.transitions_checked
+
+    def test_cli_reports_determinism(self, capsys):
+        from repro.cli import main
+
+        main(["check", "arbiter"])
+        out = capsys.readouterr().out
+        assert "determinism: deterministic" in out

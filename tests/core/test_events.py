@@ -1,0 +1,114 @@
+"""Unit tests for events and schedules."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.events import NULL, Event, Schedule
+from repro.core.messages import Message, MessageBuffer
+from repro.core.process import ProcessState
+from repro.core.values import UNDECIDED
+
+
+def config_with(messages=()):
+    states = {
+        "p0": ProcessState(0, UNDECIDED, ()),
+        "p1": ProcessState(1, UNDECIDED, ()),
+    }
+    return Configuration(states, MessageBuffer.of(list(messages)))
+
+
+class TestEvent:
+    def test_null_delivery_flag(self):
+        assert Event("p0").is_null_delivery
+        assert Event("p0", NULL).is_null_delivery
+        assert not Event("p0", "m").is_null_delivery
+
+    def test_message_property(self):
+        assert Event("p0").message is None
+        assert Event("p0", "m").message == Message("p0", "m")
+
+    def test_null_always_applicable(self):
+        assert Event("p0").is_applicable(config_with())
+
+    def test_delivery_requires_buffered_message(self):
+        event = Event("p0", "m")
+        assert not event.is_applicable(config_with())
+        assert event.is_applicable(config_with([Message("p0", "m")]))
+
+    def test_wrong_destination_not_applicable(self):
+        event = Event("p1", "m")
+        assert not event.is_applicable(config_with([Message("p0", "m")]))
+
+    def test_unknown_process_not_applicable(self):
+        assert not Event("p9").is_applicable(config_with())
+
+    def test_equality_and_hash(self):
+        assert Event("p0", "m") == Event("p0", "m")
+        assert Event("p0") == Event("p0", NULL)
+        assert Event("p0", "m") != Event("p0", "n")
+        assert hash(Event("p0")) == hash(Event("p0", NULL))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Event("p0").process = "p1"
+
+    def test_repr(self):
+        assert "NULL" in repr(Event("p0"))
+        assert "'m'" in repr(Event("p0", "m"))
+
+
+class TestSchedule:
+    def test_empty_schedule_is_falsy(self):
+        assert not Schedule()
+        assert len(Schedule()) == 0
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            Schedule(["not an event"])
+
+    def test_single(self):
+        schedule = Schedule.single(Event("p0"))
+        assert len(schedule) == 1
+
+    def test_processes(self):
+        schedule = Schedule([Event("p0"), Event("p1", "m"), Event("p0")])
+        assert schedule.processes() == frozenset({"p0", "p1"})
+
+    def test_disjointness(self):
+        a = Schedule([Event("p0")])
+        b = Schedule([Event("p1")])
+        c = Schedule([Event("p0", "m")])
+        assert a.is_disjoint_from(b)
+        assert not a.is_disjoint_from(c)
+
+    def test_empty_is_disjoint_from_everything(self):
+        assert Schedule().is_disjoint_from(Schedule([Event("p0")]))
+
+    def test_concatenation_with_then(self):
+        combined = Schedule([Event("p0")]).then(Event("p1"))
+        assert len(combined) == 2
+        assert combined[1] == Event("p1")
+
+    def test_then_accepts_schedules(self):
+        combined = Schedule([Event("p0")]).then(Schedule([Event("p1")]))
+        assert [e.process for e in combined] == ["p0", "p1"]
+
+    def test_add_operator(self):
+        combined = Schedule([Event("p0")]) + Schedule([Event("p1")])
+        assert len(combined) == 2
+
+    def test_slicing_returns_schedule(self):
+        schedule = Schedule([Event("p0"), Event("p1"), Event("p0")])
+        assert isinstance(schedule[:2], Schedule)
+        assert len(schedule[:2]) == 2
+        assert schedule[0] == Event("p0")
+
+    def test_equality_and_hash(self):
+        a = Schedule([Event("p0"), Event("p1")])
+        b = Schedule([Event("p0"), Event("p1")])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_truncates_long_schedules(self):
+        long = Schedule([Event("p0")] * 20)
+        assert "more" in repr(long)

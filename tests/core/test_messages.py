@@ -1,0 +1,176 @@
+"""Unit + property tests for the message buffer multiset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidEvent
+from repro.core.messages import Message, MessageBuffer
+
+
+def msg(dest="p0", value="m"):
+    return Message(dest, value)
+
+
+class TestMessage:
+    def test_equality_by_fields(self):
+        assert msg() == msg()
+        assert msg("p0", "a") != msg("p0", "b")
+        assert msg("p0", "a") != msg("p1", "a")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(msg()) == hash(msg())
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            msg().destination = "p9"
+
+    def test_not_equal_to_other_types(self):
+        assert msg() != ("p0", "m")
+
+    def test_repr_mentions_fields(self):
+        assert "p0" in repr(msg())
+        assert "m" in repr(msg())
+
+
+class TestBufferBasics:
+    def test_empty_is_singleton_and_empty(self):
+        buffer = MessageBuffer.empty()
+        assert len(buffer) == 0
+        assert list(buffer) == []
+        assert not buffer.has_message_for("p0")
+
+    def test_send_adds_a_copy(self):
+        buffer = MessageBuffer.empty().send(msg())
+        assert len(buffer) == 1
+        assert msg() in buffer
+        assert buffer.count(msg()) == 1
+
+    def test_send_is_persistent(self):
+        empty = MessageBuffer.empty()
+        empty.send(msg())
+        assert len(empty) == 0  # The original is untouched.
+
+    def test_multiplicity_accumulates(self):
+        buffer = MessageBuffer.empty().send(msg()).send(msg())
+        assert buffer.count(msg()) == 2
+        assert len(buffer) == 2
+
+    def test_send_all_models_atomic_broadcast(self):
+        buffer = MessageBuffer.empty().send_all(
+            [msg("p1", "x"), msg("p2", "x")]
+        )
+        assert buffer.has_message_for("p1")
+        assert buffer.has_message_for("p2")
+
+    def test_deliver_removes_one_copy(self):
+        buffer = MessageBuffer.empty().send(msg()).send(msg())
+        buffer = buffer.deliver(msg())
+        assert buffer.count(msg()) == 1
+
+    def test_deliver_absent_raises_invalid_event(self):
+        with pytest.raises(InvalidEvent):
+            MessageBuffer.empty().deliver(msg())
+
+    def test_deliver_last_copy_removes_key(self):
+        buffer = MessageBuffer.empty().send(msg()).deliver(msg())
+        assert msg() not in buffer
+        assert buffer == MessageBuffer.empty()
+
+    def test_constructor_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            MessageBuffer({msg(): 0})
+        with pytest.raises(ValueError):
+            MessageBuffer({msg(): -1})
+
+    def test_of_counts_duplicates(self):
+        buffer = MessageBuffer.of([msg(), msg(), msg("p1")])
+        assert buffer.count(msg()) == 2
+        assert buffer.count(msg("p1")) == 1
+
+
+class TestBufferQueries:
+    def test_messages_for_filters_by_destination(self):
+        buffer = MessageBuffer.of(
+            [msg("p0", "a"), msg("p1", "b"), msg("p0", "c")]
+        )
+        addressed = buffer.messages_for("p0")
+        assert {m.value for m in addressed} == {"a", "c"}
+
+    def test_messages_for_is_deterministic(self):
+        buffer = MessageBuffer.of([msg("p0", "b"), msg("p0", "a")])
+        assert buffer.messages_for("p0") == buffer.messages_for("p0")
+
+    def test_destinations(self):
+        buffer = MessageBuffer.of([msg("p0"), msg("p2")])
+        assert buffer.destinations() == frozenset({"p0", "p2"})
+
+    def test_iteration_repeats_multiplicity(self):
+        buffer = MessageBuffer.of([msg(), msg()])
+        assert sum(1 for _ in buffer) == 2
+
+    def test_distinct_messages_sorted(self):
+        buffer = MessageBuffer.of([msg("p1", "z"), msg("p0", "a")])
+        distinct = buffer.distinct_messages()
+        assert distinct[0].destination == "p0"
+
+
+class TestBufferEquality:
+    def test_equality_ignores_construction_order(self):
+        a = MessageBuffer.empty().send(msg("p0", 1)).send(msg("p1", 2))
+        b = MessageBuffer.empty().send(msg("p1", 2)).send(msg("p0", 1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_multiplicity_matters(self):
+        a = MessageBuffer.of([msg()])
+        b = MessageBuffer.of([msg(), msg()])
+        assert a != b
+
+    def test_usable_as_dict_key(self):
+        table = {MessageBuffer.of([msg()]): "x"}
+        assert table[MessageBuffer.of([msg()])] == "x"
+
+
+# -- property-based: multiset laws ------------------------------------------
+
+message_strategy = st.builds(
+    Message,
+    st.sampled_from(["p0", "p1", "p2"]),
+    st.integers(min_value=0, max_value=3),
+)
+message_lists = st.lists(message_strategy, max_size=12)
+
+
+@given(message_lists)
+def test_of_length_equals_input_length(messages):
+    assert len(MessageBuffer.of(messages)) == len(messages)
+
+
+@given(message_lists, message_strategy)
+def test_send_then_deliver_roundtrips(messages, extra):
+    buffer = MessageBuffer.of(messages)
+    assert buffer.send(extra).deliver(extra) == buffer
+
+
+@given(message_lists)
+def test_sequential_send_equals_of(messages):
+    sequential = MessageBuffer.empty()
+    for message in messages:
+        sequential = sequential.send(message)
+    assert sequential == MessageBuffer.of(messages)
+
+
+@given(message_lists, message_lists)
+def test_send_all_commutes(first, second):
+    a = MessageBuffer.of(first).send_all(second)
+    b = MessageBuffer.of(second).send_all(first)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@given(message_lists)
+def test_draining_everything_reaches_empty(messages):
+    buffer = MessageBuffer.of(messages)
+    for message in messages:
+        buffer = buffer.deliver(message)
+    assert buffer == MessageBuffer.empty()

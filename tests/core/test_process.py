@@ -1,0 +1,144 @@
+"""Unit tests for process states and the transition framework."""
+
+import pytest
+
+from repro.core.errors import ProtocolViolation
+from repro.core.messages import Message
+from repro.core.process import Process, ProcessState, Transition
+from repro.core.values import UNDECIDED
+
+
+class EchoOnce(Process):
+    """Test automaton: first step decides its input and pings p1."""
+
+    def initial_data(self, input_value):
+        return ("fresh",)
+
+    def step(self, state, message_value):
+        if state.decided:
+            return Transition(state, ())
+        return Transition(
+            state.with_decision(state.input),
+            (self.send_to("p1", "ping"),),
+        )
+
+
+class Rogue(Process):
+    """Deliberately misbehaving automaton, configurable per test."""
+
+    def __init__(self, name, behavior):
+        super().__init__(name)
+        self.behavior = behavior
+
+    def initial_data(self, input_value):
+        return ()
+
+    def step(self, state, message_value):
+        return self.behavior(self, state)
+
+
+class TestProcessState:
+    def test_initial_state_is_undecided(self):
+        state = ProcessState(1, UNDECIDED, ())
+        assert not state.decided
+        assert state.output is UNDECIDED
+
+    def test_rejects_bad_input_register(self):
+        with pytest.raises(ValueError):
+            ProcessState(2, UNDECIDED, ())
+
+    def test_rejects_bad_output_register(self):
+        with pytest.raises(ValueError):
+            ProcessState(0, 7, ())
+
+    def test_immutable(self):
+        state = ProcessState(0, UNDECIDED, ())
+        with pytest.raises(AttributeError):
+            state.input = 1
+
+    def test_with_decision_sets_output(self):
+        state = ProcessState(0, UNDECIDED, ()).with_decision(1)
+        assert state.decided
+        assert state.output == 1
+
+    def test_write_once_same_value_is_noop(self):
+        state = ProcessState(0, UNDECIDED, ()).with_decision(1)
+        assert state.with_decision(1) is state
+
+    def test_write_once_change_raises(self):
+        state = ProcessState(0, UNDECIDED, ()).with_decision(1)
+        with pytest.raises(ProtocolViolation, match="write-once"):
+            state.with_decision(0)
+
+    def test_with_data_preserves_registers(self):
+        state = ProcessState(1, UNDECIDED, ("a",)).with_data(("b",))
+        assert state.input == 1
+        assert state.data == ("b",)
+
+    def test_equality_and_hash(self):
+        a = ProcessState(0, UNDECIDED, (1, 2))
+        b = ProcessState(0, UNDECIDED, (1, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ProcessState(1, UNDECIDED, (1, 2))
+
+    def test_repr_shows_blank_marker(self):
+        assert "y=b" in repr(ProcessState(0, UNDECIDED, ()))
+
+
+class TestProcessFramework:
+    def test_initial_state_uses_initial_data(self):
+        process = EchoOnce("p0")
+        state = process.initial_state(1)
+        assert state.input == 1
+        assert state.data == ("fresh",)
+
+    def test_apply_runs_step(self):
+        process = EchoOnce("p0")
+        state = process.initial_state(1)
+        new_state, sends = process.apply(state, None)
+        assert new_state.output == 1
+        assert sends == (Message("p1", "ping"),)
+
+    def test_apply_rejects_non_transition(self):
+        rogue = Rogue("p0", lambda self, state: (state, ()))
+        with pytest.raises(ProtocolViolation, match="Transition"):
+            rogue.apply(rogue.initial_state(0), None)
+
+    def test_apply_rejects_input_register_change(self):
+        def flip_input(self, state):
+            return Transition(ProcessState(1, state.output, state.data), ())
+
+        rogue = Rogue("p0", flip_input)
+        with pytest.raises(ProtocolViolation, match="read-only"):
+            rogue.apply(rogue.initial_state(0), None)
+
+    def test_apply_rejects_decision_change(self):
+        def overwrite(self, state):
+            return Transition(ProcessState(0, 0, state.data), ())
+
+        rogue = Rogue("p0", overwrite)
+        decided = ProcessState(0, 1, ())
+        with pytest.raises(ProtocolViolation, match="write-once"):
+            rogue.apply(decided, None)
+
+    def test_apply_rejects_non_message_sends(self):
+        rogue = Rogue(
+            "p0",
+            lambda self, state: Transition(state, ("not a message",)),
+        )
+        with pytest.raises(ProtocolViolation, match="Message"):
+            rogue.apply(rogue.initial_state(0), None)
+
+    def test_broadcast_builds_one_message_per_destination(self):
+        sends = Process.broadcast(["p1", "p2"], "hi")
+        assert sends == (Message("p1", "hi"), Message("p2", "hi"))
+
+    def test_stay_is_a_noop(self):
+        state = ProcessState(0, UNDECIDED, ())
+        assert Process.stay(state) == Transition(state, ())
+
+    def test_determinism_spot_check(self):
+        process = EchoOnce("p0")
+        state = process.initial_state(0)
+        assert process.apply(state, None) == process.apply(state, None)

@@ -1,0 +1,184 @@
+"""Unit tests for Protocol: step semantics and initial configurations."""
+
+import pytest
+
+from repro.core.errors import (
+    InvalidEvent,
+    ProtocolViolation,
+    UnknownProcess,
+)
+from repro.core.events import NULL, Event, Schedule
+from repro.core.messages import Message
+from repro.core.process import Process, Transition
+from repro.core.protocol import Protocol
+
+
+class Relay(Process):
+    """Sends one 'token' to the next process on its first null step;
+    forwards any received token once."""
+
+    def __init__(self, name, successor):
+        super().__init__(name)
+        self.successor = successor
+
+    def initial_data(self, input_value):
+        return ("idle",)
+
+    def step(self, state, message_value):
+        if state.data == ("idle",) and message_value is None:
+            return Transition(
+                state.with_data(("sent",)),
+                (self.send_to(self.successor, "token"),),
+            )
+        if message_value == "token" and not state.decided:
+            return Transition(state.with_decision(state.input), ())
+        return Transition(state, ())
+
+
+class Misbehaving(Process):
+    def initial_data(self, input_value):
+        return ()
+
+    def step(self, state, message_value):
+        return Transition(state, (self.send_to("ghost", "boo"),))
+
+
+@pytest.fixture
+def relay_protocol():
+    return Protocol([Relay("p0", "p1"), Relay("p1", "p0")])
+
+
+class TestConstruction:
+    def test_requires_two_processes(self):
+        with pytest.raises(ValueError, match="N >= 2"):
+            Protocol([Relay("p0", "p0")])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Protocol([Relay("p0", "p1"), Relay("p0", "p1")])
+
+    def test_names_sorted(self, relay_protocol):
+        assert relay_protocol.process_names == ("p0", "p1")
+        assert relay_protocol.num_processes == 2
+
+    def test_process_lookup(self, relay_protocol):
+        assert relay_protocol.process("p0").name == "p0"
+        with pytest.raises(UnknownProcess):
+            relay_protocol.process("p9")
+
+
+class TestInitialConfigurations:
+    def test_sequence_inputs(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 1])
+        assert config.state_of("p0").input == 0
+        assert config.state_of("p1").input == 1
+        assert len(config.buffer) == 0
+
+    def test_mapping_inputs(self, relay_protocol):
+        config = relay_protocol.initial_configuration({"p1": 0, "p0": 1})
+        assert config.state_of("p0").input == 1
+
+    def test_mapping_must_cover_roster(self, relay_protocol):
+        with pytest.raises(ValueError, match="missing"):
+            relay_protocol.initial_configuration({"p0": 1})
+        with pytest.raises(ValueError, match="unknown"):
+            relay_protocol.initial_configuration(
+                {"p0": 1, "p1": 0, "p9": 1}
+            )
+
+    def test_sequence_length_checked(self, relay_protocol):
+        with pytest.raises(ValueError, match="expected 2"):
+            relay_protocol.initial_configuration([0, 1, 1])
+
+    def test_enumeration_covers_hypercube(self, relay_protocol):
+        configs = list(relay_protocol.initial_configurations())
+        assert len(configs) == 4
+        vectors = {relay_protocol.input_vector(c) for c in configs}
+        assert vectors == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestApplyEvent:
+    def test_null_step_sends_token(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        after = relay_protocol.apply_event(config, Event("p0", NULL))
+        assert Message("p1", "token") in after.buffer
+        assert after.state_of("p0").data == ("sent",)
+
+    def test_delivery_consumes_message(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 1])
+        config = relay_protocol.apply_event(config, Event("p0", NULL))
+        config = relay_protocol.apply_event(config, Event("p1", "token"))
+        assert len(config.buffer) == 0
+        assert config.state_of("p1").output == 1
+
+    def test_delivery_of_absent_message_raises(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        with pytest.raises(InvalidEvent):
+            relay_protocol.apply_event(config, Event("p1", "token"))
+
+    def test_unknown_process_raises(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        with pytest.raises(UnknownProcess):
+            relay_protocol.apply_event(config, Event("p9", NULL))
+
+    def test_send_to_unknown_process_is_violation(self):
+        protocol = Protocol([Misbehaving("p0"), Misbehaving("p1")])
+        config = protocol.initial_configuration([0, 0])
+        with pytest.raises(ProtocolViolation, match="unknown"):
+            protocol.apply_event(config, Event("p0", NULL))
+
+    def test_apply_is_pure(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        relay_protocol.apply_event(config, Event("p0", NULL))
+        assert len(config.buffer) == 0  # original untouched
+
+
+class TestSchedules:
+    def test_empty_schedule_is_identity(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 1])
+        assert relay_protocol.apply_schedule(config, Schedule()) == config
+
+    def test_schedule_application_is_composition(self, relay_protocol):
+        config = relay_protocol.initial_configuration([1, 0])
+        schedule = Schedule(
+            [Event("p0", NULL), Event("p1", "token")]
+        )
+        via_schedule = relay_protocol.apply_schedule(config, schedule)
+        step_by_step = relay_protocol.apply_event(
+            relay_protocol.apply_event(config, schedule[0]), schedule[1]
+        )
+        assert via_schedule == step_by_step
+
+    def test_run_yields_initial_plus_each_step(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        schedule = Schedule([Event("p0", NULL), Event("p1", NULL)])
+        configs = list(relay_protocol.run(config, schedule))
+        assert len(configs) == 3
+        assert configs[0] == config
+
+
+class TestEnabledEvents:
+    def test_initially_only_null_events(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        events = relay_protocol.enabled_events(config)
+        assert set(events) == {Event("p0", NULL), Event("p1", NULL)}
+
+    def test_deliveries_appear_when_buffered(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        config = relay_protocol.apply_event(config, Event("p0", NULL))
+        events = relay_protocol.enabled_events(config)
+        assert Event("p1", "token") in events
+
+    def test_include_null_false(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        config = relay_protocol.apply_event(config, Event("p0", NULL))
+        events = relay_protocol.enabled_events(config, include_null=False)
+        assert events == (Event("p1", "token"),)
+
+    def test_delivery_events_per_process(self, relay_protocol):
+        config = relay_protocol.initial_configuration([0, 0])
+        config = relay_protocol.apply_event(config, Event("p0", NULL))
+        events = relay_protocol.delivery_events(config, "p1")
+        assert Event("p1", NULL) in events
+        assert Event("p1", "token") in events
+        assert all(e.process == "p1" for e in events)

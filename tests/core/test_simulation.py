@@ -1,0 +1,173 @@
+"""Unit tests for the forward simulator."""
+
+import pytest
+
+from repro.core.events import Event
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import WaitForAllProcess, make_protocol
+from repro.schedulers import CrashPlan, RoundRobinScheduler
+
+
+class ScriptedScheduler:
+    """Returns a fixed list of events, then None."""
+
+    def __init__(self, events):
+        self.events = list(events)
+        self.cursor = 0
+
+    def next_event(self, protocol, configuration, step_index):
+        if self.cursor >= len(self.events):
+            return None
+        event = self.events[self.cursor]
+        self.cursor += 1
+        return event
+
+
+@pytest.fixture
+def protocol():
+    return make_protocol(WaitForAllProcess, 3)
+
+
+class TestStopConditions:
+    def test_all_decided_stops_when_everyone_done(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 0]),
+            RoundRobinScheduler(),
+            max_steps=200,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert result.decided
+        assert result.stop_reason == "decided"
+        assert set(result.decisions) == {"p0", "p1", "p2"}
+
+    def test_any_decided_stops_earlier(self, protocol):
+        initial = protocol.initial_configuration([1, 1, 0])
+        any_run = simulate(
+            protocol,
+            initial,
+            RoundRobinScheduler(),
+            max_steps=200,
+            stop=StopCondition.ANY_DECIDED,
+        )
+        all_run = simulate(
+            protocol,
+            initial,
+            RoundRobinScheduler(),
+            max_steps=200,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert any_run.steps <= all_run.steps
+        assert any_run.decided
+
+    def test_never_runs_to_scheduler_exhaustion(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 1]),
+            RoundRobinScheduler(),
+            max_steps=500,
+            stop=StopCondition.NEVER,
+        )
+        # Round-robin skips fully decided processes and eventually has
+        # nothing left to schedule.
+        assert result.stop_reason == "scheduler-exhausted"
+        assert result.decisions  # everyone decided along the way
+
+    def test_step_budget(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 0]),
+            RoundRobinScheduler(),
+            max_steps=2,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert result.stop_reason == "step-budget"
+        assert result.steps == 2
+
+
+class TestCrashIntegration:
+    def test_one_crash_stalls_wait_for_all(self, protocol):
+        scheduler = RoundRobinScheduler(crash_plan=CrashPlan({"p1": 0}))
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 1]),
+            scheduler,
+            max_steps=300,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert not result.decided
+        assert result.decisions == {}
+
+    def test_live_processes_from_scheduler(self, protocol):
+        scheduler = RoundRobinScheduler(crash_plan=CrashPlan({"p1": 0}))
+        assert scheduler.live_processes(protocol) == ("p0", "p2")
+
+
+class TestResultStructure:
+    def test_schedule_replays_to_final(self, protocol):
+        initial = protocol.initial_configuration([0, 1, 1])
+        result = simulate(
+            protocol, initial, RoundRobinScheduler(), max_steps=100
+        )
+        assert (
+            protocol.apply_schedule(initial, result.schedule)
+            == result.final_configuration
+        )
+
+    def test_agreement_property(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 1, 1]),
+            RoundRobinScheduler(),
+            max_steps=100,
+        )
+        assert result.agreement_holds
+        assert result.decision_values == frozenset({1})
+
+    def test_ledger_counts_match_schedule(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 1, 1]),
+            RoundRobinScheduler(),
+            max_steps=100,
+        )
+        assert sum(result.ledger.steps_taken.values()) == result.steps
+        deliveries = sum(result.ledger.deliveries.values())
+        nulls = sum(result.ledger.null_deliveries.values())
+        assert deliveries + nulls == result.steps
+
+    def test_scripted_scheduler_exhaustion(self, protocol):
+        scheduler = ScriptedScheduler([Event("p0"), Event("p1")])
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 0, 0]),
+            scheduler,
+            max_steps=100,
+        )
+        assert result.stop_reason == "scheduler-exhausted"
+        assert result.steps == 2
+
+
+class TestFairnessLedger:
+    def test_silent_processes(self, protocol):
+        scheduler = ScriptedScheduler([Event("p0"), Event("p0")])
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 0, 0]),
+            scheduler,
+            max_steps=100,
+        )
+        assert result.ledger.silent_processes(
+            protocol.process_names
+        ) == ("p1", "p2")
+
+    def test_max_idle_gap(self, protocol):
+        scheduler = ScriptedScheduler([Event("p0"), Event("p1")])
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 0, 0]),
+            scheduler,
+            max_steps=100,
+        )
+        # p2 never stepped: its gap spans the whole run (from -1).
+        assert result.ledger.max_idle_gap(protocol.process_names, 2) == 3

@@ -1,0 +1,67 @@
+"""Tests for the shared transition cache."""
+
+import pytest
+
+from repro.core.events import NULL, Event
+from repro.core.exploration import TransitionCache, explore
+from repro.protocols import ArbiterProcess, WaitForAllProcess, make_protocol
+
+
+class TestTransitionCache:
+    def test_apply_matches_protocol(self, arbiter3):
+        cache = TransitionCache(arbiter3)
+        config = arbiter3.initial_configuration([0, 0, 1])
+        event = Event("p1", NULL)
+        assert cache.apply(arbiter3, config, event) == (
+            arbiter3.apply_event(config, event)
+        )
+
+    def test_memoizes(self, arbiter3):
+        cache = TransitionCache(arbiter3)
+        config = arbiter3.initial_configuration([0, 0, 1])
+        cache.apply(arbiter3, config, Event("p1", NULL))
+        assert len(cache) == 1
+        cache.apply(arbiter3, config, Event("p1", NULL))
+        assert len(cache) == 1
+        cache.apply(arbiter3, config, Event("p2", NULL))
+        assert len(cache) == 2
+
+    def test_rejects_foreign_protocol(self, arbiter3):
+        other = make_protocol(WaitForAllProcess, 3)
+        cache = TransitionCache(other)
+        config = arbiter3.initial_configuration([0, 0, 1])
+        with pytest.raises(ValueError, match="different protocol"):
+            cache.apply(arbiter3, config, Event("p1", NULL))
+
+    def test_explore_with_cache_matches_without(self, arbiter3):
+        root = arbiter3.initial_configuration([0, 1, 0])
+        cache = TransitionCache(arbiter3)
+        cached = explore(arbiter3, root, cache=cache)
+        plain = explore(arbiter3, root)
+        assert cached.configurations == plain.configurations
+        assert list(cached.iter_edges()) == list(plain.iter_edges())
+        assert len(cache) > 0
+
+    def test_cache_shared_across_explorations(self, arbiter3):
+        cache = TransitionCache(arbiter3)
+        explore(
+            arbiter3,
+            arbiter3.initial_configuration([0, 0, 1]),
+            cache=cache,
+        )
+        size_after_first = len(cache)
+        # Overlapping second exploration adds few or no new entries
+        # beyond its own distinct region.
+        explore(
+            arbiter3,
+            arbiter3.initial_configuration([1, 0, 1]),
+            cache=cache,
+        )
+        assert len(cache) >= size_after_first
+
+    def test_analyzer_exposes_shared_cache(self, arbiter3):
+        from repro.core.valency import ValencyAnalyzer
+
+        analyzer = ValencyAnalyzer(arbiter3)
+        analyzer.valency(arbiter3.initial_configuration([0, 0, 1]))
+        assert len(analyzer.transitions) > 0

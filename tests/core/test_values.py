@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.values."""
+
+import pytest
+
+from repro.core.values import (
+    DECISION_VALUES,
+    ONE,
+    UNDECIDED,
+    ZERO,
+    is_decision_value,
+    is_input_value,
+    opposite,
+    validate_input_vector,
+)
+
+
+class TestConstants:
+    def test_binary_values(self):
+        assert ZERO == 0
+        assert ONE == 1
+        assert DECISION_VALUES == (0, 1)
+
+    def test_undecided_is_falsy_marker(self):
+        assert UNDECIDED is None
+
+
+class TestPredicates:
+    def test_decision_values_accepted(self):
+        assert is_decision_value(0)
+        assert is_decision_value(1)
+
+    def test_undecided_is_not_a_decision(self):
+        assert not is_decision_value(UNDECIDED)
+
+    def test_garbage_is_not_a_decision(self):
+        assert not is_decision_value(2)
+        assert not is_decision_value("0")
+
+    def test_input_values(self):
+        assert is_input_value(0)
+        assert is_input_value(1)
+        assert not is_input_value(None)
+        assert not is_input_value(-1)
+
+
+class TestValidateInputVector:
+    def test_valid_vector_returned_as_tuple(self):
+        assert validate_input_vector([0, 1, 1]) == (0, 1, 1)
+
+    def test_accepts_generators(self):
+        assert validate_input_vector(i % 2 for i in range(4)) == (0, 1, 0, 1)
+
+    def test_rejects_bad_entry_with_position(self):
+        with pytest.raises(ValueError, match="x_2"):
+            validate_input_vector([0, 1, 5])
+
+    def test_rejects_none(self):
+        with pytest.raises(ValueError):
+            validate_input_vector([0, None])
+
+    def test_empty_vector_is_fine_here(self):
+        # N >= 2 is enforced at the Protocol level, not here.
+        assert validate_input_vector([]) == ()
+
+
+class TestOpposite:
+    def test_involution(self):
+        assert opposite(0) == 1
+        assert opposite(1) == 0
+        assert opposite(opposite(0)) == 0
+
+    def test_rejects_nonbinary(self):
+        with pytest.raises(ValueError):
+            opposite(2)

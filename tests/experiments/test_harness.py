@@ -1,0 +1,79 @@
+"""Tests for the experiment registry and result rendering."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        catalog = available_experiments()
+        assert set(catalog) == {
+            "E1",
+            "E2",
+            "E3",
+            "E4",
+            "E5",
+            "E6",
+            "E7",
+            "E8",
+            "E9",
+            "A1",
+            "A2",
+            "A3",
+            "A4",
+        }
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("E99")
+
+    def test_titles_are_descriptive(self):
+        for exp_id, title in available_experiments().items():
+            assert len(title) > 10, exp_id
+
+
+class TestRendering:
+    def test_render_contains_table_and_notes(self):
+        result = ExperimentResult(
+            exp_id="X0",
+            title="demo",
+            rows=({"a": 1, "b": 2.5},),
+            notes=("a note",),
+        )
+        text = result.render()
+        assert "X0: demo" in text
+        assert "2.500" in text
+        assert "note: a note" in text
+
+    def test_quick_flag_in_header(self):
+        quick = ExperimentResult("X0", "t", ({"a": 1},), quick=True)
+        full = ExperimentResult("X0", "t", ({"a": 1},), quick=False)
+        assert "(quick" in quick.render()
+        assert "(full" in full.render()
+
+
+class TestCliModule:
+    def test_list_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E4" in out
+
+    def test_unknown_id_exits_2(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["E99"]) == 2
+
+    def test_runs_single_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["E8"]) == 0
+        out = capsys.readouterr().out
+        assert "FloodSet" in out

@@ -1,0 +1,62 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import _SECTIONS, render_markdown
+
+
+def sample_result(exp_id="E1"):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title="sample",
+        rows=({"metric": 1, "value": 2.5},),
+        notes=("a note",),
+    )
+
+
+class TestRenderMarkdown:
+    def test_header_present(self):
+        text = render_markdown([sample_result()])
+        assert text.startswith("# EXPERIMENTS")
+        assert "every claim reproduces" in text
+
+    def test_sections_in_order(self):
+        text = render_markdown(
+            [sample_result("E1"), sample_result("E4")]
+        )
+        assert text.index("## E1") < text.index("## E4")
+
+    def test_commentary_included_for_known_ids(self):
+        text = render_markdown([sample_result("E4")])
+        assert "Paper claim (Theorem 1)" in text
+
+    def test_tables_fenced(self):
+        text = render_markdown([sample_result()])
+        assert text.count("```") % 2 == 0
+        assert "metric" in text
+
+    def test_notes_quoted(self):
+        text = render_markdown([sample_result()])
+        assert "> a note" in text
+
+    def test_every_experiment_has_commentary(self):
+        from repro.experiments.harness import available_experiments
+
+        for exp_id in available_experiments():
+            assert exp_id in _SECTIONS, (
+                f"{exp_id} lacks an EXPERIMENTS.md commentary block"
+            )
+
+    def test_commentaries_quote_the_paper_where_claimed(self):
+        for exp_id, text in _SECTIONS.items():
+            if "Paper claim" in text:
+                assert '"' in text, exp_id
+
+
+class TestMarkdownCli:
+    def test_markdown_flag(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["E8", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# EXPERIMENTS")
+        assert "## E8" in out

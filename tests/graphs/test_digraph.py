@@ -1,0 +1,175 @@
+"""Tests for the digraph substrate, cross-validated against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.digraph import Digraph
+
+
+def to_networkx(graph: Digraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes)
+    g.add_edges_from(graph.edges())
+    return g
+
+
+class TestBasics:
+    def test_add_node_idempotent(self):
+        graph = Digraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert len(graph) == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = Digraph(edges=[("a", "b")])
+        assert "a" in graph and "b" in graph
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("b", "a")
+
+    def test_successors_predecessors(self):
+        graph = Digraph(edges=[("a", "b"), ("a", "c"), ("d", "b")])
+        assert graph.successors("a") == frozenset({"b", "c"})
+        assert graph.predecessors("b") == frozenset({"a", "d"})
+        assert graph.in_degree("b") == 2
+
+    def test_ancestors_of_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            Digraph().ancestors("ghost")
+
+
+class TestReachability:
+    def test_chain(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        assert graph.ancestors("c") == frozenset({"a", "b"})
+        assert graph.descendants("a") == frozenset({"b", "c"})
+        assert graph.ancestors("a") == frozenset()
+
+    def test_cycle_nodes_are_own_ancestors(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "a")])
+        assert "a" in graph.ancestors("a")
+        assert "b" in graph.descendants("b")
+
+    def test_transitive_closure(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        closure = graph.transitive_closure()
+        assert closure.has_edge("a", "c")
+        assert not closure.has_edge("c", "a")
+
+
+class TestInitialClique:
+    def test_two_node_cycle_feeding_a_sink(self):
+        graph = Digraph(
+            edges=[("a", "b"), ("b", "a"), ("a", "c"), ("b", "c")]
+        )
+        assert graph.initial_clique() == frozenset({"a", "b"})
+        assert not graph.in_initial_clique("c")
+
+    def test_isolated_node_is_trivial_initial_clique(self):
+        graph = Digraph(nodes=["x"])
+        assert graph.in_initial_clique("x")  # no ancestors: vacuous
+
+    def test_section4_shape(self):
+        """A Section-4-style graph: live processes {a,b,c} all heard
+        from each other (complete subgraph); a late joiner d heard from
+        a and b only."""
+        live = ["a", "b", "c"]
+        graph = Digraph()
+        for i in live:
+            for j in live:
+                if i != j:
+                    graph.add_edge(i, j)
+        graph.add_edge("a", "d")
+        graph.add_edge("b", "d")
+        closure = graph.transitive_closure()
+        clique = closure.initial_clique()
+        assert clique == frozenset(live)
+        assert closure.is_clique(clique)
+
+    def test_is_clique(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "a")])
+        assert graph.is_clique({"a", "b"})
+        assert graph.is_clique({"a"})
+        graph2 = Digraph(edges=[("a", "b")])
+        assert not graph2.is_clique({"a", "b"})
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        sub = graph.subgraph({"a", "b"})
+        assert sub.has_edge("a", "b")
+        assert "c" not in sub
+
+
+# -- cross-validation against networkx ---------------------------------------
+
+
+def random_digraph(seed: int, max_nodes: int = 8) -> Digraph:
+    rng = random.Random(seed)
+    n = rng.randint(1, max_nodes)
+    nodes = [f"n{i}" for i in range(n)]
+    graph = Digraph(nodes=nodes)
+    for _ in range(rng.randint(0, 2 * n)):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        if a != b:
+            graph.add_edge(a, b)
+    return graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_ancestors_match_networkx(seed):
+    graph = random_digraph(seed)
+    reference = to_networkx(graph)
+    for node in graph.nodes:
+        expected = nx.ancestors(reference, node)
+        # networkx excludes the node itself even on cycles; our model
+        # includes it when it lies on a cycle.  Reconcile:
+        ours = set(graph.ancestors(node))
+        on_cycle = node in ours
+        if on_cycle:
+            ours.discard(node)
+            # networkx never includes the node itself; confirm the cycle
+            # exists by checking some successor reaches back.
+            assert any(
+                succ == node or node in nx.descendants(reference, succ)
+                for succ in reference.successors(node)
+            )
+        assert ours == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_transitive_closure_matches_networkx(seed):
+    graph = random_digraph(seed)
+    reference = nx.transitive_closure(to_networkx(graph), reflexive=False)
+    ours = graph.transitive_closure()
+    # networkx's non-reflexive closure still omits self-loops for nodes
+    # on cycles in some versions; compare edge sets modulo self-loops
+    # consistently by checking reachability directly.
+    for a in graph.nodes:
+        for b in graph.nodes:
+            if a == b:
+                continue
+            assert ours.has_edge(a, b) == reference.has_edge(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_initial_clique_invariants(seed):
+    """On arbitrary digraphs the in_initial_clique set is the union of
+    the *source* strongly connected components: every member's ancestor
+    set stays inside the set, and reachability between members is
+    symmetric (same SCC or mutually unreachable)."""
+    graph = random_digraph(seed)
+    clique = graph.initial_clique()
+    for a in clique:
+        assert graph.ancestors(a) <= clique
+        for b in clique:
+            if a != b:
+                assert (a in graph.ancestors(b)) == (
+                    b in graph.ancestors(a)
+                )

@@ -1,0 +1,111 @@
+"""Tests for the (plain) arbiter protocol."""
+
+import pytest
+
+from repro.core.events import NULL, Event
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import ArbiterProcess, make_protocol
+from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+
+class TestStructure:
+    def test_default_arbiter_is_first_process(self, arbiter3):
+        assert arbiter3.process("p0").is_arbiter
+        assert not arbiter3.process("p1").is_arbiter
+
+    def test_custom_arbiter(self):
+        protocol = make_protocol(ArbiterProcess, 3, arbiter="p2")
+        assert protocol.process("p2").is_arbiter
+
+    def test_unknown_arbiter_rejected(self):
+        with pytest.raises(ValueError):
+            make_protocol(ArbiterProcess, 3, arbiter="p9")
+
+
+class TestRaceSemantics:
+    def test_first_claim_wins(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        config = arbiter3.apply_event(config, Event("p1", NULL))  # claim 0
+        config = arbiter3.apply_event(config, Event("p2", NULL))  # claim 1
+        # Deliver p2's claim first: verdict is 1.
+        config = arbiter3.apply_event(
+            config, Event("p0", ("claim", "p2", 1))
+        )
+        assert config.state_of("p0").output == 1
+
+    def test_other_order_gives_other_value(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        config = arbiter3.apply_event(config, Event("p1", NULL))
+        config = arbiter3.apply_event(config, Event("p2", NULL))
+        config = arbiter3.apply_event(
+            config, Event("p0", ("claim", "p1", 0))
+        )
+        assert config.state_of("p0").output == 0
+
+    def test_late_claim_is_absorbed(self, arbiter3):
+        config = arbiter3.initial_configuration([0, 0, 1])
+        config = arbiter3.apply_event(config, Event("p1", NULL))
+        config = arbiter3.apply_event(config, Event("p2", NULL))
+        config = arbiter3.apply_event(
+            config, Event("p0", ("claim", "p1", 0))
+        )
+        before = config.state_of("p0")
+        config = arbiter3.apply_event(
+            config, Event("p0", ("claim", "p2", 1))
+        )
+        assert config.state_of("p0") == before  # write-once held
+
+    def test_verdict_propagates(self, arbiter3):
+        result = simulate(
+            arbiter3,
+            arbiter3.initial_configuration([0, 1, 0]),
+            RoundRobinScheduler(),
+            max_steps=100,
+        )
+        assert result.decided
+        assert set(result.decisions) == {"p0", "p1", "p2"}
+        assert result.agreement_holds
+
+    def test_arbiter_input_is_irrelevant(self, arbiter3):
+        for arb_input in (0, 1):
+            result = simulate(
+                arbiter3,
+                arbiter3.initial_configuration([arb_input, 1, 1]),
+                RoundRobinScheduler(),
+                max_steps=100,
+            )
+            assert result.decision_values == frozenset({1})
+
+
+class TestFaultTolerance:
+    def test_survives_one_proposer_crash(self, arbiter3):
+        result = simulate(
+            arbiter3,
+            arbiter3.initial_configuration([0, 0, 1]),
+            RoundRobinScheduler(crash_plan=CrashPlan({"p1": 0})),
+            max_steps=200,
+        )
+        # p2's claim still reaches the arbiter.
+        assert result.decided
+        assert result.decision_values == frozenset({1})
+
+    def test_arbiter_crash_blocks_everyone(self, arbiter3):
+        result = simulate(
+            arbiter3,
+            arbiter3.initial_configuration([0, 0, 1]),
+            RoundRobinScheduler(crash_plan=CrashPlan({"p0": 0})),
+            max_steps=200,
+        )
+        assert not result.decided
+        assert result.decisions == {}
+
+    def test_agreement_over_random_schedules(self, arbiter3):
+        for seed in range(20):
+            result = simulate(
+                arbiter3,
+                arbiter3.initial_configuration([0, 0, 1]),
+                RandomScheduler(seed=seed),
+                max_steps=400,
+                stop=StopCondition.ALL_DECIDED,
+            )
+            assert result.agreement_holds

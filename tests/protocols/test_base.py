@@ -1,0 +1,59 @@
+"""Tests for the zoo's shared plumbing."""
+
+import pytest
+
+from repro.protocols import WaitForAllProcess, make_protocol
+from repro.protocols.base import ConsensusProcess, default_names
+
+
+class TestDefaultNames:
+    def test_canonical_names(self):
+        assert default_names(3) == ("p0", "p1", "p2")
+
+    def test_minimum_two(self):
+        with pytest.raises(ValueError):
+            default_names(1)
+
+
+class TestConsensusProcess:
+    def test_roster_membership_enforced(self):
+        with pytest.raises(ValueError, match="roster"):
+            WaitForAllProcess("ghost", ("p0", "p1"))
+
+    def test_others_and_index(self):
+        process = WaitForAllProcess("p1", ("p0", "p1", "p2"))
+        assert process.others == ("p0", "p2")
+        assert process.index == 1
+        assert process.n == 3
+
+    def test_majority_threshold(self):
+        assert WaitForAllProcess("p0", default_names(2)).majority == 2
+        assert WaitForAllProcess("p0", default_names(3)).majority == 2
+        assert WaitForAllProcess("p0", default_names(4)).majority == 3
+        assert WaitForAllProcess("p0", default_names(5)).majority == 3
+        assert WaitForAllProcess("p0", default_names(9)).majority == 5
+
+    def test_noop_preserves_state(self):
+        process = WaitForAllProcess("p0", ("p0", "p1"))
+        state = process.initial_state(1)
+        transition = process.noop(state)
+        assert transition.state == state
+        assert transition.sends == ()
+
+
+class TestMakeProtocol:
+    def test_wires_full_roster(self):
+        protocol = make_protocol(WaitForAllProcess, 4)
+        assert protocol.num_processes == 4
+        for name in protocol.process_names:
+            assert protocol.process(name).peers == protocol.process_names
+
+    def test_forwards_kwargs(self):
+        from repro.protocols import QuorumVoteProcess
+
+        protocol = make_protocol(QuorumVoteProcess, 3, quorum=3)
+        assert protocol.process("p1").quorum == 3
+
+    def test_rejects_n_below_two(self):
+        with pytest.raises(ValueError):
+            make_protocol(WaitForAllProcess, 1)

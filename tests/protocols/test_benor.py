@@ -1,0 +1,121 @@
+"""Tests for Ben-Or randomized consensus, including property-based
+safety checks (agreement is deterministic; only termination is
+probabilistic)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import BenOrProcess, make_protocol
+from repro.protocols.benor import BOTTOM, _coin
+from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+
+def run_benor(n, inputs, seed=0, f=None, crash_plan=None, max_steps=5000):
+    protocol = make_protocol(BenOrProcess, n, f=f, seed=seed)
+    scheduler = RandomScheduler(
+        seed=seed + 1,
+        null_probability=0.2,
+        crash_plan=crash_plan or CrashPlan.none(),
+    )
+    return simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+
+
+class TestParameters:
+    def test_default_f_is_max(self):
+        assert make_protocol(BenOrProcess, 5).process("p0").f == 2
+        assert make_protocol(BenOrProcess, 4).process("p0").f == 1
+
+    def test_f_must_be_below_half(self):
+        with pytest.raises(ValueError):
+            make_protocol(BenOrProcess, 4, f=2)
+        with pytest.raises(ValueError):
+            make_protocol(BenOrProcess, 3, f=-1)
+
+    def test_quorum(self):
+        assert make_protocol(BenOrProcess, 5, f=2).process("p0").quorum == 3
+
+    def test_coin_is_deterministic(self):
+        assert _coin(1, "p0", 3) == _coin(1, "p0", 3)
+        assert _coin(1, "p0", 3) in (0, 1)
+
+    def test_coin_varies_with_inputs(self):
+        flips = {_coin(s, "p0", r) for s in range(8) for r in range(8)}
+        assert flips == {0, 1}
+
+
+class TestFastPaths:
+    def test_unanimous_inputs_decide_that_value(self):
+        for value in (0, 1):
+            result = run_benor(3, [value] * 3, seed=5)
+            assert result.decided
+            assert result.decision_values == frozenset({value})
+
+    def test_validity_one_holder_dead(self):
+        # The only 1-holder never speaks: 0 is the only outcome.
+        result = run_benor(
+            3,
+            [0, 0, 1],
+            seed=2,
+            crash_plan=CrashPlan({"p2": 0}),
+        )
+        assert result.decision_values <= frozenset({0})
+
+    def test_round_robin_also_terminates(self):
+        protocol = make_protocol(BenOrProcess, 3, seed=3)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 0, 1]),
+            RoundRobinScheduler(),
+            max_steps=5000,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert result.decided
+        assert result.agreement_holds
+
+
+class TestDecisionGossip:
+    def test_courtesy_decide_message_unsticks_laggards(self):
+        result = run_benor(4, [1, 1, 0, 0], seed=9)
+        assert result.decided
+        assert len(result.decisions) == 4
+        assert result.agreement_holds
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_agreement_is_never_violated(seed):
+    """Safety property: whatever the tape, schedule, and single crash,
+    no two processes decide differently."""
+    rng = random.Random(seed)
+    n = rng.choice([3, 4, 5])
+    inputs = [rng.randint(0, 1) for _ in range(n)]
+    f = (n - 1) // 2
+    crash = (
+        CrashPlan({f"p{rng.randrange(n)}": rng.randint(0, 50)})
+        if rng.random() < 0.5 and f > 0
+        else CrashPlan.none()
+    )
+    result = run_benor(n, inputs, seed=seed, f=f, crash_plan=crash)
+    assert result.agreement_holds
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_validity_holds(seed):
+    rng = random.Random(seed)
+    inputs = [rng.randint(0, 1) for _ in range(3)]
+    result = run_benor(3, inputs, seed=seed)
+    assert result.decision_values <= set(inputs)
+
+
+def test_bottom_marker_distinct_from_values():
+    assert BOTTOM not in (0, 1)

@@ -1,0 +1,90 @@
+"""Tests for the Rabin-style shared-coin consensus."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import mean
+from repro.core.simulation import StopCondition, simulate
+from repro.experiments.exp_benor import coin_trial
+from repro.protocols import BenOrProcess, CommonCoinProcess, make_protocol
+from repro.protocols.common_coin import shared_coin
+from repro.schedulers import CrashPlan, RandomScheduler
+
+
+class TestSharedCoin:
+    def test_deterministic(self):
+        assert shared_coin(3, 7) == shared_coin(3, 7)
+        assert shared_coin(3, 7) in (0, 1)
+
+    def test_same_for_all_processes(self):
+        protocol = make_protocol(CommonCoinProcess, 4, seed=5)
+        flips = {
+            protocol.process(name)._coin_flip(9)
+            for name in protocol.process_names
+        }
+        assert len(flips) == 1  # the coin is COMMON
+
+    def test_benor_coins_differ_across_processes(self):
+        # The contrast: private tapes disagree for some round.
+        protocol = make_protocol(BenOrProcess, 4, seed=5)
+        disagreed = any(
+            len(
+                {
+                    protocol.process(name)._coin_flip(r)
+                    for name in protocol.process_names
+                }
+            )
+            == 2
+            for r in range(12)
+        )
+        assert disagreed
+
+    def test_varies_with_seed_and_round(self):
+        flips = {
+            shared_coin(seed, r) for seed in range(10) for r in range(10)
+        }
+        assert flips == {0, 1}
+
+
+class TestTermination:
+    def test_split_inputs_decide_quickly(self):
+        for seed in range(5):
+            result, rounds = coin_trial(CommonCoinProcess, 6, seed=seed)
+            assert result.decided
+            assert result.agreement_holds
+            assert rounds <= 6  # O(1) expected; generous bound
+
+    def test_faster_than_private_coins_at_n6(self):
+        private, shared = [], []
+        for seed in range(12):
+            _, r_private = coin_trial(BenOrProcess, 6, seed=seed)
+            _, r_shared = coin_trial(CommonCoinProcess, 6, seed=seed)
+            private.append(r_private)
+            shared.append(r_shared)
+        assert mean(shared) < mean(private)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_agreement_with_shared_coins(seed):
+    """Safety: inherited unchanged from the Ben-Or skeleton."""
+    rng = random.Random(seed)
+    n = rng.choice([3, 4, 5])
+    inputs = [rng.randint(0, 1) for _ in range(n)]
+    f = (n - 1) // 2
+    crash = (
+        CrashPlan({f"p{rng.randrange(n)}": rng.randint(0, 40)})
+        if f > 0 and rng.random() < 0.5
+        else CrashPlan.none()
+    )
+    protocol = make_protocol(CommonCoinProcess, n, f=f, seed=seed)
+    result = simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        RandomScheduler(seed=seed + 1, crash_plan=crash),
+        max_steps=6000,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    assert result.agreement_holds
+    assert result.decision_values <= set(inputs)

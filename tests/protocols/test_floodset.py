@@ -1,0 +1,118 @@
+"""Tests for FloodSet on the round-synchronous executor."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols import FloodSetProcess
+from repro.synchrony import SyncCrashPlan, run_rounds
+
+NAMES5 = tuple(f"p{i}" for i in range(5))
+
+
+def make_processes(names, f):
+    return [FloodSetProcess(name, names, f=f) for name in names]
+
+
+class TestParameters:
+    def test_f_bounds(self):
+        with pytest.raises(ValueError):
+            FloodSetProcess("p0", NAMES5, f=5)
+        with pytest.raises(ValueError):
+            FloodSetProcess("p0", NAMES5, f=-1)
+
+    def test_f_zero_is_one_round(self):
+        processes = make_processes(NAMES5, 0)
+        result = run_rounds(
+            processes, {name: 1 for name in NAMES5}
+        )
+        assert result.rounds_executed == 1
+        assert all(r == 1 for r in result.decision_rounds.values())
+
+
+class TestFaultFree:
+    def test_unanimous(self):
+        processes = make_processes(NAMES5, 2)
+        result = run_rounds(processes, {name: 0 for name in NAMES5})
+        assert result.decision_values == frozenset({0})
+        assert result.all_live_decided
+
+    def test_mixed_inputs_use_default(self):
+        processes = make_processes(NAMES5, 1)
+        inputs = dict(zip(NAMES5, [0, 1, 0, 1, 0]))
+        result = run_rounds(processes, inputs)
+        # Everyone sees both values; the default (1) wins.
+        assert result.decision_values == frozenset({1})
+
+    def test_decides_in_exactly_f_plus_one_rounds(self):
+        for f in (0, 1, 2, 3):
+            processes = make_processes(NAMES5, f)
+            result = run_rounds(
+                processes, {name: 1 for name in NAMES5}
+            )
+            assert set(result.decision_rounds.values()) == {f + 1}
+
+
+class TestCrashes:
+    def test_clean_crash_mid_protocol(self):
+        processes = make_processes(NAMES5, 2)
+        plan = SyncCrashPlan({"p0": (2, frozenset())})
+        inputs = dict(zip(NAMES5, [0, 1, 1, 1, 1]))
+        result = run_rounds(processes, inputs, plan)
+        assert result.agreement_holds
+        assert result.all_live_decided
+        assert "p0" not in result.decisions
+
+    def test_partial_broadcast_is_contained(self):
+        """The nasty case: p0 crashes in round 1 delivering its lone 0
+        only to p1.  The flood still equalizes by round f+1."""
+        processes = make_processes(NAMES5, 2)
+        plan = SyncCrashPlan({"p0": (1, frozenset({"p1"}))})
+        inputs = dict(zip(NAMES5, [0, 1, 1, 1, 1]))
+        result = run_rounds(processes, inputs, plan)
+        assert result.agreement_holds
+        assert result.all_live_decided
+
+    def test_validity_with_crashes(self):
+        processes = make_processes(NAMES5, 2)
+        plan = SyncCrashPlan(
+            {"p1": (1, frozenset()), "p3": (2, frozenset({"p0"}))}
+        )
+        result = run_rounds(
+            processes, {name: 0 for name in NAMES5}, plan
+        )
+        assert result.decision_values == frozenset({0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_agreement_under_adversarial_crashes(seed):
+    """Property: any ≤f crashes at any rounds with any partial delivery
+    subsets preserve agreement, validity, and f+1-round termination."""
+    rng = random.Random(seed)
+    n = rng.choice([4, 5, 6])
+    f = rng.randint(1, n - 2)
+    names = tuple(f"p{i}" for i in range(n))
+    victims = rng.sample(list(names), rng.randint(0, f))
+    plan = SyncCrashPlan(
+        {
+            victim: (
+                rng.randint(1, f + 1),
+                frozenset(
+                    rng.sample(
+                        [x for x in names if x != victim],
+                        rng.randint(0, n - 1),
+                    )
+                ),
+            )
+            for victim in victims
+        }
+    )
+    inputs = {name: rng.randint(0, 1) for name in names}
+    processes = [FloodSetProcess(name, names, f=f) for name in names]
+    result = run_rounds(processes, inputs, plan, max_rounds=f + 2)
+    assert result.agreement_holds
+    assert result.all_live_decided
+    assert result.decision_values <= set(inputs.values())
+    assert all(r == f + 1 for r in result.decision_rounds.values())

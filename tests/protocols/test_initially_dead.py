@@ -1,0 +1,153 @@
+"""Tests for the Section-4 (Theorem 2) protocol, including hypothesis
+property tests for agreement and validity over random dead-sets."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import InitiallyDeadProcess, make_protocol
+from repro.protocols.initially_dead import build_stage_graph
+from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+_PROTOCOLS = {}
+
+
+def protocol_of(n):
+    if n not in _PROTOCOLS:
+        _PROTOCOLS[n] = make_protocol(InitiallyDeadProcess, n)
+    return _PROTOCOLS[n]
+
+
+def run_theorem2(n, inputs, dead, scheduler=None, max_steps=None):
+    protocol = protocol_of(n)
+    scheduler = scheduler or RoundRobinScheduler(
+        crash_plan=CrashPlan.initially_dead(frozenset(dead))
+    )
+    return simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler,
+        max_steps=max_steps or 60 * n * n,
+        stop=StopCondition.ALL_DECIDED,
+    )
+
+
+class TestStructure:
+    def test_listen_quota_is_l_minus_one(self):
+        assert protocol_of(5).process("p0").listen_quota == 2
+        assert protocol_of(4).process("p0").listen_quota == 2
+        assert protocol_of(9).process("p0").listen_quota == 4
+
+    def test_build_stage_graph(self):
+        entries = frozenset(
+            {
+                ("a", 0, frozenset({"b"})),
+                ("b", 1, frozenset({"a"})),
+            }
+        )
+        graph = build_stage_graph(entries)
+        assert graph.has_edge("b", "a")
+        assert graph.has_edge("a", "b")
+
+
+class TestPositiveDirection:
+    def test_no_deaths_all_decide(self):
+        result = run_theorem2(5, [1, 0, 1, 0, 1], dead=[])
+        assert result.decided
+        assert len(result.decisions) == 5
+        assert result.agreement_holds
+
+    def test_minority_dead_all_live_decide(self):
+        result = run_theorem2(5, [1, 0, 1, 0, 1], dead=["p1", "p3"])
+        assert set(result.decisions) == {"p0", "p2", "p4"}
+        assert result.agreement_holds
+
+    def test_decision_is_some_input(self):
+        result = run_theorem2(5, [0, 0, 1, 0, 0], dead=["p2"])
+        assert result.decision_values <= {0, 1}
+        assert result.decision_values <= {0}  # the only 1-holder is dead
+
+    def test_n_equals_two(self):
+        # L = 2: both must be alive; with none dead it decides.
+        result = run_theorem2(2, [1, 0], dead=[])
+        assert result.decided
+        assert result.agreement_holds
+
+
+class TestNegativeDirection:
+    @pytest.mark.parametrize(
+        "n, dead",
+        [
+            (3, ["p0", "p1"]),
+            (5, ["p0", "p1", "p2"]),
+            (4, ["p0", "p1"]),
+        ],
+    )
+    def test_majority_dead_blocks_forever(self, n, dead):
+        inputs = [i % 2 for i in range(n)]
+        result = run_theorem2(n, inputs, dead=dead)
+        assert not result.decided
+        assert result.decisions == {}
+
+    def test_death_during_execution_can_block(self):
+        """The theorem's other hypothesis: no deaths DURING execution.
+        A process that broadcasts stage 1 and then dies becomes an
+        ancestor whose stage-2 message never comes."""
+        from repro.core.events import NULL, Event
+
+        protocol = protocol_of(3)
+        # p1 takes exactly one step — broadcasting its stage-1 message —
+        # and then dies.  Its stage-1 message is the FIFO-earliest for
+        # both survivors, so both adopt p1 as their predecessor and wait
+        # for its stage-2 message forever.
+        config = protocol.initial_configuration([0, 1, 0])
+        config = protocol.apply_event(config, Event("p1", NULL))
+        scheduler = RoundRobinScheduler(crash_plan=CrashPlan({"p1": 0}))
+        result = simulate(
+            protocol,
+            config,
+            scheduler,
+            max_steps=600,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert not result.decided
+        assert result.decisions == {}
+
+
+class TestAgreementProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.sampled_from([3, 5]),
+    )
+    def test_agreement_and_validity_random_minority_dead(self, seed, n):
+        rng = random.Random(seed)
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        num_dead = rng.randint(0, (n - 1) // 2)
+        dead = rng.sample([f"p{i}" for i in range(n)], num_dead)
+        result = run_theorem2(n, inputs, dead)
+        live = [f"p{i}" for i in range(n) if f"p{i}" not in dead]
+        assert all(name in result.decisions for name in live)
+        assert result.agreement_holds
+        assert result.decision_values <= set(inputs)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_agreement_under_random_scheduling(self, seed):
+        rng = random.Random(seed)
+        n = 5
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        dead = rng.sample([f"p{i}" for i in range(n)], rng.randint(0, 2))
+        scheduler = RandomScheduler(
+            seed=seed,
+            null_probability=0.15,
+            crash_plan=CrashPlan.initially_dead(frozenset(dead)),
+        )
+        result = run_theorem2(
+            n, inputs, dead, scheduler=scheduler, max_steps=5000
+        )
+        assert result.agreement_holds
+        live = [f"p{i}" for i in range(n) if f"p{i}" not in dead]
+        assert all(name in result.decisions for name in live)

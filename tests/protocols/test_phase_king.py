@@ -1,0 +1,127 @@
+"""Tests for phase-king consensus under Byzantine faults."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.exp_synchronous import phase_king_trial
+from repro.protocols import ByzantineProcess, PhaseKingProcess
+from repro.synchrony import run_rounds
+
+NAMES9 = tuple(f"p{i}" for i in range(9))
+
+
+class TestParameters:
+    def test_requires_n_over_4f(self):
+        with pytest.raises(ValueError, match="N > 4f"):
+            PhaseKingProcess("p0", NAMES9, f=3)  # 9 > 12 is false
+        PhaseKingProcess("p0", NAMES9, f=2)  # fine
+
+    def test_round_bookkeeping(self):
+        process = PhaseKingProcess("p0", NAMES9, f=2)
+        assert process.total_rounds == 6
+        assert process.phase_of(1) == 1 and process.phase_of(2) == 1
+        assert process.phase_of(3) == 2
+        assert process.is_round_a(1) and not process.is_round_a(2)
+        assert process.king_of(1) == "p0"
+        assert process.king_of(3) == "p2"
+
+
+class TestFaultFree:
+    def test_unanimous(self):
+        for value in (0, 1):
+            processes = [
+                PhaseKingProcess(name, NAMES9, f=2) for name in NAMES9
+            ]
+            result = run_rounds(
+                processes, {name: value for name in NAMES9}, max_rounds=6
+            )
+            assert result.decision_values == frozenset({value})
+            assert result.all_live_decided
+
+    def test_decides_in_two_f_plus_one_rounds(self):
+        processes = [
+            PhaseKingProcess(name, NAMES9, f=2) for name in NAMES9
+        ]
+        result = run_rounds(
+            processes,
+            {name: i % 2 for i, name in enumerate(NAMES9)},
+            max_rounds=10,
+        )
+        assert set(result.decision_rounds.values()) == {6}
+
+    def test_mixed_inputs_agree(self):
+        processes = [
+            PhaseKingProcess(name, NAMES9, f=2) for name in NAMES9
+        ]
+        result = run_rounds(
+            processes,
+            {name: i % 2 for i, name in enumerate(NAMES9)},
+            max_rounds=6,
+        )
+        assert result.agreement_holds
+        assert result.all_live_decided
+
+
+class TestByzantine:
+    def test_byzantine_king_cannot_split_honest(self):
+        # The round-1 king (p0) is Byzantine: honest processes may adopt
+        # different fake king values in phase 1, but a later honest
+        # king repairs it.
+        result = phase_king_trial(
+            9,
+            2,
+            byzantine={"p0"},
+            inputs={name: i % 2 for i, name in enumerate(NAMES9)},
+            seed=3,
+        )
+        honest = [name for name in NAMES9 if name != "p0"]
+        decisions = {name: result.decisions[name] for name in honest}
+        assert len(set(decisions.values())) == 1
+
+    def test_byzantine_minority_cannot_break_validity(self):
+        # All honest processes hold 0; two liars push 1.
+        inputs = {name: 0 for name in NAMES9}
+        result = phase_king_trial(
+            9, 2, byzantine={"p3", "p7"}, inputs=inputs, seed=5
+        )
+        honest = [name for name in NAMES9 if name not in ("p3", "p7")]
+        assert all(result.decisions[name] == 0 for name in honest)
+
+    def test_byzantine_process_never_decides(self):
+        result = phase_king_trial(
+            5,
+            1,
+            byzantine={"p2"},
+            inputs={f"p{i}": 1 for i in range(5)},
+            seed=1,
+        )
+        assert "p2" not in result.decisions
+
+    def test_equivocation_is_real(self):
+        liar = ByzantineProcess("x", ("x", "y", "z"), seed=0)
+        messages = {
+            liar.outgoing_to((), round_number, receiver)
+            for round_number in range(6)
+            for receiver in ("y", "z")
+        }
+        assert len(messages) > 1  # tells different stories
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_honest_agreement_and_validity_property(seed):
+    rng = random.Random(seed)
+    n, f = rng.choice([(5, 1), (9, 2), (13, 3)])
+    names = tuple(f"p{i}" for i in range(n))
+    byzantine = set(rng.sample(list(names), rng.randint(0, f)))
+    inputs = {name: rng.randint(0, 1) for name in names}
+    result = phase_king_trial(n, f, byzantine, inputs, seed=seed)
+    honest = [name for name in names if name not in byzantine]
+    decisions = {name: result.decisions[name] for name in honest}
+    assert len(decisions) == len(honest)  # all honest decide
+    assert len(set(decisions.values())) == 1  # and agree
+    honest_inputs = {inputs[name] for name in honest}
+    if len(honest_inputs) == 1:  # honest unanimity is honored
+        assert set(decisions.values()) == honest_inputs

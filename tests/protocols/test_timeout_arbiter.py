@@ -1,0 +1,122 @@
+"""Tests for the timeout-escalation arbiter (the anti-pattern exhibit)."""
+
+import pytest
+
+from repro.core.correctness import check_partial_correctness
+from repro.core.events import NULL, Event
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import TimeoutArbiterProcess, make_protocol
+from repro.schedulers import CrashPlan, RoundRobinScheduler
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return make_protocol(TimeoutArbiterProcess, 4, timeout=2)
+
+
+class TestParameters:
+    def test_needs_four_processes(self):
+        with pytest.raises(ValueError, match="N >= 4"):
+            make_protocol(TimeoutArbiterProcess, 3)
+
+    def test_timeout_validated(self):
+        with pytest.raises(ValueError, match="timeout"):
+            make_protocol(TimeoutArbiterProcess, 4, timeout=0)
+
+    def test_distinct_referees(self):
+        with pytest.raises(ValueError, match="differ"):
+            make_protocol(
+                TimeoutArbiterProcess, 4, arbiter="p0", backup="p0"
+            )
+
+    def test_roles(self, protocol):
+        assert protocol.process("p0").role == "arbiter"
+        assert protocol.process("p1").role == "backup"
+        assert protocol.process("p2").role == "proposer"
+
+
+class TestHappyPath:
+    def test_fair_scheduling_decides_and_agrees(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 0, 0, 1]),
+            RoundRobinScheduler(),
+            max_steps=300,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert result.decided
+        assert result.agreement_holds
+
+    def test_backup_takes_over_when_arbiter_dead(self, protocol):
+        """The availability 'win' that motivates the anti-pattern."""
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 0, 1, 1]),
+            RoundRobinScheduler(crash_plan=CrashPlan({"p0": 0})),
+            max_steps=600,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        # Everyone except the dead arbiter decides via the backup.
+        assert set(result.decisions) == {"p1", "p2", "p3"}
+        assert result.agreement_holds
+
+
+class TestEscalationMechanics:
+    def test_ticks_accumulate_on_null_steps(self, protocol):
+        config = protocol.initial_configuration([0, 0, 0, 1])
+        config = protocol.apply_event(config, Event("p2", NULL))
+        assert config.state_of("p2").data == ("claimed", 1, False)
+
+    def test_escalation_fires_at_timeout(self, protocol):
+        config = protocol.initial_configuration([0, 0, 0, 1])
+        for _ in range(3):
+            config = protocol.apply_event(config, Event("p2", NULL))
+        phase, ticks, escalated = config.state_of("p2").data
+        assert escalated
+        assert ticks == 2
+        backup_mail = config.buffer.messages_for("p1")
+        assert any(m.value[0] == "claim" for m in backup_mail)
+
+    def test_escalation_fires_once(self, protocol):
+        config = protocol.initial_configuration([0, 0, 0, 1])
+        for _ in range(6):
+            config = protocol.apply_event(config, Event("p2", NULL))
+        claims = [
+            m
+            for m in config.buffer.messages_for("p1")
+            if m.value[0] == "claim"
+        ]
+        assert len(claims) == 1
+
+
+class TestTheViolation:
+    def test_split_brain_schedule_exists(self, protocol):
+        """Drive the exact split: p2 (input 0) claims to the arbiter;
+        p3 (input 1) times out and escalates; the two referees commit
+        to opposite values."""
+        config = protocol.initial_configuration([0, 0, 0, 1])
+        schedule = [
+            Event("p2", NULL),  # p2 claims 0 to arbiter
+            Event("p3", NULL),  # p3 claims 1 to arbiter
+            Event("p3", NULL),  # tick
+            Event("p3", NULL),  # tick -> escalate claim 1 to backup
+            Event("p0", ("claim", "p2", 0)),  # arbiter decides 0
+            Event("p1", ("claim", "p3", 1)),  # backup decides 1 (!)
+        ]
+        for event in schedule:
+            config = protocol.apply_event(config, event)
+        assert config.decision_values() == frozenset({0, 1})
+
+    def test_exhaustive_check_finds_disagreement(self, protocol):
+        report = check_partial_correctness(protocol)
+        assert not report.agreement_ok
+        assert report.disagreement_witness is not None
+        assert len(
+            report.disagreement_witness.decision_values()
+        ) == 2
+
+    def test_plain_arbiter_has_no_such_flaw(self):
+        from repro.protocols import ArbiterProcess
+
+        plain = make_protocol(ArbiterProcess, 4)
+        assert check_partial_correctness(plain).agreement_ok

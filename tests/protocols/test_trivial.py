@@ -1,0 +1,65 @@
+"""Tests for the degenerate negative-control protocols."""
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import AlwaysZeroProcess, InputEchoProcess, make_protocol
+from repro.schedulers import RoundRobinScheduler
+
+
+class TestAlwaysZero:
+    def test_everyone_decides_zero_immediately(self):
+        protocol = make_protocol(AlwaysZeroProcess, 3)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 1]),
+            RoundRobinScheduler(),
+            max_steps=10,
+        )
+        assert result.decided
+        assert result.decision_values == frozenset({0})
+        assert result.steps == 3  # one step each
+
+    def test_decision_ignores_inputs(self):
+        protocol = make_protocol(AlwaysZeroProcess, 2)
+        for inputs in ([0, 0], [0, 1], [1, 1]):
+            result = simulate(
+                protocol,
+                protocol.initial_configuration(inputs),
+                RoundRobinScheduler(),
+                max_steps=10,
+            )
+            assert result.decision_values == frozenset({0})
+
+    def test_no_messages_ever_sent(self):
+        protocol = make_protocol(AlwaysZeroProcess, 2)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 0]),
+            RoundRobinScheduler(),
+            max_steps=10,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert len(result.final_configuration.buffer) == 0
+
+
+class TestInputEcho:
+    def test_mixed_inputs_disagree(self):
+        protocol = make_protocol(InputEchoProcess, 2)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 1]),
+            RoundRobinScheduler(),
+            max_steps=10,
+        )
+        assert result.decisions == {"p0": 0, "p1": 1}
+        assert not result.agreement_holds
+
+    def test_uniform_inputs_agree_by_luck(self):
+        protocol = make_protocol(InputEchoProcess, 2)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1]),
+            RoundRobinScheduler(),
+            max_steps=10,
+        )
+        assert result.agreement_holds
+        assert result.decision_values == frozenset({1})

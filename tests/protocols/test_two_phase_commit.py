@@ -1,0 +1,112 @@
+"""Tests for two-phase commit as consensus."""
+
+import pytest
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import TwoPhaseCommitProcess, make_protocol
+from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+
+def run_2pc(protocol, inputs, scheduler=None, max_steps=200):
+    return simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler or RoundRobinScheduler(),
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+
+
+class TestOutcomes:
+    def test_all_yes_commits(self, two_pc3):
+        result = run_2pc(two_pc3, [1, 1, 1])
+        assert result.decided
+        assert result.decision_values == frozenset({1})
+
+    @pytest.mark.parametrize(
+        "inputs", [[0, 1, 1], [1, 0, 1], [1, 1, 0], [0, 0, 0]]
+    )
+    def test_any_no_aborts(self, two_pc3, inputs):
+        result = run_2pc(two_pc3, inputs)
+        assert result.decided
+        assert result.decision_values == frozenset({0})
+
+    def test_commit_iff_and_of_inputs_over_random_schedules(self, two_pc3):
+        for seed in range(12):
+            for inputs in ([1, 1, 1], [1, 0, 1]):
+                result = run_2pc(
+                    two_pc3,
+                    inputs,
+                    RandomScheduler(seed=seed),
+                    max_steps=500,
+                )
+                expected = 1 if all(inputs) else 0
+                assert result.decision_values == frozenset({expected})
+
+
+class TestUnilateralAbort:
+    def test_no_voter_decides_before_coordinator(self, two_pc3):
+        from repro.core.events import NULL, Event
+
+        config = two_pc3.initial_configuration([1, 1, 0])
+        config = two_pc3.apply_event(config, Event("p2", NULL))
+        assert config.state_of("p2").output == 0  # aborted unilaterally
+
+    def test_unilateral_abort_can_be_disabled(self):
+        protocol = make_protocol(
+            TwoPhaseCommitProcess, 3, unilateral_abort=False
+        )
+        from repro.core.events import NULL, Event
+
+        config = protocol.initial_configuration([1, 1, 0])
+        config = protocol.apply_event(config, Event("p2", NULL))
+        assert not config.state_of("p2").decided
+        # It still aborts once the coordinator says so.
+        result = run_2pc(protocol, [1, 1, 0])
+        assert result.decision_values == frozenset({0})
+
+
+class TestWindowOfVulnerability:
+    def test_coordinator_crash_after_votes_blocks(self, two_pc3):
+        # The coordinator dies just before collecting; yes-voters hang.
+        result = run_2pc(
+            two_pc3,
+            [1, 1, 1],
+            RoundRobinScheduler(crash_plan=CrashPlan({"p0": 1})),
+            max_steps=400,
+        )
+        assert not result.decided
+        assert "p1" not in result.decisions
+        assert "p2" not in result.decisions
+
+    def test_participant_crash_blocks_commit(self, two_pc3):
+        result = run_2pc(
+            two_pc3,
+            [1, 1, 1],
+            RoundRobinScheduler(crash_plan=CrashPlan({"p2": 0})),
+            max_steps=400,
+        )
+        assert not result.decided
+
+    def test_no_voters_escape_the_window(self, two_pc3):
+        # A 0-input participant decides unilaterally even if the
+        # coordinator dies: its window is closed by its own vote.
+        result = run_2pc(
+            two_pc3,
+            [1, 0, 1],
+            RoundRobinScheduler(crash_plan=CrashPlan({"p0": 0})),
+            max_steps=400,
+        )
+        assert result.decisions.get("p1") == 0
+
+
+class TestStructure:
+    def test_custom_coordinator(self):
+        protocol = make_protocol(TwoPhaseCommitProcess, 3, coordinator="p1")
+        assert protocol.process("p1").is_coordinator
+        result = run_2pc(protocol, [1, 1, 1])
+        assert result.decision_values == frozenset({1})
+
+    def test_unknown_coordinator_rejected(self):
+        with pytest.raises(ValueError):
+            make_protocol(TwoPhaseCommitProcess, 3, coordinator="p9")

@@ -1,0 +1,122 @@
+"""Tests for the broadcast-voting protocols (and the tally rule)."""
+
+import pytest
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import (
+    QuorumVoteProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+from repro.protocols.voting import tally
+from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
+
+
+class TestTally:
+    def test_majority_zero(self):
+        assert tally(frozenset({("a", 0), ("b", 0), ("c", 1)})) == 0
+
+    def test_majority_one(self):
+        assert tally(frozenset({("a", 1), ("b", 1), ("c", 0)})) == 1
+
+    def test_tie_breaks_to_one(self):
+        assert tally(frozenset({("a", 0), ("b", 1)})) == 1
+
+    def test_unanimous(self):
+        assert tally(frozenset({("a", 0), ("b", 0)})) == 0
+
+
+class TestWaitForAll:
+    def test_decides_majority_under_fair_scheduling(self, wait_for_all3):
+        result = simulate(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([1, 0, 1]),
+            RoundRobinScheduler(),
+            max_steps=200,
+        )
+        assert result.decided
+        assert result.decision_values == frozenset({1})
+
+    def test_all_zero_decides_zero(self, wait_for_all3):
+        result = simulate(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([0, 0, 0]),
+            RoundRobinScheduler(),
+            max_steps=200,
+        )
+        assert result.decision_values == frozenset({0})
+
+    @pytest.mark.parametrize("victim", ["p0", "p1", "p2"])
+    def test_any_single_crash_blocks(self, wait_for_all3, victim):
+        result = simulate(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([1, 1, 1]),
+            RoundRobinScheduler(crash_plan=CrashPlan({victim: 0})),
+            max_steps=300,
+        )
+        assert not result.decided
+        assert result.decisions == {}
+
+    def test_message_before_first_step_is_handled(self, wait_for_all3):
+        """A process whose first event is a delivery must broadcast and
+        count the incoming vote in the same atomic step."""
+        from repro.core.events import NULL, Event
+
+        config = wait_for_all3.initial_configuration([1, 0, 0])
+        config = wait_for_all3.apply_event(config, Event("p0", NULL))
+        # p1's very first step is receiving p0's vote.
+        config = wait_for_all3.apply_event(
+            config, Event("p1", ("vote", "p0", 1))
+        )
+        _broadcast, votes = config.state_of("p1").data
+        assert ("p0", 1) in votes
+        assert ("p1", 0) in votes
+
+
+class TestQuorumVote:
+    def test_quorum_defaults_to_majority(self):
+        protocol = make_protocol(QuorumVoteProcess, 5)
+        assert protocol.process("p0").quorum == 3
+
+    def test_explicit_quorum_validated(self):
+        with pytest.raises(ValueError):
+            make_protocol(QuorumVoteProcess, 3, quorum=4)
+        with pytest.raises(ValueError):
+            make_protocol(QuorumVoteProcess, 3, quorum=0)
+
+    def test_survives_minority_crashes(self):
+        protocol = make_protocol(QuorumVoteProcess, 3)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 1]),
+            RoundRobinScheduler(crash_plan=CrashPlan({"p2": 0})),
+            max_steps=300,
+        )
+        # The two live processes have a quorum: they decide.
+        assert set(result.decisions) == {"p0", "p1"}
+
+    def test_disagreement_exists_under_some_schedule(self):
+        """The unsafe protocol really does disagree: find a random
+        schedule producing two different decisions."""
+        protocol = make_protocol(QuorumVoteProcess, 3)
+        initial = protocol.initial_configuration([0, 0, 1])
+        for seed in range(60):
+            result = simulate(
+                protocol,
+                initial,
+                RandomScheduler(seed=seed, null_probability=0.2),
+                max_steps=400,
+            )
+            if len(result.decision_values) == 2:
+                return
+        pytest.fail("no disagreement found in 60 seeds")
+
+    def test_quorum_one_is_input_echo(self):
+        protocol = make_protocol(QuorumVoteProcess, 2, quorum=1)
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([0, 1]),
+            RoundRobinScheduler(),
+            max_steps=50,
+        )
+        assert result.decisions == {"p0": 0, "p1": 1}

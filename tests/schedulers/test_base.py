@@ -1,0 +1,106 @@
+"""Unit tests for CrashPlan and FifoTracker."""
+
+import pytest
+
+from repro.core.messages import Message, MessageBuffer
+from repro.schedulers.base import CrashPlan, FifoTracker
+
+
+class TestCrashPlan:
+    def test_none_has_no_faults(self):
+        plan = CrashPlan.none()
+        assert plan.faulty == frozenset()
+        assert plan.is_live("p0", 10**6)
+
+    def test_crash_time_semantics(self):
+        plan = CrashPlan({"p1": 5})
+        assert plan.is_live("p1", 4)
+        assert not plan.is_live("p1", 5)
+        assert not plan.is_live("p1", 6)
+
+    def test_initially_dead(self):
+        plan = CrashPlan.initially_dead({"p0", "p2"})
+        assert not plan.is_live("p0", 0)
+        assert plan.is_live("p1", 0)
+
+    def test_live_at_filters(self):
+        plan = CrashPlan({"p1": 2})
+        names = ("p0", "p1", "p2")
+        assert plan.live_at(names, 0) == names
+        assert plan.live_at(names, 2) == ("p0", "p2")
+
+    def test_survivors(self):
+        plan = CrashPlan({"p1": 100})
+        assert plan.survivors(("p0", "p1", "p2")) == ("p0", "p2")
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(ValueError):
+            CrashPlan({"p0": -1})
+
+    def test_crash_times_returns_copy(self):
+        plan = CrashPlan({"p0": 1})
+        times = plan.crash_times
+        times["p0"] = 99
+        assert plan.crash_times == {"p0": 1}
+
+
+class TestFifoTracker:
+    def test_arrivals_enqueue_in_order(self):
+        tracker = FifoTracker()
+        buffer = MessageBuffer.empty()
+        tracker.observe(buffer)
+        buffer = buffer.send(Message("p0", "first"))
+        tracker.observe(buffer)
+        buffer = buffer.send(Message("p0", "second"))
+        tracker.observe(buffer)
+        assert tracker.earliest_for("p0") == Message("p0", "first")
+        assert tracker.pending_count("p0") == 2
+
+    def test_delivery_removes_from_queue(self):
+        tracker = FifoTracker()
+        buffer = MessageBuffer.of(
+            [Message("p0", "a"), Message("p0", "b")]
+        )
+        tracker.observe(buffer)
+        buffer = buffer.deliver(Message("p0", "a"))
+        tracker.observe(buffer)
+        assert tracker.earliest_for("p0") == Message("p0", "b")
+
+    def test_empty_queue(self):
+        tracker = FifoTracker()
+        tracker.observe(MessageBuffer.empty())
+        assert tracker.earliest_for("p0") is None
+        assert tracker.pending_count("p0") == 0
+
+    def test_multiplicity_tracked(self):
+        tracker = FifoTracker()
+        buffer = MessageBuffer.of([Message("p0", "x"), Message("p0", "x")])
+        tracker.observe(buffer)
+        assert tracker.pending_count("p0") == 2
+        tracker.observe(buffer.deliver(Message("p0", "x")))
+        assert tracker.pending_count("p0") == 1
+
+    def test_separate_destinations(self):
+        tracker = FifoTracker()
+        tracker.observe(
+            MessageBuffer.of([Message("p0", "a"), Message("p1", "b")])
+        )
+        assert tracker.earliest_for("p0") == Message("p0", "a")
+        assert tracker.earliest_for("p1") == Message("p1", "b")
+
+    def test_observe_same_buffer_is_idempotent(self):
+        tracker = FifoTracker()
+        buffer = MessageBuffer.of([Message("p0", "a")])
+        tracker.observe(buffer)
+        tracker.observe(buffer)
+        assert tracker.pending_count("p0") == 1
+
+    def test_simultaneous_add_and_remove(self):
+        tracker = FifoTracker()
+        buffer = MessageBuffer.of([Message("p0", "a")])
+        tracker.observe(buffer)
+        # One step can deliver a and send b.
+        buffer = buffer.deliver(Message("p0", "a")).send(Message("p0", "b"))
+        tracker.observe(buffer)
+        assert tracker.earliest_for("p0") == Message("p0", "b")
+        assert tracker.pending_count("p0") == 1

@@ -1,0 +1,80 @@
+"""Unit tests for crash-plan construction helpers."""
+
+import random
+
+import pytest
+
+from repro.schedulers.crash import (
+    initially_dead_plans,
+    random_crash_plan,
+    single_crash_plans,
+)
+
+NAMES = ("p0", "p1", "p2", "p3")
+
+
+class TestRandomCrashPlan:
+    def test_respects_max_faulty(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            plan = random_crash_plan(NAMES, max_faulty=2, max_step=10, rng=rng)
+            assert len(plan.faulty) <= 2
+
+    def test_crash_steps_in_range(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            plan = random_crash_plan(NAMES, max_faulty=4, max_step=7, rng=rng)
+            assert all(0 <= t <= 7 for t in plan.crash_times.values())
+
+    def test_zero_faults_possible(self):
+        rng = random.Random(2)
+        plans = [
+            random_crash_plan(NAMES, max_faulty=1, max_step=5, rng=rng)
+            for _ in range(60)
+        ]
+        assert any(not plan.faulty for plan in plans)
+
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ValueError):
+            random_crash_plan(NAMES, max_faulty=5, max_step=5,
+                              rng=random.Random(0))
+
+    def test_deterministic_given_rng_state(self):
+        a = random_crash_plan(NAMES, 2, 10, random.Random(42))
+        b = random_crash_plan(NAMES, 2, 10, random.Random(42))
+        assert a.crash_times == b.crash_times
+
+
+class TestSingleCrashPlans:
+    def test_cartesian_coverage(self):
+        plans = single_crash_plans(NAMES, [0, 5])
+        assert len(plans) == 8
+        pairs = {
+            (next(iter(plan.faulty)), list(plan.crash_times.values())[0])
+            for plan in plans
+        }
+        assert ("p2", 5) in pairs
+
+    def test_each_plan_has_exactly_one_fault(self):
+        for plan in single_crash_plans(NAMES, [3]):
+            assert len(plan.faulty) == 1
+
+
+class TestInitiallyDeadPlans:
+    def test_counts_are_binomial(self):
+        assert len(initially_dead_plans(NAMES, 0)) == 1
+        assert len(initially_dead_plans(NAMES, 1)) == 4
+        assert len(initially_dead_plans(NAMES, 2)) == 6
+
+    def test_all_dead_at_step_zero(self):
+        for plan in initially_dead_plans(NAMES, 2):
+            assert all(t == 0 for t in plan.crash_times.values())
+            assert len(plan.faulty) == 2
+
+    def test_too_many_dead_rejected(self):
+        with pytest.raises(ValueError):
+            initially_dead_plans(NAMES, 5)
+
+    def test_plans_are_distinct(self):
+        plans = initially_dead_plans(NAMES, 2)
+        assert len({plan.faulty for plan in plans}) == len(plans)

@@ -1,0 +1,97 @@
+"""Unit tests for the delay scheduler (window of vulnerability)."""
+
+import pytest
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import TwoPhaseCommitProcess, make_protocol
+from repro.schedulers import DelayScheduler
+
+
+@pytest.fixture
+def protocol():
+    return make_protocol(TwoPhaseCommitProcess, 3)
+
+
+class TestWindowSemantics:
+    def test_is_delayed_within_window(self):
+        scheduler = DelayScheduler({"p0"}, window=(5, 10))
+        assert not scheduler.is_delayed("p0", 4)
+        assert scheduler.is_delayed("p0", 5)
+        assert scheduler.is_delayed("p0", 9)
+        assert not scheduler.is_delayed("p0", 10)
+
+    def test_open_ended_window(self):
+        scheduler = DelayScheduler({"p0"}, window=(0, None))
+        assert scheduler.is_delayed("p0", 10**9)
+
+    def test_non_victims_never_delayed(self):
+        scheduler = DelayScheduler({"p0"}, window=(0, None))
+        assert not scheduler.is_delayed("p1", 3)
+
+    def test_malformed_window_rejected(self):
+        with pytest.raises(ValueError):
+            DelayScheduler({"p0"}, window=(5, 2))
+        with pytest.raises(ValueError):
+            DelayScheduler({"p0"}, window=(-1, None))
+
+
+class TestBlockingBehaviour:
+    def test_delayed_coordinator_blocks_commit(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 1]),
+            DelayScheduler({"p0"}, window=(0, None)),
+            max_steps=200,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert not result.decided
+        assert result.decisions == {}  # yes-voters cannot act alone
+
+    def test_delay_lifts_and_protocol_completes(self, protocol):
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 1]),
+            DelayScheduler({"p0"}, window=(0, 50)),
+            max_steps=400,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        assert result.decided
+        assert result.decision_values == frozenset({1})
+
+    def test_delaying_abort_voter_does_not_block_aborts(self, protocol):
+        # A no-voter's vote is not needed for the others to... actually
+        # the coordinator still waits for its vote: the commit problem's
+        # window again, from the other side.
+        result = simulate(
+            protocol,
+            protocol.initial_configuration([1, 1, 0]),
+            DelayScheduler({"p2"}, window=(0, None)),
+            max_steps=200,
+            stop=StopCondition.ALL_DECIDED,
+        )
+        # p2 itself (delayed) never even votes; the coordinator blocks.
+        assert "p0" not in result.decisions
+
+    def test_never_schedules_delayed_process(self, protocol):
+        scheduler = DelayScheduler({"p1"}, window=(0, None))
+        config = protocol.initial_configuration([1, 1, 1])
+        for step in range(30):
+            event = scheduler.next_event(protocol, config, step)
+            if event is None:
+                break
+            assert event.process != "p1"
+            config = protocol.apply_event(config, event)
+
+    def test_all_delayed_returns_none(self, protocol):
+        scheduler = DelayScheduler(
+            {"p0", "p1", "p2"}, window=(0, None)
+        )
+        config = protocol.initial_configuration([1, 1, 1])
+        assert scheduler.next_event(protocol, config, 0) is None
+
+    def test_reset(self, protocol):
+        scheduler = DelayScheduler({"p0"}, window=(0, None))
+        config = protocol.initial_configuration([1, 1, 1])
+        first = scheduler.next_event(protocol, config, 0)
+        scheduler.reset()
+        assert scheduler.next_event(protocol, config, 0) == first

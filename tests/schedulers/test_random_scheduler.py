@@ -1,0 +1,82 @@
+"""Unit tests for the seeded random scheduler."""
+
+import pytest
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import WaitForAllProcess, make_protocol
+from repro.schedulers import CrashPlan, RandomScheduler
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, wait_for_all3):
+        initial = wait_for_all3.initial_configuration([1, 0, 1])
+        a = simulate(
+            wait_for_all3, initial, RandomScheduler(seed=7), max_steps=100
+        )
+        b = simulate(
+            wait_for_all3, initial, RandomScheduler(seed=7), max_steps=100
+        )
+        assert a.schedule == b.schedule
+        assert a.final_configuration == b.final_configuration
+
+    def test_different_seeds_usually_differ(self, wait_for_all3):
+        initial = wait_for_all3.initial_configuration([1, 0, 1])
+        schedules = {
+            simulate(
+                wait_for_all3,
+                initial,
+                RandomScheduler(seed=seed),
+                max_steps=50,
+            ).schedule
+            for seed in range(5)
+        }
+        assert len(schedules) > 1
+
+    def test_reset_replays(self, wait_for_all3):
+        scheduler = RandomScheduler(seed=3)
+        initial = wait_for_all3.initial_configuration([0, 0, 1])
+        first = scheduler.next_event(wait_for_all3, initial, 0)
+        scheduler.reset()
+        assert scheduler.next_event(wait_for_all3, initial, 0) == first
+
+
+class TestBehaviour:
+    def test_null_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(null_probability=1.0)
+        with pytest.raises(ValueError):
+            RandomScheduler(null_probability=-0.1)
+
+    def test_only_applicable_events_produced(self, wait_for_all3):
+        scheduler = RandomScheduler(seed=11, null_probability=0.3)
+        config = wait_for_all3.initial_configuration([1, 1, 0])
+        for step in range(60):
+            event = scheduler.next_event(wait_for_all3, config, step)
+            assert event.is_applicable(config)
+            config = wait_for_all3.apply_event(config, event)
+
+    def test_decides_eventually_without_faults(self, wait_for_all3):
+        for seed in range(5):
+            result = simulate(
+                wait_for_all3,
+                wait_for_all3.initial_configuration([1, 0, 1]),
+                RandomScheduler(seed=seed),
+                max_steps=2000,
+                stop=StopCondition.ALL_DECIDED,
+            )
+            assert result.decided
+
+    def test_crash_plan_respected(self, wait_for_all3):
+        scheduler = RandomScheduler(seed=5, crash_plan=CrashPlan({"p2": 0}))
+        config = wait_for_all3.initial_configuration([0, 0, 0])
+        for step in range(40):
+            event = scheduler.next_event(wait_for_all3, config, step)
+            assert event.process != "p2"
+            config = wait_for_all3.apply_event(config, event)
+
+    def test_all_crashed_returns_none(self, wait_for_all3):
+        scheduler = RandomScheduler(
+            crash_plan=CrashPlan({"p0": 0, "p1": 0, "p2": 0})
+        )
+        config = wait_for_all3.initial_configuration([0, 0, 0])
+        assert scheduler.next_event(wait_for_all3, config, 0) is None

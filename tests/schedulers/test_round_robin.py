@@ -1,0 +1,92 @@
+"""Unit tests for the round-robin scheduler."""
+
+from repro.core.simulation import StopCondition, simulate
+from repro.protocols import ArbiterProcess, WaitForAllProcess, make_protocol
+from repro.schedulers import CrashPlan, RoundRobinScheduler
+
+
+class TestRotation:
+    def test_cycles_processes_in_order(self, wait_for_all3):
+        scheduler = RoundRobinScheduler()
+        config = wait_for_all3.initial_configuration([0, 0, 0])
+        seen = []
+        for step in range(6):
+            event = scheduler.next_event(wait_for_all3, config, step)
+            seen.append(event.process)
+            config = wait_for_all3.apply_event(config, event)
+        assert seen[:3] == ["p0", "p1", "p2"]
+
+    def test_fifo_delivery(self, wait_for_all3):
+        scheduler = RoundRobinScheduler()
+        config = wait_for_all3.initial_configuration([0, 1, 0])
+        # Let p0 and p1 broadcast; p2's earliest message is p0's vote.
+        for step in range(2):
+            event = scheduler.next_event(wait_for_all3, config, step)
+            config = wait_for_all3.apply_event(config, event)
+        event = scheduler.next_event(wait_for_all3, config, 2)
+        assert event.process == "p2"
+        assert event.value == ("vote", "p0", 0)
+
+    def test_reset_restores_cursor(self, wait_for_all3):
+        scheduler = RoundRobinScheduler()
+        config = wait_for_all3.initial_configuration([0, 0, 0])
+        first = scheduler.next_event(wait_for_all3, config, 0)
+        scheduler.reset()
+        again = scheduler.next_event(wait_for_all3, config, 0)
+        assert first == again
+
+
+class TestCrashes:
+    def test_crashed_process_never_scheduled(self, wait_for_all3):
+        scheduler = RoundRobinScheduler(crash_plan=CrashPlan({"p1": 0}))
+        config = wait_for_all3.initial_configuration([0, 0, 0])
+        for step in range(9):
+            event = scheduler.next_event(wait_for_all3, config, step)
+            assert event.process != "p1"
+            config = wait_for_all3.apply_event(config, event)
+
+    def test_all_crashed_yields_none(self, wait_for_all3):
+        scheduler = RoundRobinScheduler(
+            crash_plan=CrashPlan({"p0": 0, "p1": 0, "p2": 0})
+        )
+        config = wait_for_all3.initial_configuration([0, 0, 0])
+        assert scheduler.next_event(wait_for_all3, config, 0) is None
+
+
+class TestLiveness:
+    def test_every_safe_protocol_decides_fault_free(self):
+        for cls in (ArbiterProcess, WaitForAllProcess):
+            protocol = make_protocol(cls, 3)
+            result = simulate(
+                protocol,
+                protocol.initial_configuration([1, 0, 1]),
+                RoundRobinScheduler(),
+                max_steps=300,
+                stop=StopCondition.ALL_DECIDED,
+            )
+            assert result.decided, cls.__name__
+            assert result.agreement_holds
+
+    def test_exhausts_after_everyone_decides(self, wait_for_all3):
+        scheduler = RoundRobinScheduler()
+        result = simulate(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([1, 1, 1]),
+            scheduler,
+            max_steps=500,
+            stop=StopCondition.NEVER,
+        )
+        assert result.stop_reason == "scheduler-exhausted"
+
+    def test_skip_decided_false_keeps_stepping(self, wait_for_all3):
+        scheduler = RoundRobinScheduler(skip_decided=False)
+        result = simulate(
+            wait_for_all3,
+            wait_for_all3.initial_configuration([1, 1, 1]),
+            scheduler,
+            max_steps=100,
+            stop=StopCondition.NEVER,
+        )
+        # Decided processes still take null steps forever.
+        assert result.stop_reason == "step-budget"
+        assert result.steps == 100

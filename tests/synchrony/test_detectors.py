@@ -1,0 +1,126 @@
+"""Tests for failure detectors and detector-guided consensus."""
+
+from repro.synchrony.detectors import (
+    DetectorGuidedProcess,
+    EventuallyStrongDetector,
+    PerfectDetector,
+    check_eventual_weak_accuracy,
+    check_strong_accuracy,
+    check_strong_completeness,
+)
+from repro.synchrony.partial import always_deliver, run_partial_sync
+
+NAMES = tuple(f"p{i}" for i in range(5))
+
+
+class TestPerfectDetector:
+    def test_suspects_exactly_the_crashed(self):
+        detector = PerfectDetector(NAMES, {"p1": 3})
+        assert detector.suspects("p0", 2) == frozenset()
+        assert detector.suspects("p0", 3) == frozenset({"p1"})
+
+    def test_never_suspects_observer(self):
+        detector = PerfectDetector(NAMES, {"p1": 0})
+        assert "p1" not in detector.suspects("p1", 5)
+
+    def test_axioms(self):
+        detector = PerfectDetector(NAMES, {"p1": 3, "p4": 6})
+        assert check_strong_completeness(detector, 10)
+        assert check_strong_accuracy(detector, 10)
+        assert check_eventual_weak_accuracy(detector, 10) == 0
+
+
+class TestEventuallyStrongDetector:
+    def test_noisy_before_stabilization(self):
+        detector = EventuallyStrongDetector(
+            NAMES, {}, stabilization_time=50, seed=0, noise=0.9
+        )
+        wrong = [
+            suspect
+            for time in range(10)
+            for suspect in detector.suspects("p0", time)
+        ]
+        assert wrong  # live processes get slandered
+
+    def test_clean_after_stabilization(self):
+        detector = EventuallyStrongDetector(
+            NAMES, {"p2": 1}, stabilization_time=5, seed=0, noise=0.9
+        )
+        assert detector.suspects("p0", 5) == frozenset({"p2"})
+        assert detector.suspects("p0", 100) == frozenset({"p2"})
+
+    def test_axioms_hold_on_sufficient_horizon(self):
+        detector = EventuallyStrongDetector(
+            NAMES, {"p2": 1}, stabilization_time=5, seed=1, noise=0.5
+        )
+        assert check_strong_completeness(detector, 20)
+        stabilized = check_eventual_weak_accuracy(detector, 20)
+        assert stabilized is not None
+        assert stabilized <= 5
+
+    def test_strong_accuracy_fails_for_noisy_detector(self):
+        detector = EventuallyStrongDetector(
+            NAMES, {}, stabilization_time=50, seed=0, noise=0.9
+        )
+        assert not check_strong_accuracy(detector, 10)
+
+    def test_deterministic_given_seed(self):
+        a = EventuallyStrongDetector(NAMES, {}, seed=3)
+        b = EventuallyStrongDetector(NAMES, {}, seed=3)
+        assert a.suspects("p0", 2) == b.suspects("p0", 2)
+
+
+class TestDetectorGuidedConsensus:
+    def test_decides_after_detector_stabilizes(self):
+        crash = {"p0": 2}
+        detector = EventuallyStrongDetector(
+            NAMES, crash, stabilization_time=6, seed=2, noise=0.6
+        )
+        processes = [
+            DetectorGuidedProcess(n, NAMES, f=2, detector=detector)
+            for n in NAMES
+        ]
+        result = run_partial_sync(
+            processes,
+            dict(zip(NAMES, [1, 0, 1, 0, 1])),
+            gst=1,
+            drop_rule=always_deliver,
+            crash_rounds=crash,
+            max_rounds=40,
+        )
+        assert result.all_live_decided
+        assert result.agreement_holds
+
+    def test_perfect_detector_decides_fast(self):
+        detector = PerfectDetector(NAMES, {})
+        processes = [
+            DetectorGuidedProcess(n, NAMES, f=2, detector=detector)
+            for n in NAMES
+        ]
+        result = run_partial_sync(
+            processes,
+            dict(zip(NAMES, [1, 1, 0, 0, 1])),
+            gst=1,
+            drop_rule=always_deliver,
+        )
+        assert set(result.decision_rounds.values()) == {1}
+
+    def test_eternally_slanderous_detector_blocks(self):
+        """A detector that never stabilizes (noise ~ 1 forever) starves
+        every round: the Chandra-Toueg necessity direction."""
+        detector = EventuallyStrongDetector(
+            NAMES, {}, stabilization_time=10**9, seed=0, noise=1.0
+        )
+        processes = [
+            DetectorGuidedProcess(n, NAMES, f=2, detector=detector)
+            for n in NAMES
+        ]
+        result = run_partial_sync(
+            processes,
+            dict(zip(NAMES, [1, 0, 1, 0, 1])),
+            gst=1,
+            drop_rule=always_deliver,
+            max_rounds=25,
+        )
+        assert result.decisions == {}
+        assert result.agreement_holds

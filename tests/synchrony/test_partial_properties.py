@@ -1,0 +1,97 @@
+"""Property tests for the partial-synchrony protocol's safety.
+
+The quorum-intersection argument promises agreement under *any* drop
+rule, any GST, and any ≤ f crash pattern.  That is a universally
+quantified claim, so it gets hypothesis treatment: random message loss,
+random stabilization times, random crashes — agreement must never
+break, and whenever GST lands with enough live rounds left, everyone
+decides.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.synchrony.partial import (
+    RotatingCoordinatorProcess,
+    coordinator_blackout,
+    random_drops,
+    run_partial_sync,
+)
+
+
+def build(names, f):
+    return [RotatingCoordinatorProcess(n, names, f=f) for n in names]
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_agreement_under_arbitrary_loss_and_crashes(seed):
+    rng = random.Random(seed)
+    n = rng.choice([3, 5, 7])
+    f = (n - 1) // 2
+    names = tuple(f"p{i}" for i in range(n))
+    inputs = {name: rng.randint(0, 1) for name in names}
+    gst = rng.choice([1, 4, 9, 10**9])
+    rule = random_drops(seed=seed, deliver_probability=rng.random())
+    crash_rounds = {
+        victim: rng.randint(1, 10)
+        for victim in rng.sample(list(names), rng.randint(0, f))
+    }
+    result = run_partial_sync(
+        build(names, f),
+        inputs,
+        gst=gst,
+        drop_rule=rule,
+        crash_rounds=crash_rounds,
+        max_rounds=20,
+    )
+    assert result.agreement_holds
+    assert result.decision_values <= set(inputs.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_liveness_after_gst(seed):
+    """With GST early enough and ≤ f crashes, every live process
+    decides within f + 1 stabilized rounds."""
+    rng = random.Random(seed)
+    n = 5
+    f = 2
+    names = tuple(f"p{i}" for i in range(n))
+    inputs = {name: rng.randint(0, 1) for name in names}
+    gst = rng.randint(1, 6)
+    rule = coordinator_blackout(lambda r: names[(r - 1) % n])
+    crash_rounds = {
+        victim: rng.randint(1, 4)
+        for victim in rng.sample(list(names), rng.randint(0, f))
+    }
+    result = run_partial_sync(
+        build(names, f),
+        inputs,
+        gst=gst,
+        drop_rule=rule,
+        crash_rounds=crash_rounds,
+        max_rounds=gst + n + 2,
+    )
+    assert result.all_live_decided
+    assert result.agreement_holds
+    assert max(result.decision_rounds.values()) <= gst + f + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_unanimity_is_stable(seed):
+    """Validity sharpened: with unanimous inputs, the decision equals
+    that input under every loss pattern."""
+    rng = random.Random(seed)
+    value = rng.randint(0, 1)
+    names = tuple(f"p{i}" for i in range(5))
+    result = run_partial_sync(
+        build(names, 2),
+        {name: value for name in names},
+        gst=rng.randint(1, 8),
+        drop_rule=random_drops(seed=seed, deliver_probability=0.5),
+        max_rounds=25,
+    )
+    assert result.decision_values <= {value}

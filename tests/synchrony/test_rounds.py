@@ -1,0 +1,130 @@
+"""Tests for the round-synchronous executor."""
+
+import pytest
+
+from repro.protocols import FloodSetProcess
+from repro.synchrony.rounds import SyncCrashPlan, run_rounds
+
+NAMES = ("p0", "p1", "p2", "p3")
+
+
+class TestSyncCrashPlan:
+    def test_none(self):
+        plan = SyncCrashPlan.none()
+        assert plan.faulty == frozenset()
+        assert plan.is_live_in("p0", 99)
+        assert plan.delivers_to("p0", "p1", 5)
+
+    def test_crash_round_semantics(self):
+        plan = SyncCrashPlan({"p0": (3, frozenset({"p1"}))})
+        assert plan.is_live_in("p0", 2)
+        assert not plan.is_live_in("p0", 3)
+        # Full delivery before the crash round.
+        assert plan.delivers_to("p0", "p2", 2)
+        # Partial delivery in the crash round.
+        assert plan.delivers_to("p0", "p1", 3)
+        assert not plan.delivers_to("p0", "p2", 3)
+        # Nothing afterwards.
+        assert not plan.delivers_to("p0", "p1", 4)
+
+    def test_rejects_round_zero(self):
+        with pytest.raises(ValueError):
+            SyncCrashPlan({"p0": (0, frozenset())})
+
+
+class TestExecutor:
+    def test_inputs_flow_into_initial_state(self):
+        processes = [FloodSetProcess(n, NAMES, f=1) for n in NAMES]
+        result = run_rounds(
+            processes, {n: 1 for n in NAMES}, max_rounds=3
+        )
+        assert result.decisions == {n: 1 for n in NAMES}
+
+    def test_stops_when_all_live_decided(self):
+        processes = [FloodSetProcess(n, NAMES, f=1) for n in NAMES]
+        result = run_rounds(
+            processes, {n: 0 for n in NAMES}, max_rounds=50
+        )
+        assert result.rounds_executed == 2  # f+1, not 50
+
+    def test_max_rounds_bound(self):
+        processes = [FloodSetProcess(n, NAMES, f=3) for n in NAMES]
+        result = run_rounds(
+            processes, {n: 0 for n in NAMES}, max_rounds=2
+        )
+        assert result.rounds_executed == 2
+        assert not result.all_live_decided
+
+    def test_crashed_process_not_in_live(self):
+        processes = [FloodSetProcess(n, NAMES, f=1) for n in NAMES]
+        plan = SyncCrashPlan({"p3": (1, frozenset())})
+        result = run_rounds(processes, {n: 0 for n in NAMES}, plan)
+        assert result.live == frozenset({"p0", "p1", "p2"})
+        assert "p3" not in result.decisions
+
+    def test_states_exposed_for_inspection(self):
+        processes = [FloodSetProcess(n, NAMES, f=0) for n in NAMES]
+        result = run_rounds(processes, {n: 1 for n in NAMES})
+        assert result.states["p0"] == frozenset({1})
+
+
+class RecordingProcess(FloodSetProcess):
+    """FloodSet that records exactly what it received each round."""
+
+    def update(self, state, round_number, received):
+        self.last_received = dict(received)
+        return super().update(state, round_number, received)
+
+
+class Equivocator(FloodSetProcess):
+    """Tells each receiver a different singleton set."""
+
+    def outgoing_to(self, state, round_number, receiver):
+        return frozenset({1 if receiver == "p1" else 0})
+
+
+class TestPerReceiverMessages:
+    def test_equivocation_reaches_different_receivers(self):
+        processes = [
+            Equivocator("p0", NAMES, f=0),
+            RecordingProcess("p1", NAMES, f=0),
+            RecordingProcess("p2", NAMES, f=0),
+            RecordingProcess("p3", NAMES, f=0),
+        ]
+        run_rounds(processes, {n: 0 for n in NAMES}, max_rounds=1)
+        assert processes[1].last_received["p0"] == frozenset({1})
+        assert processes[2].last_received["p0"] == frozenset({0})
+
+    def test_none_means_silence(self):
+        class Mute(FloodSetProcess):
+            def outgoing_to(self, state, round_number, receiver):
+                return None
+
+        processes = [
+            Mute("p0", NAMES, f=0),
+            RecordingProcess("p1", NAMES, f=0),
+            RecordingProcess("p2", NAMES, f=0),
+            RecordingProcess("p3", NAMES, f=0),
+        ]
+        run_rounds(processes, {n: 0 for n in NAMES}, max_rounds=1)
+        assert "p0" not in processes[1].last_received
+
+    def test_sends_read_round_start_snapshot(self):
+        """Lock-step semantics: within a round, everyone's outgoing is
+        computed from the round-start state even though updates land
+        during the loop."""
+
+        class SnapshotSensitive(FloodSetProcess):
+            def outgoing(self, state, round_number):
+                return state  # the state AS OF round start
+
+        processes = [
+            SnapshotSensitive(n, NAMES, f=1) for n in NAMES
+        ]
+        inputs = dict(zip(NAMES, [1, 0, 0, 0]))
+        result = run_rounds(processes, inputs, max_rounds=2)
+        # Round 1: everyone flooded their ORIGINAL singleton; by round
+        # 2 all have merged {0,1}.  If p0's round-1 update leaked into
+        # p3's round-1 delivery, p3 would see {0,1} a round early and
+        # the executor would not be lock-step.
+        assert result.states["p3"] == frozenset({0, 1})

@@ -1,0 +1,143 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "parity-arbiter" in out
+        assert "description" in out
+
+
+class TestCheck:
+    def test_safe_protocol_exits_zero(self, capsys):
+        assert main(["check", "arbiter"]) == 0
+        out = capsys.readouterr().out
+        assert "partially correct" in out
+        assert "bivalent" in out
+
+    def test_unsafe_protocol_exits_one(self, capsys):
+        assert main(["check", "quorum-vote"]) == 1
+        out = capsys.readouterr().out
+        assert "NOT partially correct" in out
+
+    def test_unanalyzable_uses_simulation_sweep(self, capsys):
+        assert main(["check", "benor"]) == 0
+        out = capsys.readouterr().out
+        assert "simulation sweep" in out
+        assert "agreement=True" in out
+
+
+class TestAttack:
+    def test_staged_attack(self, capsys):
+        assert main(["attack", "parity-arbiter", "--stages", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "bivalence-preserving" in out
+        assert "verified by replay: True" in out
+
+    def test_fault_attack(self, capsys):
+        assert main(["attack", "2pc", "--stages", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fault" in out
+
+    def test_trace_flag(self, capsys):
+        assert (
+            main(
+                ["attack", "arbiter", "--stages", "3", "--trace", "4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "receives" in out
+
+    def test_unanalyzable_refused(self, capsys):
+        assert main(["attack", "benor"]) == 2
+        err = capsys.readouterr().err
+        assert "unbounded" in err
+
+    def test_degenerate_protocol_reports_stuck(self, capsys):
+        assert main(["attack", "always-zero"]) == 1
+        err = capsys.readouterr().err
+        assert "stuck" in err
+
+
+class TestSimulate:
+    def test_fault_free(self, capsys):
+        assert main(["simulate", "wait-for-all", "--inputs", "101"]) == 0
+        out = capsys.readouterr().out
+        assert "decided" in out
+        assert "agreement: holds" in out
+
+    def test_crash_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "wait-for-all",
+                    "--inputs",
+                    "111",
+                    "--crash",
+                    "p0@0",
+                    "--max-steps",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "none" in out  # nobody decides
+
+    def test_random_scheduler(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "arbiter",
+                    "--scheduler",
+                    "random",
+                    "--seed",
+                    "4",
+                ]
+            )
+            == 0
+        )
+
+    def test_bad_inputs_length(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "arbiter", "--inputs", "10101"])
+
+
+class TestMap:
+    def test_map_summary(self, capsys):
+        assert main(["map", "arbiter", "--inputs", "001"]) == 0
+        out = capsys.readouterr().out
+        assert "critical steps" in out
+
+    def test_hypercube_flag(self, capsys):
+        assert (
+            main(["map", "arbiter", "--inputs", "001", "--hypercube"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "consecutive rows are adjacent" in out
+
+    def test_dot_export(self, tmp_path, capsys):
+        target = tmp_path / "graph.dot"
+        assert (
+            main(
+                ["map", "arbiter", "--inputs", "001", "--dot", str(target)]
+            )
+            == 0
+        )
+        assert target.read_text().startswith("digraph")
+
+
+class TestExperimentsPassthrough:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["experiments", "E8"]) == 0
+        out = capsys.readouterr().out
+        assert "FloodSet" in out

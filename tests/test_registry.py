@@ -1,0 +1,63 @@
+"""Tests for the named protocol registry."""
+
+import pytest
+
+from repro import registry
+from repro.core.correctness import check_partial_correctness
+
+
+class TestCatalog:
+    def test_names_sorted_and_nonempty(self):
+        catalog = registry.names()
+        assert catalog == sorted(catalog)
+        assert "arbiter" in catalog
+        assert "2pc" in catalog
+
+    def test_info_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            registry.info("paxos-deluxe")
+
+    def test_build_uses_default_n(self):
+        protocol = registry.build("arbiter")
+        assert protocol.num_processes == 3
+
+    def test_build_with_explicit_n(self):
+        protocol = registry.build("wait-for-all", n=4)
+        assert protocol.num_processes == 4
+
+    def test_build_forwards_kwargs(self):
+        protocol = registry.build("arbiter", n=3, arbiter="p2")
+        assert protocol.process("p2").is_arbiter
+
+
+class TestMetadataIsTruthful:
+    """The catalog's 'safe' flags must match what the checker says."""
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_safe_flag_matches_checker(self, name):
+        entry = registry.info(name)
+        if not entry.analyzable:
+            pytest.skip("exact checking infeasible by design")
+        protocol = entry.build()
+        report = check_partial_correctness(protocol)
+        assert report.is_partially_correct == entry.safe, name
+
+    @pytest.mark.parametrize("name", registry.names())
+    def test_order_sensitive_flag_matches_valency(self, name):
+        from repro.core.valency import Valency, ValencyAnalyzer
+
+        entry = registry.info(name)
+        if not entry.analyzable:
+            pytest.skip("exact checking infeasible by design")
+        if not entry.safe:
+            # For agreement-violating protocols, V = {0, 1} can arise
+            # from disagreement rather than order sensitivity; the flag
+            # is only meaningful for safe protocols.
+            pytest.skip("flag undefined for unsafe protocols")
+        protocol = entry.build()
+        analyzer = ValencyAnalyzer(protocol)
+        has_bivalent = any(
+            valency is Valency.BIVALENT
+            for valency in analyzer.classify_initials().values()
+        )
+        assert has_bivalent == entry.order_sensitive, name
