@@ -1,0 +1,43 @@
+"""Shared helpers for emitting the ``BENCH_core_ops.json`` artifact.
+
+The pytest-benchmark suites measure interactively; these helpers give
+the bench modules a dependency-free ``python benchmarks/bench_*.py``
+path that records the perf trajectory of the hot paths into a small
+JSON artifact, committed once per PR so regressions are visible in
+review diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable
+
+#: Artifact location: repo root, covered by .gitignore (committed
+#: deliberately with ``git add -f`` when refreshed).
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core_ops.json"
+
+
+def best_of(fn: Callable[[], object], repeat: int = 3) -> float:
+    """Best-of-*repeat* wall time of ``fn()``, in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def write_artifact(sections: dict[str, object]) -> Path:
+    """Write *sections* plus environment metadata to the artifact."""
+    payload = {
+        "artifact": "BENCH_core_ops",
+        "generated_unix_time": round(time.time(), 3),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **sections,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return ARTIFACT_PATH

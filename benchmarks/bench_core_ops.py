@@ -3,17 +3,46 @@
 Not tied to a paper table; these quantify the substrate the proof
 machinery stands on — event application, exploration, and valency — so
 regressions in the hot paths are visible.
+
+Run directly (``python benchmarks/bench_core_ops.py``) to emit the
+``BENCH_core_ops.json`` artifact: it times repeated valency/witness
+queries over overlapping regions on the shared incremental engine
+against a per-root re-exploration baseline (the seed design, emulated
+by a fresh analyzer per query) and records the speedup plus the engine
+counters, so the perf trajectory is tracked PR over PR.
 """
 
 from repro.core.events import NULL, Event
 from repro.core.exploration import explore
-from repro.core.valency import ValencyAnalyzer
+from repro.core.valency import Valency, ValencyAnalyzer
 from repro.protocols import (
     ArbiterProcess,
     ParityArbiterProcess,
     WaitForAllProcess,
     make_protocol,
 )
+
+
+def _overlapping_roots(protocol, max_depth: int = 2):
+    """The initial hypercube plus every configuration within
+    *max_depth* steps — heavily overlapping forward closures."""
+    roots = []
+    seen = set()
+    frontier = list(protocol.initial_configurations())
+    for depth in range(max_depth + 1):
+        next_frontier = []
+        for configuration in frontier:
+            if configuration in seen:
+                continue
+            seen.add(configuration)
+            roots.append(configuration)
+            if depth < max_depth:
+                for event in protocol.enabled_events(configuration):
+                    next_frontier.append(
+                        protocol.apply_event(configuration, event)
+                    )
+        frontier = next_frontier
+    return roots
 
 
 def test_apply_event(benchmark):
@@ -74,6 +103,33 @@ def test_valency_warm_cache(benchmark):
     assert valency.value == "bivalent"
 
 
+def test_valency_overlapping_roots_shared_engine(benchmark):
+    """Classify + witness every overlapping root on one shared graph.
+
+    This is the workload the seed re-explored per root; on the shared
+    engine everything after the first miss is cache hits.
+    """
+    protocol = make_protocol(ArbiterProcess, 3)
+    roots = _overlapping_roots(protocol)
+    analyzer = ValencyAnalyzer(protocol)
+    _query_all(analyzer, roots)  # warm: graph fully grown
+
+    def query():
+        return _query_all(analyzer, roots)
+
+    bivalent = benchmark(query)
+    assert bivalent > 0
+
+
+def _query_all(analyzer, roots):
+    bivalent = 0
+    for root in roots:
+        if analyzer.valency(root) is Valency.BIVALENT:
+            analyzer.bivalence_witness(root)
+            bivalent += 1
+    return bivalent
+
+
 def test_enabled_events(benchmark):
     protocol = make_protocol(WaitForAllProcess, 3)
     config = protocol.initial_configuration([0, 1, 1])
@@ -82,3 +138,75 @@ def test_enabled_events(benchmark):
 
     events = benchmark(protocol.enabled_events, config)
     assert len(events) >= 6
+
+
+# ---------------------------------------------------------------------------
+# Artifact emission (python benchmarks/bench_core_ops.py)
+# ---------------------------------------------------------------------------
+
+
+def collect() -> dict:
+    """Measure the overlapping-query workload shared vs per-root."""
+    from artifact import best_of
+
+    protocol = make_protocol(ArbiterProcess, 3)
+    roots = _overlapping_roots(protocol)
+
+    def shared_engine():
+        analyzer = ValencyAnalyzer(protocol)
+        return _query_all(analyzer, roots)
+
+    def per_root_reexploration():
+        # The seed design, emulated: every query pays for its own
+        # exploration because nothing is shared between roots.
+        bivalent = 0
+        for root in roots:
+            analyzer = ValencyAnalyzer(protocol)
+            if analyzer.valency(root) is Valency.BIVALENT:
+                analyzer.bivalence_witness(root)
+                bivalent += 1
+        return bivalent
+
+    shared_s = best_of(shared_engine)
+    per_root_s = best_of(per_root_reexploration)
+
+    analyzer = ValencyAnalyzer(protocol)
+    _query_all(analyzer, roots)
+    counters = analyzer.stats.as_dict()
+
+    explore_protocol = make_protocol(ArbiterProcess, 3)
+    explore_root = explore_protocol.initial_configuration([0, 0, 1])
+    return {
+        "protocol": "arbiter/3",
+        "query_roots": len(roots),
+        "shared_engine_s": round(shared_s, 6),
+        "per_root_reexploration_s": round(per_root_s, 6),
+        "speedup": round(per_root_s / shared_s, 2),
+        "explore_arbiter3_s": round(
+            best_of(lambda: explore(explore_protocol, explore_root)), 6
+        ),
+        "engine_counters": counters,
+    }
+
+
+def main() -> int:
+    import sys
+
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    from artifact import write_artifact
+
+    import bench_lemma3
+
+    sections = {
+        "overlapping_valency_queries": collect(),
+        "lemma3_staged_adversary": bench_lemma3.collect(),
+    }
+    path = write_artifact(sections)
+    print(f"wrote {path}")
+    speedup = sections["overlapping_valency_queries"]["speedup"]
+    print(f"shared-engine speedup over per-root re-exploration: {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,8 +101,13 @@ class FLPAdversary:
         A finite protocol instance (small N, bounded messages) so that
         exact valency analysis is feasible.
     analyzer:
-        Optional pre-warmed :class:`ValencyAnalyzer` to share exploration
-        caches across calls.
+        Optional pre-warmed :class:`ValencyAnalyzer` to share the global
+        configuration graph across calls.  All stage-by-stage valency
+        queries and witness lookups run against that one shared
+        incremental graph, so the total configurations interned across
+        an entire staged run grows sublinearly in the number of stages
+        (later stages are almost pure cache hits — see
+        ``analyzer.stats``).
     max_configurations:
         Budget for each Lemma-3 search and for valency exploration.
 
@@ -293,7 +298,9 @@ class FLPAdversary:
             raise AdversaryStuck(
                 f"Lemma-3 search for {forced!r} was inexact "
                 f"(examined {outcome.configurations_examined} "
-                "configurations); raise max_configurations"
+                "configurations, shared engine interned "
+                f"{self.analyzer.configurations_explored}); raise "
+                "max_configurations"
             )
 
         return NonDecidingRunCertificate(

@@ -26,6 +26,7 @@ over a finite protocol instance and returns a certificate (see
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 
 from repro.core.configuration import Configuration
@@ -209,6 +210,9 @@ def find_lemma2(
         if valency is Valency.NONE and none_valent is None:
             none_valent = initial
         if valency is Valency.BIVALENT and bivalent_certificate is None:
+            # Pure lookup: the classification above already grew the
+            # shared graph past this initial, so the witness schedules
+            # are read off recorded edges (no second exploration).
             witness = analyzer.bivalence_witness(initial)
             if witness is None:  # pragma: no cover - guarded by valency
                 continue
@@ -316,9 +320,13 @@ def find_bivalent_successor(
     The paper's observation that "e is applicable to every E ∈ 𝒞" holds
     by construction: the only way to consume ``e``'s message is to apply
     ``e`` itself, which the avoidance constraint forbids.
-    """
-    from collections import deque
 
+    Per-stage cost rides on the analyzer's shared engine: every
+    ``analyzer.valency(successor)`` classifies against the one global
+    configuration graph, so successive stages of the staged adversary —
+    whose 𝒞 regions overlap heavily — resolve almost entirely from
+    cache instead of re-exploring (watch ``analyzer.stats``).
+    """
     cache = analyzer.transitions
 
     # Incremental BFS state.  parents[i] = (parent id, edge event).

@@ -9,7 +9,14 @@ from __future__ import annotations
 import math
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["mean", "median", "quantile", "stddev", "format_table"]
+__all__ = [
+    "mean",
+    "median",
+    "quantile",
+    "stddev",
+    "format_table",
+    "format_counters",
+]
 
 
 def mean(values: Iterable[float]) -> float:
@@ -81,6 +88,27 @@ def format_table(
         for line in rendered
     ]
     return "\n".join([header_line, separator, *body])
+
+
+def format_counters(
+    counters: Mapping[str, object], title: str | None = None
+) -> str:
+    """Render an observability-counter mapping as aligned key/value lines.
+
+    Used by the CLI ``--stats`` flag to surface the shared
+    configuration-graph engine's counters
+    (:class:`repro.core.exploration.GraphStats`) without each command
+    hand-rolling its own layout.
+    """
+    if not counters:
+        return "(no counters)"
+    width = max(len(key) for key in counters)
+    lines = [] if title is None else [title]
+    lines.extend(
+        f"  {key.ljust(width)}  {_cell(value)}"
+        for key, value in counters.items()
+    )
+    return "\n".join(lines)
 
 
 def _cell(value: object) -> str:

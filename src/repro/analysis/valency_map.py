@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 from repro.core.configuration import Configuration
 from repro.core.events import Event
-from repro.core.exploration import explore
 from repro.core.protocol import Protocol
 from repro.core.valency import Valency, ValencyAnalyzer
 
@@ -88,37 +87,47 @@ def build_valency_map(
     analyzer: ValencyAnalyzer | None = None,
     max_configurations: int = 200_000,
 ) -> ValencyMap:
-    """Explore from *root* and classify every reachable configuration."""
+    """Classify every configuration reachable from *root*.
+
+    Runs entirely on the analyzer's shared
+    :class:`~repro.core.exploration.GlobalConfigurationGraph`: one
+    valency query grows/classifies the graph as needed, then the census
+    is a pure walk of the root's forward closure — a repeated census
+    over an already-explored region does no new exploration.
+    """
     analyzer = analyzer or ValencyAnalyzer(
         protocol, max_configurations=max_configurations
     )
-    graph = explore(protocol, root, max_configurations=max_configurations)
+    analyzer.valency(root)  # grows + classifies the shared graph
+    engine = analyzer.graph
+    closure = engine.reachable_from(engine.node_id(root))
 
+    ordered = sorted(closure.nodes)  # deterministic census order
     counts: dict[Valency, int] = {valency: 0 for valency in Valency}
-    node_valency: list[Valency] = []
-    for configuration in graph.configurations:
-        valency = analyzer.valency(configuration)
-        node_valency.append(valency)
+    node_valency: dict[int, Valency] = {}
+    for node in ordered:
+        valency = analyzer.peek(engine.configurations[node])
+        node_valency[node] = valency
         counts[valency] += 1
 
     critical: list[CriticalStep] = []
-    for source, event, target in graph.iter_edges():
-        if (
-            node_valency[source] is Valency.BIVALENT
-            and node_valency[target].is_univalent
-        ):
-            critical.append(
-                CriticalStep(
-                    source=graph.configurations[source],
-                    event=event,
-                    target=graph.configurations[target],
-                    target_valency=node_valency[target],
+    for source in ordered:
+        if node_valency[source] is not Valency.BIVALENT:
+            continue
+        for event, target in engine.successors[source]:
+            if node_valency[target].is_univalent:
+                critical.append(
+                    CriticalStep(
+                        source=engine.configurations[source],
+                        event=event,
+                        target=engine.configurations[target],
+                        target_valency=node_valency[target],
+                    )
                 )
-            )
 
     return ValencyMap(
         root=root,
         counts={v: c for v, c in counts.items() if c},
         critical_steps=tuple(critical),
-        complete=graph.complete,
+        complete=closure.complete,
     )

@@ -25,7 +25,7 @@ import sys
 from repro import registry
 from repro.adversary.flp import FLPAdversary
 from repro.analysis.admissibility import analyze_admissibility
-from repro.analysis.stats import format_table
+from repro.analysis.stats import format_counters, format_table
 from repro.analysis.valency_map import build_valency_map
 from repro.core.correctness import (
     check_determinism,
@@ -49,6 +49,15 @@ def _parse_inputs(text: str | None, n: int) -> list[int]:
             f"--inputs must supply exactly {n} bits, got {text!r}"
         )
     return bits
+
+
+def _print_engine_stats(analyzer: ValencyAnalyzer) -> None:
+    """Dump the shared configuration-graph engine's counters."""
+    counters = dict(analyzer.stats.as_dict())
+    counters["transition_hits"] = analyzer.transitions.hits
+    counters["transition_misses"] = analyzer.transitions.misses
+    print()
+    print(format_counters(counters, title="engine counters:"))
 
 
 def _cmd_list(_args) -> int:
@@ -93,6 +102,8 @@ def _cmd_check(args) -> int:
         print()
         print("initial-configuration valencies:")
         print(format_table(rows))
+        if args.stats:
+            _print_engine_stats(analyzer)
         return 0 if report.is_partially_correct else 1
 
     # Unbounded state space: exhaustive checking is infeasible, so run
@@ -133,6 +144,11 @@ def _cmd_check(args) -> int:
         f"{agreement_ok}, validity={validity_ok}, "
         f"both-values-reachable={both}"
     )
+    if args.stats:
+        print(
+            "(no engine counters: the simulation sweep does not use "
+            "the exploration engine)"
+        )
     return 0 if agreement_ok and validity_ok and both else 1
 
 
@@ -198,6 +214,8 @@ def _cmd_attack(args) -> int:
                 export_bundle(args.protocol, certificate, protocol)
             )
         print(f"proof bundle written to {args.save}")
+    if args.stats:
+        _print_engine_stats(adversary.analyzer)
     return 0 if verified else 1
 
 
@@ -271,6 +289,8 @@ def _cmd_map(args) -> int:
         with open(args.dot, "w") as handle:
             handle.write(graph_to_dot(graph, analyzer))
         print(f"wrote {args.dot}")
+    if args.stats:
+        _print_engine_stats(analyzer)
     return 0
 
 
@@ -292,9 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("list", help="show the protocol catalog")
 
+    stats_help = "print shared-engine counters (interning, cache, phases)"
+
     check = commands.add_parser("check", help="correctness + valency census")
     check.add_argument("protocol", choices=registry.names())
     check.add_argument("-n", type=int, default=None)
+    check.add_argument("--stats", action="store_true", help=stats_help)
 
     attack = commands.add_parser("attack", help="run the FLP adversary")
     attack.add_argument("protocol", choices=registry.names())
@@ -319,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a portable proof bundle (JSON) to PATH",
     )
+    attack.add_argument("--stats", action="store_true", help=stats_help)
 
     verify = commands.add_parser(
         "verify",
@@ -353,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the Lemma-2 initial hypercube (Gray-code walk)",
     )
+    vmap.add_argument("--stats", action="store_true", help=stats_help)
 
     experiments = commands.add_parser(
         "experiments", help="run the paper-reproduction experiments"

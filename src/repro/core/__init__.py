@@ -29,6 +29,8 @@ from repro.core.errors import (
 from repro.core.events import NULL, Event, Schedule
 from repro.core.exploration import (
     ConfigurationGraph,
+    GlobalConfigurationGraph,
+    GraphStats,
     explore,
     reachable_set,
 )
@@ -70,6 +72,8 @@ __all__ = [
     "Event",
     "Schedule",
     "ConfigurationGraph",
+    "GlobalConfigurationGraph",
+    "GraphStats",
     "explore",
     "reachable_set",
     "Message",

@@ -15,9 +15,11 @@ decision configurations.
 
 from __future__ import annotations
 
+import time
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ExplorationLimitExceeded
@@ -26,6 +28,9 @@ from repro.core.protocol import Protocol
 
 __all__ = [
     "ConfigurationGraph",
+    "GlobalConfigurationGraph",
+    "GraphStats",
+    "GrowthResult",
     "TransitionCache",
     "explore",
     "reachable_set",
@@ -54,6 +59,9 @@ class TransitionCache:
         self._transitions: dict[
             tuple[Configuration, Event], Configuration
         ] = {}
+        #: Lookups answered from the memo / computed fresh.
+        self.hits = 0
+        self.misses = 0
 
     def apply(
         self, protocol: "Protocol", configuration: Configuration,
@@ -67,8 +75,11 @@ class TransitionCache:
         key = (configuration, event)
         successor = self._transitions.get(key)
         if successor is None:
+            self.misses += 1
             successor = protocol.apply_event(configuration, event)
             self._transitions[key] = successor
+        else:
+            self.hits += 1
         return successor
 
     def __len__(self) -> int:
@@ -264,3 +275,339 @@ def reachable_set(
             f"{max_configurations} configurations"
         )
     return set(graph.configurations)
+
+
+# ---------------------------------------------------------------------------
+# The shared incremental engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GraphStats:
+    """Observability counters for one :class:`GlobalConfigurationGraph`.
+
+    Every counter is cumulative over the engine's lifetime; wall-clock
+    phases are in seconds.  Surfaced by
+    :func:`repro.analysis.stats.format_counters` and the CLI ``--stats``
+    flag, and recorded in the ``BENCH_core_ops.json`` artifact.
+    """
+
+    #: Distinct configurations interned to dense ids.
+    interned: int = 0
+    #: Nodes whose full successor set has been computed.
+    expansions: int = 0
+    #: Valency queries answered without touching the graph.
+    cache_hits: int = 0
+    #: Valency queries that required growing / reclassifying the graph.
+    cache_misses: int = 0
+    #: Calls to :meth:`GlobalConfigurationGraph.explore`.
+    explore_calls: int = 0
+    #: Reverse-reachability sweeps (:meth:`reaching_mask`).
+    reach_calls: int = 0
+    #: Rebuilds of the CSR reverse-adjacency index.
+    csr_rebuilds: int = 0
+    #: Wall time spent growing the graph.
+    explore_time: float = 0.0
+    #: Wall time spent in reverse reachability (incl. CSR rebuilds).
+    reach_time: float = 0.0
+    #: Wall time spent classifying valencies (set by the analyzer).
+    classify_time: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat mapping for tables and JSON artifacts."""
+        return {
+            "interned": self.interned,
+            "expansions": self.expansions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "explore_calls": self.explore_calls,
+            "reach_calls": self.reach_calls,
+            "csr_rebuilds": self.csr_rebuilds,
+            "explore_time_s": round(self.explore_time, 6),
+            "reach_time_s": round(self.reach_time, 6),
+            "classify_time_s": round(self.classify_time, 6),
+        }
+
+
+@dataclass(frozen=True)
+class GrowthResult:
+    """What one :meth:`GlobalConfigurationGraph.explore` call learned.
+
+    Attributes
+    ----------
+    root:
+        Dense id of the root the growth started from.
+    nodes:
+        Ids of every node reachable from ``root`` inside the explored
+        region (the root's forward closure, as currently known).
+    complete:
+        ``True`` iff every node in ``nodes`` is fully expanded — only
+        then are "cannot reach" judgements about the root's closure
+        sound.
+    """
+
+    root: int
+    nodes: frozenset[int]
+    complete: bool
+
+
+class GlobalConfigurationGraph:
+    """One incremental accessible-configuration graph per protocol.
+
+    The paper's proof machinery (Lemmas 2–3, Theorem 1) quantifies over
+    *one* graph of accessible configurations; this class is that graph,
+    grown lazily.  Configurations are interned to dense integer ids
+    exactly once, :meth:`explore` extends the explored region from any
+    new root instead of starting over, and reverse reachability runs
+    over a CSR-style packed reverse adjacency with flat ``bytearray``
+    visited maps rather than Python sets.
+
+    Invariant: a node with ``is_expanded(id)`` true has its *complete*
+    successor set recorded (every enabled event, null deliveries
+    included).  Expansion is never partial, so anything proven about an
+    expanded node's forward closure stays true as the graph grows —
+    which is what makes incremental classification sound.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        transitions: TransitionCache | None = None,
+    ):
+        self.protocol = protocol
+        # Explicit None-check: an empty TransitionCache is falsy (len 0).
+        self.transitions = (
+            transitions if transitions is not None
+            else TransitionCache(protocol)
+        )
+        self.configurations: list[Configuration] = []
+        self.successors: list[list[tuple[Event, int]]] = []
+        self.stats = GraphStats()
+        self._index: dict[Configuration, int] = {}
+        self._expanded = bytearray()
+        self._decision_nodes: dict[int, list[int]] = {}
+        #: Bumped on any node/edge addition; versions CSR staleness.
+        self._version = 0
+        self._csr_version = -1
+        self._rev_indptr: array | None = None
+        self._rev_indices: array | None = None
+
+    # -- interning ---------------------------------------------------------------
+
+    def intern(self, configuration: Configuration) -> int:
+        """The dense id of *configuration*, allocating one if new."""
+        node = self._index.get(configuration)
+        if node is None:
+            node = len(self.configurations)
+            self._index[configuration] = node
+            self.configurations.append(configuration)
+            self.successors.append([])
+            self._expanded.append(0)
+            for value in configuration.decision_values():
+                self._decision_nodes.setdefault(value, []).append(node)
+            self.stats.interned += 1
+            self._version += 1
+        return node
+
+    def node_id(self, configuration: Configuration) -> int:
+        """The id of an already-interned configuration (KeyError if not)."""
+        return self._index[configuration]
+
+    def find(self, configuration: Configuration) -> int | None:
+        """The id of *configuration*, or ``None`` if never interned."""
+        return self._index.get(configuration)
+
+    def __contains__(self, configuration: Configuration) -> bool:
+        return configuration in self._index
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+    def is_expanded(self, node: int) -> bool:
+        """Whether *node*'s full successor set has been computed."""
+        return bool(self._expanded[node])
+
+    # -- growth ------------------------------------------------------------------
+
+    def explore(
+        self,
+        root: Configuration,
+        max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+    ) -> GrowthResult:
+        """Grow the explored region to cover *root*'s forward closure.
+
+        Already-expanded nodes are traversed (not recomputed); only
+        never-expanded nodes pay for event enumeration and transition
+        application.  A root inside the fully explored region is a pure
+        walk over existing edges with zero new work.
+
+        *max_configurations* bounds the **total** number of interned
+        configurations.  A node whose expansion would exceed the budget
+        is left unexpanded (hence in the frontier) and the result
+        reports ``complete=False`` — the truthful-partial-answer
+        contract of the per-root :func:`explore`, carried over.
+        """
+        started = time.perf_counter()
+        self.stats.explore_calls += 1
+        protocol = self.protocol
+        transitions = self.transitions
+        root_id = self.intern(root)
+        visited = {root_id}
+        queue: deque[int] = deque((root_id,))
+        complete = True
+
+        while queue:
+            node = queue.popleft()
+            if self._expanded[node]:
+                for _event, target in self.successors[node]:
+                    if target not in visited:
+                        visited.add(target)
+                        queue.append(target)
+                continue
+            configuration = self.configurations[node]
+            pending: list[tuple[Event, Configuration]] = []
+            fresh: set[Configuration] = set()
+            for event in protocol.enabled_events(
+                configuration, include_null=True
+            ):
+                successor = transitions.apply(
+                    protocol, configuration, event
+                )
+                pending.append((event, successor))
+                if successor not in self._index:
+                    fresh.add(successor)
+            if len(self.configurations) + len(fresh) > max_configurations:
+                # Budget exhausted: leave the node unexpanded (frontier)
+                # rather than record a partial successor set.
+                complete = False
+                continue
+            out = self.successors[node]
+            for event, successor in pending:
+                target = self.intern(successor)
+                out.append((event, target))
+                if target not in visited:
+                    visited.add(target)
+                    queue.append(target)
+            self._expanded[node] = 1
+            self.stats.expansions += 1
+            self._version += 1
+
+        if complete:
+            # Nodes reached through previously-explored edges may still
+            # be unexpanded from an earlier budget-limited call.
+            complete = all(self._expanded[node] for node in visited)
+        self.stats.explore_time += time.perf_counter() - started
+        return GrowthResult(
+            root=root_id, nodes=frozenset(visited), complete=complete
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """Whether every discovered configuration is fully expanded."""
+        return 0 not in self._expanded
+
+    def frontier_ids(self) -> list[int]:
+        """Ids discovered but never expanded (budget-limited edges)."""
+        return [
+            node
+            for node, expanded in enumerate(self._expanded)
+            if not expanded
+        ]
+
+    def decision_nodes(self, value: int) -> list[int]:
+        """Ids of configurations having decision value *value*.
+
+        Maintained incrementally at intern time — O(1) per query, no
+        rescan of the configuration list.
+        """
+        return self._decision_nodes.get(value, [])
+
+    def iter_edges(self) -> Iterator[tuple[int, Event, int]]:
+        """Iterate over all recorded edges as ``(source, event, target)``."""
+        for source, out in enumerate(self.successors):
+            for event, target in out:
+                yield source, event, target
+
+    def reachable_from(self, node: int) -> GrowthResult:
+        """Forward closure of *node* inside the explored region.
+
+        Pure graph walk — never applies transitions.  ``complete`` is
+        ``True`` iff the closure contains no unexpanded node.
+        """
+        visited = {node}
+        queue: deque[int] = deque((node,))
+        complete = True
+        while queue:
+            current = queue.popleft()
+            if not self._expanded[current]:
+                complete = False
+                continue
+            for _event, target in self.successors[current]:
+                if target not in visited:
+                    visited.add(target)
+                    queue.append(target)
+        return GrowthResult(
+            root=node, nodes=frozenset(visited), complete=complete
+        )
+
+    # -- reverse reachability ----------------------------------------------------
+
+    def _reverse_csr(self) -> tuple[array, array]:
+        """The packed reverse adjacency, rebuilt lazily on growth."""
+        if self._csr_version != self._version:
+            n = len(self.configurations)
+            counts = [0] * (n + 1)
+            for out in self.successors:
+                for _event, target in out:
+                    counts[target + 1] += 1
+            for i in range(n):
+                counts[i + 1] += counts[i]
+            indptr = array("l", counts)
+            indices = array("l", bytes(indptr.itemsize * indptr[n]))
+            cursor = counts[:n]
+            for source, out in enumerate(self.successors):
+                for _event, target in out:
+                    indices[cursor[target]] = source
+                    cursor[target] += 1
+            self._rev_indptr = indptr
+            self._rev_indices = indices
+            self._csr_version = self._version
+            self.stats.csr_rebuilds += 1
+        assert self._rev_indptr is not None
+        assert self._rev_indices is not None
+        return self._rev_indptr, self._rev_indices
+
+    def reaching_mask(self, targets: Iterable[int]) -> bytearray:
+        """Flat visited map of all nodes with a path into *targets*.
+
+        The returned ``bytearray`` has one byte per node id; byte ``i``
+        is 1 iff node ``i`` reaches some target (targets included).
+        This replaces the set-of-ints reverse BFS of
+        :meth:`ConfigurationGraph.nodes_reaching`: same relation, flat
+        memory, no per-element hashing.
+        """
+        started = time.perf_counter()
+        indptr, indices = self._reverse_csr()
+        mask = bytearray(len(self.configurations))
+        stack: list[int] = []
+        for target in targets:
+            if not mask[target]:
+                mask[target] = 1
+                stack.append(target)
+        while stack:
+            node = stack.pop()
+            for i in range(indptr[node], indptr[node + 1]):
+                predecessor = indices[i]
+                if not mask[predecessor]:
+                    mask[predecessor] = 1
+                    stack.append(predecessor)
+        self.stats.reach_calls += 1
+        self.stats.reach_time += time.perf_counter() - started
+        return mask
+
+    def nodes_reaching(self, targets: Iterable[int]) -> set[int]:
+        """Set view of :meth:`reaching_mask` (compatibility helper)."""
+        mask = self.reaching_mask(targets)
+        return {node for node, hit in enumerate(mask) if hit}

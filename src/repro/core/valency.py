@@ -15,6 +15,7 @@ silent guess.
 from __future__ import annotations
 
 import enum
+import time
 from collections import deque
 from dataclasses import dataclass
 
@@ -23,8 +24,9 @@ from repro.core.events import Event, Schedule
 from repro.core.exploration import (
     DEFAULT_MAX_CONFIGURATIONS,
     ConfigurationGraph,
+    GlobalConfigurationGraph,
+    GraphStats,
     TransitionCache,
-    explore,
 )
 from repro.core.protocol import Protocol
 from repro.core.values import ONE, ZERO
@@ -104,7 +106,9 @@ class BivalenceWitness:
 
 
 def shortest_schedule(
-    graph: ConfigurationGraph, source: int, targets: set[int]
+    graph: ConfigurationGraph | GlobalConfigurationGraph,
+    source: int,
+    targets: set[int],
 ) -> Schedule | None:
     """Shortest event path in *graph* from node *source* into *targets*.
 
@@ -139,21 +143,31 @@ def shortest_schedule(
 class ValencyAnalyzer:
     """Computes and caches valencies for one protocol.
 
-    The analyzer explores the configuration graph lazily: the first query
-    from a configuration builds the graph rooted there, classifies every
-    node whose valency is determined soundly by that graph, and caches all
-    of them.  Queries from configurations inside an already-explored graph
-    are cache hits.
+    The analyzer owns one :class:`GlobalConfigurationGraph` and
+    classifies it *incrementally*: the first query from a configuration
+    grows the shared graph to cover that configuration's forward
+    closure, then one reverse-reachability pass (flat bitset maps over
+    CSR adjacency) classifies every node whose valency is pinned down
+    soundly.  Any later query whose configuration lies in the
+    already-classified region — including every
+    :meth:`bivalence_witness` lookup — is a pure cache hit: no second
+    exploration, no per-root graph rebuild.
+
+    Classification is monotone-sound across growth: an expanded node's
+    forward closure never changes (expansion records the complete
+    successor set), so a valency assigned once stays valid as new roots
+    extend the graph.
 
     Parameters
     ----------
     protocol:
         The protocol whose semantics define reachability.
     max_configurations:
-        Exploration budget per root.  Graphs larger than this produce
-        sound answers where reverse reachability from decisions can be
-        separated from the unexplored frontier, and
-        :attr:`Valency.UNKNOWN` elsewhere.
+        Budget on the total number of interned configurations.  Larger
+        state spaces produce sound answers where reverse reachability
+        from decisions can be separated from the unexplored frontier,
+        and :attr:`Valency.UNKNOWN` elsewhere; raising the budget later
+        resumes exploration from the recorded frontier.
     """
 
     def __init__(
@@ -163,23 +177,58 @@ class ValencyAnalyzer:
     ):
         self.protocol = protocol
         self.max_configurations = max_configurations
-        self._cache: dict[Configuration, Valency] = {}
-        self._graphs: dict[Configuration, ConfigurationGraph] = {}
         #: Shared transition memo; the adversary's searches reuse it.
         self.transitions = TransitionCache(protocol)
-        #: Total configurations explored, across all roots (for reports).
-        self.configurations_explored = 0
+        #: The one shared accessible-configuration graph.
+        self.graph = GlobalConfigurationGraph(protocol, self.transitions)
+        #: Valency per node id; ``None`` = not (yet) soundly determined.
+        self._node_valency: list[Valency | None] = []
+
+    @property
+    def configurations_explored(self) -> int:
+        """Total distinct configurations interned by the shared graph.
+
+        With the per-root design this grew by the full subgraph size on
+        every re-exploration; now it is the size of the one global
+        graph, so repeated queries over overlapping regions leave it
+        unchanged.
+        """
+        return len(self.graph)
+
+    @property
+    def stats(self) -> GraphStats:
+        """Engine observability counters (see :class:`GraphStats`)."""
+        return self.graph.stats
 
     # -- queries ---------------------------------------------------------------
 
     def valency(self, configuration: Configuration) -> Valency:
         """The valency of *configuration* (cached)."""
-        cached = self._cache.get(configuration)
+        cached = self._lookup(configuration)
         if cached is not None:
+            self.graph.stats.cache_hits += 1
             return cached
-        graph = self._explore(configuration)
-        self._classify_graph(graph)
-        return self._cache.get(configuration, Valency.UNKNOWN)
+        self.graph.stats.cache_misses += 1
+        self.graph.explore(
+            configuration, max_configurations=self.max_configurations
+        )
+        self._classify()
+        node = self.graph.node_id(configuration)
+        valency = self._node_valency[node]
+        return valency if valency is not None else Valency.UNKNOWN
+
+    def _lookup(self, configuration: Configuration) -> Valency | None:
+        """Cached valency without growing the graph, else ``None``."""
+        node = self.graph.find(configuration)
+        if node is None or node >= len(self._node_valency):
+            return None
+        return self._node_valency[node]
+
+    def peek(self, configuration: Configuration) -> Valency:
+        """Cached valency, :attr:`Valency.UNKNOWN` if undetermined —
+        never explores.  For census passes over already-grown regions."""
+        cached = self._lookup(configuration)
+        return cached if cached is not None else Valency.UNKNOWN
 
     def is_bivalent(self, configuration: Configuration) -> bool:
         """``True`` iff *configuration* is (provably) bivalent."""
@@ -202,13 +251,22 @@ class ValencyAnalyzer:
         self, configuration: Configuration
     ) -> BivalenceWitness | None:
         """Witness schedules to both decisions, or ``None`` if not
-        (provably) bivalent."""
+        (provably) bivalent.
+
+        A pure lookup over the shared graph: BIVALENT was proved by
+        reverse reachability over recorded edges, so both witness paths
+        already exist in the explored region — no re-exploration.
+        """
         if self.valency(configuration) is not Valency.BIVALENT:
             return None
-        graph = self._graph_for(configuration)
+        graph = self.graph
         source = graph.node_id(configuration)
-        to_zero = shortest_schedule(graph, source, graph.decision_nodes(ZERO))
-        to_one = shortest_schedule(graph, source, graph.decision_nodes(ONE))
+        to_zero = shortest_schedule(
+            graph, source, set(graph.decision_nodes(ZERO))
+        )
+        to_one = shortest_schedule(
+            graph, source, set(graph.decision_nodes(ONE))
+        )
         if to_zero is None or to_one is None:  # pragma: no cover - guarded
             return None
         return BivalenceWitness(configuration, to_zero, to_one)
@@ -224,54 +282,47 @@ class ValencyAnalyzer:
 
     # -- internals ---------------------------------------------------------------
 
-    def _explore(self, root: Configuration) -> ConfigurationGraph:
-        graph = explore(
-            self.protocol,
-            root,
-            max_configurations=self.max_configurations,
-            cache=self.transitions,
-        )
-        self.configurations_explored += len(graph)
-        self._graphs[root] = graph
-        return graph
+    def _classify(self) -> None:
+        """Assign sound valencies to every unclassified node.
 
-    def _graph_for(self, configuration: Configuration) -> ConfigurationGraph:
-        graph = self._graphs.get(configuration)
-        if graph is None:
-            graph = self._explore(configuration)
-        return graph
-
-    def _classify_graph(self, graph: ConfigurationGraph) -> None:
-        """Assign sound valencies to every node of *graph*.
-
-        A node is classified when its reverse-reachability relation to
+        One reverse-reachability pass over the whole shared graph (flat
+        bitset maps).  A node is classified when its relation to
         decision nodes and to the unexplored frontier pins V down:
 
         * reaches 0-decisions and 1-decisions  → BIVALENT (always sound);
         * reaches exactly one decision value and cannot reach the
           frontier → that univalent class;
         * reaches nothing and cannot reach the frontier → NONE;
-        * anything else → UNKNOWN (not cached, so a later query with a
+        * anything else → left undetermined (so a later query with a
           larger budget can improve it).
+
+        Already-classified nodes are never revisited: their forward
+        closures are fixed (expansion records complete successor sets),
+        so earlier verdicts remain sound as the graph grows.
         """
-        reach_zero = graph.nodes_reaching(graph.decision_nodes(ZERO))
-        reach_one = graph.nodes_reaching(graph.decision_nodes(ONE))
-        reach_frontier: set[int] = (
-            graph.nodes_reaching(set(graph.frontier))
-            if not graph.complete
-            else set()
-        )
-        for node, configuration in enumerate(graph.configurations):
-            in_zero = node in reach_zero
-            in_one = node in reach_one
-            escapes = node in reach_frontier
+        graph = self.graph
+        total = len(graph)
+        node_valency = self._node_valency
+        if len(node_valency) < total:
+            node_valency.extend([None] * (total - len(node_valency)))
+        started = time.perf_counter()
+        reach_zero = graph.reaching_mask(graph.decision_nodes(ZERO))
+        reach_one = graph.reaching_mask(graph.decision_nodes(ONE))
+        frontier = graph.frontier_ids()
+        reach_frontier = graph.reaching_mask(frontier) if frontier else None
+        for node in range(total):
+            if node_valency[node] is not None:
+                continue
+            in_zero = reach_zero[node]
+            in_one = reach_one[node]
             if in_zero and in_one:
-                self._cache[configuration] = Valency.BIVALENT
-            elif escapes:
+                node_valency[node] = Valency.BIVALENT
+            elif reach_frontier is not None and reach_frontier[node]:
                 continue  # V not pinned down; stay honest.
             elif in_zero:
-                self._cache[configuration] = Valency.ZERO_VALENT
+                node_valency[node] = Valency.ZERO_VALENT
             elif in_one:
-                self._cache[configuration] = Valency.ONE_VALENT
+                node_valency[node] = Valency.ONE_VALENT
             else:
-                self._cache[configuration] = Valency.NONE
+                node_valency[node] = Valency.NONE
+        graph.stats.classify_time += time.perf_counter() - started

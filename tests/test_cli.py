@@ -136,6 +136,31 @@ class TestMap:
         assert target.read_text().startswith("digraph")
 
 
+class TestStatsFlag:
+    def test_check_stats(self, capsys):
+        assert main(["check", "arbiter", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine counters:" in out
+        assert "interned" in out
+        assert "cache_hits" in out
+
+    def test_map_stats(self, capsys):
+        assert main(["map", "arbiter", "--inputs", "001", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine counters:" in out
+
+    def test_attack_stats(self, capsys):
+        assert (
+            main(
+                ["attack", "parity-arbiter", "--stages", "3", "--stats"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine counters:" in out
+        assert "explore_time_s" in out
+
+
 class TestExperimentsPassthrough:
     def test_runs_single_experiment(self, capsys):
         assert main(["experiments", "E8"]) == 0

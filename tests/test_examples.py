@@ -1,13 +1,30 @@
 """Smoke tests: every shipped example runs to completion."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _example_env() -> dict[str, str]:
+    """Subprocess environment with ``repro`` importable from src/.
+
+    The examples run from a scratch cwd, so they only find the package
+    if PYTHONPATH carries it (any pre-existing PYTHONPATH is preserved).
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return env
 
 
 def test_examples_directory_is_populated():
@@ -25,6 +42,7 @@ def test_example_runs_cleanly(script, tmp_path):
         text=True,
         timeout=240,
         cwd=tmp_path,  # examples must not depend on the repo cwd
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert completed.stdout.strip(), "examples must narrate something"
