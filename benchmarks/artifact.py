@@ -15,9 +15,17 @@ import time
 from pathlib import Path
 from typing import Callable
 
-#: Artifact location: repo root, covered by .gitignore (committed
+#: Repo root: artifacts live here, covered by .gitignore (committed
 #: deliberately with ``git add -f`` when refreshed).
-ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core_ops.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default artifact (kept for the original bench modules).
+ARTIFACT_PATH = _REPO_ROOT / "BENCH_core_ops.json"
+
+
+def artifact_path(name: str) -> Path:
+    """Repo-root path of the ``BENCH_<name>.json`` artifact."""
+    return _REPO_ROOT / f"BENCH_{name}.json"
 
 
 def best_of(fn: Callable[[], object], repeat: int = 3) -> float:
@@ -30,14 +38,17 @@ def best_of(fn: Callable[[], object], repeat: int = 3) -> float:
     return best
 
 
-def write_artifact(sections: dict[str, object]) -> Path:
-    """Write *sections* plus environment metadata to the artifact."""
+def write_artifact(
+    sections: dict[str, object], name: str = "core_ops"
+) -> Path:
+    """Write *sections* plus environment metadata to ``BENCH_<name>.json``."""
     payload = {
-        "artifact": "BENCH_core_ops",
+        "artifact": f"BENCH_{name}",
         "generated_unix_time": round(time.time(), 3),
         "python": platform.python_version(),
         "machine": platform.machine(),
         **sections,
     }
-    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    return ARTIFACT_PATH
+    path = artifact_path(name)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

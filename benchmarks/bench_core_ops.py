@@ -189,10 +189,25 @@ def collect() -> dict:
     }
 
 
-def main() -> int:
+def main(argv=None) -> int:
     import sys
 
     sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        # CI smoke: exercise the workload once, write no artifact.
+        protocol = make_protocol(ArbiterProcess, 3)
+        roots = _overlapping_roots(protocol)
+        analyzer = ValencyAnalyzer(protocol)
+        bivalent = _query_all(analyzer, roots)
+        assert bivalent > 0
+        counters = analyzer.stats.as_dict()
+        print(
+            f"smoke ok: {bivalent} bivalent roots of {len(roots)}, "
+            f"{counters['interned']} configurations interned"
+        )
+        return 0
+
     from artifact import write_artifact
 
     import bench_lemma3

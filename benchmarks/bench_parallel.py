@@ -1,0 +1,216 @@
+"""Benchmarks of the packed exploration core and the worker pool.
+
+Three questions, answered into ``BENCH_parallel.json``:
+
+1. What does the packed encoding buy over the dict-backed engine on the
+   repeated-valency workload of ``bench_core_ops``?  (The acceptance
+   bar for the packing PR: >= 2x.)
+2. How does cold exploration scale with worker processes on instances
+   of increasing size, up to a budget-capped Ben-Or graph of >= 50k
+   configurations?  ``cpu_count`` is recorded alongside: on a single
+   hardware core the pool adds pickling overhead and cannot win, and
+   the artifact should say so rather than flatter the feature.
+3. Is the parallel graph byte-identical to the serial one?  The
+   fingerprint (a SHA-256 over every packed node and edge, in id order)
+   must match across worker counts — recorded per instance so the
+   determinism contract is checked on every refresh, not only in the
+   test suite.
+
+Run directly (``python benchmarks/bench_parallel.py``) to emit the
+artifact; ``--smoke`` runs a single reduced instance and writes
+nothing (the CI smoke step).
+"""
+
+import hashlib
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import (
+    ArbiterProcess,
+    BenOrProcess,
+    ParityArbiterProcess,
+    make_protocol,
+)
+
+from artifact import best_of, write_artifact
+from bench_core_ops import _overlapping_roots, _query_all
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (interactive measurement)
+# ---------------------------------------------------------------------------
+
+
+def test_packed_explore_parity3(benchmark):
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    root = protocol.initial_configuration([0, 0, 1])
+
+    def run():
+        graph = GlobalConfigurationGraph(protocol)
+        return graph.explore(root)
+
+    result = benchmark(run)
+    assert result.complete
+
+
+def test_dict_explore_parity3(benchmark):
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    root = protocol.initial_configuration([0, 0, 1])
+
+    def run():
+        graph = GlobalConfigurationGraph(protocol, packed=False)
+        return graph.explore(root)
+
+    result = benchmark(run)
+    assert result.complete
+
+
+def test_packed_valency_queries(benchmark):
+    protocol = make_protocol(ArbiterProcess, 3)
+    roots = _overlapping_roots(protocol)
+
+    def run():
+        return _query_all(ValencyAnalyzer(protocol), roots)
+
+    assert benchmark(run) > 0
+
+
+# ---------------------------------------------------------------------------
+# Artifact emission (python benchmarks/bench_parallel.py)
+# ---------------------------------------------------------------------------
+
+
+def graph_fingerprint(graph: GlobalConfigurationGraph) -> str:
+    """SHA-256 over every packed node and edge, in id order.
+
+    Two engines produce the same fingerprint iff they interned the same
+    packed tuples under the same ids and recorded the same edges in the
+    same order — the determinism contract of ``workers > 1``.
+    """
+    digest = hashlib.sha256()
+    for node in range(len(graph)):
+        digest.update(repr(graph.packed_at(node)).encode())
+        digest.update(repr(graph.successors[node]).encode())
+    return digest.hexdigest()
+
+
+def collect_packed_vs_dict() -> dict:
+    """The bench_core_ops workload: packed engine vs dict baseline."""
+    protocol = make_protocol(ArbiterProcess, 3)
+    roots = _overlapping_roots(protocol)
+
+    def run(packed: bool) -> int:
+        analyzer = ValencyAnalyzer(protocol, packed=packed)
+        bivalent = _query_all(analyzer, roots)
+        assert bivalent > 0
+        return bivalent
+
+    packed_s = best_of(lambda: run(True))
+    dict_s = best_of(lambda: run(False))
+    return {
+        "protocol": "arbiter/3",
+        "workload": "overlapping_valency_queries",
+        "query_roots": len(roots),
+        "packed_serial_s": round(packed_s, 6),
+        "dict_baseline_s": round(dict_s, 6),
+        "speedup": round(dict_s / packed_s, 2),
+    }
+
+
+def collect_parallel_scaling(
+    instances=None, worker_counts=(0, 2, 4), repeat=3
+) -> dict:
+    """Cold-exploration wall time per instance and worker count."""
+    if instances is None:
+        instances = [
+            ("arbiter/3", make_protocol(ArbiterProcess, 3), None),
+            (
+                "parity-arbiter/3",
+                make_protocol(ParityArbiterProcess, 3),
+                None,
+            ),
+            # Ben-Or's reachable set is unbounded; the budget caps it at
+            # a >= 50k-configuration instance (complete=False by design).
+            ("benor/3@50k", make_protocol(BenOrProcess, 3), 50_000),
+        ]
+    results = {}
+    for label, protocol, budget in instances:
+        root = protocol.initial_configuration(
+            [0] * (len(protocol.process_names) - 1) + [1]
+        )
+        kwargs = {} if budget is None else {"max_configurations": budget}
+        row = {}
+        fingerprints = {}
+        for workers in worker_counts:
+            # The big instance is timed once; re-running a 50k-node
+            # exploration 3x per worker count buys little extra signal.
+            runs = 1 if budget else repeat
+
+            def explore_once():
+                graph = GlobalConfigurationGraph(protocol, workers=workers)
+                try:
+                    graph.explore(root, **kwargs)
+                    fingerprints[workers] = graph_fingerprint(graph)
+                    row["configurations"] = len(graph)
+                    if workers:
+                        row[f"workers{workers}_utilization"] = round(
+                            graph.stats.worker_utilization, 4
+                        )
+                finally:
+                    graph.close()
+
+            key = "serial" if workers == 0 else f"workers{workers}"
+            row[f"{key}_s"] = round(best_of(explore_once, repeat=runs), 6)
+        row["deterministic"] = len(set(fingerprints.values())) == 1
+        row["fingerprint"] = fingerprints[worker_counts[0]]
+        results[label] = row
+    return results
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    if smoke:
+        # CI smoke: one small instance, serial vs 2 workers, no artifact.
+        scaling = collect_parallel_scaling(
+            instances=[
+                ("arbiter/3", make_protocol(ArbiterProcess, 3), None)
+            ],
+            worker_counts=(0, 2),
+            repeat=1,
+        )
+        row = scaling["arbiter/3"]
+        assert row["deterministic"], "parallel graph diverged from serial"
+        print(f"smoke ok: {row}")
+        return 0
+
+    sections = {
+        "cpu_count": os.cpu_count(),
+        "packed_vs_dict": collect_packed_vs_dict(),
+        "parallel_scaling": collect_parallel_scaling(),
+    }
+    for label, row in sections["parallel_scaling"].items():
+        assert row["deterministic"], f"{label}: parallel graph diverged"
+    path = write_artifact(sections, name="parallel")
+    print(f"wrote {path}")
+    print(
+        "packed over dict baseline: "
+        f"{sections['packed_vs_dict']['speedup']}x"
+    )
+    for label, row in sections["parallel_scaling"].items():
+        print(
+            f"{label}: serial {row['serial_s']}s, "
+            f"2 workers {row['workers2_s']}s, "
+            f"4 workers {row['workers4_s']}s "
+            f"(deterministic={row['deterministic']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -106,7 +106,9 @@ def build_valency_map(
     counts: dict[Valency, int] = {valency: 0 for valency in Valency}
     node_valency: dict[int, Valency] = {}
     for node in ordered:
-        valency = analyzer.peek(engine.configurations[node])
+        # By-id peek: no rich configurations are materialized for the
+        # census itself (the packed engine decodes lazily).
+        valency = analyzer.peek_node(node)
         node_valency[node] = valency
         counts[valency] += 1
 
@@ -118,9 +120,9 @@ def build_valency_map(
             if node_valency[target].is_univalent:
                 critical.append(
                     CriticalStep(
-                        source=engine.configurations[source],
+                        source=engine.configuration_at(source),
                         event=event,
-                        target=engine.configurations[target],
+                        target=engine.configuration_at(target),
                         target_valency=node_valency[target],
                     )
                 )

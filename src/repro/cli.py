@@ -53,11 +53,16 @@ def _parse_inputs(text: str | None, n: int) -> list[int]:
 
 def _print_engine_stats(analyzer: ValencyAnalyzer) -> None:
     """Dump the shared configuration-graph engine's counters."""
-    counters = dict(analyzer.stats.as_dict())
-    counters["transition_hits"] = analyzer.transitions.hits
-    counters["transition_misses"] = analyzer.transitions.misses
+    # analyzer.stats mirrors the TransitionCache and packed-codec
+    # counters on read, so as_dict() is the complete picture.
+    counters = analyzer.stats.as_dict()
     print()
     print(format_counters(counters, title="engine counters:"))
+
+
+def _make_analyzer(protocol, args) -> ValencyAnalyzer:
+    """Build the analyzer honoring the command's ``--workers`` flag."""
+    return ValencyAnalyzer(protocol, workers=getattr(args, "workers", 0))
 
 
 def _cmd_list(_args) -> int:
@@ -89,7 +94,7 @@ def _cmd_check(args) -> int:
         print(f"partial correctness: {report.summary()}")
         validity = check_validity(protocol)
         print(f"validity: {'holds' if validity.valid else 'VIOLATED'}")
-        analyzer = ValencyAnalyzer(protocol)
+        analyzer = _make_analyzer(protocol, args)
         rows = [
             {
                 "inputs": "".join(str(b) for b in vector),
@@ -104,6 +109,7 @@ def _cmd_check(args) -> int:
         print(format_table(rows))
         if args.stats:
             _print_engine_stats(analyzer)
+        analyzer.close()
         return 0 if report.is_partially_correct else 1
 
     # Unbounded state space: exhaustive checking is infeasible, so run
@@ -163,7 +169,7 @@ def _cmd_attack(args) -> int:
         )
         return 2
     protocol = entry.build(args.n)
-    adversary = FLPAdversary(protocol)
+    adversary = FLPAdversary(protocol, analyzer=_make_analyzer(protocol, args))
     try:
         certificate = adversary.build_run(stages=args.stages)
     except AdversaryStuck as error:
@@ -216,6 +222,7 @@ def _cmd_attack(args) -> int:
         print(f"proof bundle written to {args.save}")
     if args.stats:
         _print_engine_stats(adversary.analyzer)
+    adversary.analyzer.close()
     return 0 if verified else 1
 
 
@@ -272,7 +279,7 @@ def _cmd_map(args) -> int:
     protocol = entry.build(args.n)
     inputs = _parse_inputs(args.inputs, protocol.num_processes)
     root = protocol.initial_configuration(inputs)
-    analyzer = ValencyAnalyzer(protocol)
+    analyzer = _make_analyzer(protocol, args)
     vmap = build_valency_map(protocol, root, analyzer=analyzer)
     print(f"protocol: {protocol}  inputs={inputs}")
     print(vmap.summary())
@@ -291,6 +298,7 @@ def _cmd_map(args) -> int:
         print(f"wrote {args.dot}")
     if args.stats:
         _print_engine_stats(analyzer)
+    analyzer.close()
     return 0
 
 
@@ -313,11 +321,18 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="show the protocol catalog")
 
     stats_help = "print shared-engine counters (interning, cache, phases)"
+    workers_help = (
+        "expand exploration frontiers on N worker processes "
+        "(default serial; results are byte-identical either way)"
+    )
 
     check = commands.add_parser("check", help="correctness + valency census")
     check.add_argument("protocol", choices=registry.names())
     check.add_argument("-n", type=int, default=None)
     check.add_argument("--stats", action="store_true", help=stats_help)
+    check.add_argument(
+        "--workers", type=int, default=0, metavar="N", help=workers_help
+    )
 
     attack = commands.add_parser("attack", help="run the FLP adversary")
     attack.add_argument("protocol", choices=registry.names())
@@ -343,6 +358,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a portable proof bundle (JSON) to PATH",
     )
     attack.add_argument("--stats", action="store_true", help=stats_help)
+    attack.add_argument(
+        "--workers", type=int, default=0, metavar="N", help=workers_help
+    )
 
     verify = commands.add_parser(
         "verify",
@@ -378,6 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Lemma-2 initial hypercube (Gray-code walk)",
     )
     vmap.add_argument("--stats", action="store_true", help=stats_help)
+    vmap.add_argument(
+        "--workers", type=int, default=0, metavar="N", help=workers_help
+    )
 
     experiments = commands.add_parser(
         "experiments", help="run the paper-reproduction experiments"

@@ -35,6 +35,7 @@ from repro.core.exploration import (
     reachable_set,
 )
 from repro.core.messages import Message, MessageBuffer
+from repro.core.packing import PackedCodec
 from repro.core.process import Process, ProcessState, Transition
 from repro.core.protocol import Protocol
 from repro.core.simulation import (
@@ -78,6 +79,7 @@ __all__ = [
     "reachable_set",
     "Message",
     "MessageBuffer",
+    "PackedCodec",
     "Process",
     "ProcessState",
     "Transition",

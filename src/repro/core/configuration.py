@@ -138,6 +138,12 @@ class Configuration:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Reconstruct through __init__: the sorted key and the cached
+        # hash are derived state, and hashes are process-local under
+        # PYTHONHASHSEED — worker processes must recompute both.
+        return (Configuration, (self._states, self._buffer))
+
     def __repr__(self) -> str:
         parts = []
         for name, state in self._key:

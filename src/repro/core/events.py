@@ -75,6 +75,11 @@ class Event:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Reconstruct through __init__ so the cached hash is recomputed
+        # process-locally (see the same note on Message).
+        return (Event, (self.process, self.value))
+
     def __repr__(self) -> str:
         value = "NULL" if self.is_null_delivery else repr(self.value)
         return f"Event({self.process!r}, {value})"

@@ -59,6 +59,11 @@ class TransitionCache:
         self._transitions: dict[
             tuple[Configuration, Event], Configuration
         ] = {}
+        #: Optional :class:`~repro.core.packing.PackedCodec` to route
+        #: misses through (set by a packed-mode engine sharing this
+        #: cache): fresh applications then reuse the packed memos and
+        #: the decode dedup instead of recomputing rich transitions.
+        self.codec = None
         #: Lookups answered from the memo / computed fresh.
         self.hits = 0
         self.misses = 0
@@ -76,7 +81,10 @@ class TransitionCache:
         successor = self._transitions.get(key)
         if successor is None:
             self.misses += 1
-            successor = protocol.apply_event(configuration, event)
+            if self.codec is not None:
+                successor = self.codec.apply_rich(configuration, event)
+            else:
+                successor = protocol.apply_event(configuration, event)
             self._transitions[key] = successor
         else:
             self.hits += 1
@@ -306,12 +314,41 @@ class GraphStats:
     reach_calls: int = 0
     #: Rebuilds of the CSR reverse-adjacency index.
     csr_rebuilds: int = 0
+    #: Rich-level :class:`TransitionCache` lookups answered from memo /
+    #: computed fresh (mirrored from the engine's shared cache).
+    transition_hits: int = 0
+    transition_misses: int = 0
+    #: Packed step applications answered from the codec memo / computed
+    #: fresh through the rich transition function (packed mode only).
+    packed_step_hits: int = 0
+    packed_step_misses: int = 0
+    #: Configured worker-pool size (0/1 = serial).
+    workers: int = 0
+    #: Frontier batches shipped to the worker pool, and the total /
+    #: largest node count across them (batch-size observability).
+    worker_batches: int = 0
+    worker_batch_nodes: int = 0
+    worker_max_batch: int = 0
     #: Wall time spent growing the graph.
     explore_time: float = 0.0
     #: Wall time spent in reverse reachability (incl. CSR rebuilds).
     reach_time: float = 0.0
     #: Wall time spent classifying valencies (set by the analyzer).
     classify_time: float = 0.0
+    #: Wall time spent encoding rich configurations to packed tuples.
+    encode_time: float = 0.0
+    #: Aggregate busy time reported by workers (sum over processes).
+    worker_busy_time: float = 0.0
+    #: Wall time the parent spent blocked on worker batches; worker
+    #: utilization = worker_busy_time / (parallel_time * workers).
+    parallel_time: float = 0.0
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's capacity that did useful work."""
+        if self.workers <= 1 or self.parallel_time == 0.0:
+            return 0.0
+        return self.worker_busy_time / (self.parallel_time * self.workers)
 
     def as_dict(self) -> dict[str, object]:
         """Flat mapping for tables and JSON artifacts."""
@@ -323,9 +360,21 @@ class GraphStats:
             "explore_calls": self.explore_calls,
             "reach_calls": self.reach_calls,
             "csr_rebuilds": self.csr_rebuilds,
+            "transition_hits": self.transition_hits,
+            "transition_misses": self.transition_misses,
+            "packed_step_hits": self.packed_step_hits,
+            "packed_step_misses": self.packed_step_misses,
+            "workers": self.workers,
+            "worker_batches": self.worker_batches,
+            "worker_batch_nodes": self.worker_batch_nodes,
+            "worker_max_batch": self.worker_max_batch,
+            "worker_utilization": round(self.worker_utilization, 4),
             "explore_time_s": round(self.explore_time, 6),
             "reach_time_s": round(self.reach_time, 6),
             "classify_time_s": round(self.classify_time, 6),
+            "encode_time_s": round(self.encode_time, 6),
+            "worker_busy_s": round(self.worker_busy_time, 6),
+            "parallel_wall_s": round(self.parallel_time, 6),
         }
 
 
@@ -351,6 +400,38 @@ class GrowthResult:
     complete: bool
 
 
+class _ConfigurationView:
+    """Sequence view of a packed engine's configurations, decoded lazily.
+
+    Packed mode never materializes a rich configuration unless someone
+    asks for it (traces, witnesses, the census); this view keeps the
+    ``graph.configurations[node]`` / iteration API of the dict-backed
+    engine while paying the decode cost per node at most once.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "GlobalConfigurationGraph"):
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __getitem__(self, node: int) -> Configuration:
+        if isinstance(node, slice):
+            return [
+                self._graph.configuration_at(i)
+                for i in range(*node.indices(len(self._graph)))
+            ]
+        if node < 0:
+            node += len(self._graph)
+        return self._graph.configuration_at(node)
+
+    def __iter__(self) -> Iterator[Configuration]:
+        for node in range(len(self._graph)):
+            yield self._graph.configuration_at(node)
+
+
 class GlobalConfigurationGraph:
     """One incremental accessible-configuration graph per protocol.
 
@@ -362,17 +443,38 @@ class GlobalConfigurationGraph:
     over a CSR-style packed reverse adjacency with flat ``bytearray``
     visited maps rather than Python sets.
 
+    By default nodes are keyed by the *packed* encoding
+    (:class:`~repro.core.packing.PackedCodec`): a configuration is a
+    flat ``tuple[int, ...]`` of interned state ids plus a buffer id, so
+    the index dictionary hashes and compares small int tuples in C, and
+    expansion applies memoized packed transitions instead of rebuilding
+    rich objects per edge.  ``packed=False`` keeps the dict-backed
+    representation (the pre-packing engine, retained as the benchmark
+    baseline and for A/B regression checks).
+
+    ``workers > 1`` turns on batched frontier expansion over an opt-in
+    ``multiprocessing`` pool: each BFS level's unexpanded nodes are
+    shipped to workers, which apply the pure transition function and
+    return successor deltas; the parent merges them *in node order* and
+    does all interning, so the resulting graph — ids, edge order,
+    everything downstream — is byte-identical to a serial run.
+
     Invariant: a node with ``is_expanded(id)`` true has its *complete*
     successor set recorded (every enabled event, null deliveries
-    included).  Expansion is never partial, so anything proven about an
-    expanded node's forward closure stays true as the graph grows —
-    which is what makes incremental classification sound.
+    included).  Expansion is never partial — serial or parallel — so
+    anything proven about an expanded node's forward closure stays true
+    as the graph grows, which is what makes incremental classification
+    sound.
     """
 
     def __init__(
         self,
         protocol: Protocol,
         transitions: TransitionCache | None = None,
+        *,
+        packed: bool = True,
+        workers: int = 0,
+        min_batch_per_worker: int = 4,
     ):
         self.protocol = protocol
         # Explicit None-check: an empty TransitionCache is falsy (len 0).
@@ -380,10 +482,12 @@ class GlobalConfigurationGraph:
             transitions if transitions is not None
             else TransitionCache(protocol)
         )
-        self.configurations: list[Configuration] = []
         self.successors: list[list[tuple[Event, int]]] = []
         self.stats = GraphStats()
-        self._index: dict[Configuration, int] = {}
+        self.workers = max(0, workers)
+        self.stats.workers = self.workers
+        self._min_batch_per_worker = max(1, min_batch_per_worker)
+        self._pool = None
         self._expanded = bytearray()
         self._decision_nodes: dict[int, list[int]] = {}
         #: Bumped on any node/edge addition; versions CSR staleness.
@@ -391,11 +495,44 @@ class GlobalConfigurationGraph:
         self._csr_version = -1
         self._rev_indptr: array | None = None
         self._rev_indices: array | None = None
+        if packed:
+            from repro.core.packing import PackedCodec
+
+            self._codec = PackedCodec(protocol)
+            self._packed: list[tuple[int, ...]] = []
+            self._rich: list[Configuration | None] = []
+            self._index: dict[tuple[int, ...], int] = {}
+            self.configurations = _ConfigurationView(self)
+            # Route shared-cache misses through the packed memos so the
+            # adversary's rich-level searches reuse exploration work.
+            self.transitions.codec = self._codec
+        else:
+            self._codec = None
+            self._index: dict[Configuration, int] = {}
+            self.configurations: list[Configuration] = []
+
+    @property
+    def packed(self) -> bool:
+        """Whether nodes are keyed by the packed encoding."""
+        return self._codec is not None
+
+    @property
+    def codec(self):
+        """The packed codec (``None`` in dict mode)."""
+        return self._codec
 
     # -- interning ---------------------------------------------------------------
 
     def intern(self, configuration: Configuration) -> int:
         """The dense id of *configuration*, allocating one if new."""
+        if self._codec is not None:
+            started = time.perf_counter()
+            packed = self._codec.encode(configuration)
+            self.stats.encode_time += time.perf_counter() - started
+            node = self._intern_packed(packed)
+            if self._rich[node] is None:
+                self._rich[node] = configuration
+            return node
         node = self._index.get(configuration)
         if node is None:
             node = len(self.configurations)
@@ -409,23 +546,94 @@ class GlobalConfigurationGraph:
             self._version += 1
         return node
 
+    def _intern_packed(self, packed: tuple[int, ...]) -> int:
+        """The dense id of a packed configuration, allocating if new."""
+        node = self._index.get(packed)
+        if node is None:
+            node = len(self._packed)
+            self._index[packed] = node
+            self._packed.append(packed)
+            self._rich.append(None)
+            self.successors.append([])
+            self._expanded.append(0)
+            for value in self._codec.decision_values(packed):
+                self._decision_nodes.setdefault(value, []).append(node)
+            self.stats.interned += 1
+            self._version += 1
+        return node
+
+    def _encode(self, configuration: Configuration) -> tuple[int, ...]:
+        started = time.perf_counter()
+        packed = self._codec.encode(configuration)
+        self.stats.encode_time += time.perf_counter() - started
+        return packed
+
+    def configuration_at(self, node: int) -> Configuration:
+        """The rich configuration for *node* (decoded lazily, cached)."""
+        if self._codec is None:
+            return self.configurations[node]
+        rich = self._rich[node]
+        if rich is None:
+            rich = self._codec.decode(self._packed[node])
+            self._rich[node] = rich
+        return rich
+
+    def packed_at(self, node: int) -> tuple[int, ...]:
+        """The packed tuple for *node* (packed mode only)."""
+        if self._codec is None:
+            raise ValueError("dict-backed engine has no packed encoding")
+        return self._packed[node]
+
     def node_id(self, configuration: Configuration) -> int:
         """The id of an already-interned configuration (KeyError if not)."""
+        if self._codec is not None:
+            return self._index[self._encode(configuration)]
         return self._index[configuration]
 
     def find(self, configuration: Configuration) -> int | None:
         """The id of *configuration*, or ``None`` if never interned."""
+        if self._codec is not None:
+            return self._index.get(self._encode(configuration))
         return self._index.get(configuration)
 
     def __contains__(self, configuration: Configuration) -> bool:
-        return configuration in self._index
+        return self.find(configuration) is not None
 
     def __len__(self) -> int:
-        return len(self.configurations)
+        return len(self._expanded)
 
     def is_expanded(self, node: int) -> bool:
         """Whether *node*'s full successor set has been computed."""
         return bool(self._expanded[node])
+
+    # -- worker pool -------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            from repro.core.parallel import init_worker
+
+            self._pool = multiprocessing.Pool(
+                processes=self.workers,
+                initializer=init_worker,
+                initargs=(self.protocol,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial = no-op)."""
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- growth ------------------------------------------------------------------
 
@@ -446,9 +654,155 @@ class GlobalConfigurationGraph:
         is left unexpanded (hence in the frontier) and the result
         reports ``complete=False`` — the truthful-partial-answer
         contract of the per-root :func:`explore`, carried over.
+
+        The traversal is level-synchronized BFS with an in-order merge,
+        so the interning sequence (hence every node id and edge list) is
+        a pure function of the protocol and the root — independent of
+        worker count, batch sharding, and ``PYTHONHASHSEED``.
         """
         started = time.perf_counter()
         self.stats.explore_calls += 1
+        try:
+            if self._codec is not None:
+                return self._explore_packed(root, max_configurations)
+            return self._explore_rich(root, max_configurations)
+        finally:
+            self.stats.explore_time += time.perf_counter() - started
+            self.stats.transition_hits = self.transitions.hits
+            self.stats.transition_misses = self.transitions.misses
+            if self._codec is not None:
+                self.stats.packed_step_hits = self._codec.step_hits
+                self.stats.packed_step_misses = self._codec.step_misses
+
+    def _explore_packed(
+        self, root: Configuration, max_configurations: int
+    ) -> GrowthResult:
+        root_id = self.intern(root)
+        visited = {root_id}
+        frontier = [root_id]
+        complete = True
+        expanded = self._expanded
+
+        while frontier:
+            batch = [node for node in frontier if not expanded[node]]
+            if batch:
+                if not self._merge_expansions(
+                    batch, self._expand_batch(batch), max_configurations
+                ):
+                    complete = False
+            next_frontier = []
+            for node in frontier:
+                if not expanded[node]:
+                    continue
+                for _event, target in self.successors[node]:
+                    if target not in visited:
+                        visited.add(target)
+                        next_frontier.append(target)
+            frontier = next_frontier
+
+        if complete:
+            # Nodes reached through previously-explored edges may still
+            # be unexpanded from an earlier budget-limited call.
+            complete = all(expanded[node] for node in visited)
+        return GrowthResult(
+            root=root_id, nodes=frozenset(visited), complete=complete
+        )
+
+    def _expand_batch(
+        self, batch: list[int]
+    ) -> list[list[tuple[Event, tuple[int, ...]]]]:
+        """Compute every batch node's edges as packed successors.
+
+        Dispatches to the worker pool when it pays (enough nodes to
+        occupy every worker), else expands inline through the codec's
+        packed memos.  Either way the returned lists are aligned with
+        *batch* and each edge list is in canonical event order.
+        """
+        codec = self._codec
+        if (
+            self.workers > 1
+            and len(batch) >= self.workers * self._min_batch_per_worker
+        ):
+            from repro.core.parallel import expand_configuration
+
+            pool = self._ensure_pool()
+            stats = self.stats
+            configurations = [
+                self.configuration_at(node) for node in batch
+            ]
+            chunksize = max(1, len(batch) // (self.workers * 4))
+            shipped = time.perf_counter()
+            results = pool.map(
+                expand_configuration, configurations, chunksize=chunksize
+            )
+            stats.parallel_time += time.perf_counter() - shipped
+            stats.worker_batches += 1
+            stats.worker_batch_nodes += len(batch)
+            stats.worker_max_batch = max(
+                stats.worker_max_batch, len(batch)
+            )
+            expansions = []
+            intern_state = codec.intern_state
+            intern_buffer = codec.intern_buffer
+            position_of = codec.position_of
+            for node, (busy, deltas) in zip(batch, results):
+                stats.worker_busy_time += busy
+                packed = self._packed[node]
+                edges = []
+                for event, state, delivered, buffer in deltas:
+                    successor = list(packed)
+                    successor[position_of(event.process)] = intern_state(
+                        state
+                    )
+                    # Intern the intermediate post-delivery buffer first:
+                    # the serial path allocates it before the post-send
+                    # buffer, and id allocation order must match exactly
+                    # for packed encodings to be byte-identical.
+                    if delivered is not None:
+                        intern_buffer(delivered)
+                    successor[-1] = intern_buffer(buffer)
+                    edges.append((event, tuple(successor)))
+                expansions.append(edges)
+            return expansions
+        expand_packed = codec.expand_packed
+        packed = self._packed
+        return [expand_packed(packed[node]) for node in batch]
+
+    def _merge_expansions(
+        self,
+        batch: list[int],
+        expansions: list[list[tuple[Event, tuple[int, ...]]]],
+        max_configurations: int,
+    ) -> bool:
+        """Intern and record the batch's edges, in node order.
+
+        Returns ``False`` if any node was left unexpanded because its
+        fresh successors no longer fit the budget (all-or-nothing per
+        node, exactly like the serial engine).
+        """
+        index = self._index
+        complete = True
+        for node, edges in zip(batch, expansions):
+            fresh = {
+                packed
+                for _event, packed in edges
+                if packed not in index
+            }
+            if len(self._packed) + len(fresh) > max_configurations:
+                complete = False
+                continue
+            out = self.successors[node]
+            for event, packed in edges:
+                out.append((event, self._intern_packed(packed)))
+            self._expanded[node] = 1
+            self.stats.expansions += 1
+            self._version += 1
+        return complete
+
+    def _explore_rich(
+        self, root: Configuration, max_configurations: int
+    ) -> GrowthResult:
+        """The dict-backed engine (pre-packing), kept as the baseline."""
         protocol = self.protocol
         transitions = self.transitions
         root_id = self.intern(root)
@@ -496,7 +850,6 @@ class GlobalConfigurationGraph:
             # Nodes reached through previously-explored edges may still
             # be unexpanded from an earlier budget-limited call.
             complete = all(self._expanded[node] for node in visited)
-        self.stats.explore_time += time.perf_counter() - started
         return GrowthResult(
             root=root_id, nodes=frozenset(visited), complete=complete
         )
@@ -557,7 +910,7 @@ class GlobalConfigurationGraph:
     def _reverse_csr(self) -> tuple[array, array]:
         """The packed reverse adjacency, rebuilt lazily on growth."""
         if self._csr_version != self._version:
-            n = len(self.configurations)
+            n = len(self)
             counts = [0] * (n + 1)
             for out in self.successors:
                 for _event, target in out:
@@ -590,7 +943,7 @@ class GlobalConfigurationGraph:
         """
         started = time.perf_counter()
         indptr, indices = self._reverse_csr()
-        mask = bytearray(len(self.configurations))
+        mask = bytearray(len(self))
         stack: list[int] = []
         for target in targets:
             if not mask[target]:

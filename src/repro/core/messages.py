@@ -66,6 +66,12 @@ class Message:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Reconstruct through __init__ so the cached hash is recomputed
+        # in the unpickling process — str hashes vary per PYTHONHASHSEED,
+        # so a pickled ``_hash`` would be wrong across process boundaries.
+        return (Message, (self.destination, self.value))
+
     def __repr__(self) -> str:
         return f"Message({self.destination!r}, {self.value!r})"
 
@@ -212,6 +218,11 @@ class MessageBuffer:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Rebuild from the counts mapping; hashes are recomputed on the
+        # receiving side (they are process-local under PYTHONHASHSEED).
+        return (MessageBuffer, (self._counts,))
 
     def __repr__(self) -> str:
         if not self._counts:

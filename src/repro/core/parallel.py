@@ -1,0 +1,119 @@
+"""Opt-in multiprocessing frontier expansion for the exploration engine.
+
+The configuration graph grows by expanding BFS frontiers, and each
+node's expansion is independent: enumerate the enabled events, apply the
+(pure, deterministic) transition function, report the successors.  That
+makes frontier levels embarrassingly parallel — *provided* interning
+stays centralized.  The contract here:
+
+* Workers receive rich :class:`~repro.core.configuration.Configuration`
+  objects (picklable via ``__reduce__``; hashes are recomputed
+  worker-side, so nothing depends on cross-process ``PYTHONHASHSEED``).
+* Workers return, per node, one *delta* per enabled event — ``(event,
+  stepping process's new state, post-delivery buffer or None, final
+  buffer)`` — never packed ids.  Only the parent interns, so id
+  assignment is a single-writer sequence; the intermediate post-delivery
+  buffer is included so the parent allocates buffer ids in exactly the
+  serial engine's first-seen order, making the merged graph (packed
+  encodings included) byte-identical to a serial run.
+* Expansion is all-or-nothing per node: the parent applies the budget
+  while merging, discarding whole expansions that no longer fit, exactly
+  like the serial path.
+
+Workers keep process-local memos for the step function and buffer
+transitions; they live for the lifetime of the pool, so repeated batches
+amortize them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ProtocolViolation
+from repro.core.events import Event
+from repro.core.messages import Message, MessageBuffer
+from repro.core.process import ProcessState
+from repro.core.protocol import Protocol
+
+__all__ = ["init_worker", "expand_configuration", "ExpansionDelta"]
+
+#: One successor, as a delta against the expanded configuration: the
+#: event taken, the stepping process's new state, the intermediate
+#: post-delivery buffer (None for null deliveries), and the new buffer.
+ExpansionDelta = "tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]"
+
+# Worker-process globals, set once by the pool initializer.
+_PROTOCOL: Protocol | None = None
+_STEPS: dict[tuple[str, ProcessState, Hashable], tuple] = {}
+_DELIVERIES: dict[tuple[MessageBuffer, Message], MessageBuffer] = {}
+_SENDS: dict[tuple[MessageBuffer, tuple[Message, ...]], MessageBuffer] = {}
+
+
+def init_worker(protocol: Protocol) -> None:
+    """Pool initializer: bind the protocol and reset the memos."""
+    global _PROTOCOL, _STEPS, _DELIVERIES, _SENDS
+    _PROTOCOL = protocol
+    _STEPS = {}
+    _DELIVERIES = {}
+    _SENDS = {}
+
+
+def expand_configuration(
+    configuration: Configuration,
+) -> tuple[
+    float,
+    list[tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]],
+]:
+    """Expand one configuration: ``(busy_seconds, deltas)``.
+
+    Deltas are emitted in the canonical enabled-event order, so the
+    parent's merge reproduces the serial engine's edge order exactly.
+    """
+    protocol = _PROTOCOL
+    if protocol is None:  # pragma: no cover - misuse guard
+        raise RuntimeError("worker used before init_worker()")
+    started = time.perf_counter()
+    deltas: list[
+        tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]
+    ] = []
+    buffer = configuration.buffer
+    for event in protocol.enabled_events(configuration, include_null=True):
+        state = configuration.state_of(event.process)
+        step_key = (event.process, state, event.value)
+        step = _STEPS.get(step_key)
+        if step is None:
+            transition = protocol.process(event.process).apply(
+                state, event.value
+            )
+            for message in transition.sends:
+                if message.destination not in protocol.process_names:
+                    raise ProtocolViolation(
+                        f"process {event.process} sent a message to "
+                        f"unknown process {message.destination!r}"
+                    )
+            step = (transition.state, transition.sends)
+            _STEPS[step_key] = step
+        new_state, sends = step
+
+        new_buffer = buffer
+        delivered = None
+        if not event.is_null_delivery:
+            message = event.message
+            delivery_key = (new_buffer, message)
+            delivered = _DELIVERIES.get(delivery_key)
+            if delivered is None:
+                delivered = new_buffer.deliver(message)
+                _DELIVERIES[delivery_key] = delivered
+            new_buffer = delivered
+        if sends:
+            send_key = (new_buffer, sends)
+            sent = _SENDS.get(send_key)
+            if sent is None:
+                sent = new_buffer.send_all(sends)
+                _SENDS[send_key] = sent
+            new_buffer = sent
+
+        deltas.append((event, new_state, delivered, new_buffer))
+    return time.perf_counter() - started, deltas

@@ -101,6 +101,12 @@ class ProcessState:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Reconstruct through __init__: the frozen ``__setattr__`` rejects
+        # slot-wise unpickling, and the cached hash must be recomputed in
+        # the receiving process (string hashes are per-PYTHONHASHSEED).
+        return (ProcessState, (self.input, self.output, self.data))
+
     def __repr__(self) -> str:
         out = "b" if self.output is UNDECIDED else self.output
         return f"ProcessState(x={self.input}, y={out}, data={self.data!r})"

@@ -168,21 +168,38 @@ class ValencyAnalyzer:
         from decisions can be separated from the unexplored frontier,
         and :attr:`Valency.UNKNOWN` elsewhere; raising the budget later
         resumes exploration from the recorded frontier.
+    packed:
+        Key the shared graph by the packed integer encoding (default;
+        see :mod:`repro.core.packing`).  ``False`` keeps the dict-backed
+        baseline engine.
+    workers:
+        Opt-in ``multiprocessing`` pool size for frontier expansion
+        (0/1 = serial).  Results are byte-identical to a serial run; the
+        pool is shut down via :meth:`close` or engine finalization.
     """
 
     def __init__(
         self,
         protocol: Protocol,
         max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+        *,
+        packed: bool = True,
+        workers: int = 0,
     ):
         self.protocol = protocol
         self.max_configurations = max_configurations
         #: Shared transition memo; the adversary's searches reuse it.
         self.transitions = TransitionCache(protocol)
         #: The one shared accessible-configuration graph.
-        self.graph = GlobalConfigurationGraph(protocol, self.transitions)
+        self.graph = GlobalConfigurationGraph(
+            protocol, self.transitions, packed=packed, workers=workers
+        )
         #: Valency per node id; ``None`` = not (yet) soundly determined.
         self._node_valency: list[Valency | None] = []
+
+    def close(self) -> None:
+        """Release the engine's worker pool (no-op for serial engines)."""
+        self.graph.close()
 
     @property
     def configurations_explored(self) -> int:
@@ -197,8 +214,21 @@ class ValencyAnalyzer:
 
     @property
     def stats(self) -> GraphStats:
-        """Engine observability counters (see :class:`GraphStats`)."""
-        return self.graph.stats
+        """Engine observability counters (see :class:`GraphStats`).
+
+        The shared :class:`TransitionCache` counters are mirrored on
+        every read so they stay fresh even when transitions are applied
+        outside :meth:`GlobalConfigurationGraph.explore` (the
+        adversary's event-filtered searches do exactly that).
+        """
+        stats = self.graph.stats
+        stats.transition_hits = self.transitions.hits
+        stats.transition_misses = self.transitions.misses
+        codec = self.graph.codec
+        if codec is not None:
+            stats.packed_step_hits = codec.step_hits
+            stats.packed_step_misses = codec.step_misses
+        return stats
 
     # -- queries ---------------------------------------------------------------
 
@@ -228,6 +258,17 @@ class ValencyAnalyzer:
         """Cached valency, :attr:`Valency.UNKNOWN` if undetermined —
         never explores.  For census passes over already-grown regions."""
         cached = self._lookup(configuration)
+        return cached if cached is not None else Valency.UNKNOWN
+
+    def peek_node(self, node: int) -> Valency:
+        """Cached valency by node id — no encode, no decode, no growth.
+
+        The census path uses this to classify whole closures without
+        materializing rich configurations from the packed engine.
+        """
+        if node >= len(self._node_valency):
+            return Valency.UNKNOWN
+        cached = self._node_valency[node]
         return cached if cached is not None else Valency.UNKNOWN
 
     def is_bivalent(self, configuration: Configuration) -> bool:

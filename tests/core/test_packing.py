@@ -1,0 +1,247 @@
+"""Tests for the packed configuration codec.
+
+The codec must be *semantically invisible*: encode/decode is lossless,
+``apply_packed`` agrees with ``Protocol.apply_event`` on every event,
+and the packed engine builds the byte-identical graph the dict-backed
+engine builds.  The property test at the bottom checks Lemma 1's
+commutativity claim directly at the packed-id level: disjoint schedules
+commute as literal tuple equality.
+"""
+
+import random
+
+import pytest
+
+from repro.core.errors import UnknownProcess
+from repro.core.events import NULL, Event
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.packing import PackedCodec
+from repro.core.valency import Valency, ValencyAnalyzer
+from repro.protocols import ArbiterProcess, make_protocol
+
+
+@pytest.fixture(scope="module")
+def codec(arbiter3):
+    return PackedCodec(arbiter3)
+
+
+@pytest.fixture(scope="module")
+def explored(arbiter3):
+    """Every reachable configuration of arbiter/3 from one root."""
+    graph = GlobalConfigurationGraph(arbiter3, packed=False)
+    result = graph.explore(arbiter3.initial_configuration([0, 0, 1]))
+    assert result.complete
+    return list(graph.configurations)
+
+
+class TestEncodeDecode:
+    def test_round_trip_is_lossless(self, codec, explored):
+        for configuration in explored:
+            packed = codec.encode(configuration)
+            assert codec.decode(packed) == configuration
+            assert hash(codec.decode(packed)) == hash(configuration)
+
+    def test_packed_width(self, codec, explored):
+        for configuration in explored:
+            assert len(codec.encode(configuration)) == codec.width
+        assert codec.width == 4  # 3 state slots + 1 buffer slot
+
+    def test_encoding_is_injective(self, codec, explored):
+        packed = {codec.encode(c) for c in explored}
+        assert len(packed) == len(set(explored))
+
+    def test_interning_is_stable(self, codec, explored):
+        first = [codec.encode(c) for c in explored]
+        second = [codec.encode(c) for c in explored]
+        assert first == second
+
+    def test_rejects_foreign_roster(self, codec):
+        other = make_protocol(ArbiterProcess, 4)
+        with pytest.raises(ValueError, match="do not match"):
+            codec.encode(other.initial_configuration([0, 0, 1, 1]))
+
+    def test_decision_values_without_decoding(self, codec, explored):
+        for configuration in explored:
+            packed = codec.encode(configuration)
+            assert codec.decision_values(packed) == (
+                configuration.decision_values()
+            )
+
+
+class TestPackedSemantics:
+    def test_events_for_matches_enabled_events(
+        self, arbiter3, codec, explored
+    ):
+        for configuration in explored:
+            packed = codec.encode(configuration)
+            assert codec.events_for(packed[-1]) == tuple(
+                arbiter3.enabled_events(configuration)
+            )
+
+    def test_apply_packed_matches_apply_event(
+        self, arbiter3, codec, explored
+    ):
+        for configuration in explored:
+            packed = codec.encode(configuration)
+            for event in arbiter3.enabled_events(configuration):
+                rich = arbiter3.apply_event(configuration, event)
+                assert codec.decode(
+                    codec.apply_packed(packed, event)
+                ) == rich
+
+    def test_apply_packed_memoizes_steps(self, arbiter3):
+        codec = PackedCodec(arbiter3)
+        packed = codec.encode(arbiter3.initial_configuration([0, 0, 1]))
+        event = Event("p1", NULL)
+        codec.apply_packed(packed, event)
+        misses = codec.step_misses
+        codec.apply_packed(packed, event)
+        assert codec.step_misses == misses
+        assert codec.step_hits >= 1
+
+    def test_apply_packed_unknown_process(self, codec, explored):
+        packed = codec.encode(explored[0])
+        with pytest.raises(UnknownProcess):
+            codec.apply_packed(packed, Event("p99", NULL))
+
+    def test_apply_rich_round_trips(self, arbiter3, codec, explored):
+        for configuration in explored[:8]:
+            for event in arbiter3.enabled_events(configuration):
+                assert codec.apply_rich(configuration, event) == (
+                    arbiter3.apply_event(configuration, event)
+                )
+
+
+class TestEngineParity:
+    """Packed and dict-backed engines build the identical graph."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, arbiter3):
+        roots = [
+            arbiter3.initial_configuration(inputs)
+            for inputs in ([0, 0, 1], [1, 0, 1], [0, 0, 0])
+        ]
+        packed = GlobalConfigurationGraph(arbiter3, packed=True)
+        rich = GlobalConfigurationGraph(arbiter3, packed=False)
+        for root in roots:
+            packed.explore(root)
+            rich.explore(root)
+        return packed, rich
+
+    def test_same_nodes_same_ids(self, engines):
+        packed, rich = engines
+        assert len(packed) == len(rich)
+        for node in range(len(packed)):
+            assert packed.configuration_at(node) == (
+                rich.configurations[node]
+            )
+
+    def test_same_edges_in_same_order(self, engines):
+        packed, rich = engines
+        assert packed.successors == rich.successors
+
+    def test_same_decision_nodes(self, engines):
+        packed, rich = engines
+        for value in (0, 1):
+            assert packed.decision_nodes(value) == (
+                rich.decision_nodes(value)
+            )
+
+    def test_census_parity(self, arbiter3):
+        root = arbiter3.initial_configuration([0, 1, 1])
+        censuses = []
+        for is_packed in (True, False):
+            analyzer = ValencyAnalyzer(arbiter3, packed=is_packed)
+            analyzer.valency(root)
+            engine = analyzer.graph
+            closure = engine.reachable_from(engine.node_id(root))
+            censuses.append(
+                sorted(
+                    (node, analyzer.peek_node(node).value)
+                    for node in closure.nodes
+                )
+            )
+        assert censuses[0] == censuses[1]
+
+
+class TestLemma1PackedCommutativity:
+    """Lemma 1 holds as literal tuple equality on packed ids.
+
+    Property-based with the stdlib ``random`` module: sample random
+    reachable configurations and random pairs of schedules over disjoint
+    process sets, then check σ2(σ1(C)) == σ1(σ2(C)) *as packed tuples*.
+    """
+
+    def _applicable(self, codec, packed, schedule):
+        """Apply *schedule*; None if some event is not applicable."""
+        from repro.core.errors import InvalidEvent
+
+        for event in schedule:
+            if event.value is not NULL:
+                message_values = {
+                    m.value
+                    for m in codec.buffer_at(packed[-1]).messages_for(
+                        event.process
+                    )
+                }
+                if event.value not in message_values:
+                    return None
+            try:
+                packed = codec.apply_packed(packed, event)
+            except InvalidEvent:  # pragma: no cover - guarded above
+                return None
+        return packed
+
+    def _random_schedule(self, rng, codec, packed, processes, length):
+        events = []
+        for _ in range(length):
+            process = rng.choice(processes)
+            pending = codec.buffer_at(packed[-1]).messages_for(process)
+            choices = [Event(process, NULL)]
+            choices.extend(Event(process, m.value) for m in pending)
+            event = rng.choice(choices)
+            events.append(event)
+            applied = self._applicable(codec, packed, [event])
+            if applied is None:
+                return None
+            packed = applied
+        return events
+
+    def test_disjoint_schedules_commute(self, arbiter3, explored):
+        rng = random.Random(0xF1)
+        codec = PackedCodec(arbiter3)
+        names = list(arbiter3.process_names)
+        checked = 0
+        for _ in range(200):
+            configuration = rng.choice(explored)
+            packed = codec.encode(configuration)
+            rng.shuffle(names)
+            split = rng.randrange(1, len(names))
+            left, right = names[:split], names[split:]
+            sigma1 = self._random_schedule(
+                rng, codec, packed, left, rng.randrange(1, 4)
+            )
+            if sigma1 is None:
+                continue
+            sigma2 = self._random_schedule(
+                rng, codec, packed, right, rng.randrange(1, 4)
+            )
+            if sigma2 is None:
+                continue
+            via1 = self._applicable(codec, packed, sigma1)
+            via1 = (
+                self._applicable(codec, via1, sigma2)
+                if via1 is not None
+                else None
+            )
+            via2 = self._applicable(codec, packed, sigma2)
+            via2 = (
+                self._applicable(codec, via2, sigma1)
+                if via2 is not None
+                else None
+            )
+            if via1 is None or via2 is None:
+                continue
+            assert via1 == via2  # literal packed-tuple equality
+            checked += 1
+        assert checked >= 50  # the sampler found enough commuting pairs

@@ -1,0 +1,195 @@
+"""Determinism and honesty of the parallel frontier expansion.
+
+The contract of ``workers > 1`` is strict: the resulting graph — node
+ids, edge order, decision indexes, everything downstream (census,
+witnesses, adversary schedules) — must be **byte-identical** to a
+serial run.  The level-synchronized BFS with an in-order merge makes
+that a structural property rather than a lucky accident; these tests
+pin it down, along with the budget contract and the observability
+counters.
+
+``min_batch_per_worker=1`` forces even tiny test graphs through the
+worker pool (the production default only ships batches big enough to
+occupy every worker).
+"""
+
+import pytest
+
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+
+def parallel_graph(protocol, workers=2):
+    return GlobalConfigurationGraph(
+        protocol, workers=workers, min_batch_per_worker=1
+    )
+
+
+@pytest.fixture(scope="module")
+def parity3():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+class TestByteIdenticalWithSerial:
+    @pytest.fixture(scope="class")
+    def pair(self, parity3):
+        roots = [
+            parity3.initial_configuration(inputs)
+            for inputs in ([0, 0, 1], [1, 1, 0])
+        ]
+        serial = GlobalConfigurationGraph(parity3)
+        parallel = parallel_graph(parity3)
+        try:
+            for root in roots:
+                serial_result = serial.explore(root)
+                parallel_result = parallel.explore(root)
+                assert serial_result == parallel_result
+            yield serial, parallel
+        finally:
+            parallel.close()
+
+    def test_pool_actually_engaged(self, pair):
+        _serial, parallel = pair
+        assert parallel.stats.workers == 2
+        assert parallel.stats.worker_batches > 0
+        assert parallel.stats.worker_batch_nodes > 0
+        assert parallel.stats.worker_max_batch > 0
+
+    def test_same_packed_tuples_same_ids(self, pair):
+        serial, parallel = pair
+        assert len(serial) == len(parallel)
+        for node in range(len(serial)):
+            assert serial.packed_at(node) == parallel.packed_at(node)
+
+    def test_same_edge_lists(self, pair):
+        serial, parallel = pair
+        assert serial.successors == parallel.successors
+
+    def test_same_decision_indexes(self, pair):
+        serial, parallel = pair
+        for value in (0, 1):
+            assert serial.decision_nodes(value) == (
+                parallel.decision_nodes(value)
+            )
+
+    def test_same_rich_configurations(self, pair):
+        serial, parallel = pair
+        for node in range(0, len(serial), 7):
+            assert serial.configuration_at(node) == (
+                parallel.configuration_at(node)
+            )
+
+
+class TestAnalyzerParity:
+    def test_census_and_witness_identical(self, parity3):
+        root = parity3.initial_configuration([0, 0, 1])
+        outcomes = []
+        for workers in (0, 2):
+            analyzer = ValencyAnalyzer(parity3, workers=workers)
+            # Force pool engagement on this small graph.
+            analyzer.graph._min_batch_per_worker = 1
+            try:
+                valency = analyzer.valency(root)
+                witness = analyzer.bivalence_witness(root)
+                engine = analyzer.graph
+                closure = engine.reachable_from(engine.node_id(root))
+                census = sorted(
+                    (node, analyzer.peek_node(node).value)
+                    for node in closure.nodes
+                )
+                outcomes.append(
+                    (valency, witness.to_zero.events,
+                     witness.to_one.events, census)
+                )
+            finally:
+                analyzer.close()
+        assert outcomes[0] == outcomes[1]
+
+
+class TestBudgetHonesty:
+    def test_truthful_partial_answer(self, parity3):
+        root = parity3.initial_configuration([0, 0, 1])
+        graph = parallel_graph(parity3)
+        try:
+            result = graph.explore(root, max_configurations=10)
+            assert not result.complete
+            assert not graph.complete
+            assert len(graph) <= 10
+            frontier = graph.frontier_ids()
+            assert frontier
+            # Expanded nodes have their complete successor sets; frontier
+            # nodes have none (expansion is all-or-nothing per node).
+            for node in range(len(graph)):
+                if node in frontier:
+                    assert graph.successors[node] == []
+                else:
+                    assert graph.successors[node]
+        finally:
+            graph.close()
+
+    def test_budget_cut_is_deterministic(self, parity3):
+        root = parity3.initial_configuration([0, 0, 1])
+        serial = GlobalConfigurationGraph(parity3)
+        parallel = parallel_graph(parity3)
+        try:
+            serial.explore(root, max_configurations=25)
+            parallel.explore(root, max_configurations=25)
+            assert len(serial) == len(parallel)
+            assert serial.successors == parallel.successors
+            assert serial.frontier_ids() == parallel.frontier_ids()
+        finally:
+            parallel.close()
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent(self, parity3):
+        graph = parallel_graph(parity3)
+        graph.explore(parity3.initial_configuration([0, 0, 1]))
+        graph.close()
+        graph.close()  # second close is a no-op
+
+    def test_serial_close_is_noop(self, parity3):
+        graph = GlobalConfigurationGraph(parity3)
+        graph.close()
+
+    def test_explore_works_after_close(self, parity3):
+        # The pool is an optimization; a closed engine lazily reopens it.
+        graph = parallel_graph(parity3)
+        try:
+            graph.explore(parity3.initial_configuration([0, 0, 1]))
+            graph.close()
+            result = graph.explore(
+                parity3.initial_configuration([1, 1, 0])
+            )
+            assert result.complete
+        finally:
+            graph.close()
+
+
+class TestStatsCounters:
+    def test_transition_counters_surface_in_stats(self, parity3):
+        analyzer = ValencyAnalyzer(parity3)
+        root = parity3.initial_configuration([0, 0, 1])
+        analyzer.valency(root)
+        before = analyzer.stats.as_dict()
+        assert "transition_hits" in before
+        assert "transition_misses" in before
+        # Drive the rich-level shared cache directly: first call misses,
+        # second hits — and both movements show up in GraphStats.
+        from repro.core.events import NULL, Event
+
+        event = Event("p1", NULL)
+        analyzer.transitions.apply(parity3, root, event)
+        analyzer.transitions.apply(parity3, root, event)
+        after = analyzer.stats.as_dict()
+        assert after["transition_misses"] > before["transition_misses"]
+        assert after["transition_hits"] > before["transition_hits"]
+
+    def test_packed_step_counters_move(self, parity3):
+        analyzer = ValencyAnalyzer(parity3)
+        analyzer.valency(parity3.initial_configuration([0, 0, 1]))
+        stats = analyzer.stats
+        assert stats.packed_step_misses > 0
+        assert stats.packed_step_hits > 0
+        assert stats.encode_time >= 0.0

@@ -1,0 +1,145 @@
+"""Pickle round-trips and cross-process hash stability.
+
+The parallel frontier expansion ships configurations to worker
+processes by pickle.  Two properties keep that sound:
+
+* the round-trip is lossless — the unpickled value equals the original
+  and behaves identically (same enabled events, same decision values);
+* cached hashes are *recomputed* on the receiving side.  ``str`` (and
+  generally object) hashes are salted per process by ``PYTHONHASHSEED``,
+  so a naively pickled ``_hash`` slot would poison every dict and set
+  the value touches in the other process.  Each core value type defines
+  ``__reduce__`` to rebuild through ``__init__`` for exactly this
+  reason, which the subprocess tests below pin down.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.events import NULL, Event, Schedule
+from repro.core.messages import Message, MessageBuffer
+from repro.core.process import ProcessState
+from repro.core.values import UNDECIDED
+
+
+def sample_buffer():
+    return MessageBuffer.of(
+        [
+            Message("p0", ("vote", 1)),
+            Message("p0", ("vote", 1)),  # multiplicity 2
+            Message("p2", "ping"),
+        ]
+    )
+
+
+def sample_configuration():
+    states = {
+        "p0": ProcessState(0, UNDECIDED, ("fresh",)),
+        "p1": ProcessState(1, 1, ("decided", 3)),
+        "p2": ProcessState(1, UNDECIDED, ()),
+    }
+    return Configuration(states, sample_buffer())
+
+
+SAMPLES = {
+    "message": Message("p1", ("echo", 2)),
+    "buffer": sample_buffer(),
+    "state": ProcessState(1, 1, ("decided", 3)),
+    "event": Event("p0", ("vote", 1)),
+    "null_event": Event("p2", NULL),
+    "configuration": sample_configuration(),
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SAMPLES))
+    def test_equal_after_round_trip(self, name):
+        original = SAMPLES[name]
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+        assert hash(clone) == hash(original)
+
+    @pytest.mark.parametrize("name", sorted(SAMPLES))
+    def test_usable_as_dict_key(self, name):
+        original = SAMPLES[name]
+        clone = pickle.loads(pickle.dumps(original))
+        assert {original: "x"}[clone] == "x"
+        assert len({original, clone}) == 1
+
+    def test_buffer_multiset_preserved(self):
+        clone = pickle.loads(pickle.dumps(sample_buffer()))
+        assert clone.count(Message("p0", ("vote", 1))) == 2
+        assert len(clone) == 3
+        assert clone.distinct_messages() == sample_buffer().distinct_messages()
+
+    def test_configuration_behaviour_preserved(self):
+        original = sample_configuration()
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.process_names == original.process_names
+        assert clone.decision_values() == original.decision_values()
+        assert clone.buffer == original.buffer
+
+    def test_schedule_round_trip(self):
+        schedule = Schedule(
+            (Event("p0", NULL), Event("p1", ("vote", 1)))
+        )
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule
+
+    def test_frozen_after_round_trip(self):
+        clone = pickle.loads(pickle.dumps(SAMPLES["message"]))
+        with pytest.raises(AttributeError):
+            clone.destination = "p9"
+
+
+# Script run in a subprocess under a *different* PYTHONHASHSEED: builds
+# the same sample values and pickles them to the path in argv[1].
+_CHILD = textwrap.dedent(
+    """
+    import pickle, sys
+    from tests.core.test_pickling import SAMPLES
+    with open(sys.argv[1], "wb") as fh:
+        pickle.dump(SAMPLES, fh)
+    """
+)
+
+
+def _dump_in_subprocess(tmp_path, seed):
+    out = tmp_path / f"samples_{seed}.pickle"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(repo_root, "src"), repo_root]
+    )
+    subprocess.run(
+        [sys.executable, "-c", _CHILD, str(out)],
+        check=True,
+        env=env,
+        cwd=repo_root,
+    )
+    with open(out, "rb") as fh:
+        return pickle.load(fh)
+
+
+class TestCrossProcessHashStability:
+    def test_values_pickled_under_other_seeds_compare_equal(self, tmp_path):
+        for seed in ("0", "4242"):
+            loaded = _dump_in_subprocess(tmp_path, seed)
+            assert set(loaded) == set(SAMPLES)
+            for name, original in SAMPLES.items():
+                clone = loaded[name]
+                # Equality must hold, and the cached hash must have been
+                # recomputed under THIS interpreter's seed — a pickled
+                # hash from the child would (almost surely) differ.
+                assert clone == original, name
+                assert hash(clone) == hash(original), name
+                assert clone in {original}, name

@@ -63,5 +63,11 @@ class TestTransitionCache:
         from repro.core.valency import ValencyAnalyzer
 
         analyzer = ValencyAnalyzer(arbiter3)
-        analyzer.valency(arbiter3.initial_configuration([0, 0, 1]))
+        config = arbiter3.initial_configuration([0, 0, 1])
+        analyzer.valency(config)
+        # The packed engine memoizes at the step level during exploration;
+        # the rich-level cache stays lazy but remains shared and usable.
+        assert analyzer.stats.packed_step_misses > 0
+        assert analyzer.transitions is analyzer.graph.transitions
+        analyzer.transitions.apply(arbiter3, config, Event("p1", NULL))
         assert len(analyzer.transitions) > 0

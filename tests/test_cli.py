@@ -144,6 +144,15 @@ class TestStatsFlag:
         assert "interned" in out
         assert "cache_hits" in out
 
+    def test_stats_surface_cache_and_packed_counters(self, capsys):
+        assert main(["check", "arbiter", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "transition_hits" in out
+        assert "transition_misses" in out
+        assert "packed_step_hits" in out
+        assert "packed_step_misses" in out
+        assert "workers" in out
+
     def test_map_stats(self, capsys):
         assert main(["map", "arbiter", "--inputs", "001", "--stats"]) == 0
         out = capsys.readouterr().out
@@ -159,6 +168,50 @@ class TestStatsFlag:
         out = capsys.readouterr().out
         assert "engine counters:" in out
         assert "explore_time_s" in out
+
+
+class TestWorkersFlag:
+    def test_check_with_workers(self, capsys):
+        assert main(["check", "arbiter", "--workers", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "partially correct" in out
+        assert "workers" in out
+
+    def test_map_with_workers_matches_serial(self, capsys):
+        assert main(["map", "parity-arbiter", "--inputs", "001"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "map",
+                    "parity-arbiter",
+                    "--inputs",
+                    "001",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_attack_with_workers(self, capsys):
+        assert (
+            main(
+                [
+                    "attack",
+                    "parity-arbiter",
+                    "--stages",
+                    "3",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verified by replay: True" in out
 
 
 class TestExperimentsPassthrough:
