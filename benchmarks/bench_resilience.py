@@ -1,0 +1,265 @@
+"""Benchmarks of the checkpoint/resume machinery.
+
+Three questions, answered into ``BENCH_resilience.json``:
+
+1. What does a snapshot cost?  Save and load wall time, payload size,
+   and nodes-per-second throughput on a budget-capped Ben-Or graph of
+   >= 50k configurations — the instance large enough for checkpointing
+   to matter at all.
+2. What does resume buy?  A run interrupted halfway through its BFS
+   levels and resumed from the latest checkpoint must beat a cold
+   restart; the artifact records both wall times and the fraction of
+   work the checkpoint saved.  The resumed fingerprint must equal the
+   cold run's — resume that saves time by corrupting the graph would
+   be worse than no resume at all.
+3. What does the cadence cost?  The same exploration with per-level
+   checkpointing enabled, so the steady-state overhead of the feature
+   is a number in review diffs rather than a guess.
+
+Run directly (``python benchmarks/bench_resilience.py``) to emit the
+artifact; ``--smoke`` runs a reduced interrupt/resume round-trip on
+parity-arbiter and leaves its checkpoint at
+``BENCH_resilience_smoke.ckpt`` for the CI artifact upload.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.checkpoint import (
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+)
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.resilience import ChaosConfig, CheckpointConfig
+from repro.protocols import (
+    BenOrProcess,
+    ParityArbiterProcess,
+    make_protocol,
+)
+
+from artifact import best_of, write_artifact
+
+#: Repo-root landing spot of the smoke checkpoint (CI uploads it).
+SMOKE_CHECKPOINT = Path(__file__).resolve().parent.parent / (
+    "BENCH_resilience_smoke.ckpt"
+)
+
+BENOR_BUDGET = 50_000
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (interactive measurement)
+# ---------------------------------------------------------------------------
+
+
+def _parity_graph():
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    graph = GlobalConfigurationGraph(protocol)
+    graph.explore(protocol.initial_configuration([0, 0, 1]))
+    return protocol, graph
+
+
+def test_checkpoint_save_parity3(benchmark, tmp_path):
+    _protocol, graph = _parity_graph()
+    path = str(tmp_path / "bench.ckpt")
+    info = benchmark(lambda: save_checkpoint(graph, path))
+    assert info.nodes == len(graph)
+
+
+def test_checkpoint_load_parity3(benchmark, tmp_path):
+    protocol, graph = _parity_graph()
+    path = str(tmp_path / "bench.ckpt")
+    save_checkpoint(graph, path)
+    resumed = benchmark(lambda: load_checkpoint(path, protocol))
+    assert resumed.fingerprint() == graph.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Artifact emission (python benchmarks/bench_resilience.py)
+# ---------------------------------------------------------------------------
+
+
+def _benor():
+    protocol = make_protocol(BenOrProcess, 3)
+    return protocol, protocol.initial_configuration([0, 0, 1])
+
+
+def collect_checkpoint_throughput(scratch: Path) -> dict:
+    """Save/load cost of a snapshot of a >= 50k-configuration graph."""
+    protocol, root = _benor()
+    graph = GlobalConfigurationGraph(protocol)
+    explore_s = best_of(
+        lambda: graph.explore(root, max_configurations=BENOR_BUDGET)
+        if len(graph) == 0
+        else None,
+        repeat=1,
+    )
+    path = str(scratch / "throughput.ckpt")
+    save_s = best_of(lambda: save_checkpoint(graph, path))
+    header = read_checkpoint_header(path)
+    load_s = best_of(lambda: load_checkpoint(path, protocol))
+    resumed = load_checkpoint(path, protocol)
+    assert resumed.fingerprint() == graph.fingerprint(), (
+        "loaded snapshot diverged from the live graph"
+    )
+    return {
+        "protocol": f"benor/3@{BENOR_BUDGET // 1000}k",
+        "nodes": header["nodes"],
+        "edges": header["edges"],
+        "payload_bytes": header["payload_bytes"],
+        "explore_s": round(explore_s, 6),
+        "save_s": round(save_s, 6),
+        "load_s": round(load_s, 6),
+        "save_nodes_per_s": round(header["nodes"] / save_s),
+        "load_nodes_per_s": round(header["nodes"] / load_s),
+    }
+
+
+def collect_resume_vs_cold(scratch: Path) -> dict:
+    """Interrupt halfway, resume from the checkpoint, compare to cold."""
+    protocol, root = _benor()
+    cold = GlobalConfigurationGraph(protocol)
+    cold_s = best_of(
+        lambda: cold.explore(root, max_configurations=BENOR_BUDGET),
+        repeat=1,
+    )
+    levels = cold.stats.explore_levels
+    interrupt_level = max(1, levels // 2)
+
+    path = str(scratch / "resume.ckpt")
+    victim = GlobalConfigurationGraph(
+        protocol,
+        checkpoint=CheckpointConfig(path=path, every_levels=1),
+        chaos=ChaosConfig(interrupt_after_level=interrupt_level),
+    )
+    try:
+        victim.explore(root, max_configurations=BENOR_BUDGET)
+    except KeyboardInterrupt:
+        pass
+    assert victim.last_partial is not None
+
+    resumed = load_checkpoint(path, protocol)
+    resume_s = best_of(
+        lambda: resumed.explore(root, max_configurations=BENOR_BUDGET),
+        repeat=1,
+    )
+    assert resumed.fingerprint() == cold.fingerprint(), (
+        "resumed graph diverged from the cold run"
+    )
+    return {
+        "protocol": f"benor/3@{BENOR_BUDGET // 1000}k",
+        "explore_levels": levels,
+        "interrupt_after_level": interrupt_level,
+        "checkpointed_nodes": resumed.stats.resumed_nodes,
+        "cold_s": round(cold_s, 6),
+        "resume_s": round(resume_s, 6),
+        "work_saved": round(1 - resume_s / cold_s, 4),
+        "fingerprints_match": True,
+    }
+
+
+def collect_cadence_overhead(scratch: Path) -> dict:
+    """Exploration with per-level checkpointing vs without."""
+    protocol, root = _benor()
+
+    def run(checkpoint):
+        graph = GlobalConfigurationGraph(protocol, checkpoint=checkpoint)
+        graph.explore(root, max_configurations=BENOR_BUDGET)
+        return graph
+
+    plain_s = best_of(lambda: run(None), repeat=1)
+    path = str(scratch / "cadence.ckpt")
+    stats = {}
+
+    def run_checkpointed():
+        graph = run(CheckpointConfig(path=path, every_levels=1))
+        stats["written"] = graph.stats.checkpoints_written
+        stats["checkpoint_s"] = graph.stats.checkpoint_time
+
+    cadenced_s = best_of(run_checkpointed, repeat=1)
+    return {
+        "protocol": f"benor/3@{BENOR_BUDGET // 1000}k",
+        "plain_s": round(plain_s, 6),
+        "per_level_checkpointing_s": round(cadenced_s, 6),
+        "checkpoints_written": stats["written"],
+        "checkpoint_time_s": round(stats["checkpoint_s"], 6),
+        "overhead": round(cadenced_s / plain_s - 1, 4),
+    }
+
+
+def smoke() -> int:
+    """CI smoke: a full interrupt/resume round-trip on parity-arbiter.
+
+    Leaves the recovered-from checkpoint at ``BENCH_resilience_smoke.ckpt``
+    so the CI job can upload it as an artifact — a real, loadable
+    snapshot from every green build.
+    """
+    protocol = make_protocol(ParityArbiterProcess, 3)
+    root = protocol.initial_configuration([0, 0, 1])
+    budget = 2_000
+    clean = GlobalConfigurationGraph(protocol)
+    clean.explore(root, max_configurations=budget)
+    path = str(SMOKE_CHECKPOINT)
+    victim = GlobalConfigurationGraph(
+        protocol,
+        checkpoint=CheckpointConfig(path=path, every_levels=1),
+        chaos=ChaosConfig(interrupt_after_level=2),
+    )
+    try:
+        victim.explore(root, max_configurations=budget)
+    except KeyboardInterrupt:
+        pass
+    resumed = load_checkpoint(path, protocol)
+    resumed.explore(root, max_configurations=budget)
+    assert resumed.fingerprint() == clean.fingerprint(), (
+        "smoke resume diverged from clean run"
+    )
+    header = read_checkpoint_header(path)
+    print(
+        f"smoke ok: interrupted at level 2, resumed "
+        f"{header['nodes']} nodes to {len(resumed)} "
+        f"(byte-identical); checkpoint kept at {path}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return smoke()
+
+    with tempfile.TemporaryDirectory() as scratch_dir:
+        scratch = Path(scratch_dir)
+        sections = {
+            "checkpoint_throughput": collect_checkpoint_throughput(scratch),
+            "resume_vs_cold": collect_resume_vs_cold(scratch),
+            "cadence_overhead": collect_cadence_overhead(scratch),
+        }
+    path = write_artifact(sections, name="resilience")
+    print(f"wrote {path}")
+    throughput = sections["checkpoint_throughput"]
+    print(
+        f"snapshot of {throughput['nodes']} nodes: "
+        f"save {throughput['save_s']}s, load {throughput['load_s']}s, "
+        f"{throughput['payload_bytes']} bytes"
+    )
+    resume = sections["resume_vs_cold"]
+    print(
+        f"resume from level {resume['interrupt_after_level']}/"
+        f"{resume['explore_levels']}: {resume['resume_s']}s vs "
+        f"{resume['cold_s']}s cold ({resume['work_saved']:.0%} saved)"
+    )
+    cadence = sections["cadence_overhead"]
+    print(
+        f"per-level checkpointing overhead: {cadence['overhead']:.1%} "
+        f"({cadence['checkpoints_written']} snapshots)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

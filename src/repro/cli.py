@@ -13,8 +13,19 @@ Commands
     Forward-simulate under a chosen scheduler/crash plan.
 ``map <protocol>``
     Valency map of the reachable graph; optional DOT export.
+``chaos <protocol>``
+    Fault-injection suite: kill/hang pool workers, force batch
+    timeouts, interrupt and resume — each must recover with a graph
+    byte-identical to a clean run.
 ``experiments [ids...]``
     Alias for ``python -m repro.experiments``.
+
+The exploration-backed commands (``check``, ``attack``, ``map``) accept
+resilience flags: ``--checkpoint``/``--checkpoint-every`` snapshot the
+engine periodically, ``--resume`` restores a snapshot, ``--max-seconds``
+/ ``--max-memory-mb`` stop gracefully at a budget, and ``--batch-timeout``
+bounds each parallel frontier batch.  ^C exits with status 130 after
+printing the partial progress and the latest checkpoint path.
 """
 
 from __future__ import annotations
@@ -33,11 +44,26 @@ from repro.core.correctness import (
     check_validity,
 )
 from repro.core.errors import AdversaryStuck
+from repro.core.resilience import (
+    CHAOS_SCENARIOS,
+    CheckpointConfig,
+    ResilienceConfig,
+    run_chaos_suite,
+)
 from repro.core.simulation import StopCondition, simulate
 from repro.core.valency import ValencyAnalyzer
 from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
 
 __all__ = ["main"]
+
+#: Batch deadline applied when ``--workers`` is given without an
+#: explicit ``--batch-timeout``: generous enough that no legitimate
+#: level trips it, tight enough that a SIGKILLed worker (whose batch
+#: never completes) is detected instead of hanging the run forever.
+DEFAULT_BATCH_TIMEOUT_S = 60.0
+
+#: The analyzer serving the current command, for the ^C handler.
+_ACTIVE: ValencyAnalyzer | None = None
 
 
 def _parse_inputs(text: str | None, n: int) -> list[int]:
@@ -61,8 +87,33 @@ def _print_engine_stats(analyzer: ValencyAnalyzer) -> None:
 
 
 def _make_analyzer(protocol, args) -> ValencyAnalyzer:
-    """Build the analyzer honoring the command's ``--workers`` flag."""
-    return ValencyAnalyzer(protocol, workers=getattr(args, "workers", 0))
+    """Build the analyzer honoring the command's engine flags."""
+    global _ACTIVE
+    workers = getattr(args, "workers", 0)
+    batch_timeout = getattr(args, "batch_timeout", None)
+    if batch_timeout is None and workers > 1:
+        batch_timeout = DEFAULT_BATCH_TIMEOUT_S
+    resilience = ResilienceConfig(
+        batch_timeout_s=batch_timeout,
+        wall_clock_limit_s=getattr(args, "max_seconds", None),
+        memory_limit_mb=getattr(args, "max_memory_mb", None),
+    )
+    checkpoint = None
+    path = getattr(args, "checkpoint", None)
+    if path:
+        checkpoint = CheckpointConfig(
+            path=path,
+            every_seconds=getattr(args, "checkpoint_every", 30.0),
+        )
+    analyzer = ValencyAnalyzer(
+        protocol,
+        workers=workers,
+        resilience=resilience,
+        checkpoint=checkpoint,
+        resume_from=getattr(args, "resume", None),
+    )
+    _ACTIVE = analyzer
+    return analyzer
 
 
 def _cmd_list(_args) -> int:
@@ -302,6 +353,32 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    entry = registry.info(args.protocol)
+    protocol = entry.build(args.n)
+    scenarios = (
+        tuple(args.scenarios) if args.scenarios else CHAOS_SCENARIOS
+    )
+    print(
+        f"protocol: {protocol}  workers={args.workers}  "
+        f"budget={args.max_configurations}"
+    )
+    outcomes = run_chaos_suite(
+        protocol,
+        workers=args.workers,
+        scenarios=scenarios,
+        max_configurations=args.max_configurations,
+    )
+    print(format_table([outcome.as_row() for outcome in outcomes]))
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        names = ", ".join(outcome.scenario for outcome in failed)
+        print(f"FAILED scenarios: {names}", file=sys.stderr)
+        return 1
+    print("all scenarios recovered with byte-identical fingerprints")
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -326,6 +403,52 @@ def build_parser() -> argparse.ArgumentParser:
         "(default serial; results are byte-identical either way)"
     )
 
+    def add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            help="periodically snapshot the exploration engine to PATH "
+            "(atomic; also written on ^C and budget stops)",
+        )
+        sub.add_argument(
+            "--checkpoint-every",
+            type=float,
+            default=30.0,
+            metavar="SECONDS",
+            help="checkpoint cadence in seconds (default 30)",
+        )
+        sub.add_argument(
+            "--resume",
+            metavar="PATH",
+            help="restore the exploration engine from a checkpoint "
+            "before running (resumed runs are byte-identical to "
+            "uninterrupted ones)",
+        )
+        sub.add_argument(
+            "--max-seconds",
+            type=float,
+            default=None,
+            metavar="S",
+            help="stop exploring gracefully after S seconds of graph "
+            "growth (final checkpoint + partial result, not a crash)",
+        )
+        sub.add_argument(
+            "--max-memory-mb",
+            type=float,
+            default=None,
+            metavar="MB",
+            help="stop exploring gracefully once peak RSS exceeds MB",
+        )
+        sub.add_argument(
+            "--batch-timeout",
+            type=float,
+            default=None,
+            metavar="S",
+            help="seconds to wait for one parallel frontier batch "
+            f"before rebuilding the pool (default "
+            f"{DEFAULT_BATCH_TIMEOUT_S:g} when --workers > 1)",
+        )
+
     check = commands.add_parser("check", help="correctness + valency census")
     check.add_argument("protocol", choices=registry.names())
     check.add_argument("-n", type=int, default=None)
@@ -333,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--workers", type=int, default=0, metavar="N", help=workers_help
     )
+    add_resilience_flags(check)
 
     attack = commands.add_parser("attack", help="run the FLP adversary")
     attack.add_argument("protocol", choices=registry.names())
@@ -361,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--workers", type=int, default=0, metavar="N", help=workers_help
     )
+    add_resilience_flags(attack)
 
     verify = commands.add_parser(
         "verify",
@@ -399,6 +524,38 @@ def build_parser() -> argparse.ArgumentParser:
     vmap.add_argument(
         "--workers", type=int, default=0, metavar="N", help=workers_help
     )
+    add_resilience_flags(vmap)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="fault-injection suite: kill/hang workers, force timeouts, "
+        "interrupt + resume; recovery must be byte-identical",
+    )
+    chaos.add_argument("protocol", choices=registry.names())
+    chaos.add_argument("-n", type=int, default=None)
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="pool size for the worker-fault scenarios (default 2; "
+        "<= 1 skips them)",
+    )
+    chaos.add_argument(
+        "--max-configurations",
+        type=int,
+        default=8_000,
+        metavar="K",
+        help="exploration budget per scenario run (default 8000)",
+    )
+    chaos.add_argument(
+        "--scenarios",
+        nargs="*",
+        choices=CHAOS_SCENARIOS,
+        metavar="NAME",
+        help=f"subset of scenarios to run (default: all of "
+        f"{', '.join(CHAOS_SCENARIOS)})",
+    )
 
     experiments = commands.add_parser(
         "experiments", help="run the paper-reproduction experiments"
@@ -415,11 +572,42 @@ _HANDLERS = {
     "attack": _cmd_attack,
     "simulate": _cmd_simulate,
     "map": _cmd_map,
+    "chaos": _cmd_chaos,
     "verify": _cmd_verify,
     "experiments": _cmd_experiments,
 }
 
 
+def _interrupt_summary() -> str:
+    """Partial-progress report for a ^C, from the active analyzer."""
+    lines = ["interrupted"]
+    analyzer = _ACTIVE
+    if analyzer is not None:
+        graph = analyzer.graph
+        partial = graph.last_partial
+        if partial is not None:
+            lines.append(partial.summary())
+        else:
+            lines.append(
+                f"explored {len(graph)} configurations before the "
+                "interrupt"
+            )
+        if graph.last_checkpoint is not None:
+            lines.append(
+                f"resume with: --resume {graph.last_checkpoint.path}"
+            )
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except KeyboardInterrupt:
+        # The engine already wrote its final checkpoint (explore()
+        # catches the interrupt first); report progress and exit with
+        # the conventional SIGINT status.
+        print(_interrupt_summary(), file=sys.stderr)
+        if _ACTIVE is not None:
+            _ACTIVE.close()
+        return 130

@@ -1,0 +1,305 @@
+"""Versioned on-disk snapshots of the exploration engine.
+
+A checkpoint captures everything needed to continue growing a
+:class:`~repro.core.exploration.GlobalConfigurationGraph` in a fresh
+process: the node table (packed tuples or rich configurations), the
+recorded edges, the expanded/frontier partition, the packed codec's
+interning tables and transition memos, and the cumulative
+:class:`~repro.core.exploration.GraphStats`.
+
+Resume is *byte-identical*: node ids, edge order, and packed encodings
+are a pure function of the protocol, the exploration roots, and the
+configuration budget, and the snapshot preserves every id-allocation
+table, so a run interrupted at an arbitrary BFS level and resumed from
+its checkpoint **with the same ``max_configurations``** produces exactly
+the fingerprint of an uninterrupted run (pinned by ``tests/chaos/``).
+Resuming with a *larger* budget is supported and sound (the frontier is
+simply re-attempted), but is not guaranteed byte-identical to a
+single-shot run at the larger budget: a budget-truncated run may have
+skipped node A yet expanded a later, smaller node B at the same level,
+interning B's successors before A's — an id-allocation order no
+single-shot run reproduces.
+
+File format (version 1)::
+
+    <one-line JSON header>\n<pickle payload>
+
+The header carries a magic string, the format version, the engine mode,
+protocol identity (repr + process names/types), node/edge counts, and a
+SHA-256 of the payload.  Loading verifies the checksum before unpickling
+and the protocol identity before installing, raising
+:class:`~repro.core.errors.CheckpointCorrupt` /
+:class:`~repro.core.errors.CheckpointMismatch` instead of silently
+resuming from the wrong or a damaged snapshot.  Writes go to a sibling
+temp file and ``os.replace`` onto the target, so a crash mid-write never
+clobbers the previous good checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.errors import (
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.exploration import GlobalConfigurationGraph
+    from repro.core.protocol import Protocol
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointInfo",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "read_checkpoint_header",
+]
+
+CHECKPOINT_MAGIC = "flpkit-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata of one written or loaded snapshot."""
+
+    path: str
+    engine: str
+    nodes: int
+    edges: int
+    payload_bytes: int
+    sha256: str
+    elapsed_s: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine} checkpoint {self.path}: {self.nodes} nodes, "
+            f"{self.edges} edges, {self.payload_bytes} bytes "
+            f"({self.elapsed_s:.3f}s)"
+        )
+
+
+def _protocol_identity(protocol: "Protocol") -> dict[str, object]:
+    return {
+        "protocol": repr(protocol),
+        "process_names": list(protocol.process_names),
+        "process_types": [
+            type(protocol.process(name)).__name__
+            for name in protocol.process_names
+        ],
+    }
+
+
+def _snapshot(graph: "GlobalConfigurationGraph") -> dict[str, object]:
+    """The picklable payload for *graph* (engine-mode dependent)."""
+    state: dict[str, object] = {
+        "engine": "packed" if graph.packed else "dict",
+        "successors": graph.successors,
+        "expanded": bytes(graph._expanded),
+        "stats": graph.stats,
+    }
+    if graph.packed:
+        state["packed_nodes"] = graph._packed
+        state["codec"] = graph.codec.snapshot_state()
+    else:
+        state["configurations"] = graph.configurations
+    return state
+
+
+def save_checkpoint(
+    graph: "GlobalConfigurationGraph", path: str
+) -> CheckpointInfo:
+    """Atomically snapshot *graph* to *path*; returns the metadata."""
+    started = time.perf_counter()
+    payload = pickle.dumps(
+        _snapshot(graph), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    edges = sum(len(out) for out in graph.successors)
+    header = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "engine": "packed" if graph.packed else "dict",
+        "nodes": len(graph),
+        "edges": edges,
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+        "created_unix": round(time.time(), 3),
+        **_protocol_identity(graph.protocol),
+    }
+    header_line = json.dumps(header, sort_keys=True).encode()
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(header_line)
+        handle.write(b"\n")
+        handle.write(payload)
+    os.replace(tmp, path)
+    return CheckpointInfo(
+        path=path,
+        engine=header["engine"],
+        nodes=header["nodes"],
+        edges=edges,
+        payload_bytes=len(payload),
+        sha256=header["payload_sha256"],
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _read(path: str) -> tuple[dict[str, object], bytes]:
+    """Header + verified payload bytes of the checkpoint at *path*."""
+    try:
+        with open(path, "rb") as handle:
+            header_line = handle.readline()
+            payload = handle.read()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}")
+    try:
+        header = json.loads(header_line)
+    except ValueError:
+        raise CheckpointCorrupt(
+            f"{path}: malformed checkpoint header"
+        ) from None
+    if not isinstance(header, dict) or header.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointCorrupt(f"{path}: not a flpkit checkpoint")
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointMismatch(
+            f"{path}: checkpoint format version "
+            f"{header.get('version')!r}, this build reads "
+            f"{CHECKPOINT_VERSION}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointCorrupt(
+            f"{path}: payload checksum mismatch "
+            f"(expected {header.get('payload_sha256')}, got {digest})"
+        )
+    return header, payload
+
+
+def read_checkpoint_header(path: str) -> dict[str, object]:
+    """The verified header of the checkpoint at *path* (no unpickling)."""
+    header, _payload = _read(path)
+    return header
+
+
+def restore_checkpoint(
+    graph: "GlobalConfigurationGraph", path: str
+) -> CheckpointInfo:
+    """Install the snapshot at *path* into the *empty* engine *graph*.
+
+    The engine must be freshly constructed (nothing interned yet) and
+    must match the snapshot's engine mode and protocol identity; the
+    codec object registered with the shared
+    :class:`~repro.core.exploration.TransitionCache` is restored in
+    place, so existing references stay valid.
+    """
+    started = time.perf_counter()
+    header, payload = _read(path)
+    if len(graph) != 0:
+        raise CheckpointError(
+            "restore target must be a fresh engine (it already has "
+            f"{len(graph)} configurations)"
+        )
+    mode = "packed" if graph.packed else "dict"
+    if header.get("engine") != mode:
+        raise CheckpointMismatch(
+            f"{path}: snapshot is {header.get('engine')!r}-keyed, "
+            f"engine is {mode!r}"
+        )
+    identity = _protocol_identity(graph.protocol)
+    for key in ("process_names", "process_types"):
+        if header.get(key) != identity[key]:
+            raise CheckpointMismatch(
+                f"{path}: snapshot {key} {header.get(key)!r} does not "
+                f"match protocol {identity[key]!r}"
+            )
+    state = pickle.loads(payload)
+
+    graph.successors = state["successors"]
+    graph._expanded = bytearray(state["expanded"])
+    if graph.packed:
+        graph._packed = state["packed_nodes"]
+        graph._rich = [None] * len(graph._packed)
+        graph._index = {
+            packed: node for node, packed in enumerate(graph._packed)
+        }
+        graph.codec.restore_state(state["codec"])
+        decisions_of = graph.codec.decision_values
+        nodes = graph._packed
+    else:
+        graph.configurations = state["configurations"]
+        graph._index = {
+            configuration: node
+            for node, configuration in enumerate(graph.configurations)
+        }
+        decisions_of = lambda c: c.decision_values()  # noqa: E731
+        nodes = graph.configurations
+    if len(graph._expanded) != len(nodes):
+        raise CheckpointCorrupt(
+            f"{path}: expanded map covers {len(graph._expanded)} nodes, "
+            f"table has {len(nodes)}"
+        )
+
+    # Decision indexes are appended at intern time, i.e. in id order, so
+    # an id-order rebuild reproduces them exactly.
+    graph._decision_nodes = {}
+    for node, item in enumerate(nodes):
+        for value in decisions_of(item):
+            graph._decision_nodes.setdefault(value, []).append(node)
+
+    stats = state["stats"]
+    stats.workers = graph.workers
+    stats.resumed_nodes = len(nodes)
+    graph.stats = stats
+    # Invalidate any CSR index and mark growth state fresh.
+    graph._version += 1
+    return CheckpointInfo(
+        path=path,
+        engine=mode,
+        nodes=len(nodes),
+        edges=sum(len(out) for out in graph.successors),
+        payload_bytes=len(payload),
+        sha256=header["payload_sha256"],
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def load_checkpoint(
+    path: str,
+    protocol: "Protocol",
+    *,
+    workers: int = 0,
+    transitions=None,
+    resilience=None,
+    checkpoint=None,
+):
+    """Build a fresh engine for *protocol* and restore *path* into it.
+
+    The engine mode (packed vs dict) is taken from the snapshot header;
+    *workers*, *resilience* and *checkpoint* configure the resumed
+    engine exactly like the
+    :class:`~repro.core.exploration.GlobalConfigurationGraph`
+    constructor.
+    """
+    from repro.core.exploration import GlobalConfigurationGraph
+
+    header = read_checkpoint_header(path)
+    graph = GlobalConfigurationGraph(
+        protocol,
+        transitions,
+        packed=header["engine"] == "packed",
+        workers=workers,
+        resilience=resilience,
+        checkpoint=checkpoint,
+    )
+    restore_checkpoint(graph, path)
+    return graph

@@ -68,3 +68,35 @@ class AdversaryStuck(FLPError):
 
 class SimulationLimitExceeded(FLPError):
     """A forward simulation exceeded its maximum step budget."""
+
+
+class WorkerPoolError(FLPError):
+    """The parallel expansion pool failed beyond the recovery policy.
+
+    Raised only when serial fallback is disabled
+    (:class:`repro.core.resilience.ResilienceConfig.serial_fallback` is
+    ``False``); with the default policy a failed pool degrades to inline
+    expansion and exploration still completes.
+    """
+
+
+class CheckpointError(FLPError):
+    """A checkpoint could not be written, read, or restored."""
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint file failed integrity verification.
+
+    Covers a damaged header, a payload whose SHA-256 does not match the
+    header, and structurally inconsistent contents; resuming from such a
+    snapshot would silently corrupt the graph, so loading refuses.
+    """
+
+
+class CheckpointMismatch(CheckpointError):
+    """A checkpoint does not match the engine trying to restore it.
+
+    The snapshot's format version, engine mode (packed vs dict), or
+    protocol identity (process roster / process types) differs from the
+    restore target's.
+    """

@@ -15,16 +15,27 @@ decision configurations.
 
 from __future__ import annotations
 
+import atexit
+import functools
+import hashlib
 import time
+import weakref
 from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.core.configuration import Configuration
-from repro.core.errors import ExplorationLimitExceeded
+from repro.core.errors import ExplorationLimitExceeded, WorkerPoolError
 from repro.core.events import Event
 from repro.core.protocol import Protocol
+from repro.core.resilience import (
+    BudgetGuard,
+    ChaosConfig,
+    CheckpointConfig,
+    PartialResult,
+    ResilienceConfig,
+)
 
 __all__ = [
     "ConfigurationGraph",
@@ -329,6 +340,27 @@ class GraphStats:
     worker_batches: int = 0
     worker_batch_nodes: int = 0
     worker_max_batch: int = 0
+    #: BFS levels processed by the packed engine (cumulative).
+    explore_levels: int = 0
+    #: Recovery events: batch dispatches lost to a timeout (covers both
+    #: hangs and SIGKILLed workers — a dead worker's batch never
+    #: completes), non-timeout pool faults, re-dispatches after backoff,
+    #: pool teardown+rebuilds, and batches expanded inline after the
+    #: pool was given up on.
+    worker_timeouts: int = 0
+    worker_faults: int = 0
+    worker_retries: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    #: 1 once repeated failures disabled the pool for the rest of the run.
+    pool_disabled: int = 0
+    #: Budget-guard stops (wall-clock / memory ceilings).
+    budget_stops: int = 0
+    #: Checkpoints written, wall time spent writing them, and the node
+    #: count restored from a checkpoint at resume (0 = cold start).
+    checkpoints_written: int = 0
+    checkpoint_time: float = 0.0
+    resumed_nodes: int = 0
     #: Wall time spent growing the graph.
     explore_time: float = 0.0
     #: Wall time spent in reverse reachability (incl. CSR rebuilds).
@@ -369,6 +401,17 @@ class GraphStats:
             "worker_batch_nodes": self.worker_batch_nodes,
             "worker_max_batch": self.worker_max_batch,
             "worker_utilization": round(self.worker_utilization, 4),
+            "explore_levels": self.explore_levels,
+            "worker_timeouts": self.worker_timeouts,
+            "worker_faults": self.worker_faults,
+            "worker_retries": self.worker_retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "pool_disabled": self.pool_disabled,
+            "budget_stops": self.budget_stops,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_time_s": round(self.checkpoint_time, 6),
+            "resumed_nodes": self.resumed_nodes,
             "explore_time_s": round(self.explore_time, 6),
             "reach_time_s": round(self.reach_time, 6),
             "classify_time_s": round(self.classify_time, 6),
@@ -432,6 +475,18 @@ class _ConfigurationView:
             yield self._graph.configuration_at(node)
 
 
+def _close_from_atexit(graph_ref: "weakref.ref") -> None:
+    """Interpreter-exit cleanup for engines that were never closed.
+
+    Module-level (not a bound method) so the atexit registration holds
+    no strong reference to the graph; a graph collected earlier is
+    simply a dead weakref here.
+    """
+    graph = graph_ref()
+    if graph is not None:
+        graph.close()
+
+
 class GlobalConfigurationGraph:
     """One incremental accessible-configuration graph per protocol.
 
@@ -475,6 +530,9 @@ class GlobalConfigurationGraph:
         packed: bool = True,
         workers: int = 0,
         min_batch_per_worker: int = 4,
+        resilience: ResilienceConfig | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        chaos: ChaosConfig | None = None,
     ):
         self.protocol = protocol
         # Explicit None-check: an empty TransitionCache is falsy (len 0).
@@ -487,7 +545,23 @@ class GlobalConfigurationGraph:
         self.workers = max(0, workers)
         self.stats.workers = self.workers
         self._min_batch_per_worker = max(1, min_batch_per_worker)
+        #: Recovery / degradation policy (see :mod:`repro.core.resilience`).
+        self.resilience = resilience or ResilienceConfig()
+        #: Snapshot cadence; ``None`` disables checkpointing entirely.
+        self.checkpoint_config = checkpoint
+        #: Fault-injection hooks (chaos harness only; ``None`` in prod).
+        self.chaos = chaos
+        #: Metadata of the most recent snapshot written by this engine.
+        self.last_checkpoint = None
+        #: :class:`~repro.core.resilience.PartialResult` of the most
+        #: recent budget-guard stop or interrupt, ``None`` otherwise.
+        self.last_partial: PartialResult | None = None
         self._pool = None
+        self._pool_failures = 0
+        self._pool_disabled = False
+        self._atexit_hook = None
+        self._last_checkpoint_time: float | None = None
+        self._chunks_since_checkpoint = 0
         self._expanded = bytearray()
         self._decision_nodes: dict[int, list[int]] = {}
         #: Bumped on any node/edge addition; versions CSR staleness.
@@ -617,12 +691,25 @@ class GlobalConfigurationGraph:
             self._pool = multiprocessing.Pool(
                 processes=self.workers,
                 initializer=init_worker,
-                initargs=(self.protocol,),
+                initargs=(self.protocol, self.chaos),
             )
+            if self._atexit_hook is None:
+                # Registered through a weakref so the atexit table never
+                # keeps the graph (and its pool) alive; ``close()``
+                # unregisters.  This guarantees pool teardown even when
+                # the owner forgets to close and ``__del__`` never runs.
+                self._atexit_hook = functools.partial(
+                    _close_from_atexit, weakref.ref(self)
+                )
+                atexit.register(self._atexit_hook)
         return self._pool
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent; serial = no-op)."""
+        hook = self._atexit_hook
+        self._atexit_hook = None
+        if hook is not None:
+            atexit.unregister(hook)
         pool = self._pool
         self._pool = None
         if pool is not None:
@@ -662,10 +749,21 @@ class GlobalConfigurationGraph:
         """
         started = time.perf_counter()
         self.stats.explore_calls += 1
+        guard = BudgetGuard(self.resilience)
+        if self._last_checkpoint_time is None:
+            self._last_checkpoint_time = time.monotonic()
         try:
             if self._codec is not None:
-                return self._explore_packed(root, max_configurations)
-            return self._explore_rich(root, max_configurations)
+                return self._explore_packed(
+                    root, max_configurations, guard
+                )
+            return self._explore_rich(root, max_configurations, guard)
+        except KeyboardInterrupt:
+            # Operator ^C / SIGINT (or the chaos harness imitating one):
+            # leave a final snapshot and an honest partial report, then
+            # let the interrupt propagate to the caller.
+            self._record_stop("interrupt", guard)
+            raise
         finally:
             self.stats.explore_time += time.perf_counter() - started
             self.stats.transition_hits = self.transitions.hits
@@ -675,13 +773,17 @@ class GlobalConfigurationGraph:
                 self.stats.packed_step_misses = self._codec.step_misses
 
     def _explore_packed(
-        self, root: Configuration, max_configurations: int
+        self,
+        root: Configuration,
+        max_configurations: int,
+        guard: BudgetGuard,
     ) -> GrowthResult:
         root_id = self.intern(root)
         visited = {root_id}
         frontier = [root_id]
         complete = True
         expanded = self._expanded
+        level = 0
 
         while frontier:
             batch = [node for node in frontier if not expanded[node]]
@@ -690,6 +792,26 @@ class GlobalConfigurationGraph:
                     batch, self._expand_batch(batch), max_configurations
                 ):
                     complete = False
+            level += 1
+            self.stats.explore_levels += 1
+            self._chunks_since_checkpoint += 1
+            # Level boundaries are the consistency points: every batch
+            # node is fully merged (all-or-nothing), so a snapshot here
+            # resumes byte-identically.  The chaos interrupt fires only
+            # after the cadence hook so the per-level checkpoint exists.
+            self._write_checkpoint()
+            chaos = self.chaos
+            if (
+                chaos is not None
+                and chaos.interrupt_after_level is not None
+                and level >= chaos.interrupt_after_level
+            ):
+                raise KeyboardInterrupt
+            reason = guard.exceeded()
+            if reason is not None:
+                self._budget_stop(reason, guard)
+                complete = False
+                break
             next_frontier = []
             for node in frontier:
                 if not expanded[node]:
@@ -721,21 +843,21 @@ class GlobalConfigurationGraph:
         codec = self._codec
         if (
             self.workers > 1
+            and not self._pool_disabled
             and len(batch) >= self.workers * self._min_batch_per_worker
         ):
-            from repro.core.parallel import expand_configuration
-
-            pool = self._ensure_pool()
             stats = self.stats
             configurations = [
                 self.configuration_at(node) for node in batch
             ]
             chunksize = max(1, len(batch) // (self.workers * 4))
             shipped = time.perf_counter()
-            results = pool.map(
-                expand_configuration, configurations, chunksize=chunksize
-            )
+            results = self._map_with_recovery(configurations, chunksize)
             stats.parallel_time += time.perf_counter() - shipped
+            if results is None:
+                # Pool given up on for this batch; expand inline below.
+                stats.serial_fallbacks += 1
+                return self._expand_batch_serial(batch)
             stats.worker_batches += 1
             stats.worker_batch_nodes += len(batch)
             stats.worker_max_batch = max(
@@ -764,9 +886,79 @@ class GlobalConfigurationGraph:
                     edges.append((event, tuple(successor)))
                 expansions.append(edges)
             return expansions
-        expand_packed = codec.expand_packed
+        return self._expand_batch_serial(batch)
+
+    def _expand_batch_serial(
+        self, batch: list[int]
+    ) -> list[list[tuple[Event, tuple[int, ...]]]]:
+        expand_packed = self._codec.expand_packed
         packed = self._packed
         return [expand_packed(packed[node]) for node in batch]
+
+    def _map_with_recovery(self, configurations, chunksize):
+        """Pool dispatch with crash/hang detection and bounded retry.
+
+        A SIGKILLed worker leaves ``Pool.map`` waiting forever (the pool
+        respawns the process but the lost chunk never completes), so
+        dispatch goes through ``map_async`` with the policy's batch
+        timeout.  A timed-out or faulted dispatch tears the pool down,
+        backs off, rebuilds, and retries; once the retry budget (or the
+        engine-lifetime failure budget) is exhausted, returns ``None``
+        for the caller to expand inline — or raises
+        :class:`WorkerPoolError` when ``serial_fallback`` is off.
+
+        Model errors (:class:`~repro.core.errors.FLPError`) are *not*
+        recovery cases: they propagate, exactly as in serial mode.
+        """
+        import multiprocessing
+
+        from repro.core.parallel import expand_configuration
+
+        config = self.resilience
+        stats = self.stats
+        attempts = max(1, config.max_retries + 1)
+        for attempt in range(attempts):
+            pool = self._ensure_pool()
+            try:
+                dispatch = pool.map_async(
+                    expand_configuration,
+                    configurations,
+                    chunksize=chunksize,
+                )
+                return dispatch.get(config.batch_timeout_s)
+            except multiprocessing.TimeoutError:
+                stats.worker_timeouts += 1
+            except (
+                OSError,
+                EOFError,
+                ConnectionError,
+                multiprocessing.ProcessError,
+            ):
+                stats.worker_faults += 1
+            # The pool is in an unknown state after a lost batch;
+            # terminate it so a stuck worker cannot wedge later levels.
+            self._pool_failures += 1
+            self.close()
+            if self._pool_failures >= config.max_pool_failures:
+                self._pool_disabled = True
+                stats.pool_disabled = 1
+                break
+            if attempt + 1 < attempts:
+                stats.pool_rebuilds += 1
+                stats.worker_retries += 1
+                delay = (
+                    config.backoff_base_s
+                    * config.backoff_factor ** attempt
+                )
+                if delay > 0:
+                    time.sleep(delay)
+        if config.serial_fallback:
+            return None
+        raise WorkerPoolError(
+            f"frontier batch of {len(configurations)} configurations "
+            f"failed after {attempts} dispatch attempt(s); "
+            "serial fallback is disabled"
+        )
 
     def _merge_expansions(
         self,
@@ -800,7 +992,10 @@ class GlobalConfigurationGraph:
         return complete
 
     def _explore_rich(
-        self, root: Configuration, max_configurations: int
+        self,
+        root: Configuration,
+        max_configurations: int,
+        guard: BudgetGuard,
     ) -> GrowthResult:
         """The dict-backed engine (pre-packing), kept as the baseline."""
         protocol = self.protocol
@@ -809,6 +1004,8 @@ class GlobalConfigurationGraph:
         visited = {root_id}
         queue: deque[int] = deque((root_id,))
         complete = True
+        interval = max(1, self.resilience.check_interval_nodes)
+        processed = 0
 
         while queue:
             node = queue.popleft()
@@ -845,6 +1042,27 @@ class GlobalConfigurationGraph:
             self._expanded[node] = 1
             self.stats.expansions += 1
             self._version += 1
+            processed += 1
+            if processed % interval == 0:
+                # The dict engine has no level structure, so guard /
+                # checkpoint / chaos hooks run every *interval* expanded
+                # nodes; between queue pops every node is fully merged,
+                # so these are consistency points too.
+                self._chunks_since_checkpoint += 1
+                self._write_checkpoint()
+                chaos = self.chaos
+                if (
+                    chaos is not None
+                    and chaos.interrupt_after_expansions is not None
+                    and self.stats.expansions
+                    >= chaos.interrupt_after_expansions
+                ):
+                    raise KeyboardInterrupt
+                reason = guard.exceeded()
+                if reason is not None:
+                    self._budget_stop(reason, guard)
+                    complete = False
+                    break
 
         if complete:
             # Nodes reached through previously-explored edges may still
@@ -853,6 +1071,86 @@ class GlobalConfigurationGraph:
         return GrowthResult(
             root=root_id, nodes=frozenset(visited), complete=complete
         )
+
+    # -- resilience --------------------------------------------------------------
+
+    def _write_checkpoint(self, force: bool = False) -> None:
+        """Snapshot to the configured path when the cadence says so.
+
+        ``force=True`` bypasses the cadence (final snapshots on budget
+        stops and interrupts); with no :class:`CheckpointConfig` this is
+        always a no-op.
+        """
+        config = self.checkpoint_config
+        if config is None:
+            return
+        if not force:
+            due = (
+                config.every_levels > 0
+                and self._chunks_since_checkpoint >= config.every_levels
+            )
+            if not due and config.every_seconds > 0:
+                last = self._last_checkpoint_time
+                due = (
+                    last is None
+                    or time.monotonic() - last >= config.every_seconds
+                )
+            if not due:
+                return
+        from repro.core.checkpoint import save_checkpoint
+
+        info = save_checkpoint(self, config.path)
+        self.last_checkpoint = info
+        self.stats.checkpoints_written += 1
+        self.stats.checkpoint_time += info.elapsed_s
+        self._chunks_since_checkpoint = 0
+        self._last_checkpoint_time = time.monotonic()
+
+    def _record_stop(self, reason: str, guard: BudgetGuard) -> None:
+        """Final snapshot + honest partial report for a stopped run."""
+        self._write_checkpoint(force=True)
+        expanded = sum(self._expanded)
+        self.last_partial = PartialResult(
+            reason=reason,
+            nodes=len(self),
+            expanded=expanded,
+            frontier=len(self) - expanded,
+            elapsed_s=guard.elapsed(),
+            checkpoint_path=(
+                self.last_checkpoint.path
+                if self.last_checkpoint is not None
+                else None
+            ),
+        )
+
+    def _budget_stop(self, reason: str, guard: BudgetGuard) -> None:
+        self.stats.budget_stops += 1
+        self._record_stop(reason, guard)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the node table and edge lists, in id order.
+
+        Two engines produce the same fingerprint iff they interned the
+        same configurations under the same ids and recorded the same
+        edges in the same order — the determinism contract behind both
+        parallel expansion and checkpoint/resume.  Packed fingerprints
+        are stable across processes (ids are first-seen-order ints);
+        dict-mode fingerprints are only stable within one process, since
+        rich reprs include frozensets whose iteration order follows
+        ``PYTHONHASHSEED``.
+        """
+        digest = hashlib.sha256()
+        if self._codec is not None:
+            for packed, out in zip(self._packed, self.successors):
+                digest.update(repr(packed).encode())
+                digest.update(repr(out).encode())
+        else:
+            for configuration, out in zip(
+                self.configurations, self.successors
+            ):
+                digest.update(configuration.describe().encode())
+                digest.update(repr(out).encode())
+        return digest.hexdigest()
 
     # -- queries -----------------------------------------------------------------
 

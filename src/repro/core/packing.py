@@ -273,3 +273,47 @@ class PackedCodec:
     def iter_states(self) -> Iterator[tuple[int, ProcessState]]:
         """Iterate over ``(id, state)`` pairs (diagnostics)."""
         return iter(enumerate(self._states))
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, object]:
+        """Picklable snapshot of every interning table and memo.
+
+        The id lists are the load-bearing part — packed tuples reference
+        states and buffers by dense id, and future interning must
+        continue the same first-seen-order allocation for resumed
+        explorations to stay byte-identical with uninterrupted ones.
+        The transition memos are included too so a resume does not pay
+        the rich-object cost again for already-seen steps.
+        """
+        return {
+            "states": list(self._states),
+            "buffers": list(self._buffers),
+            "steps": dict(self._steps),
+            "deliveries": dict(self._deliveries),
+            "sends": dict(self._sends),
+            "step_hits": self.step_hits,
+            "step_misses": self.step_misses,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        """Install a :meth:`snapshot_state` payload into this codec.
+
+        Derived tables (reverse id maps, per-state outputs, per-buffer
+        enabled-event caches) are rebuilt rather than stored: they are
+        pure functions of the id lists, and rebuilding keeps the
+        snapshot small and impossible to de-synchronize.
+        """
+        self._states = list(state["states"])
+        self._state_ids = {s: i for i, s in enumerate(self._states)}
+        self._state_output = [
+            s.output if s.decided else None for s in self._states
+        ]
+        self._buffers = list(state["buffers"])
+        self._buffer_ids = {b: i for i, b in enumerate(self._buffers)}
+        self._buffer_events = [None] * len(self._buffers)
+        self._steps = dict(state["steps"])
+        self._deliveries = dict(state["deliveries"])
+        self._sends = dict(state["sends"])
+        self.step_hits = int(state["step_hits"])
+        self.step_misses = int(state["step_misses"])

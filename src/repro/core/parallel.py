@@ -27,6 +27,8 @@ amortize them.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from typing import Hashable
 
@@ -36,6 +38,7 @@ from repro.core.events import Event
 from repro.core.messages import Message, MessageBuffer
 from repro.core.process import ProcessState
 from repro.core.protocol import Protocol
+from repro.core.resilience import ChaosConfig
 
 __all__ = ["init_worker", "expand_configuration", "ExpansionDelta"]
 
@@ -46,18 +49,54 @@ ExpansionDelta = "tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer
 
 # Worker-process globals, set once by the pool initializer.
 _PROTOCOL: Protocol | None = None
+_CHAOS: ChaosConfig | None = None
 _STEPS: dict[tuple[str, ProcessState, Hashable], tuple] = {}
 _DELIVERIES: dict[tuple[MessageBuffer, Message], MessageBuffer] = {}
 _SENDS: dict[tuple[MessageBuffer, tuple[Message, ...]], MessageBuffer] = {}
 
 
-def init_worker(protocol: Protocol) -> None:
-    """Pool initializer: bind the protocol and reset the memos."""
-    global _PROTOCOL, _STEPS, _DELIVERIES, _SENDS
+def init_worker(
+    protocol: Protocol, chaos: ChaosConfig | None = None
+) -> None:
+    """Pool initializer: bind the protocol and reset the memos.
+
+    *chaos* carries the fault-injection hooks for the chaos harness;
+    production engines pass ``None``.  The pool re-runs this initializer
+    in respawned workers, so chaos state must live in sentinel files
+    (claimed exactly once), never in these process globals.
+    """
+    global _PROTOCOL, _CHAOS, _STEPS, _DELIVERIES, _SENDS
     _PROTOCOL = protocol
+    _CHAOS = chaos
     _STEPS = {}
     _DELIVERIES = {}
     _SENDS = {}
+
+
+def _claim_sentinel(path: str) -> bool:
+    """Atomically claim *path*; True for exactly one claimant ever."""
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return False
+    return True
+
+
+def _maybe_inject_fault() -> None:
+    """Run the worker-side chaos faults, each at most once per path.
+
+    ``kill_once_path``: die by SIGKILL — the parent sees a batch that
+    never completes, exactly like a real OOM-killed or crashed worker.
+    ``hang_once_path``: sleep far past the batch timeout, modeling a
+    wedged worker; the parent's recovery path is identical.
+    """
+    chaos = _CHAOS
+    if chaos is None:
+        return
+    if chaos.kill_once_path and _claim_sentinel(chaos.kill_once_path):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if chaos.hang_once_path and _claim_sentinel(chaos.hang_once_path):
+        time.sleep(chaos.hang_seconds)
 
 
 def expand_configuration(
@@ -74,6 +113,7 @@ def expand_configuration(
     protocol = _PROTOCOL
     if protocol is None:  # pragma: no cover - misuse guard
         raise RuntimeError("worker used before init_worker()")
+    _maybe_inject_fault()
     started = time.perf_counter()
     deltas: list[
         tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]

@@ -1,0 +1,451 @@
+"""Resilience policies for the exploration engine.
+
+FLP's adversary survives one crash fault; the exploration engine — our
+own adversary, the thing that builds ``e(𝒞)`` and valency maps — should
+survive at least as much.  This module holds the *policy* objects the
+engine consults while growing a graph:
+
+* :class:`ResilienceConfig` — worker-batch timeouts, bounded retries
+  with exponential backoff, pool rebuilds, serial fallback, and
+  wall-clock / memory ceilings with graceful degradation.
+* :class:`CheckpointConfig` — where and how often to snapshot the graph
+  (the snapshot format itself lives in :mod:`repro.core.checkpoint`).
+* :class:`ChaosConfig` — deterministic fault injection used by the
+  chaos harness (``tests/chaos/`` and ``python -m repro chaos``):
+  worker self-SIGKILL, worker hangs, and parent interrupts at chosen
+  BFS levels.
+* :class:`PartialResult` — the structured report an exploration leaves
+  behind when a budget guard stops it instead of an OOM kill.
+
+Everything here is pure data plus one orchestration entry point,
+:func:`run_chaos_suite`, which exercises the recovery machinery
+end-to-end and checks the recovered graph's fingerprint against a clean
+serial run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.configuration import Configuration
+    from repro.core.protocol import Protocol
+
+__all__ = [
+    "ResilienceConfig",
+    "CheckpointConfig",
+    "ChaosConfig",
+    "PartialResult",
+    "BudgetGuard",
+    "run_chaos_suite",
+    "CHAOS_SCENARIOS",
+]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Recovery and degradation policy for one exploration engine.
+
+    The defaults are maximally conservative: no batch timeout (a legit
+    long level is never mistaken for a hang), no wall-clock or memory
+    ceiling.  Callers that want crash *detection* — a SIGKILLed pool
+    worker makes ``Pool.map`` wait forever — must set
+    :attr:`batch_timeout_s`; the CLI does so whenever ``--workers`` is
+    given.
+    """
+
+    #: Seconds to wait for one frontier batch before declaring the pool
+    #: failed.  ``None`` waits forever (no crash/hang detection).
+    batch_timeout_s: float | None = None
+    #: Re-dispatches of a failed batch before giving up on the pool.
+    max_retries: int = 2
+    #: Backoff before retry *k* is ``backoff_base_s * backoff_factor**k``.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    #: After pool failure, expand the batch inline instead of raising.
+    #: Exploration then *always* completes; the pool is an optimization.
+    serial_fallback: bool = True
+    #: Cumulative failed dispatches after which the pool is disabled for
+    #: the rest of the run (every later batch expands serially).
+    max_pool_failures: int = 3
+    #: Stop growing (checkpoint + truthful partial result) once this
+    #: much wall clock has been spent in the current ``explore`` call.
+    wall_clock_limit_s: float | None = None
+    #: Stop growing once peak RSS exceeds this many MiB.
+    memory_limit_mb: float | None = None
+    #: How often (in expanded nodes) the serial engines run their
+    #: guard / checkpoint / chaos hooks.  The packed engine checks at
+    #: every BFS level regardless.
+    check_interval_nodes: int = 256
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Where and how often to snapshot the graph while exploring.
+
+    A final snapshot is always written on a budget-guard stop or a
+    ``KeyboardInterrupt``, independent of the cadence fields; cadence 0
+    means *only* those final snapshots.
+    """
+
+    #: Snapshot path.  Writes are atomic (temp file + ``os.replace``).
+    path: str
+    #: Write at most every this many seconds (0 = no time cadence).
+    every_seconds: float = 0.0
+    #: Write every this many BFS levels (packed engine) or
+    #: ``check_interval_nodes``-sized chunks (dict engine); 0 = off.
+    every_levels: int = 0
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic fault injection for the chaos harness.
+
+    Worker-side faults use an exclusively-created sentinel file so that
+    exactly one worker (the first to claim the path) faults once;
+    retried batches and rebuilt pools then proceed cleanly.  The
+    parent-side interrupt hooks raise ``KeyboardInterrupt`` from inside
+    the BFS loop, modeling an operator ^C / SIGINT at an arbitrary
+    level.
+    """
+
+    #: A pool worker SIGKILLs itself at the start of its next batch
+    #: (first worker to create this sentinel path wins; one kill total).
+    kill_once_path: str | None = None
+    #: A pool worker sleeps :attr:`hang_seconds` once (same sentinel
+    #: discipline), simulating a wedged worker.
+    hang_once_path: str | None = None
+    hang_seconds: float = 30.0
+    #: Raise ``KeyboardInterrupt`` after this BFS level (packed engine;
+    #: levels are counted from 1 within one ``explore`` call).
+    interrupt_after_level: int | None = None
+    #: Raise ``KeyboardInterrupt`` once this many nodes have been
+    #: expanded (dict engine; compared against cumulative expansions).
+    interrupt_after_expansions: int | None = None
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """Structured report of an exploration stopped by a budget guard.
+
+    Stored on ``GlobalConfigurationGraph.last_partial`` and surfaced by
+    the CLI, this is the graceful-degradation contract: instead of an
+    OOM kill or a lost session, the caller gets the honest extent of the
+    explored region and (when checkpointing is configured) a snapshot
+    path to resume from.
+    """
+
+    #: Why growth stopped: ``"wall-clock"``, ``"memory"`` or
+    #: ``"interrupt"``.
+    reason: str
+    #: Total interned configurations at the stop.
+    nodes: int
+    #: Fully expanded nodes at the stop.
+    expanded: int
+    #: Discovered-but-unexpanded nodes (the resumable frontier).
+    frontier: int
+    #: Wall clock spent in the interrupted ``explore`` call.
+    elapsed_s: float
+    #: Last checkpoint written, if checkpointing was configured.
+    checkpoint_path: str | None = None
+
+    def summary(self) -> str:
+        where = (
+            f"; checkpoint: {self.checkpoint_path}"
+            if self.checkpoint_path
+            else "; no checkpoint configured"
+        )
+        return (
+            f"partial result ({self.reason} limit): {self.nodes} "
+            f"configurations, {self.expanded} expanded, "
+            f"{self.frontier} on the frontier after "
+            f"{self.elapsed_s:.3f}s{where}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "reason": self.reason,
+            "nodes": self.nodes,
+            "expanded": self.expanded,
+            "frontier": self.frontier,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "checkpoint_path": self.checkpoint_path,
+        }
+
+
+class BudgetGuard:
+    """Wall-clock and memory ceiling checks for one ``explore`` call.
+
+    ``exceeded()`` returns the breached limit's reason string (or
+    ``None``), so the engine can record an honest :class:`PartialResult`
+    and stop growing instead of dying.  Peak RSS is read from
+    ``getrusage`` — cheap enough to call at every BFS level.
+    """
+
+    def __init__(self, config: ResilienceConfig):
+        self.config = config
+        self.started = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+    @staticmethod
+    def peak_rss_mb() -> float:
+        """Peak resident set size of this process, in MiB."""
+        try:
+            import resource
+        except ImportError:  # pragma: no cover - non-POSIX
+            return 0.0
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return rss_kb / 1024.0
+
+    def exceeded(self) -> str | None:
+        """The reason string of the first breached ceiling, else None."""
+        limit = self.config.wall_clock_limit_s
+        if limit is not None and self.elapsed() >= limit:
+            return "wall-clock"
+        limit = self.config.memory_limit_mb
+        if limit is not None and self.peak_rss_mb() >= limit:
+            return "memory"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The chaos suite
+# ---------------------------------------------------------------------------
+
+#: Scenario names accepted by :func:`run_chaos_suite`.
+CHAOS_SCENARIOS = ("worker-kill", "worker-hang", "batch-timeout", "interrupt-resume")
+
+
+@dataclass
+class ChaosOutcome:
+    """One scenario's verdict, as a flat row for tables and JSON."""
+
+    scenario: str
+    recovered: bool
+    fingerprint_match: bool
+    detail: str
+    stats: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "recovered": self.recovered,
+            "fingerprint_match": self.fingerprint_match,
+            "detail": self.detail,
+        }
+
+    @property
+    def ok(self) -> bool:
+        return self.recovered and self.fingerprint_match
+
+
+def _default_root(protocol: "Protocol") -> "Configuration":
+    n = len(protocol.process_names)
+    return protocol.initial_configuration([0] * (n - 1) + [1])
+
+
+def run_chaos_suite(
+    protocol: "Protocol",
+    *,
+    root: "Configuration | None" = None,
+    workers: int = 2,
+    scenarios: tuple[str, ...] = CHAOS_SCENARIOS,
+    max_configurations: int = 200_000,
+    work_dir: str | None = None,
+    interrupt_levels: tuple[int, ...] | None = None,
+) -> list[ChaosOutcome]:
+    """Inject faults into real explorations and verify full recovery.
+
+    For each scenario, the recovered graph's :meth:`fingerprint` must be
+    byte-identical to an uninterrupted serial run — the determinism
+    contract of the whole resilient runtime.  Scenarios:
+
+    ``worker-kill``
+        One pool worker SIGKILLs itself mid-batch; the batch timeout
+        detects the loss, the pool is rebuilt and the batch re-dispatched.
+    ``worker-hang``
+        One pool worker sleeps far past the batch timeout; same recovery
+        path as a crash (a hang is indistinguishable from the parent).
+    ``batch-timeout``
+        Every dispatch is forced to time out (absurdly small timeout),
+        driving retries to exhaustion and the serial fallback.
+    ``interrupt-resume``
+        ``KeyboardInterrupt`` at chosen BFS levels with per-level
+        checkpoints; a fresh engine resumes from the snapshot and must
+        finish with the clean fingerprint.
+
+    Worker scenarios require ``workers > 1``; they are skipped (reported
+    as recovered, with a note) when ``workers <= 1``.
+    """
+    import os
+    import tempfile
+
+    from repro.core.checkpoint import load_checkpoint
+    from repro.core.exploration import GlobalConfigurationGraph
+
+    root = root if root is not None else _default_root(protocol)
+    own_dir = None
+    if work_dir is None:
+        own_dir = tempfile.TemporaryDirectory(prefix="flpkit-chaos-")
+        work_dir = own_dir.name
+
+    outcomes: list[ChaosOutcome] = []
+    try:
+        clean = GlobalConfigurationGraph(protocol)
+        clean_result = clean.explore(
+            root, max_configurations=max_configurations
+        )
+        clean_fp = clean.fingerprint()
+        clean_levels = clean.stats.explore_levels
+        # Budget-truncated explorations are legitimately incomplete;
+        # recovery means matching the clean run, not beating it.
+        clean_complete = clean_result.complete
+        clean.close()
+
+        def run_pool_scenario(name: str, chaos: ChaosConfig,
+                              config: ResilienceConfig) -> ChaosOutcome:
+            graph = GlobalConfigurationGraph(
+                protocol,
+                workers=workers,
+                min_batch_per_worker=1,
+                resilience=config,
+                chaos=chaos,
+            )
+            try:
+                result = graph.explore(
+                    root, max_configurations=max_configurations
+                )
+                stats = graph.stats.as_dict()
+                return ChaosOutcome(
+                    scenario=name,
+                    recovered=result.complete == clean_complete,
+                    fingerprint_match=graph.fingerprint() == clean_fp,
+                    detail=(
+                        f"timeouts={stats['worker_timeouts']} "
+                        f"retries={stats['worker_retries']} "
+                        f"rebuilds={stats['pool_rebuilds']} "
+                        f"serial_fallbacks={stats['serial_fallbacks']}"
+                    ),
+                    stats=stats,
+                )
+            finally:
+                graph.close()
+
+        for scenario in scenarios:
+            if scenario not in CHAOS_SCENARIOS:
+                raise ValueError(
+                    f"unknown chaos scenario {scenario!r}; "
+                    f"pick from {CHAOS_SCENARIOS}"
+                )
+            if scenario in ("worker-kill", "worker-hang", "batch-timeout"):
+                if workers <= 1:
+                    outcomes.append(
+                        ChaosOutcome(
+                            scenario=scenario,
+                            recovered=True,
+                            fingerprint_match=True,
+                            detail="skipped: workers <= 1",
+                        )
+                    )
+                    continue
+            if scenario == "worker-kill":
+                outcomes.append(
+                    run_pool_scenario(
+                        scenario,
+                        ChaosConfig(
+                            kill_once_path=os.path.join(
+                                work_dir, "kill.sentinel"
+                            )
+                        ),
+                        # Generous timeout: a killed worker's batch
+                        # *never* completes, so detection does not need
+                        # a tight deadline — and a tight one would
+                        # misfire on legitimately slow levels.
+                        ResilienceConfig(
+                            batch_timeout_s=10.0, max_retries=3
+                        ),
+                    )
+                )
+            elif scenario == "worker-hang":
+                outcomes.append(
+                    run_pool_scenario(
+                        scenario,
+                        ChaosConfig(
+                            hang_once_path=os.path.join(
+                                work_dir, "hang.sentinel"
+                            ),
+                            hang_seconds=30.0,
+                        ),
+                        ResilienceConfig(
+                            batch_timeout_s=0.5, max_retries=3
+                        ),
+                    )
+                )
+            elif scenario == "batch-timeout":
+                outcomes.append(
+                    run_pool_scenario(
+                        scenario,
+                        ChaosConfig(),
+                        ResilienceConfig(
+                            batch_timeout_s=1e-6,
+                            max_retries=1,
+                            backoff_base_s=0.0,
+                        ),
+                    )
+                )
+            elif scenario == "interrupt-resume":
+                levels = interrupt_levels
+                if levels is None:
+                    # Early, middle, and final level of the clean run.
+                    levels = tuple(
+                        sorted(
+                            {1, max(1, clean_levels // 2), clean_levels}
+                        )
+                    )
+                ckpt = os.path.join(work_dir, "interrupt.ckpt")
+                failures = []
+                interrupted_any = False
+                for level in levels:
+                    victim = GlobalConfigurationGraph(
+                        protocol,
+                        checkpoint=CheckpointConfig(
+                            path=ckpt, every_levels=1
+                        ),
+                        chaos=ChaosConfig(interrupt_after_level=level),
+                    )
+                    try:
+                        victim.explore(
+                            root, max_configurations=max_configurations
+                        )
+                    except KeyboardInterrupt:
+                        interrupted_any = True
+                    finally:
+                        victim.close()
+                    resumed = load_checkpoint(ckpt, protocol)
+                    try:
+                        resumed.explore(
+                            root, max_configurations=max_configurations
+                        )
+                        if resumed.fingerprint() != clean_fp:
+                            failures.append(level)
+                    finally:
+                        resumed.close()
+                outcomes.append(
+                    ChaosOutcome(
+                        scenario=scenario,
+                        recovered=interrupted_any and not failures,
+                        fingerprint_match=not failures,
+                        detail=(
+                            f"levels={list(levels)} "
+                            f"diverged_at={failures or 'none'}"
+                        ),
+                    )
+                )
+    finally:
+        if own_dir is not None:
+            own_dir.cleanup()
+    return outcomes

@@ -176,6 +176,18 @@ class ValencyAnalyzer:
         Opt-in ``multiprocessing`` pool size for frontier expansion
         (0/1 = serial).  Results are byte-identical to a serial run; the
         pool is shut down via :meth:`close` or engine finalization.
+    resilience:
+        Worker-recovery and budget-guard policy for the shared engine
+        (see :class:`~repro.core.resilience.ResilienceConfig`).
+    checkpoint:
+        Snapshot cadence for the shared engine (see
+        :class:`~repro.core.resilience.CheckpointConfig`).
+    resume_from:
+        Path of a checkpoint to restore the shared graph from before
+        any query runs.  The snapshot decides the engine mode (*packed*
+        is ignored), and valencies are reclassified from the restored
+        graph on first query — classification state is derived, not
+        checkpointed.
     """
 
     def __init__(
@@ -185,15 +197,35 @@ class ValencyAnalyzer:
         *,
         packed: bool = True,
         workers: int = 0,
+        resilience=None,
+        checkpoint=None,
+        resume_from: str | None = None,
     ):
         self.protocol = protocol
         self.max_configurations = max_configurations
         #: Shared transition memo; the adversary's searches reuse it.
         self.transitions = TransitionCache(protocol)
         #: The one shared accessible-configuration graph.
-        self.graph = GlobalConfigurationGraph(
-            protocol, self.transitions, packed=packed, workers=workers
-        )
+        if resume_from is not None:
+            from repro.core.checkpoint import load_checkpoint
+
+            self.graph = load_checkpoint(
+                resume_from,
+                protocol,
+                workers=workers,
+                transitions=self.transitions,
+                resilience=resilience,
+                checkpoint=checkpoint,
+            )
+        else:
+            self.graph = GlobalConfigurationGraph(
+                protocol,
+                self.transitions,
+                packed=packed,
+                workers=workers,
+                resilience=resilience,
+                checkpoint=checkpoint,
+            )
         #: Valency per node id; ``None`` = not (yet) soundly determined.
         self._node_valency: list[Valency | None] = []
 

@@ -1,0 +1,124 @@
+"""Worker-pool lifecycle: no multiprocessing children outlive the parent.
+
+The engine's pool used to be reachable for cleanup only through
+``__del__`` — fragile under interpreter shutdown ordering.  It now also
+registers an atexit hook (through a weakref, so the registration never
+keeps the graph alive).  The subprocess test here is the regression pin:
+a process that engages the pool and exits *without* closing must leave
+no worker processes behind.
+"""
+
+import gc
+import os
+import subprocess
+import sys
+import time
+import weakref
+
+import pytest
+
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+def _engaged_graph(protocol):
+    graph = GlobalConfigurationGraph(
+        protocol, workers=2, min_batch_per_worker=1
+    )
+    graph.explore(
+        protocol.initial_configuration([0, 0, 1]), max_configurations=500
+    )
+    assert graph._pool is not None, "pool never engaged"
+    return graph
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other owner
+        return True
+    return True
+
+
+LEAKY_SCRIPT = """
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+protocol = make_protocol(ParityArbiterProcess, 3)
+graph = GlobalConfigurationGraph(protocol, workers=2, min_batch_per_worker=1)
+graph.explore(
+    protocol.initial_configuration([0, 0, 1]), max_configurations=500
+)
+assert graph._pool is not None, "pool never engaged"
+print(" ".join(str(p.pid) for p in graph._pool._pool), flush=True)
+# Exit WITHOUT graph.close(): cleanup must not depend on the caller.
+"""
+
+
+class TestNoOrphanedWorkers:
+    def test_workers_die_with_an_uncleanly_exiting_parent(self):
+        env = dict(os.environ)
+        src = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "src"
+        )
+        env["PYTHONPATH"] = os.path.abspath(src)
+        result = subprocess.run(
+            [sys.executable, "-c", LEAKY_SCRIPT],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        pids = [int(token) for token in result.stdout.split()]
+        assert pids, "subprocess reported no worker pids"
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(_alive(pid) for pid in pids):
+                break
+            time.sleep(0.1)
+        leaked = [pid for pid in pids if _alive(pid)]
+        assert not leaked, f"worker processes outlived parent: {leaked}"
+
+
+class TestAtexitHook:
+    def test_hook_registered_on_engage_and_removed_on_close(
+        self, protocol
+    ):
+        graph = _engaged_graph(protocol)
+        assert graph._atexit_hook is not None
+        graph.close()
+        assert graph._atexit_hook is None
+        assert graph._pool is None
+
+    def test_close_is_idempotent(self, protocol):
+        graph = _engaged_graph(protocol)
+        graph.close()
+        graph.close()
+
+    def test_pool_rebuilds_after_close(self, protocol):
+        graph = _engaged_graph(protocol)
+        fingerprint = graph.fingerprint()
+        graph.close()
+        # A fresh engine after close must be able to engage a new pool.
+        other = _engaged_graph(protocol)
+        try:
+            assert other.fingerprint() == fingerprint
+        finally:
+            other.close()
+
+    def test_registration_holds_no_strong_reference(self, protocol):
+        graph = _engaged_graph(protocol)
+        ref = weakref.ref(graph)
+        # No close(): only __del__ and the weakref-based atexit hook
+        # remain.  The graph must still be collectable.
+        del graph
+        gc.collect()
+        assert ref() is None

@@ -1,0 +1,209 @@
+"""Checkpoint format, integrity verification, and resume identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_MAGIC,
+    load_checkpoint,
+    read_checkpoint_header,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.core.errors import (
+    CheckpointCorrupt,
+    CheckpointError,
+    CheckpointMismatch,
+)
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.resilience import CheckpointConfig
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+def _root(protocol):
+    return protocol.initial_configuration([0, 0, 1])
+
+
+def _explored(protocol, *, packed=True, budget=400):
+    graph = GlobalConfigurationGraph(protocol, packed=packed)
+    graph.explore(_root(protocol), max_configurations=budget)
+    return graph
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("packed", [True, False], ids=["packed", "dict"])
+    def test_restore_preserves_everything(self, protocol, tmp_path, packed):
+        graph = _explored(protocol, packed=packed)
+        path = str(tmp_path / "g.ckpt")
+        info = save_checkpoint(graph, path)
+        assert info.nodes == len(graph)
+        assert info.edges == sum(len(out) for out in graph.successors)
+
+        restored = load_checkpoint(path, protocol)
+        assert restored.packed == packed
+        assert len(restored) == len(graph)
+        assert restored.successors == graph.successors
+        assert restored.frontier_ids() == graph.frontier_ids()
+        assert restored.fingerprint() == graph.fingerprint()
+        assert restored.stats.resumed_nodes == len(graph)
+        # Decision indexes are rebuilt in id order == intern order.
+        for value in (0, 1):
+            assert restored.decision_nodes(value) == graph.decision_nodes(
+                value
+            )
+
+    def test_header_readable_without_unpickling(self, protocol, tmp_path):
+        graph = _explored(protocol)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        header = read_checkpoint_header(path)
+        assert header["magic"] == CHECKPOINT_MAGIC
+        assert header["engine"] == "packed"
+        assert header["nodes"] == len(graph)
+        assert header["process_names"] == list(protocol.process_names)
+
+    def test_write_is_atomic_no_temp_left_behind(self, protocol, tmp_path):
+        graph = _explored(protocol)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        save_checkpoint(graph, path)  # overwrite goes through os.replace
+        assert os.listdir(tmp_path) == ["g.ckpt"]
+
+
+class TestResumeIdentity:
+    @pytest.mark.parametrize("packed", [True, False], ids=["packed", "dict"])
+    def test_grow_after_restore_matches_uninterrupted(
+        self, protocol, tmp_path, packed
+    ):
+        budget = 5000
+        clean = GlobalConfigurationGraph(protocol, packed=packed)
+        clean.explore(_root(protocol), max_configurations=budget)
+        fingerprint = clean.fingerprint()
+
+        partial = GlobalConfigurationGraph(protocol, packed=packed)
+        partial.explore(_root(protocol), max_configurations=150)
+        path = str(tmp_path / "partial.ckpt")
+        save_checkpoint(partial, path)
+
+        resumed = load_checkpoint(path, protocol)
+        assert len(resumed) < len(clean)
+        resumed.explore(_root(protocol), max_configurations=budget)
+        assert resumed.fingerprint() == fingerprint
+
+    def test_resumed_codec_keeps_interning_deterministic(
+        self, protocol, tmp_path
+    ):
+        # The codec's id-allocation tables are the load-bearing state:
+        # a resumed encode of a known configuration must produce the
+        # packed tuple already in the node table, not a fresh id.
+        graph = _explored(protocol, budget=200)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        resumed = load_checkpoint(path, protocol)
+        for node in range(0, len(graph), 7):
+            configuration = graph.configuration_at(node)
+            assert resumed.find(configuration) == node
+
+
+class TestIntegrity:
+    def test_flipped_payload_byte_is_detected(self, protocol, tmp_path):
+        graph = _explored(protocol)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        blob = bytearray(open(path, "rb").read())
+        blob[-10] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointCorrupt, match="checksum"):
+            load_checkpoint(path, protocol)
+
+    def test_not_a_checkpoint(self, protocol, tmp_path):
+        path = str(tmp_path / "junk.ckpt")
+        open(path, "w").write("this is not a checkpoint\npayload")
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint_header(path)
+
+    def test_future_version_refused(self, protocol, tmp_path):
+        graph = _explored(protocol)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        with open(path, "rb") as handle:
+            header = json.loads(handle.readline())
+            payload = handle.read()
+        header["version"] = 999
+        with open(path, "wb") as handle:
+            handle.write(json.dumps(header).encode() + b"\n" + payload)
+        with pytest.raises(CheckpointMismatch, match="version"):
+            read_checkpoint_header(path)
+
+    def test_missing_file(self, protocol, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(tmp_path / "absent.ckpt"), protocol)
+
+
+class TestMismatches:
+    def test_engine_mode_mismatch(self, protocol, tmp_path):
+        graph = _explored(protocol, packed=True)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        target = GlobalConfigurationGraph(protocol, packed=False)
+        with pytest.raises(CheckpointMismatch, match="keyed"):
+            restore_checkpoint(target, path)
+
+    def test_protocol_mismatch(self, tmp_path):
+        graph = _explored(make_protocol(ParityArbiterProcess, 3))
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        other = make_protocol(ParityArbiterProcess, 4)
+        with pytest.raises(CheckpointMismatch, match="process"):
+            load_checkpoint(path, other)
+
+    def test_restore_into_nonempty_engine_refused(self, protocol, tmp_path):
+        graph = _explored(protocol)
+        path = str(tmp_path / "g.ckpt")
+        save_checkpoint(graph, path)
+        target = _explored(protocol, budget=50)
+        with pytest.raises(CheckpointError, match="fresh"):
+            restore_checkpoint(target, path)
+
+
+class TestCadence:
+    def test_every_levels_writes_during_exploration(
+        self, protocol, tmp_path
+    ):
+        path = str(tmp_path / "cadence.ckpt")
+        graph = GlobalConfigurationGraph(
+            protocol,
+            checkpoint=CheckpointConfig(path=path, every_levels=1),
+        )
+        graph.explore(_root(protocol), max_configurations=400)
+        assert graph.stats.checkpoints_written >= 2
+        assert graph.stats.checkpoint_time > 0.0
+        assert graph.last_checkpoint is not None
+        assert os.path.exists(path)
+        # The final per-level snapshot captures the final state.
+        resumed = load_checkpoint(path, protocol)
+        assert resumed.fingerprint() == graph.fingerprint()
+
+    def test_no_config_means_no_writes(self, protocol):
+        graph = _explored(protocol)
+        assert graph.stats.checkpoints_written == 0
+        assert graph.last_checkpoint is None
+
+    def test_zero_cadence_only_writes_forced_snapshots(
+        self, protocol, tmp_path
+    ):
+        path = str(tmp_path / "final-only.ckpt")
+        graph = GlobalConfigurationGraph(
+            protocol,
+            checkpoint=CheckpointConfig(path=path),
+        )
+        graph.explore(_root(protocol), max_configurations=400)
+        assert graph.stats.checkpoints_written == 0
+        assert not os.path.exists(path)

@@ -1,0 +1,113 @@
+"""Budget guards and graceful degradation of the exploration engine."""
+
+import os
+
+import pytest
+
+from repro.core.checkpoint import load_checkpoint
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.resilience import (
+    BudgetGuard,
+    CheckpointConfig,
+    PartialResult,
+    ResilienceConfig,
+)
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+def _root(protocol):
+    return protocol.initial_configuration([0, 0, 1])
+
+
+class TestBudgetGuard:
+    def test_no_limits_never_exceeds(self):
+        guard = BudgetGuard(ResilienceConfig())
+        assert guard.exceeded() is None
+
+    def test_wall_clock_limit(self):
+        guard = BudgetGuard(ResilienceConfig(wall_clock_limit_s=0.0))
+        assert guard.exceeded() == "wall-clock"
+
+    def test_memory_limit(self):
+        # Any live Python process has RSS far above 1 MiB.
+        guard = BudgetGuard(ResilienceConfig(memory_limit_mb=1.0))
+        assert guard.exceeded() == "memory"
+        assert BudgetGuard.peak_rss_mb() > 1.0
+
+    def test_generous_limits_pass(self):
+        guard = BudgetGuard(
+            ResilienceConfig(
+                wall_clock_limit_s=3600.0, memory_limit_mb=1 << 20
+            )
+        )
+        assert guard.exceeded() is None
+
+
+class TestGracefulStop:
+    @pytest.mark.parametrize("packed", [True, False], ids=["packed", "dict"])
+    def test_wall_clock_stop_reports_partial_result(
+        self, protocol, packed
+    ):
+        graph = GlobalConfigurationGraph(
+            protocol,
+            packed=packed,
+            resilience=ResilienceConfig(
+                wall_clock_limit_s=0.0, check_interval_nodes=1
+            ),
+        )
+        result = graph.explore(_root(protocol), max_configurations=100_000)
+        assert not result.complete
+        assert graph.stats.budget_stops == 1
+        partial = graph.last_partial
+        assert isinstance(partial, PartialResult)
+        assert partial.reason == "wall-clock"
+        assert partial.nodes == len(graph)
+        assert partial.expanded + partial.frontier == partial.nodes
+        assert "wall-clock" in partial.summary()
+
+    def test_stop_writes_final_checkpoint(self, protocol, tmp_path):
+        path = str(tmp_path / "budget.ckpt")
+        graph = GlobalConfigurationGraph(
+            protocol,
+            resilience=ResilienceConfig(wall_clock_limit_s=0.0),
+            checkpoint=CheckpointConfig(path=path),
+        )
+        graph.explore(_root(protocol), max_configurations=100_000)
+        assert os.path.exists(path)
+        assert graph.last_partial.checkpoint_path == path
+        # The snapshot is immediately resumable.
+        resumed = load_checkpoint(path, protocol)
+        assert len(resumed) == graph.last_partial.nodes
+
+    def test_partial_graph_stays_queryable_and_resumable(self, protocol):
+        graph = GlobalConfigurationGraph(
+            protocol,
+            resilience=ResilienceConfig(wall_clock_limit_s=0.0),
+        )
+        graph.explore(_root(protocol), max_configurations=100_000)
+        assert not graph.complete
+        assert graph.frontier_ids()
+        # Lifting the ceiling on the same engine finishes the job.
+        graph.resilience = ResilienceConfig()
+        result = graph.explore(_root(protocol), max_configurations=100_000)
+        assert result.complete
+        assert graph.complete
+
+    def test_as_dict_round_trips(self):
+        partial = PartialResult(
+            reason="memory",
+            nodes=10,
+            expanded=4,
+            frontier=6,
+            elapsed_s=1.25,
+            checkpoint_path=None,
+        )
+        row = partial.as_dict()
+        assert row["reason"] == "memory"
+        assert row["frontier"] == 6
+        assert "no checkpoint configured" in partial.summary()

@@ -2,7 +2,9 @@
 
 import pytest
 
+import repro.cli as cli
 from repro.cli import main
+from repro.core.resilience import ChaosConfig
 
 
 class TestList:
@@ -219,3 +221,160 @@ class TestExperimentsPassthrough:
         assert main(["experiments", "E8"]) == 0
         out = capsys.readouterr().out
         assert "FloodSet" in out
+
+
+class TestResilienceFlags:
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        target = tmp_path / "check.ckpt"
+        assert (
+            main(
+                [
+                    "check",
+                    "parity-arbiter",
+                    "--checkpoint",
+                    str(target),
+                    "--checkpoint-every",
+                    "0.001",
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert target.exists()
+        assert (
+            main(
+                [
+                    "check",
+                    "parity-arbiter",
+                    "--resume",
+                    str(target),
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        resumed = capsys.readouterr().out
+        # Same verdicts, and the stats prove the snapshot was loaded.
+        assert "initial-configuration valencies:" in resumed
+        for line in first.splitlines():
+            if "valent" in line:
+                assert line in resumed
+        assert "resumed_nodes" in resumed
+
+    def test_stats_surface_resilience_counters(self, capsys):
+        assert main(["check", "arbiter", "--stats"]) == 0
+        out = capsys.readouterr().out
+        for counter in (
+            "worker_timeouts",
+            "pool_rebuilds",
+            "serial_fallbacks",
+            "budget_stops",
+            "checkpoints_written",
+        ):
+            assert counter in out
+
+    def test_map_accepts_budget_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "map",
+                    "arbiter",
+                    "--inputs",
+                    "001",
+                    "--max-seconds",
+                    "3600",
+                    "--max-memory-mb",
+                    "100000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "critical steps" in out
+
+
+class TestInterruptExit:
+    def test_interrupt_exits_130_with_partial_summary(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        target = tmp_path / "interrupted.ckpt"
+        real = cli._make_analyzer
+
+        def chaotic(protocol, args):
+            analyzer = real(protocol, args)
+            analyzer.graph.chaos = ChaosConfig(interrupt_after_level=2)
+            return analyzer
+
+        monkeypatch.setattr(cli, "_make_analyzer", chaotic)
+        code = main(
+            [
+                "check",
+                "parity-arbiter",
+                "--checkpoint",
+                str(target),
+                "--checkpoint-every",
+                "0.001",
+            ]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "configurations" in err
+        assert f"--resume {target}" in err
+        assert target.exists()
+
+    def test_interrupt_without_checkpoint_still_reports(
+        self, capsys, monkeypatch
+    ):
+        real = cli._make_analyzer
+
+        def chaotic(protocol, args):
+            analyzer = real(protocol, args)
+            analyzer.graph.chaos = ChaosConfig(interrupt_after_level=1)
+            return analyzer
+
+        monkeypatch.setattr(cli, "_make_analyzer", chaotic)
+        assert main(["map", "parity-arbiter", "--inputs", "001"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "no checkpoint configured" in err
+
+
+class TestChaosCommand:
+    def test_serial_suite_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "parity-arbiter",
+                    "--workers",
+                    "1",
+                    "--max-configurations",
+                    "500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "interrupt-resume" in out
+        assert "byte-identical" in out
+
+    def test_scenario_subset(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "parity-arbiter",
+                    "--workers",
+                    "1",
+                    "--max-configurations",
+                    "500",
+                    "--scenarios",
+                    "interrupt-resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "interrupt-resume" in out
+        assert "worker-kill" not in out

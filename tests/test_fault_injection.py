@@ -8,9 +8,12 @@ run — decided, stalled, or half-decided — ever violates safety.
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.resilience import ChaosConfig, ResilienceConfig
 from repro.core.simulation import StopCondition, simulate
+from repro.core.valency import ValencyAnalyzer
 from repro.protocols import (
     ArbiterProcess,
     InitiallyDeadProcess,
@@ -155,3 +158,60 @@ def test_partial_decisions_never_conflict_with_late_ones(seed):
         stop=StopCondition.NEVER,
     )
     assert result.agreement_holds
+
+
+# ---------------------------------------------------------------------------
+# Engine-level fault injection: the analysis pipeline must reach the
+# same verdicts whichever engine runs it — packed or dict-backed, serial
+# or parallel, faulted or clean.
+# ---------------------------------------------------------------------------
+
+ENGINE_CONFIGS = [
+    pytest.param({"packed": True, "workers": 0}, id="packed-serial"),
+    pytest.param({"packed": False, "workers": 0}, id="dict-serial"),
+    pytest.param({"packed": True, "workers": 2}, id="packed-workers2"),
+]
+
+
+def _census(protocol, *, chaos=None, **engine):
+    analyzer = ValencyAnalyzer(
+        protocol,
+        resilience=ResilienceConfig(batch_timeout_s=10.0, max_retries=3),
+        **engine,
+    )
+    if engine.get("workers", 0) > 1:
+        # Force the pool to engage even on tiny frontiers.
+        analyzer.graph._min_batch_per_worker = 1
+    if chaos is not None:
+        analyzer.graph.chaos = chaos
+    try:
+        return {
+            vector: valency.value
+            for vector, valency in analyzer.classify_initials().items()
+        }, analyzer.stats
+    finally:
+        analyzer.close()
+
+
+@pytest.mark.parametrize("engine", ENGINE_CONFIGS)
+@pytest.mark.parametrize("name", ["parity", "2pc"])
+def test_valency_census_is_engine_independent(name, engine):
+    baseline, _stats = _census(get(name), packed=True, workers=0)
+    census, _stats = _census(get(name), **engine)
+    assert census == baseline
+
+
+def test_census_survives_a_sigkilled_worker(tmp_path):
+    """A worker crash mid-classification must not change one verdict."""
+    baseline, _stats = _census(get("parity"), packed=True, workers=0)
+    census, stats = _census(
+        get("parity"),
+        packed=True,
+        workers=2,
+        chaos=ChaosConfig(
+            kill_once_path=str(tmp_path / "census-kill.sentinel")
+        ),
+    )
+    assert census == baseline
+    assert stats.worker_timeouts >= 1
+    assert stats.pool_rebuilds >= 1
