@@ -1,0 +1,191 @@
+"""Benchmarks of the fault-injection engine.
+
+Two questions, answered into ``BENCH_faults.json``:
+
+1. What does wrapping cost when nothing is injected?  A
+   ``FaultyScheduler`` around a no-fault plan must be close to free —
+   the whole point of one unified engine is that the zero-fault path
+   stays on by default.  The artifact records the plain-vs-wrapped
+   ratio on a tight simulate loop (target: <= 5% overhead).
+2. What does injection cost when faults are live?  Per-run wall time
+   with an active omission plan, and the survivability matrix's
+   end-to-end wall time for one protocol, so the sweep's cost is a
+   number in review diffs rather than a guess.
+
+Run directly (``python benchmarks/bench_faults.py``) to emit the
+artifact; ``--smoke`` runs a reduced overhead check for CI.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.simulation import StopCondition, simulate
+from repro.faults import FaultPlan, Omission
+from repro.faults.survivability import survivability_matrix
+from repro.protocols import (
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+from repro.schedulers import FaultyScheduler, RoundRobinScheduler
+
+from artifact import best_of, write_artifact
+
+#: Simulate-loop iterations for the overhead measurement.
+LOOP = 400
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (interactive measurement)
+# ---------------------------------------------------------------------------
+
+
+def test_simulate_plain_wait_for_all(benchmark):
+    protocol = make_protocol(WaitForAllProcess, 3)
+    initial = protocol.initial_configuration([1, 0, 1])
+    scheduler = RoundRobinScheduler()
+
+    def run():
+        scheduler.reset()
+        return simulate(protocol, initial, scheduler, max_steps=200)
+
+    result = benchmark(run)
+    assert result.decided
+
+
+def test_simulate_wrapped_no_fault(benchmark):
+    protocol = make_protocol(WaitForAllProcess, 3)
+    initial = protocol.initial_configuration([1, 0, 1])
+    scheduler = FaultyScheduler(RoundRobinScheduler(), FaultPlan.none())
+
+    def run():
+        scheduler.reset()
+        return simulate(protocol, initial, scheduler, max_steps=200)
+
+    result = benchmark(run)
+    assert result.decided
+
+
+# ---------------------------------------------------------------------------
+# Artifact emission (python benchmarks/bench_faults.py)
+# ---------------------------------------------------------------------------
+
+
+def _loop(protocol, initial, scheduler, iterations=LOOP):
+    def run():
+        for _ in range(iterations):
+            scheduler.reset()
+            simulate(
+                protocol,
+                initial,
+                scheduler,
+                max_steps=200,
+                stop=StopCondition.ALL_DECIDED,
+            )
+
+    return run
+
+
+def collect_no_fault_overhead(iterations=LOOP) -> dict:
+    """Plain scheduler vs a FaultyScheduler around an empty plan."""
+    protocol = make_protocol(WaitForAllProcess, 3)
+    initial = protocol.initial_configuration([1, 0, 1])
+    plain = RoundRobinScheduler()
+    wrapped = FaultyScheduler(RoundRobinScheduler(), FaultPlan.none())
+    plain_s = best_of(_loop(protocol, initial, plain, iterations))
+    wrapped_s = best_of(_loop(protocol, initial, wrapped, iterations))
+    return {
+        "protocol": "wait-for-all/3",
+        "iterations": iterations,
+        "plain_s": round(plain_s, 6),
+        "wrapped_no_fault_s": round(wrapped_s, 6),
+        "overhead": round(wrapped_s / plain_s - 1, 4),
+    }
+
+
+def collect_active_plan_cost() -> dict:
+    """Per-run cost with a live omission plan on 2PC."""
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    initial = protocol.initial_configuration([1, 1, 1])
+    plan = FaultPlan([Omission(destination="p0", budget=2)])
+    scheduler = FaultyScheduler(RoundRobinScheduler(), plan)
+    iterations = LOOP // 4
+    active_s = best_of(_loop(protocol, initial, scheduler, iterations))
+    return {
+        "protocol": "2pc/3",
+        "plan": plan.describe(),
+        "iterations": iterations,
+        "per_run_s": round(active_s / iterations, 8),
+        "omission_drops_per_run": 2,
+    }
+
+
+def collect_matrix_cost() -> dict:
+    """End-to-end wall time of one protocol's survivability sweep."""
+    cells = {}
+
+    def run():
+        cells["result"] = survivability_matrix(
+            ["2pc"],
+            ("none", "one-mid-crash", "omission"),
+            max_steps=600,
+        )
+
+    matrix_s = best_of(run, repeat=1)
+    runs = sum(cell.runs for cell in cells["result"])
+    return {
+        "protocol": "2pc/3",
+        "fault_models": 3,
+        "audited_runs": runs,
+        "matrix_s": round(matrix_s, 6),
+        "runs_per_s": round(runs / matrix_s),
+    }
+
+
+def smoke() -> int:
+    """CI smoke: the zero-fault path must stay cheap."""
+    overhead = collect_no_fault_overhead(iterations=100)
+    print(
+        f"smoke: no-fault wrapping overhead "
+        f"{overhead['overhead']:.1%} over {overhead['iterations']} runs"
+    )
+    # Loose CI bound: shared runners jitter, but 2x would mean the
+    # fast path is gone.
+    assert overhead["overhead"] < 1.0, overhead
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        return smoke()
+
+    sections = {
+        "no_fault_overhead": collect_no_fault_overhead(),
+        "active_plan_cost": collect_active_plan_cost(),
+        "survivability_matrix": collect_matrix_cost(),
+    }
+    path = write_artifact(sections, name="faults")
+    print(f"wrote {path}")
+    overhead = sections["no_fault_overhead"]
+    print(
+        f"no-fault wrapping: {overhead['plain_s']}s plain vs "
+        f"{overhead['wrapped_no_fault_s']}s wrapped "
+        f"({overhead['overhead']:.1%} overhead)"
+    )
+    active = sections["active_plan_cost"]
+    print(
+        f"active omission plan on 2pc: {active['per_run_s']}s per run"
+    )
+    matrix = sections["survivability_matrix"]
+    print(
+        f"survivability sweep (2pc, 3 models): {matrix['matrix_s']}s "
+        f"for {matrix['audited_runs']} audited runs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

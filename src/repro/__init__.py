@@ -58,9 +58,16 @@ from repro.protocols import (
     WaitForAllProcess,
     make_protocol,
 )
+from repro.faults import (
+    FaultedProtocol,
+    FaultPlan,
+    audit_run,
+    survivability_matrix,
+)
 from repro.schedulers import (
     CrashPlan,
     DelayScheduler,
+    FaultyScheduler,
     RandomScheduler,
     RoundRobinScheduler,
 )
@@ -100,8 +107,13 @@ __all__ = [
     "TwoPhaseCommitProcess",
     "WaitForAllProcess",
     "make_protocol",
+    "FaultedProtocol",
+    "FaultPlan",
+    "audit_run",
+    "survivability_matrix",
     "CrashPlan",
     "DelayScheduler",
+    "FaultyScheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
     "__version__",

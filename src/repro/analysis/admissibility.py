@@ -33,7 +33,29 @@ from repro.core.events import Event, Schedule
 from repro.core.messages import Message
 from repro.core.protocol import Protocol
 
-__all__ = ["AdmissibilityReport", "analyze_admissibility"]
+__all__ = [
+    "AdmissibilityReport",
+    "analyze_admissibility",
+    # Re-exported lazily from repro.faults.audit (which builds on this
+    # module): certification of fault-injected runs.
+    "FaultAuditVerdict",
+    "audit_run",
+    "audit_simulation",
+]
+
+_AUDIT_NAMES = ("FaultAuditVerdict", "audit_run", "audit_simulation")
+
+
+def __getattr__(name: str):
+    # Lazy to avoid a cycle: repro.faults.audit imports
+    # analyze_admissibility from here.
+    if name in _AUDIT_NAMES:
+        from repro.faults import audit
+
+        return getattr(audit, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 @dataclass(frozen=True)

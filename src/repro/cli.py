@@ -43,7 +43,7 @@ from repro.core.correctness import (
     check_partial_correctness,
     check_validity,
 )
-from repro.core.errors import AdversaryStuck
+from repro.core.errors import AdversaryStuck, CheckpointError
 from repro.core.resilience import (
     CHAOS_SCENARIOS,
     CheckpointConfig,
@@ -379,6 +379,64 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_survive(args) -> int:
+    from repro.faults.survivability import (
+        FAULT_MODELS,
+        check_expectations,
+        survivability_matrix,
+    )
+
+    protocols = [args.protocol] if args.protocol else None
+    fault_models = (
+        tuple(args.fault_models) if args.fault_models else FAULT_MODELS
+    )
+    cells = survivability_matrix(
+        protocols,
+        fault_models,
+        n=args.n,
+        seeds=args.seeds,
+        max_steps=args.max_steps,
+    )
+    rows = [
+        {
+            "protocol": cell.protocol,
+            "fault model": cell.model,
+            "agreement": cell.agreement,
+            "validity": cell.validity,
+            "termination": cell.termination,
+            "admissible": f"{cell.admissible_runs}/{cell.runs}",
+            "flagged clauses": ",".join(sorted(cell.flagged)) or "-",
+        }
+        for cell in cells
+    ]
+    print(format_table(rows))
+    witnesses = [cell for cell in cells if cell.witness]
+    if witnesses:
+        print("\nwitnesses:")
+        for cell in witnesses:
+            print(f"  {cell.protocol} × {cell.model}: {cell.witness}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(
+                {"cells": [cell.as_dict() for cell in cells]},
+                handle,
+                indent=2,
+            )
+        print(f"\nwrote {args.json}")
+    failures = check_expectations(cells)
+    if failures:
+        print(
+            "survivability expectations FAILED:\n  "
+            + "\n  ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("\nall survivability expectations hold")
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -557,6 +615,46 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(CHAOS_SCENARIOS)})",
     )
 
+    survive = commands.add_parser(
+        "survive",
+        help="survivability matrix: sweep protocols × fault models, "
+        "audit every run, check the paper's predictions",
+    )
+    survive.add_argument(
+        "protocol",
+        nargs="?",
+        choices=registry.names(),
+        help="one protocol (default: the whole zoo)",
+    )
+    survive.add_argument("-n", type=int, default=None)
+    survive.add_argument(
+        "--fault-models",
+        nargs="*",
+        metavar="MODEL",
+        help="subset of fault models to sweep (default: all)",
+    )
+    survive.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="random-scheduler seeds per plan (default 1; round-robin "
+        "always runs too)",
+    )
+    survive.add_argument(
+        "--max-steps",
+        type=int,
+        default=800,
+        metavar="N",
+        help="step budget per run; an undecided run at the budget "
+        "marks the cell stalled (default 800)",
+    )
+    survive.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the matrix as machine-readable JSON",
+    )
+
     experiments = commands.add_parser(
         "experiments", help="run the paper-reproduction experiments"
     )
@@ -574,6 +672,7 @@ _HANDLERS = {
     "map": _cmd_map,
     "chaos": _cmd_chaos,
     "verify": _cmd_verify,
+    "survive": _cmd_survive,
     "experiments": _cmd_experiments,
 }
 
@@ -603,6 +702,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _HANDLERS[args.command](args)
+    except CheckpointError as error:
+        # A checkpoint from another protocol / engine mode (or a
+        # damaged file) is an operator mistake, not a crash: one line,
+        # no traceback.
+        message = str(error).replace("\n", " ")
+        print(f"cannot resume: {message}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         # The engine already wrote its final checkpoint (explore()
         # catches the interrupt first); report progress and exit with

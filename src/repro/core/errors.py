@@ -16,6 +16,21 @@ class ModelError(FLPError):
     """A request violates the formal model of Section 2 of the paper."""
 
 
+class FaultModelError(ModelError, ValueError):
+    """A fault plan is malformed, contradictory, or unsupported.
+
+    Covers structural problems (negative steps, a recovery scheduled
+    before its crash, overlapping partition groups), contradictions (a
+    process both initially dead and crash-recovering), references to
+    unknown processes, and requests for time-dependent clauses in
+    analyses that only support the static fault fragment.
+
+    Subclasses :class:`ValueError` as well so pre-existing callers that
+    guarded fault-plan construction with ``except ValueError`` keep
+    working.
+    """
+
+
 class InvalidEvent(ModelError):
     """An event was applied to a configuration it is not applicable to.
 

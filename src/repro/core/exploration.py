@@ -374,6 +374,18 @@ class GraphStats:
     #: Wall time the parent spent blocked on worker batches; worker
     #: utilization = worker_busy_time / (parallel_time * workers).
     parallel_time: float = 0.0
+    #: Fault-engine counters, mirrored from a
+    #: :class:`repro.faults.model.FaultedProtocol` when exploration
+    #: runs under a fault plan (all zero otherwise).
+    fault_crashes: int = 0
+    fault_recoveries: int = 0
+    fault_inbox_wipes: int = 0
+    fault_omission_drops: int = 0
+    fault_duplications: int = 0
+    fault_partition_blocks: int = 0
+    fault_drop_edges: int = 0
+    fault_send_blocks: int = 0
+    fault_dead_exclusions: int = 0
 
     @property
     def worker_utilization(self) -> float:
@@ -418,6 +430,15 @@ class GraphStats:
             "encode_time_s": round(self.encode_time, 6),
             "worker_busy_s": round(self.worker_busy_time, 6),
             "parallel_wall_s": round(self.parallel_time, 6),
+            "fault_crashes": self.fault_crashes,
+            "fault_recoveries": self.fault_recoveries,
+            "fault_inbox_wipes": self.fault_inbox_wipes,
+            "fault_omission_drops": self.fault_omission_drops,
+            "fault_duplications": self.fault_duplications,
+            "fault_partition_blocks": self.fault_partition_blocks,
+            "fault_drop_edges": self.fault_drop_edges,
+            "fault_send_blocks": self.fault_send_blocks,
+            "fault_dead_exclusions": self.fault_dead_exclusions,
         }
 
 
@@ -535,6 +556,11 @@ class GlobalConfigurationGraph:
         chaos: ChaosConfig | None = None,
     ):
         self.protocol = protocol
+        # Fault-wrapped protocols override the step semantics, which the
+        # packed codec bypasses by design — those must use the dict
+        # engine, where every step routes through the protocol.
+        if packed and getattr(protocol, "requires_rich_engine", False):
+            packed = False
         # Explicit None-check: an empty TransitionCache is falsy (len 0).
         self.transitions = (
             transitions if transitions is not None

@@ -115,6 +115,10 @@ class SimulationResult:
     decisions: dict[str, int]
     stop_reason: str
     ledger: FairnessLedger
+    #: Faults injected during the run, in injection order (empty unless
+    #: the scheduler exposes a ``perturb`` hook — see
+    #: :class:`repro.schedulers.faulty.FaultyScheduler`).
+    fault_actions: tuple = ()
 
     @property
     def decision_values(self) -> frozenset[int]:
@@ -161,10 +165,19 @@ def simulate(
     The set of live processes used by :attr:`StopCondition.ALL_DECIDED`
     is taken from ``scheduler.live_processes(protocol)`` when the
     scheduler provides it, else all processes.
+
+    Schedulers may additionally expose a ``perturb(protocol,
+    configuration, step_index)`` hook returning ``(configuration,
+    fault_actions)``; it is called at the top of every step so
+    buffer-level faults (omission, duplication, recovery inbox wipes)
+    land before the scheduler picks an event.  The injected actions are
+    collected on :attr:`SimulationResult.fault_actions`.
     """
     configuration = initial
     events: list[Event] = []
     ledger = FairnessLedger()
+    fault_actions: list = []
+    perturb = getattr(scheduler, "perturb", None)
     live = frozenset(
         getattr(scheduler, "live_processes", lambda p: p.process_names)(
             protocol
@@ -173,6 +186,11 @@ def simulate(
 
     stop_reason = "step-budget"
     for step_index in range(max_steps):
+        if perturb is not None:
+            configuration, injected = perturb(
+                protocol, configuration, step_index
+            )
+            fault_actions.extend(injected)
         if _stop_satisfied(stop, configuration, live):
             stop_reason = "decided"
             break
@@ -201,6 +219,7 @@ def simulate(
         decisions=decisions,
         stop_reason=stop_reason,
         ledger=ledger,
+        fault_actions=tuple(fault_actions),
     )
 
 

@@ -260,6 +260,10 @@ class ValencyAnalyzer:
         if codec is not None:
             stats.packed_step_hits = codec.step_hits
             stats.packed_step_misses = codec.step_misses
+        fault_counters = getattr(self.protocol, "fault_counters", None)
+        if fault_counters is not None:
+            for key, value in fault_counters.as_dict().items():
+                setattr(stats, key, value)
         return stats
 
     # -- queries ---------------------------------------------------------------

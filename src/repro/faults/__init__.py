@@ -1,0 +1,66 @@
+"""Model-level fault engine: plans, injection, auditing, survivability.
+
+The paper's result is a statement about fault models, so the fault
+model deserves to be a first-class object.  This package provides:
+
+* :class:`FaultPlan` and its clause algebra (:class:`Crash`,
+  :class:`CrashRecovery`, :class:`Omission`, :class:`Duplication`,
+  :class:`Delay`, :class:`Partition`) — declarative, validated,
+  composable descriptions of who fails and how;
+* :class:`~repro.faults.model.FaultedProtocol` — the plan's static
+  fragment baked into step semantics for exhaustive exploration;
+* :func:`~repro.faults.audit.audit_run` — certification of injected
+  runs against Section 2's admissibility definition;
+* :func:`~repro.faults.survivability.survivability_matrix` — the
+  protocol zoo swept against fault-model families, reproducing the
+  paper's predictions (Theorem 2 survives initially-dead minorities
+  but stalls under one mid-run crash; 2PC blocks under omission).
+
+The run-time injector, :class:`~repro.schedulers.faulty.FaultyScheduler`,
+lives with the other schedulers in :mod:`repro.schedulers`.
+"""
+
+from repro.faults.audit import FaultAuditVerdict, audit_run, audit_simulation
+from repro.faults.model import Drop, FaultedProtocol
+from repro.faults.plan import (
+    Crash,
+    CrashRecovery,
+    Delay,
+    Duplication,
+    FaultAction,
+    FaultCounters,
+    FaultPlan,
+    Omission,
+    Partition,
+    PlanCrashView,
+)
+from repro.faults.survivability import (
+    FAULT_MODELS,
+    SurvivabilityCell,
+    check_expectations,
+    plans_for,
+    survivability_matrix,
+)
+
+__all__ = [
+    "Crash",
+    "CrashRecovery",
+    "Delay",
+    "Duplication",
+    "Omission",
+    "Partition",
+    "FaultPlan",
+    "FaultAction",
+    "FaultCounters",
+    "PlanCrashView",
+    "Drop",
+    "FaultedProtocol",
+    "FaultAuditVerdict",
+    "audit_run",
+    "audit_simulation",
+    "FAULT_MODELS",
+    "SurvivabilityCell",
+    "plans_for",
+    "survivability_matrix",
+    "check_expectations",
+]

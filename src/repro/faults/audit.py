@@ -1,0 +1,180 @@
+"""Admissibility auditor for fault-injected runs.
+
+Section 2 of the paper defines the runs the impossibility theorem
+quantifies over: *admissible* runs have at most one faulty process, and
+every message sent to a nonfaulty process is eventually received.  The
+fault engine can produce runs well outside that set — that is its
+point — so every injected run must carry a certificate saying whether
+it stayed inside, and if not, *which clause of the definition* it
+broke:
+
+* ``multiple-faulty`` — the plan makes two or more processes take only
+  finitely many steps (e.g. an initially-dead *minority*: fine for
+  Section 4's Theorem 2, but outside Section 2's model);
+* ``omission`` — a message to a nonfaulty process was dropped, so it is
+  *never* received;
+* ``crash-recovery-loss`` — a recovery inbox wipe discarded mail
+  addressed to a process that is nonfaulty under the plan (it takes
+  infinitely many steps, yet lost messages);
+* ``duplication`` — an extra copy entered the buffer; the paper's
+  system delivers each sent message at most once, so any duplication
+  leaves the model;
+* ``partition-unhealed`` — a never-healing partition froze a copy
+  addressed to a nonfaulty process in transit forever;
+* ``post-fault-step`` — the schedule shows a designated-faulty process
+  stepping after its fault point (the injection itself misbehaved).
+
+When the run contains no buffer-mutating injections, the verdict also
+carries the replay-based :class:`~repro.analysis.admissibility.\
+AdmissibilityReport` with its quantitative fairness debt; runs with
+omission/duplication/inbox-wipe actions cannot be replayed from the
+schedule alone, so the report is ``None`` and the verdict rests on the
+action log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.admissibility import (
+    AdmissibilityReport,
+    analyze_admissibility,
+)
+from repro.core.configuration import Configuration
+from repro.core.events import Schedule
+from repro.core.protocol import Protocol
+from repro.faults.plan import FaultAction, FaultPlan
+
+__all__ = ["FaultAuditVerdict", "audit_run", "audit_simulation"]
+
+
+@dataclass(frozen=True)
+class FaultAuditVerdict:
+    """The certificate attached to one fault-injected run.
+
+    Attributes
+    ----------
+    admissible:
+        Whether the run is consistent with Section 2's definition.
+    violated_clauses:
+        The fairness clauses broken, in deterministic order (empty iff
+        *admissible*).
+    faulty:
+        The processes the plan designates faulty (finitely many steps).
+    report:
+        Replay-based fairness accounting, when the run is replayable
+        (no buffer-mutating injections); ``None`` otherwise.
+    notes:
+        Human-readable detail per violation.
+    """
+
+    admissible: bool
+    violated_clauses: tuple[str, ...]
+    faulty: frozenset[str]
+    report: AdmissibilityReport | None
+    notes: tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        if self.admissible:
+            detail = (
+                self.report.summary() if self.report is not None else "ok"
+            )
+            return f"admissible ({detail})"
+        return "inadmissible: " + ", ".join(self.violated_clauses)
+
+
+def audit_run(
+    protocol: Protocol,
+    initial: Configuration,
+    schedule: Schedule,
+    plan: FaultPlan,
+    fault_actions: tuple[FaultAction, ...] = (),
+) -> FaultAuditVerdict:
+    """Certify one run of *schedule* under *plan* against Section 2.
+
+    *fault_actions* is the injection log produced by the engine
+    (:attr:`repro.core.simulation.SimulationResult.fault_actions`); the
+    verdict classifies the run from the plan's faulty set, the log, and
+    — when the log contains no buffer mutations — a full replay.
+    """
+    faulty = plan.faulty_processes
+    violated: dict[str, None] = {}
+    notes: list[str] = []
+
+    if len(faulty) > 1:
+        violated["multiple-faulty"] = None
+        notes.append(
+            f"{len(faulty)} faulty processes: {sorted(faulty)}"
+        )
+
+    for action in fault_actions:
+        destination = (
+            action.message.destination if action.message is not None else None
+        )
+        if action.kind == "omission-drop":
+            if destination not in faulty:
+                violated["omission"] = None
+                notes.append(
+                    f"step {action.step}: dropped message to nonfaulty "
+                    f"{destination}"
+                )
+        elif action.kind == "inbox-wipe":
+            if action.process not in faulty:
+                violated["crash-recovery-loss"] = None
+                notes.append(
+                    f"step {action.step}: recovery wiped mail of "
+                    f"nonfaulty {action.process}"
+                )
+        elif action.kind == "duplicate":
+            violated["duplication"] = None
+            notes.append(
+                f"step {action.step}: duplicated message to {destination}"
+            )
+        elif action.kind == "partition-freeze":
+            if destination not in faulty:
+                violated["partition-unhealed"] = None
+                notes.append(
+                    f"step {action.step}: unhealed partition froze "
+                    f"message to nonfaulty {destination}"
+                )
+
+    report: AdmissibilityReport | None = None
+    replayable = not any(
+        action.kind in FaultAction.BUFFER_KINDS for action in fault_actions
+    )
+    if replayable:
+        report = analyze_admissibility(
+            protocol,
+            initial,
+            schedule,
+            faulty=faulty,
+            fault_point=plan.fault_point(),
+        )
+        if report.violations:
+            violated["post-fault-step"] = None
+            notes.extend(report.violations)
+
+    clauses = tuple(violated)
+    return FaultAuditVerdict(
+        admissible=not clauses,
+        violated_clauses=clauses,
+        faulty=faulty,
+        report=report,
+        notes=tuple(notes),
+    )
+
+
+def audit_simulation(
+    protocol: Protocol,
+    initial: Configuration,
+    result,
+    plan: FaultPlan,
+) -> FaultAuditVerdict:
+    """Certify a :class:`~repro.core.simulation.SimulationResult`."""
+    return audit_run(
+        protocol,
+        initial,
+        result.schedule,
+        plan,
+        fault_actions=tuple(result.fault_actions),
+    )

@@ -1,0 +1,177 @@
+"""FaultedProtocol: bake a plan's static fragment into step semantics.
+
+Exhaustive valency exploration walks the *reachable configuration
+graph*, which is memoryless: a configuration does not remember how many
+steps produced it.  Only the time-independent projection of a fault
+plan — :meth:`FaultPlan.static_fragment` — can therefore be explored
+exhaustively:
+
+* **initially dead** processes take no events and receive no sends
+  (Section 4's fault model, exactly);
+* **lossy destinations** (unbounded deterministic omission) add a
+  nondeterministic *drop edge* per buffered copy: the graph branches on
+  "the message arrives" vs "the channel eats it", the standard way
+  omission faults enter a model-checking transition relation;
+* **severed links** (never-healing partitions) filter sends at the
+  source — a copy that can never be delivered is equivalent, for
+  reachability, to a copy never sent.
+
+The wrapper subclasses :class:`~repro.core.protocol.Protocol` and
+overrides only :meth:`enabled_events` and :meth:`apply_event`, so every
+consumer that routes steps through the protocol (the dict exploration
+engine, simulation, schedule replay) honours the faults with no further
+wiring.  The packed engine bypasses protocol methods by design, so the
+class advertises :attr:`requires_rich_engine` and the graph builder
+downgrades to the dict engine automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.configuration import Configuration
+from repro.core.errors import ProtocolViolation, UnknownProcess
+from repro.core.events import NULL, Event
+from repro.core.messages import Message
+from repro.core.protocol import Protocol
+from repro.faults.plan import FaultCounters, FaultPlan
+
+__all__ = ["Drop", "FaultedProtocol"]
+
+
+class Drop:
+    """Marker wrapping a message value: "the channel loses this copy".
+
+    An event ``(p, Drop(m))`` consumes the buffered message ``(p, m)``
+    without delivering it — the lossy-channel branch of the transition
+    relation.  Hashable and comparable so drop events memoize in the
+    transition cache like any other event.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Hashable):
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("repro.faults.Drop", value)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Drop is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Drop):
+            return NotImplemented
+        return self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Drop, (self.value,))
+
+    def __repr__(self) -> str:
+        return f"Drop({self.value!r})"
+
+
+class FaultedProtocol(Protocol):
+    """*base* with *plan*'s static fault fragment baked into its steps.
+
+    Raises :class:`~repro.core.errors.FaultModelError` when the plan
+    contains time-dependent clauses (mid-run crashes, recovery windows,
+    bounded budgets, healing partitions) — those are simulation-only;
+    see :class:`~repro.schedulers.faulty.FaultyScheduler`.
+    """
+
+    #: Exploration must use the dict engine: the packed codec bypasses
+    #: ``enabled_events``/``apply_event`` and would ignore the faults.
+    requires_rich_engine = True
+
+    def __init__(self, base: Protocol, plan: FaultPlan):
+        super().__init__(
+            [base.process(name) for name in base.process_names]
+        )
+        plan.validate_for(base.process_names)
+        self.base = base
+        self.plan = plan
+        dead, lossy, severed = plan.static_fragment(base.process_names)
+        self._dead = dead
+        self._lossy = lossy
+        self._severed = severed
+        self.fault_counters = FaultCounters()
+
+    # -- step semantics ----------------------------------------------------
+
+    def enabled_events(
+        self, configuration: Configuration, include_null: bool = True
+    ) -> tuple[Event, ...]:
+        """Applicable events under the fault fragment.
+
+        Dead processes contribute nothing; each buffered copy to a
+        lossy destination contributes a drop edge alongside its
+        delivery edge.
+        """
+        counters = self.fault_counters
+        events: list[Event] = []
+        if include_null:
+            for name in self.process_names:
+                if name in self._dead:
+                    counters.dead_exclusions += 1
+                    continue
+                events.append(Event(name, NULL))
+        for message in configuration.buffer.distinct_messages():
+            if message.destination in self._dead:
+                counters.dead_exclusions += 1
+                continue
+            events.append(Event(message.destination, message.value))
+            if message.destination in self._lossy:
+                events.append(
+                    Event(message.destination, Drop(message.value))
+                )
+        return tuple(events)
+
+    def apply_event(
+        self, configuration: Configuration, event: Event
+    ) -> Configuration:
+        if isinstance(event.value, Drop):
+            # The channel eats the copy: remove it from the buffer,
+            # nobody's state changes.
+            buffer = configuration.buffer.deliver(
+                Message(event.process, event.value.value)
+            )
+            self.fault_counters.drop_edges += 1
+            return configuration.with_buffer(buffer)
+        # Same two-phase step as Protocol.apply_event, with the plan
+        # filtering the send phase.
+        if event.process not in self.process_names:
+            raise UnknownProcess(event.process)
+        state = configuration.state_of(event.process)
+        if event.is_null_delivery:
+            buffer = configuration.buffer
+        else:
+            buffer = configuration.buffer.deliver(event.message)
+        transition = self.process(event.process).apply(state, event.value)
+        counters = self.fault_counters
+        sends = []
+        for message in transition.sends:
+            if message.destination not in self.process_names:
+                raise ProtocolViolation(
+                    f"process {event.process} sent a message to unknown "
+                    f"process {message.destination!r}"
+                )
+            if message.destination in self._dead:
+                # A copy to a dead process can never be delivered;
+                # filtering it at the source keeps the graph small
+                # without changing reachability.
+                counters.dead_exclusions += 1
+                continue
+            if (event.process, message.destination) in self._severed:
+                counters.send_blocks += 1
+                continue
+            sends.append(message)
+        buffer = buffer.send_all(sends)
+        return configuration.replace(event.process, transition.state, buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultedProtocol(N={self.num_processes}, "
+            f"plan={self.plan.describe()})"
+        )

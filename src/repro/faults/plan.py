@@ -1,0 +1,718 @@
+"""Declarative fault plans: the fault model as a first-class object.
+
+FLP's impossibility is a statement *about a fault model*: one
+unannounced crash kills liveness (Theorem 1), yet the same protocol
+family survives a minority of *initial* deaths (Theorem 2).  The repo's
+original :class:`~repro.schedulers.base.CrashPlan` only speaks
+crash-stop; a :class:`FaultPlan` generalizes it into a composition of
+declarative clauses:
+
+* :class:`Crash` — crash-stop at a step (``at_step=0`` = initially
+  dead; Section 2's "takes finitely many steps" / Section 4's model);
+* :class:`CrashRecovery` — the process freezes during a window and then
+  resumes with its per-step state intact but its *inbox emptied* (the
+  messages pending to it at recovery are lost);
+* :class:`Omission` — a lossy link: messages matching the clause are
+  silently discarded, up to a loss ``budget`` (``None`` = unbounded),
+  each with a given ``probability``;
+* :class:`Duplication` — matching messages are delivered-or-pending
+  *twice*: an extra copy enters the buffer, up to a budget;
+* :class:`Delay` — the process is frozen (takes no steps, receives
+  nothing) during ``[start, end)``; ``end=None`` is an unbounded delay,
+  which the paper's definitions make indistinguishable from a crash;
+* :class:`Partition` — the network splits into groups for a window;
+  messages crossing group boundaries are frozen in transit and released
+  when the partition heals (``heal_at=None`` = never).
+
+Plans are *validated* at construction: malformed or contradictory
+clauses raise :class:`~repro.core.errors.FaultModelError` (e.g. a
+process that is both initially dead and crash-recovering).
+
+Consumers: :class:`~repro.schedulers.faulty.FaultyScheduler` applies a
+plan to single simulated runs under any base scheduler;
+:class:`~repro.faults.model.FaultedProtocol` bakes a plan's *static
+fragment* into the step semantics so exhaustive valency exploration
+honours it; :func:`~repro.faults.audit.audit_run` certifies injected
+runs against Section 2's admissibility definition; and
+:mod:`~repro.faults.survivability` sweeps the protocol zoo against
+whole families of plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.errors import FaultModelError
+from repro.core.messages import Message
+from repro.schedulers.base import CrashPlan
+
+__all__ = [
+    "Crash",
+    "CrashRecovery",
+    "Omission",
+    "Duplication",
+    "Delay",
+    "Partition",
+    "FaultPlan",
+    "FaultAction",
+    "FaultCounters",
+    "PlanCrashView",
+]
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Crash-stop: *process* takes no step at or after *at_step*.
+
+    ``at_step=0`` is Section 4's initially-dead process; any later step
+    is Theorem 1's unannounced mid-run death.
+    """
+
+    process: str
+    at_step: int = 0
+
+
+@dataclass(frozen=True)
+class CrashRecovery:
+    """Crash at *at_step*, restart at *recover_at* with an emptied inbox.
+
+    During ``[at_step, recover_at)`` the process is frozen.  At recovery
+    it keeps its per-step internal state (the paper's processes have no
+    stable storage to lose) but every message still pending to it is
+    discarded — the loss that makes naive crash-recovery *inadmissible*
+    when any mail was in flight.
+    """
+
+    process: str
+    at_step: int
+    recover_at: int
+
+
+@dataclass(frozen=True)
+class Omission:
+    """A lossy link: discard messages matching this clause.
+
+    ``destination``/``sender`` of ``None`` match any process (``sender``
+    matching needs send attribution, so it is simulation-only).
+    ``budget`` bounds the number of copies lost (``None`` = unbounded);
+    each matching copy is lost with ``probability`` (1.0 = the first
+    ``budget`` matching copies are lost deterministically).
+    """
+
+    destination: str | None = None
+    sender: str | None = None
+    budget: int | None = 1
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class Duplication:
+    """A duplicating link: matching messages gain an extra buffered copy.
+
+    Strictly outside the paper's model (the buffer semantics deliver
+    each sent message at most once) — included because real networks do
+    it and the auditor should *flag* it, not crash on it.
+    """
+
+    destination: str | None = None
+    sender: str | None = None
+    budget: int = 1
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Freeze *process* during ``[start, end)``; ``end=None`` = forever.
+
+    A bounded delay is admissible — the paper's processes cannot tell a
+    slow peer from a dead one, which is the crux of the proof.  An
+    unbounded delay makes the process faulty (finitely many steps).
+    """
+
+    process: str
+    start: int = 0
+    end: int | None = None
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Split the network into *groups* during ``[start, heal_at)``.
+
+    Messages crossing group boundaries are frozen in transit while the
+    partition is active and released when it heals; ``heal_at=None``
+    never heals.  Processes named in no group are unconstrained.
+    """
+
+    groups: tuple[frozenset[str], ...]
+    start: int = 0
+    heal_at: int | None = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "groups",
+            tuple(frozenset(group) for group in self.groups),
+        )
+
+    def separates(self, sender: str, destination: str) -> bool:
+        """Whether this partition puts the two endpoints in different
+        groups (processes in no group are unconstrained)."""
+        side_a = side_b = None
+        for index, group in enumerate(self.groups):
+            if sender in group:
+                side_a = index
+            if destination in group:
+                side_b = index
+        return side_a is not None and side_b is not None and side_a != side_b
+
+    def active_at(self, step_index: int) -> bool:
+        return step_index >= self.start and (
+            self.heal_at is None or step_index < self.heal_at
+        )
+
+
+#: Clause types in canonical order (used by validation and repr).
+_CLAUSE_TYPES = (Crash, CrashRecovery, Omission, Duplication, Delay, Partition)
+
+
+@dataclass
+class FaultCounters:
+    """Per-fault-type observability counters.
+
+    Maintained by :class:`~repro.schedulers.faulty.FaultyScheduler`
+    (simulation) and :class:`~repro.faults.model.FaultedProtocol`
+    (exploration); the exploration-side counters are mirrored into
+    :class:`~repro.core.exploration.GraphStats` by the valency analyzer.
+    """
+
+    crashes: int = 0
+    recoveries: int = 0
+    inbox_wipes: int = 0
+    omission_drops: int = 0
+    duplications: int = 0
+    partition_blocks: int = 0
+    #: Exploration only: nondeterministic drop edges taken.
+    drop_edges: int = 0
+    #: Exploration only: sends filtered by a severed link.
+    send_blocks: int = 0
+    #: Exploration only: events excluded because the process is dead.
+    dead_exclusions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "fault_crashes": self.crashes,
+            "fault_recoveries": self.recoveries,
+            "fault_inbox_wipes": self.inbox_wipes,
+            "fault_omission_drops": self.omission_drops,
+            "fault_duplications": self.duplications,
+            "fault_partition_blocks": self.partition_blocks,
+            "fault_drop_edges": self.drop_edges,
+            "fault_send_blocks": self.send_blocks,
+            "fault_dead_exclusions": self.dead_exclusions,
+        }
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault the engine actually injected, for the audit trail.
+
+    ``kind`` is one of ``crash``, ``recover``, ``inbox-wipe``,
+    ``omission-drop``, ``duplicate``, ``partition-freeze``.
+    """
+
+    step: int
+    kind: str
+    process: str | None = None
+    message: Message | None = None
+    detail: str = ""
+
+    #: Kinds that mutate the buffer (their runs cannot be replayed by
+    #: the schedule alone, so the auditor skips replay accounting).
+    BUFFER_KINDS = frozenset({"omission-drop", "duplicate", "inbox-wipe"})
+
+
+class FaultPlan:
+    """An immutable, validated composition of fault clauses.
+
+    Construction validates structure and cross-clause consistency and
+    raises :class:`~repro.core.errors.FaultModelError` on any problem;
+    a plan that constructs is ready to hand to a scheduler or analyzer.
+    """
+
+    __slots__ = ("_clauses",)
+
+    def __init__(self, clauses: Iterable[object] = ()):
+        object.__setattr__(self, "_clauses", tuple(clauses))
+        self._validate()
+
+    def __setattr__(self, name, value):
+        raise AttributeError("FaultPlan is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: no faults of any kind."""
+        return cls()
+
+    @classmethod
+    def initially_dead(
+        cls, names: Iterable[str]
+    ) -> "FaultPlan":
+        """Section 4's fault model: *names* dead from step 0."""
+        return cls(Crash(name, 0) for name in sorted(names))
+
+    @classmethod
+    def from_crash_plan(cls, crash_plan: CrashPlan) -> "FaultPlan":
+        """Lift a legacy :class:`CrashPlan` into the clause algebra."""
+        return cls(
+            Crash(name, step)
+            for name, step in sorted(crash_plan.crash_times.items())
+        )
+
+    def merged_with_crashes(
+        self, crash_times: Mapping[str, int]
+    ) -> "FaultPlan":
+        """This plan plus extra crash-stop clauses (re-validated, so a
+        conflict with an existing clause raises)."""
+        if not crash_times:
+            return self
+        extra = tuple(
+            Crash(name, step) for name, step in sorted(crash_times.items())
+        )
+        return FaultPlan(self._clauses + extra)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def clauses(self) -> tuple[object, ...]:
+        return self._clauses
+
+    def _of(self, kind) -> tuple:
+        return tuple(c for c in self._clauses if isinstance(c, kind))
+
+    @property
+    def crashes(self) -> tuple[Crash, ...]:
+        return self._of(Crash)
+
+    @property
+    def recoveries(self) -> tuple[CrashRecovery, ...]:
+        return self._of(CrashRecovery)
+
+    @property
+    def omissions(self) -> tuple[Omission, ...]:
+        return self._of(Omission)
+
+    @property
+    def duplications(self) -> tuple[Duplication, ...]:
+        return self._of(Duplication)
+
+    @property
+    def delays(self) -> tuple[Delay, ...]:
+        return self._of(Delay)
+
+    @property
+    def partitions(self) -> tuple[Partition, ...]:
+        return self._of(Partition)
+
+    def __bool__(self) -> bool:
+        return bool(self._clauses)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._clauses == other._clauses
+
+    def __hash__(self) -> int:
+        return hash(self._clauses)
+
+    def __reduce__(self):
+        # Reconstruct through __init__: the immutability guard blocks
+        # pickle's default slot restoration.
+        return (FaultPlan, (self._clauses,))
+
+    def __repr__(self) -> str:
+        if not self._clauses:
+            return "FaultPlan.none()"
+        inner = ", ".join(repr(c) for c in self._clauses)
+        return f"FaultPlan([{inner}])"
+
+    def describe(self) -> str:
+        """Compact clause summary for tables (e.g. ``crash(p1@6)``)."""
+        if not self._clauses:
+            return "none"
+        parts = []
+        for c in self._clauses:
+            if isinstance(c, Crash):
+                parts.append(f"crash({c.process}@{c.at_step})")
+            elif isinstance(c, CrashRecovery):
+                parts.append(
+                    f"recover({c.process}@{c.at_step}-{c.recover_at})"
+                )
+            elif isinstance(c, Omission):
+                link = f"{c.sender or '*'}->{c.destination or '*'}"
+                budget = "inf" if c.budget is None else c.budget
+                parts.append(f"omit({link}x{budget})")
+            elif isinstance(c, Duplication):
+                link = f"{c.sender or '*'}->{c.destination or '*'}"
+                parts.append(f"dup({link}x{c.budget})")
+            elif isinstance(c, Delay):
+                end = "inf" if c.end is None else c.end
+                parts.append(f"delay({c.process}@{c.start}-{end})")
+            elif isinstance(c, Partition):
+                groups = "|".join(
+                    "".join(sorted(g)) for g in c.groups
+                )
+                heal = "never" if c.heal_at is None else c.heal_at
+                parts.append(f"split({groups}@{c.start},heal={heal})")
+        return "+".join(parts)
+
+    # -- validation --------------------------------------------------------
+
+    def _validate(self) -> None:
+        crashed: dict[str, object] = {}
+        delayed: set[str] = set()
+        for clause in self._clauses:
+            if not isinstance(clause, _CLAUSE_TYPES):
+                raise FaultModelError(
+                    f"not a fault clause: {clause!r}"
+                )
+            if isinstance(clause, Crash):
+                if clause.at_step < 0:
+                    raise FaultModelError(
+                        f"crash step must be >= 0, got {clause!r}"
+                    )
+                self._claim_crash(crashed, clause.process, clause)
+            elif isinstance(clause, CrashRecovery):
+                if clause.at_step < 0:
+                    raise FaultModelError(
+                        f"crash step must be >= 0, got {clause!r}"
+                    )
+                if clause.recover_at <= clause.at_step:
+                    raise FaultModelError(
+                        f"recovery must come after the crash, got {clause!r}"
+                    )
+                self._claim_crash(crashed, clause.process, clause)
+            elif isinstance(clause, Omission):
+                if clause.budget is not None and clause.budget < 0:
+                    raise FaultModelError(
+                        f"omission budget must be >= 0, got {clause!r}"
+                    )
+                self._check_probability(clause)
+            elif isinstance(clause, Duplication):
+                if clause.budget < 0:
+                    raise FaultModelError(
+                        f"duplication budget must be >= 0, got {clause!r}"
+                    )
+                self._check_probability(clause)
+            elif isinstance(clause, Delay):
+                if clause.start < 0:
+                    raise FaultModelError(
+                        f"delay start must be >= 0, got {clause!r}"
+                    )
+                if clause.end is not None and clause.end <= clause.start:
+                    raise FaultModelError(
+                        f"delay window must be non-empty, got {clause!r}"
+                    )
+                if clause.process in delayed:
+                    raise FaultModelError(
+                        f"process {clause.process!r} has two delay clauses"
+                    )
+                delayed.add(clause.process)
+            elif isinstance(clause, Partition):
+                if len(clause.groups) < 2:
+                    raise FaultModelError(
+                        f"a partition needs >= 2 groups, got {clause!r}"
+                    )
+                seen: set[str] = set()
+                for group in clause.groups:
+                    if not group:
+                        raise FaultModelError(
+                            f"partition group may not be empty: {clause!r}"
+                        )
+                    overlap = seen & group
+                    if overlap:
+                        raise FaultModelError(
+                            f"partition groups overlap on "
+                            f"{sorted(overlap)}: {clause!r}"
+                        )
+                    seen |= group
+                if clause.start < 0:
+                    raise FaultModelError(
+                        f"partition start must be >= 0, got {clause!r}"
+                    )
+                if clause.heal_at is not None and (
+                    clause.heal_at <= clause.start
+                ):
+                    raise FaultModelError(
+                        f"partition must heal after it starts, got {clause!r}"
+                    )
+
+    @staticmethod
+    def _claim_crash(
+        crashed: dict[str, object], process: str, clause: object
+    ) -> None:
+        existing = crashed.get(process)
+        if existing is not None:
+            raise FaultModelError(
+                f"contradictory fault clauses for {process!r}: "
+                f"{existing!r} and {clause!r}"
+            )
+        crashed[process] = clause
+
+    @staticmethod
+    def _check_probability(clause) -> None:
+        if not 0.0 <= clause.probability <= 1.0:
+            raise FaultModelError(
+                f"probability must be in [0, 1], got {clause!r}"
+            )
+
+    def validate_for(self, process_names: Sequence[str]) -> None:
+        """Check every referenced process exists in the protocol."""
+        known = set(process_names)
+        for clause in self._clauses:
+            referenced: list[str] = []
+            if isinstance(clause, (Crash, CrashRecovery, Delay)):
+                referenced = [clause.process]
+            elif isinstance(clause, (Omission, Duplication)):
+                referenced = [
+                    name
+                    for name in (clause.destination, clause.sender)
+                    if name is not None
+                ]
+            elif isinstance(clause, Partition):
+                referenced = [name for group in clause.groups for name in group]
+            unknown = [name for name in referenced if name not in known]
+            if unknown:
+                raise FaultModelError(
+                    f"clause {clause!r} references unknown "
+                    f"process(es) {sorted(unknown)}"
+                )
+
+    # -- liveness view -----------------------------------------------------
+
+    def may_step(self, process: str, step_index: int) -> bool:
+        """Whether *process* is allowed to take a step at *step_index*."""
+        for clause in self._clauses:
+            if isinstance(clause, Crash) and clause.process == process:
+                if step_index >= clause.at_step:
+                    return False
+            elif (
+                isinstance(clause, CrashRecovery)
+                and clause.process == process
+            ):
+                if clause.at_step <= step_index < clause.recover_at:
+                    return False
+            elif isinstance(clause, Delay) and clause.process == process:
+                if clause.start <= step_index and (
+                    clause.end is None or step_index < clause.end
+                ):
+                    return False
+        return True
+
+    def eventually_live(self, process: str) -> bool:
+        """Whether *process* takes infinitely many steps under this plan
+        (crash-recovery and bounded delay victims do; crash-stop and
+        unbounded-delay victims do not)."""
+        for clause in self._clauses:
+            if isinstance(clause, Crash) and clause.process == process:
+                return False
+            if (
+                isinstance(clause, Delay)
+                and clause.process == process
+                and clause.end is None
+            ):
+                return False
+        return True
+
+    @property
+    def faulty_processes(self) -> frozenset[str]:
+        """Processes made *faulty* in the paper's sense: finitely many
+        steps (crash-stop victims and unbounded-delay victims)."""
+        names: set[str] = set()
+        for clause in self._clauses:
+            if isinstance(clause, Crash):
+                names.add(clause.process)
+            elif isinstance(clause, Delay) and clause.end is None:
+                names.add(clause.process)
+        return frozenset(names)
+
+    def fault_point(self) -> int | None:
+        """The step from which every faulty process is silent, or
+        ``None`` when the plan makes nobody faulty.  With several faulty
+        processes this is the latest silence point (admissibility is
+        already broken by the count, so precision does not matter)."""
+        points = [
+            clause.at_step
+            for clause in self._clauses
+            if isinstance(clause, Crash)
+        ] + [
+            clause.start
+            for clause in self._clauses
+            if isinstance(clause, Delay) and clause.end is None
+        ]
+        return max(points) if points else None
+
+    def blocks_link(
+        self, sender: str | None, destination: str, step_index: int
+    ) -> bool:
+        """Whether a (sender -> destination) copy is frozen in transit
+        by an active partition at *step_index*.  Unknown senders are
+        unconstrained (nothing to attribute the copy to)."""
+        if sender is None:
+            return False
+        for clause in self._clauses:
+            if isinstance(clause, Partition) and clause.active_at(
+                step_index
+            ):
+                if clause.separates(sender, destination):
+                    return True
+        return False
+
+    def severs_link_forever(
+        self, sender: str | None, destination: str
+    ) -> bool:
+        """Whether some never-healing partition separates the endpoints
+        (such a copy is lost for good, which the auditor must flag)."""
+        if sender is None:
+            return False
+        return any(
+            isinstance(clause, Partition)
+            and clause.heal_at is None
+            and clause.separates(sender, destination)
+            for clause in self._clauses
+        )
+
+    # -- engine fragments --------------------------------------------------
+
+    @property
+    def needs_buffer_engine(self) -> bool:
+        """Whether the per-step fault machinery (sender tracking, buffer
+        perturbation, partition masking) is needed.  Plans without
+        buffer-touching clauses answer ``False`` and ride the
+        zero-overhead fast path."""
+        return any(
+            isinstance(
+                clause, (CrashRecovery, Omission, Duplication, Partition)
+            )
+            for clause in self._clauses
+        )
+
+    def simple_crash_plan(self) -> CrashPlan | None:
+        """The legacy :class:`CrashPlan` with this plan's liveness
+        structure, when it is expressible (no recovery or delay
+        windows); ``None`` otherwise."""
+        if self.recoveries or self.delays:
+            return None
+        return CrashPlan(
+            {clause.process: clause.at_step for clause in self.crashes}
+        )
+
+    def static_fragment(
+        self, process_names: Sequence[str]
+    ) -> tuple[frozenset[str], frozenset[str], frozenset[tuple[str, str]]]:
+        """The time-independent projection used by exhaustive exploration.
+
+        Returns ``(dead, lossy_destinations, severed_links)``:
+
+        * ``dead`` — processes that never take a step (crash at 0, or an
+          unbounded delay from step 0);
+        * ``lossy_destinations`` — destinations whose inbound copies may
+          nondeterministically be lost (unbounded, deterministic,
+          destination-only omission clauses);
+        * ``severed_links`` — ``(sender, destination)`` pairs cut by a
+          never-healing partition active from step 0.
+
+        Raises
+        ------
+        FaultModelError
+            For any time-dependent clause (mid-run crash, recovery,
+            bounded budget or window, healing partition): the
+            configuration graph is memoryless, so such clauses are
+            simulation-only.
+        """
+        dead: set[str] = set()
+        lossy: set[str] = set()
+        severed: set[tuple[str, str]] = set()
+        names = tuple(process_names)
+        for clause in self._clauses:
+            if isinstance(clause, Crash):
+                if clause.at_step != 0:
+                    raise FaultModelError(
+                        f"mid-run crash {clause!r} is time-dependent; "
+                        "exhaustive exploration supports only the static "
+                        "fragment (initially-dead, unbounded omission, "
+                        "never-healing partitions from step 0)"
+                    )
+                dead.add(clause.process)
+            elif isinstance(clause, Delay):
+                if clause.start != 0 or clause.end is not None:
+                    raise FaultModelError(
+                        f"delay window {clause!r} is time-dependent; "
+                        "simulation-only"
+                    )
+                dead.add(clause.process)
+            elif isinstance(clause, Omission):
+                if (
+                    clause.budget is not None
+                    or clause.probability != 1.0
+                    or clause.sender is not None
+                ):
+                    raise FaultModelError(
+                        f"omission clause {clause!r} is history-dependent "
+                        "(bounded budget, probability, or sender match); "
+                        "exploration supports only unbounded "
+                        "destination-only loss"
+                    )
+                if clause.destination is None:
+                    lossy.update(names)
+                else:
+                    lossy.add(clause.destination)
+            elif isinstance(clause, Partition):
+                if clause.start != 0 or clause.heal_at is not None:
+                    raise FaultModelError(
+                        f"partition {clause!r} is time-dependent "
+                        "(delayed start or heal time); simulation-only"
+                    )
+                for sender in names:
+                    for destination in names:
+                        if sender != destination and clause.separates(
+                            sender, destination
+                        ):
+                            severed.add((sender, destination))
+            else:
+                raise FaultModelError(
+                    f"clause {clause!r} is time-dependent; "
+                    "simulation-only"
+                )
+        return frozenset(dead), frozenset(lossy), frozenset(severed)
+
+
+class PlanCrashView(CrashPlan):
+    """A :class:`CrashPlan`-shaped window onto a :class:`FaultPlan`.
+
+    Base schedulers consult ``self.crash_plan.live_at(...)`` each step;
+    installing this view makes any unmodified scheduler honour the
+    plan's full liveness structure (crash windows, recovery, delays)
+    without knowing fault plans exist.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        super().__init__({})
+        self._plan = plan
+
+    @property
+    def faulty(self) -> frozenset[str]:
+        return self._plan.faulty_processes
+
+    def is_live(self, process: str, step_index: int) -> bool:
+        return self._plan.may_step(process, step_index)
+
+    def survivors(self, names: tuple[str, ...]) -> tuple[str, ...]:
+        return tuple(
+            name for name in names if self._plan.eventually_live(name)
+        )
+
+    def __repr__(self) -> str:
+        return f"PlanCrashView({self._plan!r})"

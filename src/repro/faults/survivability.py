@@ -1,0 +1,350 @@
+"""The survivability matrix: protocol zoo × fault models.
+
+The paper makes *predictions*, not just an impossibility claim:
+
+* Theorem 2's protocol reaches consensus as long as a *majority* of the
+  processes are alive from the start and "no process dies during the
+  execution of the protocol" — so it must survive initially-dead
+  minorities and it must stall under a single mid-run crash (the
+  crashed process's stage-1 listeners wait for its stage-2 broadcast
+  forever);
+* Theorem 1 says every safe protocol has *some* admissible single-fault
+  run that never decides — termination cells are therefore
+  *existential*: one stalled run under the model flags the cell;
+* commit protocols (2PC) famously widen their blocking window under
+  message omission: lose the votes or the outcome and the cohort hangs.
+
+:func:`survivability_matrix` sweeps registered protocols against
+families of :class:`~repro.faults.plan.FaultPlan` (one family per named
+*fault model*), runs each (inputs × scheduler) combination under a
+:class:`~repro.schedulers.faulty.FaultyScheduler`, audits every run
+against Section 2 via :func:`~repro.faults.audit.audit_run`, and folds
+the outcomes into one :class:`SurvivabilityCell` per (protocol, model)
+pair: agreement / validity / termination verdicts with witnesses, plus
+the admissibility census.  :func:`check_expectations` pins the paper's
+predictions so the sweep doubles as a regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import registry
+from repro.core.simulation import StopCondition, simulate
+from repro.faults.audit import audit_run
+from repro.faults.plan import (
+    Crash,
+    CrashRecovery,
+    Duplication,
+    FaultPlan,
+    Omission,
+    Partition,
+)
+from repro.schedulers.random_scheduler import RandomScheduler
+from repro.schedulers.round_robin import RoundRobinScheduler
+
+__all__ = [
+    "FAULT_MODELS",
+    "SurvivabilityCell",
+    "plans_for",
+    "survivability_matrix",
+    "check_expectations",
+]
+
+#: The named fault-model families the matrix sweeps, in display order.
+FAULT_MODELS: tuple[str, ...] = (
+    "none",
+    "initially-dead-minority",
+    "one-mid-crash",
+    "crash-recovery",
+    "omission",
+    "duplication",
+    "partition-heal",
+    "partition-forever",
+)
+
+
+def plans_for(model: str, names: tuple[str, ...]) -> list[FaultPlan]:
+    """The concrete plans a named fault model yields for *names*.
+
+    Deterministic and small by design: a handful of representative
+    plans per family, not the full combinatorial space.
+    """
+    n = len(names)
+    if model == "none":
+        return [FaultPlan.none()]
+    if model == "initially-dead-minority":
+        minority = (n - 1) // 2
+        if minority == 0:
+            return []
+        # Rotated contiguous victim sets: every process is dead in some
+        # plan, without enumerating all C(n, minority) subsets.
+        return [
+            FaultPlan.initially_dead(
+                names[start:] + names[: minority - (n - start)]
+                if start + minority > n
+                else names[start : start + minority]
+            )
+            for start in range(n)
+        ]
+    if model == "one-mid-crash":
+        # One process dies after it has begun participating.  Crash
+        # steps cover "just after its first step", "after one full
+        # round", and "after two rounds" under round-robin pacing.
+        return [
+            FaultPlan([Crash(name, at_step)])
+            for name in names
+            for at_step in (1, n + 1, 2 * n + 1)
+        ]
+    if model == "crash-recovery":
+        return [
+            FaultPlan([CrashRecovery(name, 2, 2 + 2 * n)]) for name in names
+        ]
+    if model == "omission":
+        # A deterministic lossy inbox: the first two messages to the
+        # victim vanish.  Enough to eat a 2PC vote or outcome.
+        return [
+            FaultPlan([Omission(destination=name, budget=2)])
+            for name in names
+        ]
+    if model == "duplication":
+        return [
+            FaultPlan([Duplication(destination=name, budget=2)])
+            for name in names
+        ]
+    if model == "partition-heal":
+        half = max(n // 2, 1)
+        return [
+            FaultPlan(
+                [
+                    Partition(
+                        (frozenset(names[:half]), frozenset(names[half:])),
+                        start=0,
+                        heal_at=4 * n,
+                    )
+                ]
+            )
+        ]
+    if model == "partition-forever":
+        half = max(n // 2, 1)
+        plans = [
+            FaultPlan(
+                [
+                    Partition(
+                        (frozenset(names[:half]), frozenset(names[half:])),
+                    )
+                ]
+            )
+        ]
+        plans.extend(
+            FaultPlan(
+                [
+                    Partition(
+                        (
+                            frozenset({name}),
+                            frozenset(set(names) - {name}),
+                        )
+                    )
+                ]
+            )
+            for name in names
+        )
+        return plans
+    raise ValueError(
+        f"unknown fault model {model!r}; available: {list(FAULT_MODELS)}"
+    )
+
+
+@dataclass
+class SurvivabilityCell:
+    """One (protocol, fault model) cell of the matrix.
+
+    ``agreement`` and ``validity`` are ``"holds"`` or ``"violated"``
+    (with a witness naming the plan and run); ``termination`` is
+    ``"holds"`` or ``"stalled"`` — existential over the swept runs, in
+    the spirit of Theorem 1 (one adversarial run suffices).  ``"n/a"``
+    marks an empty model (e.g. no dead minority exists for N = 2).
+    """
+
+    protocol: str
+    model: str
+    agreement: str = "holds"
+    validity: str = "holds"
+    termination: str = "holds"
+    witness: str = ""
+    runs: int = 0
+    admissible_runs: int = 0
+    #: Violated fairness clause -> number of runs flagged with it.
+    flagged: dict[str, int] = field(default_factory=dict)
+    #: Safety violations observed in *admissible* runs only (the ones
+    #: the acceptance criteria forbid for safe protocols).
+    admissible_safety_violations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "model": self.model,
+            "agreement": self.agreement,
+            "validity": self.validity,
+            "termination": self.termination,
+            "witness": self.witness,
+            "runs": self.runs,
+            "admissible_runs": self.admissible_runs,
+            "flagged": dict(sorted(self.flagged.items())),
+            "admissible_safety_violations": (
+                self.admissible_safety_violations
+            ),
+        }
+
+
+def _input_vectors(n: int) -> list[tuple[int, ...]]:
+    return [
+        tuple([0] * n),
+        tuple([1] * n),
+        tuple(i % 2 for i in range(n)),
+    ]
+
+
+def _validity_holds(decisions: dict[str, int], inputs: tuple[int, ...]) -> bool:
+    # Weak validity: every decided value was somebody's input.
+    return set(decisions.values()) <= set(inputs)
+
+
+def survivability_matrix(
+    protocols: list[str] | None = None,
+    fault_models: tuple[str, ...] = FAULT_MODELS,
+    *,
+    n: int | None = None,
+    seeds: int = 1,
+    max_steps: int = 800,
+) -> list[SurvivabilityCell]:
+    """Sweep *protocols* × *fault_models* and fold runs into cells.
+
+    Every run is certified by the auditor; the cell records how many
+    runs were admissible and which fairness clauses the rest violated,
+    so "the protocol stalled" can always be traced to "…under an
+    admissible run" or "…only outside the model".
+    """
+    if protocols is None:
+        protocols = registry.names()
+    cells: list[SurvivabilityCell] = []
+    for protocol_name in protocols:
+        entry = registry.info(protocol_name)
+        protocol = entry.build(n)
+        names = protocol.process_names
+        for model in fault_models:
+            cell = SurvivabilityCell(protocol=protocol_name, model=model)
+            plans = plans_for(model, names)
+            if not plans:
+                cell.agreement = cell.validity = cell.termination = "n/a"
+                cells.append(cell)
+                continue
+            for plan in plans:
+                for inputs in _input_vectors(len(names)):
+                    for scheduler in _schedulers_for(seeds):
+                        _run_once(
+                            protocol,
+                            plan,
+                            inputs,
+                            scheduler,
+                            max_steps,
+                            cell,
+                        )
+            cells.append(cell)
+    return cells
+
+
+def _schedulers_for(seeds: int):
+    yield RoundRobinScheduler()
+    for seed in range(seeds):
+        yield RandomScheduler(seed=seed, null_probability=0.05)
+
+
+def _run_once(protocol, plan, inputs, base, max_steps, cell) -> None:
+    # Imported here, not at module top: schedulers.faulty imports
+    # faults.plan, whose package __init__ imports this module.
+    from repro.schedulers.faulty import FaultyScheduler
+
+    scheduler = FaultyScheduler(base, plan)
+    initial = protocol.initial_configuration(inputs)
+    result = simulate(
+        protocol,
+        initial,
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    verdict = audit_run(
+        protocol,
+        initial,
+        result.schedule,
+        plan,
+        fault_actions=tuple(result.fault_actions),
+    )
+    cell.runs += 1
+    if verdict.admissible:
+        cell.admissible_runs += 1
+    for clause in verdict.violated_clauses:
+        cell.flagged[clause] = cell.flagged.get(clause, 0) + 1
+
+    where = f"{plan.describe()} inputs={''.join(map(str, inputs))}"
+    if not result.agreement_holds:
+        cell.agreement = "violated"
+        if not cell.witness:
+            cell.witness = f"agreement broken under {where}"
+        if verdict.admissible:
+            cell.admissible_safety_violations += 1
+    if result.decisions and not _validity_holds(result.decisions, inputs):
+        cell.validity = "violated"
+        if not cell.witness:
+            cell.witness = f"validity broken under {where}"
+        if verdict.admissible:
+            cell.admissible_safety_violations += 1
+    if not result.decided:
+        cell.termination = "stalled"
+        if not cell.witness:
+            cell.witness = (
+                f"undecided after {result.steps} steps under {where}"
+            )
+
+
+def check_expectations(cells: list[SurvivabilityCell]) -> list[str]:
+    """The paper's predictions, checked against a finished matrix.
+
+    Returns a list of human-readable failures (empty = all good):
+
+    * no safe protocol shows a safety violation in an *admissible* run
+      (Theorem 1 kills only termination; agreement and validity are
+      supposed to survive every admissible schedule);
+    * Theorem 2's protocol terminates under every initially-dead
+      minority plan, and stalls under some single mid-run crash;
+    * 2PC stalls under message omission (the widened commit window).
+    """
+    failures: list[str] = []
+    by_key = {(cell.protocol, cell.model): cell for cell in cells}
+
+    for cell in cells:
+        entry = registry.info(cell.protocol)
+        if entry.safe and cell.admissible_safety_violations:
+            failures.append(
+                f"safe protocol {cell.protocol} broke safety in "
+                f"{cell.admissible_safety_violations} admissible run(s) "
+                f"under {cell.model}"
+            )
+
+    expectations = (
+        ("initially-dead", "initially-dead-minority", "termination", "holds"),
+        ("initially-dead", "one-mid-crash", "termination", "stalled"),
+        ("2pc", "omission", "termination", "stalled"),
+    )
+    for protocol, model, attribute, expected in expectations:
+        cell = by_key.get((protocol, model))
+        if cell is None:
+            continue
+        actual = getattr(cell, attribute)
+        if actual != expected:
+            failures.append(
+                f"{protocol} × {model}: expected {attribute}={expected}, "
+                f"got {actual}"
+            )
+    return failures

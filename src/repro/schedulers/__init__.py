@@ -15,6 +15,7 @@ from repro.schedulers.crash import (
     random_crash_plan,
     single_crash_plans,
 )
+from repro.schedulers.faulty import FaultyScheduler
 from repro.schedulers.partitioner import DelayScheduler
 from repro.schedulers.random_scheduler import RandomScheduler
 from repro.schedulers.round_robin import RoundRobinScheduler
@@ -28,6 +29,7 @@ __all__ = [
     "random_crash_plan",
     "single_crash_plans",
     "DelayScheduler",
+    "FaultyScheduler",
     "RandomScheduler",
     "RoundRobinScheduler",
     "ScriptedScheduler",

@@ -18,6 +18,7 @@ from collections import deque
 from typing import Mapping
 
 from repro.core.configuration import Configuration
+from repro.core.errors import FaultModelError
 from repro.core.events import Event
 from repro.core.messages import Message, MessageBuffer
 from repro.core.protocol import Protocol
@@ -38,7 +39,7 @@ class CrashPlan:
         self._crash_times = dict(crash_times or {})
         for name, step in self._crash_times.items():
             if step < 0:
-                raise ValueError(
+                raise FaultModelError(
                     f"crash time for {name!r} must be >= 0, got {step}"
                 )
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from repro.core.errors import FaultModelError
 from repro.schedulers.base import CrashPlan
 
 __all__ = [
@@ -35,7 +36,7 @@ def random_crash_plan(
     ``[0, max_faulty]`` so fault-free runs occur too.
     """
     if max_faulty > len(process_names):
-        raise ValueError(
+        raise FaultModelError(
             f"cannot crash {max_faulty} of {len(process_names)} processes"
         )
     count = rng.randint(0, max_faulty)
@@ -68,7 +69,7 @@ def initially_dead_plans(
     """
     names = list(process_names)
     if num_dead > len(names):
-        raise ValueError(
+        raise FaultModelError(
             f"cannot have {num_dead} dead of {len(names)} processes"
         )
     plans: list[CrashPlan] = []

@@ -1,0 +1,395 @@
+"""FaultyScheduler: apply any :class:`FaultPlan` to any base scheduler.
+
+The wrapper composes three mechanisms, all invisible to the wrapped
+scheduler:
+
+* **liveness** — the base scheduler's :attr:`crash_plan` is replaced by
+  a view of the fault plan, so crash windows, recovery, and delay
+  freezes govern who it may schedule without it knowing fault plans
+  exist (a pure crash-stop plan is handed over as a native
+  :class:`CrashPlan`, keeping the no-fault path overhead-free);
+* **buffer perturbation** — before each step the simulator calls
+  :meth:`perturb`, which drops omitted copies, adds duplicated copies,
+  and wipes the inbox of a process at its recovery step, recording each
+  injection as a :class:`~repro.faults.plan.FaultAction` for the audit
+  trail;
+* **partition masking** — while a partition is active, copies crossing
+  group boundaries are hidden from the base scheduler (frozen in
+  transit) and reappear when it heals.
+
+Message senders are not part of the paper's model (a buffer message is
+``(destination, value)``), so the wrapper attributes senders itself by
+diffing successive buffers: the only process that stepped between two
+observations is the sender of every newly appeared copy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.configuration import Configuration
+from repro.core.events import Event
+from repro.core.messages import Message, MessageBuffer
+from repro.core.protocol import Protocol
+from repro.faults.plan import (
+    FaultAction,
+    FaultCounters,
+    FaultPlan,
+    PlanCrashView,
+)
+from repro.schedulers.base import Scheduler
+
+__all__ = ["FaultyScheduler"]
+
+
+class _Copy:
+    """One in-flight message copy with its attributed sender."""
+
+    __slots__ = ("message", "sender", "sent_at", "frozen_flagged")
+
+    def __init__(self, message: Message, sender: str | None, sent_at: int):
+        self.message = message
+        self.sender = sender
+        self.sent_at = sent_at
+        #: Whether a partition-freeze action was already emitted for it.
+        self.frozen_flagged = False
+
+
+class _SenderTracker:
+    """Buffer diffing with sender attribution.
+
+    Like :class:`~repro.schedulers.base.FifoTracker`, but each tracked
+    copy carries the process whose step put it in the buffer.  The
+    tracker must see every buffer the run produces — both the ones the
+    protocol steps make and the ones the wrapper's own perturbations
+    make (via :meth:`drop`, :meth:`duplicate`, :meth:`wipe`) — to stay
+    consistent.
+    """
+
+    def __init__(self):
+        self.copies: list[_Copy] = []
+        self._last_buffer = MessageBuffer.empty()
+
+    def observe(
+        self,
+        buffer: MessageBuffer,
+        stepper: str | None,
+        step_index: int,
+    ) -> list[_Copy]:
+        """Sync with *buffer*; return the newly arrived copies."""
+        if buffer == self._last_buffer:
+            return []
+        for message, old_count in self._last_buffer.items():
+            for _ in range(old_count - buffer.count(message)):
+                self._remove_one(message)
+        arrivals: list[_Copy] = []
+        for message in buffer.distinct_messages():
+            delta = buffer.count(message) - self._last_buffer.count(message)
+            for _ in range(max(delta, 0)):
+                copy = _Copy(message, stepper, step_index)
+                self.copies.append(copy)
+                arrivals.append(copy)
+        self._last_buffer = buffer
+        return arrivals
+
+    def drop(self, copy: _Copy, buffer: MessageBuffer) -> MessageBuffer:
+        """Remove *copy* from both the tracker and *buffer*."""
+        self.copies.remove(copy)
+        buffer = buffer.deliver(copy.message)
+        self._last_buffer = self._last_buffer.deliver(copy.message)
+        return buffer
+
+    def duplicate(self, copy: _Copy, buffer: MessageBuffer) -> MessageBuffer:
+        """Add a clone of *copy* to both the tracker and *buffer*."""
+        clone = _Copy(copy.message, copy.sender, copy.sent_at)
+        self.copies.append(clone)
+        buffer = buffer.send(copy.message)
+        self._last_buffer = self._last_buffer.send(copy.message)
+        return buffer
+
+    def copies_for(self, process: str) -> list[_Copy]:
+        return [
+            copy
+            for copy in self.copies
+            if copy.message.destination == process
+        ]
+
+    def _remove_one(self, message: Message) -> None:
+        for index, copy in enumerate(self.copies):
+            if copy.message == message:
+                del self.copies[index]
+                return
+
+    def reset(self) -> None:
+        self.copies = []
+        self._last_buffer = MessageBuffer.empty()
+
+
+class FaultyScheduler(Scheduler):
+    """Wrap *base* so every choice it makes happens under *plan*.
+
+    Parameters
+    ----------
+    base:
+        Any scheduler.  Its own ``crash_plan`` (if any) is folded into
+        the fault plan — a conflict between the two raises
+        :class:`~repro.core.errors.FaultModelError`.
+    plan:
+        The validated fault plan to apply.
+    seed:
+        Seed for the probability draws of probabilistic omission /
+        duplication clauses (deterministic given the seed and the run).
+    """
+
+    def __init__(self, base: Scheduler, plan: FaultPlan, seed: int = 0):
+        base_plan = getattr(base, "crash_plan", None)
+        if base_plan is not None and base_plan.crash_times:
+            plan = plan.merged_with_crashes(base_plan.crash_times)
+        super().__init__(None)
+        self.base = base
+        self.plan = plan
+        self.seed = seed
+        self.counters = FaultCounters()
+        self.actions: list[FaultAction] = []
+        self.crash_plan = PlanCrashView(plan)
+        # Hand the base scheduler the plan's liveness structure in the
+        # cheapest form it can express.
+        simple = plan.simple_crash_plan()
+        base.crash_plan = simple if simple is not None else self.crash_plan
+        self._dynamic = plan.needs_buffer_engine
+        self._tracker = _SenderTracker()
+        self._rng = random.Random(seed)
+        self._last_stepper: str | None = None
+        self._omission_budgets = [c.budget for c in plan.omissions]
+        self._dup_budgets = [c.budget for c in plan.duplications]
+        self._transitioned: set[tuple[str, str]] = set()
+
+    # -- the perturb hook --------------------------------------------------
+
+    def perturb(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> tuple[Configuration, tuple[FaultAction, ...]]:
+        """Apply the plan's buffer-level faults due at *step_index*.
+
+        Called by :func:`repro.core.simulation.simulate` at the top of
+        every step.  Returns the (possibly) perturbed configuration and
+        the fault actions injected at this step.
+        """
+        plan = self.plan
+        actions: list[FaultAction] = []
+        # Crash / recovery transitions are pure bookkeeping except for
+        # the recovery-time inbox wipe; record them even on the fast
+        # path so the audit trail is complete.
+        for clause in plan.crashes:
+            if clause.at_step == step_index:
+                self._mark(
+                    actions, step_index, "crash", clause.process
+                )
+        if not self._dynamic:
+            if actions:
+                self.actions.extend(actions)
+            return configuration, tuple(actions)
+
+        buffer = configuration.buffer
+        arrivals = self._tracker.observe(
+            buffer, self._last_stepper, step_index
+        )
+        for clause in plan.recoveries:
+            if clause.at_step == step_index:
+                self._mark(actions, step_index, "crash", clause.process)
+            if clause.recover_at == step_index:
+                # Restart with per-step state intact but the inbox
+                # emptied: every copy pending to the process is lost.
+                for copy in self._tracker.copies_for(clause.process):
+                    buffer = self._tracker.drop(copy, buffer)
+                    self.counters.inbox_wipes += 1
+                    actions.append(
+                        FaultAction(
+                            step_index,
+                            "inbox-wipe",
+                            process=clause.process,
+                            message=copy.message,
+                        )
+                    )
+                self.counters.recoveries += 1
+                self._mark(actions, step_index, "recover", clause.process)
+        # Omission and duplication examine each copy once, on arrival.
+        for copy in arrivals:
+            dropped = False
+            for index, clause in enumerate(plan.omissions):
+                if not self._matches(clause, copy):
+                    continue
+                budget = self._omission_budgets[index]
+                if budget is not None and budget <= 0:
+                    continue
+                if not self._draw(clause.probability):
+                    continue
+                if budget is not None:
+                    self._omission_budgets[index] = budget - 1
+                buffer = self._tracker.drop(copy, buffer)
+                self.counters.omission_drops += 1
+                actions.append(
+                    FaultAction(
+                        step_index,
+                        "omission-drop",
+                        message=copy.message,
+                        detail=f"clause {index}",
+                    )
+                )
+                dropped = True
+                break
+            if dropped:
+                continue
+            for index, clause in enumerate(plan.duplications):
+                if not self._matches(clause, copy):
+                    continue
+                if self._dup_budgets[index] <= 0:
+                    continue
+                if not self._draw(clause.probability):
+                    continue
+                self._dup_budgets[index] -= 1
+                buffer = self._tracker.duplicate(copy, buffer)
+                self.counters.duplications += 1
+                actions.append(
+                    FaultAction(
+                        step_index,
+                        "duplicate",
+                        message=copy.message,
+                        detail=f"clause {index}",
+                    )
+                )
+                break
+        # Flag copies a never-healing partition has frozen for good —
+        # the auditor needs them even though they stay in the buffer.
+        if plan.partitions:
+            for copy in self._tracker.copies:
+                if copy.frozen_flagged:
+                    continue
+                if plan.severs_link_forever(
+                    copy.sender, copy.message.destination
+                ):
+                    copy.frozen_flagged = True
+                    actions.append(
+                        FaultAction(
+                            step_index,
+                            "partition-freeze",
+                            message=copy.message,
+                            detail=f"sender {copy.sender}",
+                        )
+                    )
+        if actions:
+            self.actions.extend(actions)
+        if buffer is not configuration.buffer:
+            configuration = configuration.with_buffer(buffer)
+        return configuration, tuple(actions)
+
+    def _mark(
+        self,
+        actions: list[FaultAction],
+        step_index: int,
+        kind: str,
+        process: str,
+    ) -> None:
+        key = (kind, process)
+        if key in self._transitioned:
+            return
+        self._transitioned.add(key)
+        if kind == "crash":
+            self.counters.crashes += 1
+        actions.append(FaultAction(step_index, kind, process=process))
+
+    @staticmethod
+    def _matches(clause, copy: _Copy) -> bool:
+        if (
+            clause.destination is not None
+            and clause.destination != copy.message.destination
+        ):
+            return False
+        if clause.sender is not None and clause.sender != copy.sender:
+            return False
+        return True
+
+    def _draw(self, probability: float) -> bool:
+        if probability >= 1.0:
+            return True
+        return self._rng.random() < probability
+
+    # -- scheduling --------------------------------------------------------
+
+    def next_event(
+        self,
+        protocol: Protocol,
+        configuration: Configuration,
+        step_index: int,
+    ) -> Event | None:
+        masked = configuration
+        if self._dynamic and self.plan.partitions:
+            # Keep the tracker in sync even if the simulator skipped a
+            # perturb (direct next_event use), then hide frozen copies.
+            self._tracker.observe(
+                configuration.buffer, self._last_stepper, step_index
+            )
+            visible = [
+                copy.message
+                for copy in self._tracker.copies
+                if not self.plan.blocks_link(
+                    copy.sender, copy.message.destination, step_index
+                )
+            ]
+            if len(visible) != len(self._tracker.copies):
+                self.counters.partition_blocks += len(
+                    self._tracker.copies
+                ) - len(visible)
+                masked = configuration.with_buffer(
+                    MessageBuffer.of(visible)
+                )
+        event = self.base.next_event(protocol, masked, step_index)
+        if event is None and self._pending_wakeup(step_index):
+            # The base scheduler sees nothing to do, but the plan still
+            # holds a future transition (a recovery, a delay ending, a
+            # partition healing).  Idle with null deliveries so the run
+            # reaches it instead of ending early.
+            event = self._idle_event(protocol, step_index)
+        self._last_stepper = event.process if event is not None else None
+        return event
+
+    def _pending_wakeup(self, step_index: int) -> bool:
+        plan = self.plan
+        return (
+            any(c.recover_at > step_index for c in plan.recoveries)
+            or any(
+                c.end is not None and c.end > step_index
+                for c in plan.delays
+            )
+            or any(
+                c.heal_at is not None and c.heal_at > step_index
+                for c in plan.partitions
+            )
+        )
+
+    def _idle_event(self, protocol: Protocol, step_index: int) -> Event | None:
+        for name in protocol.process_names:
+            if self.plan.may_step(name, step_index):
+                return Event(name, None)
+        return None
+
+    def live_processes(self, protocol: Protocol) -> tuple[str, ...]:
+        return tuple(
+            name
+            for name in protocol.process_names
+            if self.plan.eventually_live(name)
+        )
+
+    def reset(self) -> None:
+        self.base.reset()
+        self.counters = FaultCounters()
+        self.actions = []
+        self._tracker.reset()
+        self._rng = random.Random(self.seed)
+        self._last_stepper = None
+        self._omission_budgets = [c.budget for c in self.plan.omissions]
+        self._dup_budgets = [c.budget for c in self.plan.duplications]
+        self._transitioned = set()

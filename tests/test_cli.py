@@ -261,6 +261,34 @@ class TestResilienceFlags:
                 assert line in resumed
         assert "resumed_nodes" in resumed
 
+    def test_resume_with_wrong_protocol_is_one_friendly_line(
+        self, tmp_path, capsys
+    ):
+        """A checkpoint from another protocol must produce a one-line
+        error and exit 2, not a traceback."""
+        target = tmp_path / "parity.ckpt"
+        assert (
+            main(
+                [
+                    "check",
+                    "parity-arbiter",
+                    "--checkpoint",
+                    str(target),
+                    "--checkpoint-every",
+                    "0.001",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["check", "arbiter", "--resume", str(target)]) == 2
+        )
+        err = capsys.readouterr().err
+        assert err.startswith("cannot resume:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
     def test_stats_surface_resilience_counters(self, capsys):
         assert main(["check", "arbiter", "--stats"]) == 0
         out = capsys.readouterr().out
@@ -378,3 +406,69 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert "interrupt-resume" in out
         assert "worker-kill" not in out
+
+
+class TestSurvive:
+    def test_single_protocol_matrix(self, capsys):
+        assert (
+            main(
+                [
+                    "survive",
+                    "wait-for-all",
+                    "--fault-models",
+                    "none",
+                    "one-mid-crash",
+                    "--max-steps",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault model" in out
+        assert "one-mid-crash" in out
+        assert "all survivability expectations hold" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        target = tmp_path / "matrix.json"
+        assert (
+            main(
+                [
+                    "survive",
+                    "2pc",
+                    "--fault-models",
+                    "none",
+                    "omission",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        payload = json.loads(target.read_text())
+        cells = {
+            (cell["protocol"], cell["model"]): cell
+            for cell in payload["cells"]
+        }
+        assert cells[("2pc", "none")]["termination"] == "holds"
+        assert cells[("2pc", "omission")]["termination"] == "stalled"
+        assert cells[("2pc", "omission")]["flagged"]["omission"] > 0
+
+    def test_theorem2_predictions_via_cli(self, capsys):
+        assert (
+            main(
+                [
+                    "survive",
+                    "initially-dead",
+                    "--fault-models",
+                    "initially-dead-minority",
+                    "one-mid-crash",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stalled" in out      # the mid-run crash row
+        assert "witnesses:" in out

@@ -1,0 +1,137 @@
+"""The admissibility auditor: every injected run gets a certificate."""
+
+from repro.analysis import admissibility as admissibility_module
+from repro.core.simulation import StopCondition, simulate
+from repro.faults import (
+    Crash,
+    CrashRecovery,
+    Duplication,
+    FaultPlan,
+    Omission,
+    Partition,
+    audit_run,
+    audit_simulation,
+)
+from repro.protocols import (
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+from repro.schedulers import FaultyScheduler, RoundRobinScheduler
+
+
+def run_under(protocol, plan, inputs, *, max_steps=400):
+    scheduler = FaultyScheduler(RoundRobinScheduler(), plan)
+    initial = protocol.initial_configuration(inputs)
+    result = simulate(
+        protocol,
+        initial,
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    return initial, result
+
+
+def test_fault_free_run_is_admissible_with_report():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan.none()
+    initial, result = run_under(protocol, plan, [1, 0, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert verdict.admissible
+    assert verdict.violated_clauses == ()
+    assert verdict.report is not None
+    assert verdict.report.fault_ok
+    assert "admissible" in verdict.summary()
+
+
+def test_single_crash_is_admissible():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan([Crash("p0", 0)])
+    initial, result = run_under(protocol, plan, [1, 1, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert verdict.admissible
+    assert verdict.faulty == frozenset({"p0"})
+
+
+def test_two_crashes_flag_multiple_faulty():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan([Crash("p0", 0), Crash("p1", 0)])
+    initial, result = run_under(protocol, plan, [1, 1, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert not verdict.admissible
+    assert verdict.violated_clauses == ("multiple-faulty",)
+
+
+def test_omission_to_nonfaulty_flags_omission():
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    plan = FaultPlan([Omission(destination="p0", budget=2)])
+    initial, result = run_under(protocol, plan, [1, 1, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert not verdict.admissible
+    assert "omission" in verdict.violated_clauses
+    # Buffer-mutating injections make the schedule non-replayable.
+    assert verdict.report is None
+
+
+def test_omission_to_the_faulty_process_is_fine():
+    # Mail to the (single) faulty process need never be delivered, so
+    # dropping it breaks nothing in Section 2's definition.
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan(
+        [Crash("p0", 0), Omission(destination="p0", budget=None)]
+    )
+    initial, result = run_under(protocol, plan, [1, 1, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert verdict.admissible
+
+
+def test_duplication_always_flags():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan([Duplication(destination="p1", budget=1)])
+    initial, result = run_under(protocol, plan, [1, 0, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert not verdict.admissible
+    assert verdict.violated_clauses == ("duplication",)
+
+
+def test_recovery_wipe_flags_crash_recovery_loss():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan([CrashRecovery("p0", 2, 10)])
+    initial, result = run_under(protocol, plan, [1, 1, 0])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert not verdict.admissible
+    assert "crash-recovery-loss" in verdict.violated_clauses
+
+
+def test_forever_partition_flags_unhealed():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan(
+        [Partition((frozenset({"p0"}), frozenset({"p1", "p2"})))]
+    )
+    initial, result = run_under(protocol, plan, [1, 1, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert not verdict.admissible
+    assert "partition-unhealed" in verdict.violated_clauses
+
+
+def test_healing_partition_stays_admissible():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan(
+        [
+            Partition(
+                (frozenset({"p0"}), frozenset({"p1", "p2"})),
+                heal_at=12,
+            )
+        ]
+    )
+    initial, result = run_under(protocol, plan, [1, 1, 1])
+    verdict = audit_simulation(protocol, initial, result, plan)
+    assert verdict.admissible
+
+
+def test_audit_names_reexported_from_analysis_admissibility():
+    # The auditor is discoverable where the admissibility machinery
+    # already lives.
+    assert admissibility_module.audit_run is audit_run
+    assert admissibility_module.FaultAuditVerdict is not None

@@ -11,9 +11,19 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.admissibility import analyze_admissibility
 from repro.core.resilience import ChaosConfig, ResilienceConfig
 from repro.core.simulation import StopCondition, simulate
 from repro.core.valency import ValencyAnalyzer
+from repro.faults import (
+    Crash,
+    Duplication,
+    FaultPlan,
+    Omission,
+    Partition,
+    audit_run,
+)
+from repro.schedulers.faulty import FaultyScheduler
 from repro.protocols import (
     ArbiterProcess,
     InitiallyDeadProcess,
@@ -158,6 +168,118 @@ def test_partial_decisions_never_conflict_with_late_ones(seed):
         stop=StopCondition.NEVER,
     )
     assert result.agreement_holds
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan engine: safety of the safe zoo under random message-level
+# fault plans, and auditor agreement with the legacy admissibility
+# checker on the crash-only fragment.
+# ---------------------------------------------------------------------------
+
+
+def _random_message_plan(rng, names):
+    """A random plan of omission / duplication / partition clauses."""
+    clauses = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choice(["omit", "dup", "split"])
+        if kind == "omit":
+            clauses.append(
+                Omission(
+                    destination=rng.choice([None, *names]),
+                    budget=rng.choice([None, 1, 2, 4]),
+                    probability=rng.choice([1.0, 0.5]),
+                )
+            )
+        elif kind == "dup":
+            clauses.append(
+                Duplication(
+                    destination=rng.choice([None, *names]),
+                    budget=rng.randint(1, 4),
+                    probability=rng.choice([1.0, 0.5]),
+                )
+            )
+        elif not any(isinstance(c, Partition) for c in clauses):
+            cut = rng.randint(1, len(names) - 1)
+            shuffled = list(names)
+            rng.shuffle(shuffled)
+            clauses.append(
+                Partition(
+                    (frozenset(shuffled[:cut]), frozenset(shuffled[cut:])),
+                    start=rng.randint(0, 10),
+                    heal_at=rng.choice([None, 40, 80]),
+                )
+            )
+    return FaultPlan(clauses)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(FACTORIES)),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_safety_under_random_message_fault_plans(name, seed):
+    """Omission, duplication, and partitions may stall the safe zoo but
+    can never make it disagree or decide a non-input value."""
+    protocol = get(name)
+    rng = random.Random(seed)
+    inputs = [rng.randint(0, 1) for _ in protocol.process_names]
+    plan = _random_message_plan(rng, protocol.process_names)
+    base = (
+        RoundRobinScheduler()
+        if rng.random() < 0.5
+        else RandomScheduler(seed=seed, null_probability=0.1)
+    )
+    scheduler = FaultyScheduler(base, plan, seed=seed)
+    result = simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler,
+        max_steps=600,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    check_safety(protocol, result, inputs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=st.sampled_from(sorted(FACTORIES)),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_auditor_matches_legacy_checker_on_crash_only_plans(name, seed):
+    """On the crash-only fragment the new auditor must accept exactly
+    the runs the replay-based admissibility checker accepts."""
+    protocol = get(name)
+    rng = random.Random(seed)
+    names = protocol.process_names
+    victims = rng.sample(names, rng.randint(0, len(names) - 1))
+    plan = FaultPlan(
+        Crash(name, rng.randint(0, 40)) for name in sorted(victims)
+    )
+    inputs = [rng.randint(0, 1) for _ in names]
+    scheduler = FaultyScheduler(
+        RandomScheduler(seed=seed, null_probability=0.1), plan
+    )
+    initial = protocol.initial_configuration(inputs)
+    result = simulate(
+        protocol, initial, scheduler, max_steps=400,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    verdict = audit_run(
+        protocol,
+        initial,
+        result.schedule,
+        plan,
+        fault_actions=tuple(result.fault_actions),
+    )
+    report = analyze_admissibility(
+        protocol,
+        initial,
+        result.schedule,
+        faulty=plan.faulty_processes,
+        fault_point=plan.fault_point(),
+    )
+    assert verdict.report is not None
+    assert verdict.admissible == report.fault_ok
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,239 @@
+"""FaultPlan construction, validation, and the clause algebra."""
+
+import pickle
+
+import pytest
+
+from repro.core.errors import FaultModelError, ModelError
+from repro.faults import (
+    Crash,
+    CrashRecovery,
+    Delay,
+    Duplication,
+    FaultPlan,
+    Omission,
+    Partition,
+    PlanCrashView,
+)
+from repro.schedulers import CrashPlan
+from repro.schedulers.crash import initially_dead_plans, random_crash_plan
+
+NAMES = ("p0", "p1", "p2")
+
+
+class TestValidation:
+    def test_empty_plan_is_falsy_and_fine(self):
+        plan = FaultPlan.none()
+        assert not plan
+        assert plan.describe() == "none"
+
+    def test_non_clause_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(["p0 dies"])
+
+    def test_negative_crash_step(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([Crash("p0", -1)])
+
+    def test_recovery_must_follow_crash(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([CrashRecovery("p0", at_step=5, recover_at=5)])
+
+    def test_contradictory_dead_and_recovering(self):
+        with pytest.raises(FaultModelError, match="contradictory"):
+            FaultPlan([Crash("p0", 0), CrashRecovery("p0", 2, 9)])
+
+    def test_double_crash_claim(self):
+        with pytest.raises(FaultModelError, match="contradictory"):
+            FaultPlan([Crash("p0", 0), Crash("p0", 5)])
+
+    def test_negative_omission_budget(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([Omission(destination="p0", budget=-1)])
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([Omission(destination="p0", probability=1.5)])
+
+    def test_partition_needs_two_groups(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([Partition((frozenset({"p0"}),))])
+
+    def test_partition_groups_may_not_overlap(self):
+        with pytest.raises(FaultModelError, match="overlap"):
+            FaultPlan(
+                [
+                    Partition(
+                        (frozenset({"p0", "p1"}), frozenset({"p1", "p2"}))
+                    )
+                ]
+            )
+
+    def test_partition_must_heal_after_start(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(
+                [
+                    Partition(
+                        (frozenset({"p0"}), frozenset({"p1"})),
+                        start=5,
+                        heal_at=5,
+                    )
+                ]
+            )
+
+    def test_two_delay_clauses_per_process_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([Delay("p0", 0, 5), Delay("p0", 10, None)])
+
+    def test_validate_for_unknown_process(self):
+        plan = FaultPlan([Crash("ghost", 0)])
+        with pytest.raises(FaultModelError, match="unknown"):
+            plan.validate_for(NAMES)
+
+    def test_fault_model_error_is_model_and_value_error(self):
+        # Backwards compatibility: pre-existing except ValueError guards
+        # must keep catching malformed plans.
+        assert issubclass(FaultModelError, ModelError)
+        assert issubclass(FaultModelError, ValueError)
+        with pytest.raises(ValueError):
+            CrashPlan({"p0": -3})
+        with pytest.raises(FaultModelError):
+            initially_dead_plans(NAMES, num_dead=5)
+        import random
+
+        with pytest.raises(FaultModelError):
+            random_crash_plan(NAMES, 9, 10, random.Random(0))
+
+
+class TestAlgebra:
+    def test_from_and_to_crash_plan_round_trip(self):
+        legacy = CrashPlan({"p0": 0, "p2": 7})
+        plan = FaultPlan.from_crash_plan(legacy)
+        back = plan.simple_crash_plan()
+        assert back is not None
+        assert back.crash_times == legacy.crash_times
+
+    def test_simple_crash_plan_none_when_windows_present(self):
+        assert FaultPlan([CrashRecovery("p0", 2, 9)]).simple_crash_plan() \
+            is None
+        assert FaultPlan([Delay("p0", 0, 5)]).simple_crash_plan() is None
+
+    def test_merged_with_crashes_revalidates(self):
+        plan = FaultPlan([CrashRecovery("p0", 2, 9)])
+        with pytest.raises(FaultModelError, match="contradictory"):
+            plan.merged_with_crashes({"p0": 4})
+
+    def test_equality_and_hash(self):
+        a = FaultPlan([Crash("p0", 0)])
+        b = FaultPlan([Crash("p0", 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultPlan([Crash("p0", 1)])
+
+    def test_pickles(self):
+        plan = FaultPlan(
+            [Crash("p0", 3), Omission(destination="p1", budget=None)]
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_describe_mentions_every_clause(self):
+        plan = FaultPlan(
+            [
+                Crash("p1", 6),
+                Omission(destination="p0", budget=2),
+                Partition((frozenset({"p0"}), frozenset({"p1", "p2"}))),
+            ]
+        )
+        text = plan.describe()
+        assert "crash(p1@6)" in text
+        assert "omit(*->p0x2)" in text
+        assert "split(" in text
+
+
+class TestLiveness:
+    def test_may_step_crash_window(self):
+        plan = FaultPlan([Crash("p0", 5)])
+        assert plan.may_step("p0", 4)
+        assert not plan.may_step("p0", 5)
+        assert plan.may_step("p1", 99)
+
+    def test_may_step_recovery_window(self):
+        plan = FaultPlan([CrashRecovery("p0", 3, 8)])
+        assert plan.may_step("p0", 2)
+        assert not plan.may_step("p0", 3)
+        assert not plan.may_step("p0", 7)
+        assert plan.may_step("p0", 8)
+
+    def test_faulty_processes_and_fault_point(self):
+        plan = FaultPlan([Crash("p0", 5), Delay("p1", 3, None)])
+        assert plan.faulty_processes == frozenset({"p0", "p1"})
+        assert plan.fault_point() == 5
+        assert FaultPlan.none().fault_point() is None
+        # Bounded delay and recovery victims are nonfaulty.
+        ok = FaultPlan([Delay("p0", 0, 9), CrashRecovery("p1", 1, 4)])
+        assert ok.faulty_processes == frozenset()
+
+    def test_plan_crash_view_mirrors_plan(self):
+        plan = FaultPlan([Crash("p0", 5), CrashRecovery("p1", 2, 8)])
+        view = PlanCrashView(plan)
+        assert view.faulty == frozenset({"p0"})
+        assert not view.is_live("p0", 5)
+        assert not view.is_live("p1", 4)
+        assert view.is_live("p1", 8)
+        assert view.survivors(NAMES) == ("p1", "p2")
+
+    def test_blocks_link_follows_partition_window(self):
+        plan = FaultPlan(
+            [
+                Partition(
+                    (frozenset({"p0"}), frozenset({"p1", "p2"})),
+                    start=2,
+                    heal_at=10,
+                )
+            ]
+        )
+        assert not plan.blocks_link("p0", "p1", 1)
+        assert plan.blocks_link("p0", "p1", 2)
+        assert not plan.blocks_link("p0", "p1", 10)
+        assert not plan.blocks_link("p1", "p2", 5)
+        assert not plan.blocks_link(None, "p1", 5)
+        assert not plan.severs_link_forever("p0", "p1")
+
+
+class TestStaticFragment:
+    def test_initially_dead_and_severed(self):
+        plan = FaultPlan(
+            [
+                Crash("p0", 0),
+                Omission(destination="p1", budget=None),
+                Partition((frozenset({"p1"}), frozenset({"p2"}))),
+            ]
+        )
+        dead, lossy, severed = plan.static_fragment(NAMES)
+        assert dead == frozenset({"p0"})
+        assert lossy == frozenset({"p1"})
+        assert severed == {("p1", "p2"), ("p2", "p1")}
+
+    def test_mid_run_crash_rejected(self):
+        with pytest.raises(FaultModelError, match="time-dependent"):
+            FaultPlan([Crash("p0", 3)]).static_fragment(NAMES)
+
+    def test_bounded_omission_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan([Omission(destination="p0", budget=2)]) \
+                .static_fragment(NAMES)
+
+    def test_healing_partition_rejected(self):
+        with pytest.raises(FaultModelError):
+            FaultPlan(
+                [
+                    Partition(
+                        (frozenset({"p0"}), frozenset({"p1"})), heal_at=9
+                    )
+                ]
+            ).static_fragment(NAMES)
+
+    def test_needs_buffer_engine(self):
+        assert not FaultPlan([Crash("p0", 3)]).needs_buffer_engine
+        assert FaultPlan([Omission(destination="p0")]).needs_buffer_engine
+        assert FaultPlan([CrashRecovery("p0", 1, 5)]).needs_buffer_engine

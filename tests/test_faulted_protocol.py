@@ -1,0 +1,126 @@
+"""FaultedProtocol: exhaustive exploration under the static fragment."""
+
+import pytest
+
+from repro.core.errors import FaultModelError
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.valency import Valency, ValencyAnalyzer
+from repro.faults import (
+    Crash,
+    CrashRecovery,
+    Drop,
+    FaultedProtocol,
+    FaultPlan,
+    Omission,
+    Partition,
+)
+from repro.protocols import (
+    ArbiterProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+
+def test_time_dependent_plans_are_rejected():
+    protocol = make_protocol(ArbiterProcess, 3)
+    with pytest.raises(FaultModelError):
+        FaultedProtocol(protocol, FaultPlan([Crash("p0", 5)]))
+    with pytest.raises(FaultModelError):
+        FaultedProtocol(protocol, FaultPlan([CrashRecovery("p0", 1, 5)]))
+    with pytest.raises(FaultModelError):
+        FaultedProtocol(protocol, FaultPlan([Omission("p0", budget=1)]))
+
+
+def test_unknown_process_rejected():
+    protocol = make_protocol(ArbiterProcess, 3)
+    with pytest.raises(FaultModelError):
+        FaultedProtocol(protocol, FaultPlan([Crash("ghost", 0)]))
+
+
+def test_dead_processes_take_no_events_and_get_no_mail():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    faulted = FaultedProtocol(
+        protocol, FaultPlan.initially_dead(["p0"])
+    )
+    initial = faulted.initial_configuration([1, 1, 1])
+    events = faulted.enabled_events(initial)
+    assert all(event.process != "p0" for event in events)
+    # A step by p1 broadcasts votes; the copy to dead p0 is filtered.
+    after = faulted.apply_event(initial, events[0])
+    assert all(
+        message.destination != "p0"
+        for message in after.buffer.distinct_messages()
+    )
+    assert faulted.fault_counters.send_blocks == 0
+    assert faulted.fault_counters.dead_exclusions > 0
+
+
+def test_drop_edges_branch_on_lossy_destinations():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    faulted = FaultedProtocol(
+        protocol, FaultPlan([Omission(destination="p1", budget=None)])
+    )
+    initial = faulted.initial_configuration([1, 0, 1])
+    stepped = faulted.apply_event(
+        initial, faulted.enabled_events(initial)[0]
+    )
+    events = faulted.enabled_events(stepped)
+    drops = [e for e in events if isinstance(e.value, Drop)]
+    assert drops, "a copy to the lossy destination must offer a drop edge"
+    # Dropping removes the copy without touching anyone's state.
+    dropped = faulted.apply_event(stepped, drops[0])
+    lost = next(
+        m
+        for m in stepped.buffer.distinct_messages()
+        if m.destination == "p1" and m.value == drops[0].value.value
+    )
+    assert dropped.buffer.count(lost) == stepped.buffer.count(lost) - 1
+    for name in faulted.process_names:
+        assert dropped.state_of(name) == stepped.state_of(name)
+    assert faulted.fault_counters.drop_edges == 1
+
+
+def test_severed_links_filter_sends():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    faulted = FaultedProtocol(
+        protocol,
+        FaultPlan(
+            [Partition((frozenset({"p0"}), frozenset({"p1", "p2"})))]
+        ),
+    )
+    initial = faulted.initial_configuration([1, 1, 1])
+    stepped = faulted.apply_event(
+        initial, faulted.enabled_events(initial)[0]
+    )
+    # p0's broadcast crosses the cut for p1 and p2: both filtered.
+    assert faulted.fault_counters.send_blocks == 2
+
+
+def test_graph_engine_downgrades_packed_to_dict():
+    protocol = make_protocol(ArbiterProcess, 3)
+    faulted = FaultedProtocol(protocol, FaultPlan.initially_dead(["p0"]))
+    graph = GlobalConfigurationGraph(faulted, packed=True)
+    assert not graph.packed  # silently routed to the rich engine
+    plain_graph = GlobalConfigurationGraph(protocol, packed=True)
+    assert plain_graph.packed
+
+
+def test_valency_analysis_honours_the_faults_and_mirrors_counters():
+    # 2PC with the coordinator's inbox severed can never commit: with
+    # one lossy destination every initial configuration keeps a path
+    # that drops all votes, and p0 decides only on full knowledge.
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    faulted = FaultedProtocol(
+        protocol, FaultPlan([Omission(destination="p0", budget=None)])
+    )
+    analyzer = ValencyAnalyzer(faulted, max_configurations=200_000)
+    valency = analyzer.valency(faulted.initial_configuration([1, 1, 1]))
+    # All-commit inputs are univalent-1 without faults; with the lossy
+    # coordinator a never-deciding path exists, so no 0-decision appears
+    # but the 1-decision is still reachable (deliver everything).
+    assert valency in (Valency.ONE_VALENT, Valency.NONE)
+    stats = analyzer.stats
+    assert stats.fault_drop_edges > 0
+    assert stats.as_dict()["fault_drop_edges"] == stats.fault_drop_edges
+    analyzer.close()

@@ -1,0 +1,172 @@
+"""FaultyScheduler: deterministic injection behaviour, run by run."""
+
+from repro.core.simulation import StopCondition, simulate
+from repro.faults import (
+    Crash,
+    CrashRecovery,
+    Duplication,
+    FaultPlan,
+    Omission,
+    Partition,
+)
+from repro.protocols import (
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+from repro.schedulers import (
+    CrashPlan,
+    FaultyScheduler,
+    RoundRobinScheduler,
+)
+
+
+def run(protocol, plan, inputs, *, max_steps=500, base=None, seed=0):
+    scheduler = FaultyScheduler(
+        base if base is not None else RoundRobinScheduler(), plan, seed=seed
+    )
+    result = simulate(
+        protocol,
+        protocol.initial_configuration(inputs),
+        scheduler,
+        max_steps=max_steps,
+        stop=StopCondition.ALL_DECIDED,
+    )
+    return result, scheduler
+
+
+def test_empty_plan_is_transparent():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plain = simulate(
+        protocol,
+        protocol.initial_configuration([1, 0, 1]),
+        RoundRobinScheduler(),
+        max_steps=500,
+    )
+    wrapped, scheduler = run(protocol, FaultPlan.none(), [1, 0, 1])
+    assert wrapped.decided and plain.decided
+    assert wrapped.decisions == plain.decisions
+    assert wrapped.schedule == plain.schedule
+    assert wrapped.fault_actions == ()
+    assert scheduler.counters.as_dict() == {
+        key: 0 for key in scheduler.counters.as_dict()
+    }
+
+
+def test_crash_clause_silences_the_victim():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    result, scheduler = run(
+        protocol, FaultPlan([Crash("p0", 0)]), [1, 1, 1]
+    )
+    assert "p0" not in {event.process for event in result.schedule}
+    assert [a.kind for a in result.fault_actions] == ["crash"]
+    assert scheduler.counters.crashes == 1
+    # wait-for-all genuinely waits for all: it must stall.
+    assert not result.decided
+
+
+def test_base_crash_plan_is_folded_into_the_fault_plan():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    base = RoundRobinScheduler(crash_plan=CrashPlan({"p1": 0}))
+    result, scheduler = run(protocol, FaultPlan.none(), [1, 1, 1], base=base)
+    assert scheduler.plan.faulty_processes == frozenset({"p1"})
+    assert "p1" not in {event.process for event in result.schedule}
+
+
+def test_omission_budget_drops_exactly_n_copies():
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    plan = FaultPlan([Omission(destination="p0", budget=2)])
+    result, scheduler = run(protocol, plan, [1, 1, 1])
+    drops = [
+        action
+        for action in result.fault_actions
+        if action.kind == "omission-drop"
+    ]
+    assert len(drops) == 2
+    assert all(a.message.destination == "p0" for a in drops)
+    assert scheduler.counters.omission_drops == 2
+    # 2PC's coordinator never hears the votes: the window widens.
+    assert not result.decided
+
+
+def test_duplication_adds_extra_copies_without_breaking_agreement():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan([Duplication(destination="p1", budget=3)])
+    result, scheduler = run(protocol, plan, [1, 0, 1])
+    dups = [
+        action
+        for action in result.fault_actions
+        if action.kind == "duplicate"
+    ]
+    # Only two votes ever address p1, so the budget of 3 is an upper
+    # bound, not a quota.
+    assert len(dups) == 2
+    assert scheduler.counters.duplications == 2
+    assert result.agreement_holds
+
+
+def test_crash_recovery_wipes_the_inbox():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan([CrashRecovery("p0", 2, 10)])
+    result, scheduler = run(protocol, plan, [1, 1, 0])
+    kinds = [action.kind for action in result.fault_actions]
+    assert "crash" in kinds
+    assert "recover" in kinds
+    assert "inbox-wipe" in kinds  # votes were in flight to p0 at step 10
+    assert scheduler.counters.inbox_wipes >= 1
+    # The victim steps again after recovery.
+    post = [
+        index
+        for index, event in enumerate(result.schedule)
+        if event.process == "p0"
+    ]
+    assert post  # p0 is scheduled (it recovered)
+
+
+def test_healing_partition_freezes_then_releases():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan(
+        [
+            Partition(
+                (frozenset({"p0"}), frozenset({"p1", "p2"})),
+                start=0,
+                heal_at=12,
+            )
+        ]
+    )
+    result, scheduler = run(protocol, plan, [1, 1, 1])
+    # While split, cross-boundary votes are masked; after healing the
+    # protocol completes.
+    assert result.decided
+    assert scheduler.counters.partition_blocks > 0
+    # A healing partition loses nothing: no freeze actions logged.
+    assert not any(
+        action.kind == "partition-freeze" for action in result.fault_actions
+    )
+
+
+def test_forever_partition_stalls_and_flags_frozen_copies():
+    protocol = make_protocol(WaitForAllProcess, 3)
+    plan = FaultPlan(
+        [Partition((frozenset({"p0"}), frozenset({"p1", "p2"})))]
+    )
+    result, _scheduler = run(protocol, plan, [1, 1, 1], max_steps=300)
+    assert not result.decided
+    frozen = [
+        action
+        for action in result.fault_actions
+        if action.kind == "partition-freeze"
+    ]
+    assert frozen  # cross-boundary votes are lost for good
+
+
+def test_reset_restores_budgets_and_determinism():
+    protocol = make_protocol(TwoPhaseCommitProcess, 3)
+    plan = FaultPlan([Omission(destination="p0", budget=2)])
+    scheduler = FaultyScheduler(RoundRobinScheduler(), plan)
+    initial = protocol.initial_configuration([1, 1, 1])
+    first = simulate(protocol, initial, scheduler, max_steps=200)
+    scheduler.reset()
+    second = simulate(protocol, initial, scheduler, max_steps=200)
+    assert first.schedule == second.schedule
+    assert first.fault_actions == second.fault_actions

@@ -1,0 +1,121 @@
+"""The survivability matrix reproduces the paper's predictions."""
+
+import json
+
+import pytest
+
+from repro.faults.survivability import (
+    FAULT_MODELS,
+    check_expectations,
+    plans_for,
+    survivability_matrix,
+)
+
+NAMES5 = ("p0", "p1", "p2", "p3", "p4")
+
+
+class TestPlansFor:
+    def test_every_model_yields_valid_plans(self):
+        for model in FAULT_MODELS:
+            for plan in plans_for(model, NAMES5):
+                plan.validate_for(NAMES5)
+
+    def test_none_is_a_single_empty_plan(self):
+        plans = plans_for("none", NAMES5)
+        assert len(plans) == 1 and not plans[0]
+
+    def test_minority_plans_cover_every_process(self):
+        plans = plans_for("initially-dead-minority", NAMES5)
+        dead = set()
+        for plan in plans:
+            assert len(plan.faulty_processes) == 2  # (5-1)//2
+            dead |= plan.faulty_processes
+        assert dead == set(NAMES5)
+
+    def test_no_minority_exists_for_two_processes(self):
+        assert plans_for("initially-dead-minority", ("p0", "p1")) == []
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            plans_for("meteor-strike", NAMES5)
+
+
+@pytest.fixture(scope="module")
+def theorem2_cells():
+    return survivability_matrix(
+        ["initially-dead"],
+        (
+            "none",
+            "initially-dead-minority",
+            "one-mid-crash",
+        ),
+        max_steps=800,
+    )
+
+
+class TestTheorem2:
+    def test_fault_free_runs_decide(self, theorem2_cells):
+        cell = next(c for c in theorem2_cells if c.model == "none")
+        assert cell.termination == "holds"
+        assert cell.admissible_runs == cell.runs
+
+    def test_survives_initially_dead_minority(self, theorem2_cells):
+        """Theorem 2: consensus is reachable as long as a majority is
+        alive from the start."""
+        cell = next(
+            c
+            for c in theorem2_cells
+            if c.model == "initially-dead-minority"
+        )
+        assert cell.termination == "holds"
+        assert cell.agreement == "holds"
+        assert cell.validity == "holds"
+        # Two initially-dead processes break Section 2's one-fault
+        # bound: Section 4 deliberately steps outside it.
+        assert cell.flagged.get("multiple-faulty") == cell.runs
+
+    def test_stalls_under_one_mid_run_crash(self, theorem2_cells):
+        """Theorem 2's caveat: "no process dies during the execution".
+        One admissible mid-run crash leaves stage-1 listeners waiting
+        for a stage-2 broadcast that never comes."""
+        cell = next(
+            c for c in theorem2_cells if c.model == "one-mid-crash"
+        )
+        assert cell.termination == "stalled"
+        assert cell.agreement == "holds"
+        assert cell.validity == "holds"
+        # A single mid-run crash is exactly the paper's fault model.
+        assert cell.admissible_runs == cell.runs
+
+
+def test_2pc_blocks_under_omission():
+    cells = survivability_matrix(["2pc"], ("omission",), max_steps=600)
+    cell = cells[0]
+    assert cell.termination == "stalled"
+    assert cell.agreement == "holds"
+    assert cell.flagged.get("omission") == cell.runs
+
+
+def test_safe_zoo_expectations_hold_on_a_small_sweep():
+    cells = survivability_matrix(
+        ["wait-for-all", "2pc", "initially-dead"],
+        (
+            "none",
+            "initially-dead-minority",
+            "one-mid-crash",
+            "omission",
+        ),
+        max_steps=800,
+    )
+    failures = check_expectations(cells)
+    assert failures == []
+    for cell in cells:
+        assert cell.admissible_safety_violations == 0
+
+
+def test_cells_serialize_to_json():
+    cells = survivability_matrix(["wait-for-all"], ("none",))
+    payload = json.dumps([cell.as_dict() for cell in cells])
+    rows = json.loads(payload)
+    assert rows[0]["protocol"] == "wait-for-all"
+    assert rows[0]["termination"] == "holds"
