@@ -158,8 +158,13 @@ def collect_parallel_scaling(
                     fingerprints[workers] = graph_fingerprint(graph)
                     row["configurations"] = len(graph)
                     if workers:
-                        row[f"workers{workers}_utilization"] = round(
-                            graph.stats.worker_utilization, 4
+                        # None = the pool never processed a batch (every
+                        # level fell below the dispatch threshold).
+                        utilization = graph.stats.worker_utilization
+                        row[f"workers{workers}_utilization"] = (
+                            None
+                            if utilization is None
+                            else round(utilization, 4)
                         )
                 finally:
                     graph.close()

@@ -1,0 +1,234 @@
+"""Benchmark of the Lemma-1 reducer and the symmetry quotient.
+
+Answers three questions into ``BENCH_por.json``:
+
+1. **Ratio** — how many fewer configurations does the ample-set
+   reducer expand on Ben-Or/3 at a pinned depth horizon?  The depth
+   horizon (``max_levels``) is what makes the comparison fair: both
+   engines walk the same number of BFS levels from the same root, so
+   the counts differ only by what the reducer pruned.  The acceptance
+   bar for this PR is >= 3x; the CI gate is a softer >= 2x so a
+   slightly different horizon cannot flake the build.
+2. **Verdict identity** — the reduction's soundness contract.  The
+   valency census of every benchmarked protocol is fingerprinted
+   (SHA-256 over the sorted ``inputs:valency`` lines) under the full
+   and the reduced engine; the fingerprints must be equal, and the
+   run *fails* (exit 1) if they are not.  Divergence here means the
+   reducer changed an answer, which no speedup excuses.
+3. **Resume identity** — a reduced exploration checkpointed mid-run
+   and restored into a fresh engine must finish fingerprint-identical
+   (graph fingerprint: every packed node and edge, in id order) to an
+   uninterrupted reduced run.
+
+A symmetry section records the quotient's node counts on the voting
+protocols for the same horizon-free censuses (the quotient is about
+orbit collapsing, not depth), with the same verdict-identity check.
+
+Run directly (``python benchmarks/bench_por.py``) to emit the
+artifact; ``--ci`` uses a shallower horizon and still writes the
+artifact (the workflow uploads it and the gate asserts inside this
+process); ``--smoke`` runs the smallest instance and writes nothing.
+"""
+
+import hashlib
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.reduction import ReductionPolicy
+from repro.core.valency import ValencyAnalyzer
+from repro.protocols import (
+    BenOrProcess,
+    ParityArbiterProcess,
+    QuorumVoteProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+from artifact import write_artifact
+
+POR = ReductionPolicy(por=True)
+
+#: Finite-zoo protocols whose full census is cheap enough to run twice.
+CENSUS_PROTOCOLS = [
+    ("wait-for-all/3", lambda: make_protocol(WaitForAllProcess, 3)),
+    ("quorum-vote/3", lambda: make_protocol(QuorumVoteProcess, 3)),
+    ("parity-arbiter/3", lambda: make_protocol(ParityArbiterProcess, 3)),
+    ("2pc/3", lambda: make_protocol(TwoPhaseCommitProcess, 3)),
+]
+
+SYMMETRIC_PROTOCOLS = [
+    ("wait-for-all/3", lambda: make_protocol(WaitForAllProcess, 3)),
+    ("quorum-vote/3", lambda: make_protocol(QuorumVoteProcess, 3)),
+]
+
+
+def census_fingerprint(protocol, reduction=None) -> tuple[str, int]:
+    """``(sha256 of the sorted census, nodes interned)``."""
+    analyzer = ValencyAnalyzer(protocol, reduction=reduction)
+    try:
+        census = analyzer.classify_initials()
+        digest = hashlib.sha256()
+        for inputs, valency in sorted(census.items()):
+            digest.update(f"{inputs}:{valency.name}\n".encode())
+        return digest.hexdigest(), len(analyzer.graph)
+    finally:
+        analyzer.close()
+
+
+def graph_fingerprint(graph: GlobalConfigurationGraph) -> str:
+    return graph.fingerprint()
+
+
+def collect_reduction_ratio(depth: int) -> dict:
+    """Ben-Or/3 expansion counts at the pinned depth horizon."""
+    row = {"protocol": "benor/3", "depth_horizon": depth}
+    for label, reduction in (("full", None), ("por", POR)):
+        protocol = make_protocol(BenOrProcess, 3)
+        graph = GlobalConfigurationGraph(protocol, reduction=reduction)
+        started = time.perf_counter()
+        graph.explore(
+            protocol.initial_configuration([0, 1, 1]),
+            1_000_000,
+            max_levels=depth,
+        )
+        row[f"{label}_s"] = round(time.perf_counter() - started, 4)
+        row[f"{label}_expansions"] = len(graph)
+        if label == "por":
+            row["por_pruned"] = graph.stats.por_pruned
+            row["replay_checks"] = graph.stats.replay_checks
+            row["replay_violations"] = graph.stats.replay_violations
+            row["ample_fallbacks"] = graph.stats.ample_fallbacks
+    row["ratio"] = round(row["full_expansions"] / row["por_expansions"], 2)
+    return row
+
+
+def collect_verdict_identity() -> dict:
+    """Full-vs-reduced census fingerprints across the finite zoo."""
+    rows = {}
+    for label, build in CENSUS_PROTOCOLS:
+        full_print, full_nodes = census_fingerprint(build())
+        por_print, por_nodes = census_fingerprint(build(), reduction=POR)
+        rows[label] = {
+            "census_sha256": full_print,
+            "identical_verdicts": full_print == por_print,
+            "full_nodes": full_nodes,
+            "por_nodes": por_nodes,
+        }
+    return rows
+
+
+def collect_symmetry() -> dict:
+    """Quotient node counts and verdict identity on symmetric protocols."""
+    rows = {}
+    sym = ReductionPolicy(symmetry=True)
+    both = ReductionPolicy(por=True, symmetry=True)
+    for label, build in SYMMETRIC_PROTOCOLS:
+        full_print, full_nodes = census_fingerprint(build())
+        sym_print, sym_nodes = census_fingerprint(build(), reduction=sym)
+        both_print, both_nodes = census_fingerprint(build(), reduction=both)
+        rows[label] = {
+            "identical_verdicts": full_print == sym_print == both_print,
+            "full_nodes": full_nodes,
+            "symmetry_nodes": sym_nodes,
+            "por_plus_symmetry_nodes": both_nodes,
+        }
+    return rows
+
+
+def collect_resume_identity(depth: int, split: int) -> dict:
+    """Checkpoint a reduced run at *split* levels, resume to *depth*."""
+    protocol = make_protocol(BenOrProcess, 3)
+    root_inputs = [0, 1, 1]
+    straight = GlobalConfigurationGraph(protocol, reduction=POR)
+    straight.explore(
+        protocol.initial_configuration(root_inputs),
+        1_000_000,
+        max_levels=depth,
+    )
+
+    partial = GlobalConfigurationGraph(protocol, reduction=POR)
+    partial.explore(
+        partial.protocol.initial_configuration(root_inputs),
+        1_000_000,
+        max_levels=split,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "por.ckpt")
+        save_checkpoint(partial, path)
+        resumed = load_checkpoint(path, protocol)
+    resumed.explore(
+        resumed.protocol.initial_configuration(root_inputs),
+        1_000_000,
+        max_levels=depth,
+    )
+    return {
+        "protocol": "benor/3",
+        "split_level": split,
+        "depth_horizon": depth,
+        "nodes": len(straight),
+        "fingerprint": graph_fingerprint(straight),
+        "resume_identical": (
+            graph_fingerprint(resumed) == graph_fingerprint(straight)
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    ci = "--ci" in argv
+
+    if smoke:
+        row = collect_reduction_ratio(depth=4)
+        assert row["ratio"] >= 2.0, f"reduction ratio collapsed: {row}"
+        assert row["replay_violations"] == 0, row
+        print(f"smoke ok: {row}")
+        return 0
+
+    depth = 6 if ci else 9
+    sections = {
+        "reduction_ratio": collect_reduction_ratio(depth=depth),
+        "verdict_identity": collect_verdict_identity(),
+        "symmetry": collect_symmetry(),
+        "resume_identity": collect_resume_identity(depth=depth, split=3),
+    }
+    path = write_artifact(sections, name="por")
+    print(f"wrote {path}")
+
+    ratio = sections["reduction_ratio"]["ratio"]
+    print(
+        f"benor/3 depth {depth}: "
+        f"{sections['reduction_ratio']['full_expansions']} full vs "
+        f"{sections['reduction_ratio']['por_expansions']} reduced "
+        f"expansions ({ratio}x)"
+    )
+    failures = []
+    # The CI gate is 2x (horizon-robust); the PR's acceptance bar of
+    # 3x is what the committed artifact must show at the full depth.
+    floor = 2.0 if ci else 3.0
+    if ratio < floor:
+        failures.append(f"reduction ratio {ratio} below {floor}x")
+    if sections["reduction_ratio"]["replay_violations"]:
+        failures.append("commutation replay reported violations")
+    for label, row in sections["verdict_identity"].items():
+        if not row["identical_verdicts"]:
+            failures.append(f"{label}: POR changed the census")
+    for label, row in sections["symmetry"].items():
+        if not row["identical_verdicts"]:
+            failures.append(f"{label}: quotient changed the census")
+    if not sections["resume_identity"]["resume_identical"]:
+        failures.append("resumed reduced run diverged from straight run")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

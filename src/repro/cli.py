@@ -43,7 +43,11 @@ from repro.core.correctness import (
     check_partial_correctness,
     check_validity,
 )
-from repro.core.errors import AdversaryStuck, CheckpointError
+from repro.core.errors import (
+    AdversaryStuck,
+    CheckpointError,
+    SymmetryError,
+)
 from repro.core.resilience import (
     CHAOS_SCENARIOS,
     CheckpointConfig,
@@ -86,6 +90,17 @@ def _print_engine_stats(analyzer: ValencyAnalyzer) -> None:
     print(format_counters(counters, title="engine counters:"))
 
 
+def _reduction_policy(args):
+    """The :class:`ReductionPolicy` requested by the command's flags."""
+    por = getattr(args, "por", False)
+    symmetry = getattr(args, "symmetry", False)
+    if not (por or symmetry):
+        return None
+    from repro.core.reduction import ReductionPolicy
+
+    return ReductionPolicy(por=por, symmetry=symmetry)
+
+
 def _make_analyzer(protocol, args) -> ValencyAnalyzer:
     """Build the analyzer honoring the command's engine flags."""
     global _ACTIVE
@@ -111,6 +126,7 @@ def _make_analyzer(protocol, args) -> ValencyAnalyzer:
         resilience=resilience,
         checkpoint=checkpoint,
         resume_from=getattr(args, "resume", None),
+        reduction=_reduction_policy(args),
     )
     _ACTIVE = analyzer
     return analyzer
@@ -210,6 +226,18 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_attack(args) -> int:
+    if getattr(args, "symmetry", False):
+        # The certificate is a replayable schedule; quotient edges
+        # connect orbit representatives, so no schedule can be read off
+        # the reduced graph.  Refuse up front with the reason.
+        print(
+            "attack cannot run under --symmetry: the adversary extracts "
+            "replayable schedules, and a symmetry-quotient graph has "
+            "none (its edges connect orbit representatives).  "
+            "Use --por alone, or drop --symmetry.",
+            file=sys.stderr,
+        )
+        return 2
     entry = registry.info(args.protocol)
     if not entry.analyzable:
         print(
@@ -386,6 +414,11 @@ def _cmd_survive(args) -> int:
         survivability_matrix,
     )
 
+    if getattr(args, "por", False) or getattr(args, "symmetry", False):
+        print(
+            "note: --por/--symmetry shape the exploration engine; "
+            "survive is simulation-based and runs unreduced."
+        )
     protocols = [args.protocol] if args.protocol else None
     fault_models = (
         tuple(args.fault_models) if args.fault_models else FAULT_MODELS
@@ -461,6 +494,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default serial; results are byte-identical either way)"
     )
 
+    def add_reduction_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--por",
+            action=argparse.BooleanOptionalAction,
+            default=False,
+            help="Lemma-1 partial-order reduction: expand an ample "
+            "subset of events per node (default off; valency verdicts "
+            "are identical to the full graph)",
+        )
+        sub.add_argument(
+            "--symmetry",
+            action="store_true",
+            help="canonicalize configurations under process renaming "
+            "(needs the protocol's automata to declare symmetric=True; "
+            "witness extraction is unavailable on the quotient graph)",
+        )
+
     def add_resilience_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--checkpoint",
@@ -514,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--workers", type=int, default=0, metavar="N", help=workers_help
     )
+    add_reduction_flags(check)
     add_resilience_flags(check)
 
     attack = commands.add_parser("attack", help="run the FLP adversary")
@@ -543,6 +594,7 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--workers", type=int, default=0, metavar="N", help=workers_help
     )
+    add_reduction_flags(attack)
     add_resilience_flags(attack)
 
     verify = commands.add_parser(
@@ -582,6 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     vmap.add_argument(
         "--workers", type=int, default=0, metavar="N", help=workers_help
     )
+    add_reduction_flags(vmap)
     add_resilience_flags(vmap)
 
     chaos = commands.add_parser(
@@ -654,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the matrix as machine-readable JSON",
     )
+    add_reduction_flags(survive)
 
     experiments = commands.add_parser(
         "experiments", help="run the paper-reproduction experiments"
@@ -708,6 +762,12 @@ def main(argv: list[str] | None = None) -> int:
         # no traceback.
         message = str(error).replace("\n", " ")
         print(f"cannot resume: {message}", file=sys.stderr)
+        return 2
+    except SymmetryError as error:
+        # --symmetry on a protocol that never declared it: operator
+        # mistake, one line, no traceback.
+        message = str(error).replace("\n", " ")
+        print(f"cannot reduce: {message}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
         # The engine already wrote its final checkpoint (explore()

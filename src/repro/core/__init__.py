@@ -24,6 +24,7 @@ from repro.core.errors import (
     NotPartiallyCorrect,
     ProtocolViolation,
     SimulationLimitExceeded,
+    SymmetryError,
     UnknownProcess,
 )
 from repro.core.events import NULL, Event, Schedule
@@ -38,6 +39,13 @@ from repro.core.messages import Message, MessageBuffer
 from repro.core.packing import PackedCodec
 from repro.core.process import Process, ProcessState, Transition
 from repro.core.protocol import Protocol
+from repro.core.reduction import (
+    AmpleReducer,
+    ReductionPolicy,
+    SymmetryQuotient,
+    declares_symmetry,
+    validate_symmetry,
+)
 from repro.core.simulation import (
     FairnessLedger,
     SimulationResult,
@@ -68,6 +76,7 @@ __all__ = [
     "NotPartiallyCorrect",
     "ProtocolViolation",
     "SimulationLimitExceeded",
+    "SymmetryError",
     "UnknownProcess",
     "NULL",
     "Event",
@@ -84,6 +93,11 @@ __all__ = [
     "ProcessState",
     "Transition",
     "Protocol",
+    "AmpleReducer",
+    "ReductionPolicy",
+    "SymmetryQuotient",
+    "declares_symmetry",
+    "validate_symmetry",
     "FairnessLedger",
     "SimulationResult",
     "StopCondition",

@@ -113,7 +113,20 @@ def _snapshot(graph: "GlobalConfigurationGraph") -> dict[str, object]:
         state["codec"] = graph.codec.snapshot_state()
     else:
         state["configurations"] = graph.configurations
+    if graph._reducer is not None:
+        # The replay-sample position: a resumed reduced exploration must
+        # sample the same diamonds an uninterrupted one would.  (The
+        # symmetry quotient needs no snapshot — its tables are pure
+        # functions of the codec's, which are captured above.)
+        state["reducer"] = graph._reducer.snapshot_state()
     return state
+
+
+def _reduction_stamp(graph: "GlobalConfigurationGraph") -> dict[str, bool]:
+    """The graph-shaping reduction switches, for header compatibility."""
+    if graph.reduction is None:
+        return {"por": False, "symmetry": False}
+    return graph.reduction.describe()
 
 
 def save_checkpoint(
@@ -134,6 +147,7 @@ def save_checkpoint(
         "payload_sha256": hashlib.sha256(payload).hexdigest(),
         "payload_bytes": len(payload),
         "created_unix": round(time.time(), 3),
+        "reduction": _reduction_stamp(graph),
         **_protocol_identity(graph.protocol),
     }
     header_line = json.dumps(header, sort_keys=True).encode()
@@ -222,6 +236,17 @@ def restore_checkpoint(
                 f"{path}: snapshot {key} {header.get(key)!r} does not "
                 f"match protocol {identity[key]!r}"
             )
+    # A graph explored under one reduction policy is a *different graph*
+    # from one explored under another (fewer edges, rerouted targets);
+    # resuming across the boundary would silently mix them.  Headers
+    # from before the reduction stamp read as "no reductions".
+    recorded = header.get("reduction", {"por": False, "symmetry": False})
+    requested = _reduction_stamp(graph)
+    if recorded != requested:
+        raise CheckpointMismatch(
+            f"{path}: snapshot was explored with reduction {recorded!r}, "
+            f"engine is configured with {requested!r}"
+        )
     state = pickle.loads(payload)
 
     graph.successors = state["successors"]
@@ -260,6 +285,11 @@ def restore_checkpoint(
     stats.workers = graph.workers
     stats.resumed_nodes = len(nodes)
     graph.stats = stats
+    if graph._reducer is not None:
+        graph._reducer._stats = stats
+        reducer_state = state.get("reducer")
+        if reducer_state is not None:
+            graph._reducer.restore_state(reducer_state)
     # Invalidate any CSR index and mark growth state fresh.
     graph._version += 1
     return CheckpointInfo(
@@ -281,10 +311,14 @@ def load_checkpoint(
     transitions=None,
     resilience=None,
     checkpoint=None,
+    reduction=None,
 ):
     """Build a fresh engine for *protocol* and restore *path* into it.
 
-    The engine mode (packed vs dict) is taken from the snapshot header;
+    The engine mode (packed vs dict) is taken from the snapshot header,
+    and so is the reduction policy unless *reduction* overrides it (an
+    override that disagrees with the header raises
+    :class:`~repro.core.errors.CheckpointMismatch` during restore);
     *workers*, *resilience* and *checkpoint* configure the resumed
     engine exactly like the
     :class:`~repro.core.exploration.GlobalConfigurationGraph`
@@ -293,6 +327,15 @@ def load_checkpoint(
     from repro.core.exploration import GlobalConfigurationGraph
 
     header = read_checkpoint_header(path)
+    if reduction is None:
+        stamp = header.get("reduction", {"por": False, "symmetry": False})
+        if stamp.get("por") or stamp.get("symmetry"):
+            from repro.core.reduction import ReductionPolicy
+
+            reduction = ReductionPolicy(
+                por=bool(stamp.get("por")),
+                symmetry=bool(stamp.get("symmetry")),
+            )
     graph = GlobalConfigurationGraph(
         protocol,
         transitions,
@@ -300,6 +343,7 @@ def load_checkpoint(
         workers=workers,
         resilience=resilience,
         checkpoint=checkpoint,
+        reduction=reduction,
     )
     restore_checkpoint(graph, path)
     return graph

@@ -31,6 +31,19 @@ class FaultModelError(ModelError, ValueError):
     """
 
 
+class SymmetryError(ModelError):
+    """A symmetry quotient was requested for an asymmetric protocol.
+
+    The quotient identifies configurations up to process renaming, which
+    is only sound when every automaton declares ``symmetric = True`` and
+    the declaration survives the transition-level automorphism check.
+    Requesting ``--symmetry`` for a protocol that never declared it is
+    an operator error and refuses loudly; a declared symmetry that fails
+    validation degrades to a warning instead (see
+    :mod:`repro.core.reduction`).
+    """
+
+
 class InvalidEvent(ModelError):
     """An event was applied to a configuration it is not applicable to.
 

@@ -18,12 +18,14 @@ from __future__ import annotations
 import atexit
 import functools
 import hashlib
+import logging
 import time
+import warnings
 import weakref
 from array import array
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ExplorationLimitExceeded, WorkerPoolError
@@ -37,6 +39,9 @@ from repro.core.resilience import (
     ResilienceConfig,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reduction import ReductionPolicy
+
 __all__ = [
     "ConfigurationGraph",
     "GlobalConfigurationGraph",
@@ -49,6 +54,8 @@ __all__ = [
 
 #: Default exploration budget (number of distinct configurations).
 DEFAULT_MAX_CONFIGURATIONS = 200_000
+
+logger = logging.getLogger("repro.exploration")
 
 
 class TransitionCache:
@@ -374,6 +381,22 @@ class GraphStats:
     #: Wall time the parent spent blocked on worker batches; worker
     #: utilization = worker_busy_time / (parallel_time * workers).
     parallel_time: float = 0.0
+    #: Reduction counters (see :mod:`repro.core.reduction`): edges
+    #: pruned by the ample reducer, nodes where a visible successor (or
+    #: a replay violation) forced full expansion, sampled Lemma-1
+    #: diamond replays and the violations among them, packed tuples
+    #: rerouted to a different orbit representative by the symmetry
+    #: quotient, and 1 when a declared symmetry failed validation and
+    #: the engine fell back to the identity quotient.
+    por_pruned: int = 0
+    ample_fallbacks: int = 0
+    replay_checks: int = 0
+    replay_violations: int = 0
+    sym_canonical_hits: int = 0
+    sym_fallbacks: int = 0
+    #: Frontier levels expanded inline because the batch was too small
+    #: to occupy the pool (see ``min_batch_per_worker``).
+    small_batch_levels: int = 0
     #: Fault-engine counters, mirrored from a
     #: :class:`repro.faults.model.FaultedProtocol` when exploration
     #: runs under a fault plan (all zero otherwise).
@@ -388,10 +411,21 @@ class GraphStats:
     fault_dead_exclusions: int = 0
 
     @property
-    def worker_utilization(self) -> float:
-        """Fraction of the pool's capacity that did useful work."""
-        if self.workers <= 1 or self.parallel_time == 0.0:
-            return 0.0
+    def worker_utilization(self) -> float | None:
+        """Fraction of the pool's capacity that did useful work.
+
+        ``None`` when the pool never processed a batch (serial engine,
+        or every frontier level fell below the dispatch threshold) —
+        utilization is *undefined* there, and the old ``0.0`` reading
+        made healthy serial-fallback runs look like a saturated pool
+        doing nothing.
+        """
+        if (
+            self.workers <= 1
+            or self.worker_batches == 0
+            or self.parallel_time == 0.0
+        ):
+            return None
         return self.worker_busy_time / (self.parallel_time * self.workers)
 
     def as_dict(self) -> dict[str, object]:
@@ -412,8 +446,19 @@ class GraphStats:
             "worker_batches": self.worker_batches,
             "worker_batch_nodes": self.worker_batch_nodes,
             "worker_max_batch": self.worker_max_batch,
-            "worker_utilization": round(self.worker_utilization, 4),
+            "worker_utilization": (
+                None
+                if (utilization := self.worker_utilization) is None
+                else round(utilization, 4)
+            ),
             "explore_levels": self.explore_levels,
+            "small_batch_levels": self.small_batch_levels,
+            "por_pruned": self.por_pruned,
+            "ample_fallbacks": self.ample_fallbacks,
+            "replay_checks": self.replay_checks,
+            "replay_violations": self.replay_violations,
+            "sym_canonical_hits": self.sym_canonical_hits,
+            "sym_fallbacks": self.sym_fallbacks,
             "worker_timeouts": self.worker_timeouts,
             "worker_faults": self.worker_faults,
             "worker_retries": self.worker_retries,
@@ -554,11 +599,14 @@ class GlobalConfigurationGraph:
         resilience: ResilienceConfig | None = None,
         checkpoint: CheckpointConfig | None = None,
         chaos: ChaosConfig | None = None,
+        reduction: "ReductionPolicy | None" = None,
     ):
         self.protocol = protocol
-        # Fault-wrapped protocols override the step semantics, which the
-        # packed codec bypasses by design — those must use the dict
-        # engine, where every step routes through the protocol.
+        # Escape hatch for protocols whose step semantics genuinely
+        # cannot be expressed through a packed codec.  FaultedProtocol
+        # no longer needs it (it supplies a fault-aware codec via
+        # ``packed_codec()``); anything still setting the flag routes to
+        # the dict engine, where every step goes through the protocol.
         if packed and getattr(protocol, "requires_rich_engine", False):
             packed = False
         # Explicit None-check: an empty TransitionCache is falsy (len 0).
@@ -585,6 +633,8 @@ class GlobalConfigurationGraph:
         self._pool = None
         self._pool_failures = 0
         self._pool_disabled = False
+        self._small_batch_logged = False
+        self._pool_idle_logged = False
         self._atexit_hook = None
         self._last_checkpoint_time: float | None = None
         self._chunks_since_checkpoint = 0
@@ -596,9 +646,7 @@ class GlobalConfigurationGraph:
         self._rev_indptr: array | None = None
         self._rev_indices: array | None = None
         if packed:
-            from repro.core.packing import PackedCodec
-
-            self._codec = PackedCodec(protocol)
+            self._codec = protocol.packed_codec()
             self._packed: list[tuple[int, ...]] = []
             self._rich: list[Configuration | None] = []
             self._index: dict[tuple[int, ...], int] = {}
@@ -610,6 +658,36 @@ class GlobalConfigurationGraph:
             self._codec = None
             self._index: dict[Configuration, int] = {}
             self.configurations: list[Configuration] = []
+        #: Reduction layers (:mod:`repro.core.reduction`); both ``None``
+        #: unless a :class:`ReductionPolicy` asked for them.
+        self.reduction = reduction
+        self._reducer = None
+        self._quotient = None
+        if reduction is not None and reduction.enabled:
+            if self._codec is None:
+                raise ValueError(
+                    "partial-order reduction and the symmetry quotient "
+                    "operate on packed configurations; the dict engine "
+                    "does not support them"
+                )
+            from repro.core.reduction import AmpleReducer, SymmetryQuotient
+
+            if reduction.symmetry:
+                quotient, fallback = SymmetryQuotient.build(
+                    protocol, self._codec, reduction
+                )
+                if quotient is None:
+                    warnings.warn(
+                        "symmetry quotient disabled: " + str(fallback),
+                        stacklevel=2,
+                    )
+                    self.stats.sym_fallbacks = 1
+                else:
+                    self._quotient = quotient
+            if reduction.por:
+                self._reducer = AmpleReducer(
+                    self._codec, reduction, self.stats
+                )
 
     @property
     def packed(self) -> bool:
@@ -630,7 +708,10 @@ class GlobalConfigurationGraph:
             packed = self._codec.encode(configuration)
             self.stats.encode_time += time.perf_counter() - started
             node = self._intern_packed(packed)
-            if self._rich[node] is None:
+            # Under the symmetry quotient the node may stand for a
+            # *different* orbit member; let the lazy decode produce the
+            # canonical representative instead of caching this one.
+            if self._quotient is None and self._rich[node] is None:
                 self._rich[node] = configuration
             return node
         node = self._index.get(configuration)
@@ -647,7 +728,17 @@ class GlobalConfigurationGraph:
         return node
 
     def _intern_packed(self, packed: tuple[int, ...]) -> int:
-        """The dense id of a packed configuration, allocating if new."""
+        """The dense id of a packed configuration, allocating if new.
+
+        With the symmetry quotient active the id is the *orbit's*: the
+        tuple is canonicalized before the index probe.
+        """
+        quotient = self._quotient
+        if quotient is not None:
+            canonical = quotient.canonicalize(packed)
+            if canonical != packed:
+                self.stats.sym_canonical_hits += 1
+                packed = canonical
         node = self._index.get(packed)
         if node is None:
             node = len(self._packed)
@@ -684,16 +775,25 @@ class GlobalConfigurationGraph:
             raise ValueError("dict-backed engine has no packed encoding")
         return self._packed[node]
 
+    def _lookup_key(self, packed: tuple[int, ...]) -> tuple[int, ...]:
+        """The index key for *packed*: its orbit representative under the
+        symmetry quotient, the tuple itself otherwise."""
+        if self._quotient is not None:
+            return self._quotient.canonicalize(packed)
+        return packed
+
     def node_id(self, configuration: Configuration) -> int:
         """The id of an already-interned configuration (KeyError if not)."""
         if self._codec is not None:
-            return self._index[self._encode(configuration)]
+            return self._index[self._lookup_key(self._encode(configuration))]
         return self._index[configuration]
 
     def find(self, configuration: Configuration) -> int | None:
         """The id of *configuration*, or ``None`` if never interned."""
         if self._codec is not None:
-            return self._index.get(self._encode(configuration))
+            return self._index.get(
+                self._lookup_key(self._encode(configuration))
+            )
         return self._index.get(configuration)
 
     def __contains__(self, configuration: Configuration) -> bool:
@@ -754,6 +854,8 @@ class GlobalConfigurationGraph:
         self,
         root: Configuration,
         max_configurations: int = DEFAULT_MAX_CONFIGURATIONS,
+        *,
+        max_levels: int | None = None,
     ) -> GrowthResult:
         """Grow the explored region to cover *root*'s forward closure.
 
@@ -772,6 +874,14 @@ class GlobalConfigurationGraph:
         so the interning sequence (hence every node id and edge list) is
         a pure function of the protocol and the root — independent of
         worker count, batch sharding, and ``PYTHONHASHSEED``.
+
+        *max_levels* (packed engine only) stops after that many BFS
+        levels from *root* — a depth horizon rather than a node budget,
+        which is what makes reduced-vs-full expansion counts comparable
+        (same temporal horizon, different graph sizes).  Levels are
+        counted from the root on every call, so re-exploring a grown
+        graph with a larger horizon continues where the smaller one
+        stopped.
         """
         started = time.perf_counter()
         self.stats.explore_calls += 1
@@ -781,7 +891,12 @@ class GlobalConfigurationGraph:
         try:
             if self._codec is not None:
                 return self._explore_packed(
-                    root, max_configurations, guard
+                    root, max_configurations, guard, max_levels
+                )
+            if max_levels is not None:
+                raise ValueError(
+                    "max_levels requires the packed engine (the dict "
+                    "engine's traversal has no level structure)"
                 )
             return self._explore_rich(root, max_configurations, guard)
         except KeyboardInterrupt:
@@ -803,6 +918,7 @@ class GlobalConfigurationGraph:
         root: Configuration,
         max_configurations: int,
         guard: BudgetGuard,
+        max_levels: int | None = None,
     ) -> GrowthResult:
         root_id = self.intern(root)
         visited = {root_id}
@@ -847,7 +963,25 @@ class GlobalConfigurationGraph:
                         visited.add(target)
                         next_frontier.append(target)
             frontier = next_frontier
+            if max_levels is not None and level >= max_levels and frontier:
+                # Depth horizon reached with work remaining: the rim
+                # stays unexpanded, exactly like a node-budget stop.
+                complete = False
+                break
 
+        if (
+            self.workers > 1
+            and self.stats.worker_batches == 0
+            and not self._pool_idle_logged
+        ):
+            self._pool_idle_logged = True
+            logger.info(
+                "workers=%d requested but every frontier level stayed "
+                "below the %d-node dispatch threshold; the run expanded "
+                "serially",
+                self.workers,
+                self.workers * self._min_batch_per_worker,
+            )
         if complete:
             # Nodes reached through previously-explored edges may still
             # be unexpanded from an earlier budget-limited call.
@@ -867,10 +1001,32 @@ class GlobalConfigurationGraph:
         *batch* and each edge list is in canonical event order.
         """
         codec = self._codec
+        threshold = self.workers * self._min_batch_per_worker
         if (
             self.workers > 1
             and not self._pool_disabled
-            and len(batch) >= self.workers * self._min_batch_per_worker
+            and len(batch) < threshold
+        ):
+            # Auto-disable for this level: a batch too small to occupy
+            # every worker loses more to IPC than it gains (see
+            # BENCH_parallel.json), so it expands inline.  Logged once,
+            # honestly, instead of silently idling the pool.
+            self.stats.small_batch_levels += 1
+            if not self._small_batch_logged:
+                self._small_batch_logged = True
+                logger.info(
+                    "frontier batch of %d nodes is below the %d-node "
+                    "dispatch threshold (%d workers x %d nodes); "
+                    "expanding inline without the pool",
+                    len(batch),
+                    threshold,
+                    self.workers,
+                    self._min_batch_per_worker,
+                )
+        if (
+            self.workers > 1
+            and not self._pool_disabled
+            and len(batch) >= threshold
         ):
             stats = self.stats
             configurations = [
@@ -999,8 +1155,26 @@ class GlobalConfigurationGraph:
         node, exactly like the serial engine).
         """
         index = self._index
+        reducer = self._reducer
+        quotient = self._quotient
+        stats = self.stats
         complete = True
         for node, edges in zip(batch, expansions):
+            # Reduction happens here — the one place serial and parallel
+            # paths share — so the recorded graph is identical for any
+            # worker count.  The reducer sees raw successors (its replay
+            # guard applies real events); the quotient then reroutes
+            # each kept edge to its orbit representative.
+            if reducer is not None:
+                edges = reducer.filter(self._packed[node], edges)
+            if quotient is not None:
+                rerouted = []
+                for event, packed in edges:
+                    canonical = quotient.canonicalize(packed)
+                    if canonical != packed:
+                        stats.sym_canonical_hits += 1
+                    rerouted.append((event, canonical))
+                edges = rerouted
             fresh = {
                 packed
                 for _event, packed in edges

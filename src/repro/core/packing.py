@@ -175,6 +175,15 @@ class PackedCodec:
             if (value := output[sid]) is not None
         )
 
+    def has_decision(self, packed: tuple[int, ...]) -> bool:
+        """Whether any process in *packed* has decided (no set built —
+        this sits on the ample reducer's per-edge visibility path)."""
+        output = self._state_output
+        for sid in packed[:-1]:
+            if output[sid] is not None:
+                return True
+        return False
+
     # -- packed step semantics ---------------------------------------------
 
     def events_for(self, buffer_id: int) -> tuple[Event, ...]:
@@ -197,6 +206,25 @@ class PackedCodec:
             self._buffer_events[buffer_id] = events
         return events
 
+    def _outgoing(
+        self, sender: str, sends: tuple[Message, ...]
+    ) -> tuple[Message, ...]:
+        """The send batch actually placed in the buffer by *sender*.
+
+        The base codec only validates destinations; fault-aware codecs
+        override this to filter sends (dead destinations, severed
+        links).  Runs at step-memo misses only, so any filtering must be
+        a pure function of ``(sender, destination)`` — which the static
+        fault fragment guarantees.
+        """
+        for message in sends:
+            if message.destination not in self._position:
+                raise ProtocolViolation(
+                    f"process {sender} sent a message to "
+                    f"unknown process {message.destination!r}"
+                )
+        return sends
+
     def apply_packed(
         self, packed: tuple[int, ...], event: Event
     ) -> tuple[int, ...]:
@@ -213,13 +241,10 @@ class PackedCodec:
             transition = self._automata[position].apply(
                 self._states[state_id], event.value
             )
-            for message in transition.sends:
-                if message.destination not in self._position:
-                    raise ProtocolViolation(
-                        f"process {event.process} sent a message to "
-                        f"unknown process {message.destination!r}"
-                    )
-            step = (self.intern_state(transition.state), transition.sends)
+            step = (
+                self.intern_state(transition.state),
+                self._outgoing(event.process, transition.sends),
+            )
             self._steps[step_key] = step
         else:
             self.step_hits += 1

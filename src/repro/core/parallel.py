@@ -53,6 +53,7 @@ _CHAOS: ChaosConfig | None = None
 _STEPS: dict[tuple[str, ProcessState, Hashable], tuple] = {}
 _DELIVERIES: dict[tuple[MessageBuffer, Message], MessageBuffer] = {}
 _SENDS: dict[tuple[MessageBuffer, tuple[Message, ...]], MessageBuffer] = {}
+_PROTOCOL_STEPS: dict[tuple[Event, ProcessState, MessageBuffer], tuple] = {}
 
 
 def init_worker(
@@ -65,12 +66,13 @@ def init_worker(
     in respawned workers, so chaos state must live in sentinel files
     (claimed exactly once), never in these process globals.
     """
-    global _PROTOCOL, _CHAOS, _STEPS, _DELIVERIES, _SENDS
+    global _PROTOCOL, _CHAOS, _STEPS, _DELIVERIES, _SENDS, _PROTOCOL_STEPS
     _PROTOCOL = protocol
     _CHAOS = chaos
     _STEPS = {}
     _DELIVERIES = {}
     _SENDS = {}
+    _PROTOCOL_STEPS = {}
 
 
 def _claim_sentinel(path: str) -> bool:
@@ -115,6 +117,9 @@ def expand_configuration(
         raise RuntimeError("worker used before init_worker()")
     _maybe_inject_fault()
     started = time.perf_counter()
+    if getattr(protocol, "custom_step_semantics", False):
+        deltas = _expand_via_protocol(protocol, configuration)
+        return time.perf_counter() - started, deltas
     deltas: list[
         tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]
     ] = []
@@ -157,3 +162,50 @@ def expand_configuration(
 
         deltas.append((event, new_state, delivered, new_buffer))
     return time.perf_counter() - started, deltas
+
+
+def _expand_via_protocol(
+    protocol: Protocol, configuration: Configuration
+) -> list[tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]]:
+    """Expansion for protocols with non-standard step semantics.
+
+    Protocols flagging ``custom_step_semantics`` (fault injection:
+    :class:`~repro.faults.model.FaultedProtocol`) own their event
+    vocabulary and their buffer transitions, so every step routes
+    through ``protocol.apply_event`` instead of the inlined fast path
+    above.  The intermediate post-consumption buffer the parent needs
+    for id-allocation parity comes from
+    :meth:`~repro.core.protocol.Protocol.consumed_message`.
+
+    Memo key: ``(event, stepping state, buffer)``.  Sound because a
+    step is local by the model — the successor's changed components
+    (stepping process's state, buffer) are a function of exactly those
+    three inputs, for faulted protocols too (the static fault fragment
+    is configuration-independent).
+    """
+    deltas: list[
+        tuple[Event, ProcessState, MessageBuffer | None, MessageBuffer]
+    ] = []
+    buffer = configuration.buffer
+    for event in protocol.enabled_events(configuration, include_null=True):
+        state = configuration.state_of(event.process)
+        key = (event, state, buffer)
+        cached = _PROTOCOL_STEPS.get(key)
+        if cached is None:
+            message = protocol.consumed_message(event)
+            delivered = None
+            if message is not None:
+                delivery_key = (buffer, message)
+                delivered = _DELIVERIES.get(delivery_key)
+                if delivered is None:
+                    delivered = buffer.deliver(message)
+                    _DELIVERIES[delivery_key] = delivered
+            successor = protocol.apply_event(configuration, event)
+            cached = (
+                successor.state_of(event.process),
+                delivered,
+                successor.buffer,
+            )
+            _PROTOCOL_STEPS[key] = cached
+        deltas.append((event,) + cached)
+    return deltas

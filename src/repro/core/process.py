@@ -133,6 +133,15 @@ class Process(ABC):
         The process's name, unique within its protocol.
     """
 
+    #: Declare ``True`` on subclasses whose behaviour is invariant under
+    #: process renaming (identical automata, no name-keyed branching such
+    #: as per-name coin tapes).  The declaration is a *claim*, consumed
+    #: and validated by the symmetry quotient
+    #: (:mod:`repro.core.reduction`): protocols that never declare it are
+    #: refused under ``--symmetry``, declared-but-false claims fail the
+    #: automorphism check and fall back with a warning.
+    symmetric = False
+
     def __init__(self, name: str):
         self.name = name
 

@@ -220,6 +220,28 @@ class Protocol:
         )
         return tuple(events)
 
+    def consumed_message(self, event: Event):
+        """The buffered message *event* consumes, or ``None``.
+
+        Protocol variants with pseudo-events (e.g. fault-model message
+        drops) override this so generic machinery — parallel expansion
+        workers in particular — can mirror buffer transitions without
+        knowing the variant's event vocabulary.
+        """
+        return None if event.is_null_delivery else event.message
+
+    def packed_codec(self):
+        """A fresh packed codec speaking this protocol's step semantics.
+
+        Subclasses with non-standard semantics (fault injection) return a
+        codec subclass here instead of disabling the packed engine.  The
+        import is local because :mod:`repro.core.packing` imports this
+        module.
+        """
+        from repro.core.packing import PackedCodec
+
+        return PackedCodec(self)
+
     def __repr__(self) -> str:
         return (
             f"Protocol(N={len(self._names)}, "

@@ -1,0 +1,486 @@
+"""Lemma-1 partial-order reduction and the process-symmetry quotient.
+
+The exploration engine's cost is interleaving blowup: Lemma 1 of the
+paper says schedules over disjoint process sets commute, so most of the
+n! orderings of cross-process deliveries reach configurations the graph
+has already seen — or will see — by another route.  This module turns
+that observation into two opt-in reductions for the packed engine:
+
+**Ample sets** (:class:`AmpleReducer`).  At a frontier node ``C`` the
+reducer may record only an *ample subset* of the enabled events — all
+events of one chosen process ``p`` — deferring the other processes'
+events to ``C``'s descendants, where they remain enabled (in this model
+a step by ``p`` can never disable another process's event: deliveries
+consume per-destination messages and null steps are always enabled).
+The clause-by-clause correspondence with Lemma 1 and with the classical
+ample-set conditions is spelled out in ``MODEL.md`` ("Reduction
+soundness"); operationally the reducer enforces:
+
+* **non-emptiness** — a reduced node keeps every event of the chosen
+  process, nulls included, so no enabled behaviour of ``p`` is lost and
+  the reduced node is expanded iff the full node would be;
+* **invisibility** — reduction is refused at any node that carries a
+  decision or has a successor that gains one (pruning there could hide
+  a decision value from the valency classifier);
+* **commutation** — on a deterministic sample of reduced nodes the
+  Lemma-1 diamond is replayed concretely: for kept event ``a`` and
+  pruned event ``b``, ``b(a(C)) == a(b(C))`` on packed tuples.  A
+  violation (impossible for conforming protocols, cheap insurance
+  against custom step semantics) disables the reducer for the rest of
+  the run and is counted in ``GraphStats.replay_violations``.
+
+The invisibility clause is checkable locally; the deferral itself is
+heuristic for protocols where a deferred step can send *new* mail to
+the chosen process (see MODEL.md for the honest discussion), which is
+why verdict identity against the unreduced graph is additionally pinned
+by the zoo-wide property tests and the ``bench_por`` CI gate.
+
+**Symmetry quotient** (:class:`SymmetryQuotient`).  For protocols whose
+automata declare ``symmetric = True``, configurations are canonicalized
+under process-name permutation before interning: the stored
+representative is the lexicographically smallest packed image over all
+``n!`` renamings (process names are rewritten both in tuple slots and
+inside state data / message values).  The declaration is *validated* —
+a transition-level automorphism check replays ``π(e(C)) == π(e)(π(C))``
+over a bounded sample before the quotient is trusted; a protocol that
+declares symmetry but fails the check falls back to the identity
+quotient with a warning, and a protocol that never declared it is
+rejected with :class:`~repro.core.errors.SymmetryError`.  Witness
+schedules are *not* available from a quotient graph (recorded edges
+connect orbit representatives, not concrete successors), so consumers
+that extract replayable runs refuse to operate under ``--symmetry``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import TYPE_CHECKING, Hashable
+
+from repro.core.configuration import Configuration
+from repro.core.errors import FLPError, SymmetryError
+from repro.core.events import Event
+from repro.core.messages import Message, MessageBuffer
+from repro.core.process import ProcessState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.exploration import GraphStats
+    from repro.core.packing import PackedCodec
+    from repro.core.protocol import Protocol
+
+__all__ = [
+    "ReductionPolicy",
+    "AmpleReducer",
+    "SymmetryQuotient",
+    "declares_symmetry",
+    "validate_symmetry",
+    "rename_value",
+    "rename_configuration",
+]
+
+
+@dataclass(frozen=True)
+class ReductionPolicy:
+    """What reductions to apply, and how paranoid to be about them.
+
+    Attributes
+    ----------
+    por:
+        Enable the Lemma-1 ample-set reducer.
+    symmetry:
+        Enable the process-permutation quotient (requires the protocol's
+        automata to declare ``symmetric = True``).
+    replay_every:
+        Replay the commutation diamond at the first reduced node and
+        every *replay_every*-th one after it.  Deterministic (a node
+        counter, not a clock), so serial, parallel, and resumed runs
+        sample identically.
+    replay_pairs:
+        Kept×pruned event pairs verified per sampled node.
+    symmetry_max_processes:
+        The quotient enumerates all ``n!`` renamings; above this roster
+        size it falls back (with a warning) instead of exploding.
+    """
+
+    por: bool = False
+    symmetry: bool = False
+    replay_every: int = 64
+    replay_pairs: int = 4
+    symmetry_max_processes: int = 5
+
+    @property
+    def enabled(self) -> bool:
+        return self.por or self.symmetry
+
+    def describe(self) -> dict[str, bool]:
+        """The checkpoint-header form: just the graph-shaping switches.
+
+        Sampling cadence does not change which nodes exist, only which
+        diamonds get double-checked, so it is not part of compatibility.
+        """
+        return {"por": self.por, "symmetry": self.symmetry}
+
+
+# ---------------------------------------------------------------------------
+# Renaming (shared by the quotient and its validator)
+# ---------------------------------------------------------------------------
+
+
+def rename_value(value: Hashable, mapping: dict[str, str]) -> Hashable:
+    """Rewrite process names inside a protocol value.
+
+    Descends through tuples and frozensets (the containers protocols use
+    for hashable state) and maps any string equal to a process name to
+    its image.  Everything else passes through untouched.  Protocols
+    whose *non-name* string values collide with process names would be
+    mis-renamed — the transition-level automorphism check catches that
+    (the renamed transition no longer matches) and the quotient falls
+    back.
+    """
+    if isinstance(value, str):
+        return mapping.get(value, value)
+    if isinstance(value, tuple):
+        return tuple(rename_value(item, mapping) for item in value)
+    if isinstance(value, frozenset):
+        return frozenset(rename_value(item, mapping) for item in value)
+    return value
+
+
+def _rename_state(state: ProcessState, mapping: dict[str, str]) -> ProcessState:
+    """*state* with process names rewritten inside its data field.
+
+    Input and output registers are name-free by the model, so renaming
+    preserves decision values by construction.
+    """
+    return ProcessState(
+        state.input, state.output, rename_value(state.data, mapping)
+    )
+
+
+def _rename_buffer(
+    buffer: MessageBuffer, mapping: dict[str, str]
+) -> MessageBuffer:
+    counts: dict[Message, int] = {}
+    for message, count in buffer.items():
+        renamed = Message(
+            mapping.get(message.destination, message.destination),
+            rename_value(message.value, mapping),
+        )
+        counts[renamed] = counts.get(renamed, 0) + count
+    return MessageBuffer(counts)
+
+
+def rename_configuration(
+    configuration: Configuration, mapping: dict[str, str]
+) -> Configuration:
+    """The image ``π(C)``: process ``π(p)`` holds ``p``'s renamed state."""
+    return Configuration(
+        {
+            mapping[name]: _rename_state(state, mapping)
+            for name, state in configuration.states()
+        },
+        _rename_buffer(configuration.buffer, mapping),
+    )
+
+
+def declares_symmetry(protocol: "Protocol") -> bool:
+    """Whether every automaton in *protocol* declares ``symmetric = True``."""
+    return all(
+        getattr(protocol.process(name), "symmetric", False)
+        for name in protocol.process_names
+    )
+
+
+def validate_symmetry(
+    protocol: "Protocol", sample_limit: int = 200
+) -> list[str]:
+    """Transition-level automorphism check for a declared symmetry.
+
+    Replays ``π(e(C)) == π(e)(π(C))`` for every non-identity renaming
+    ``π`` over a breadth-first sample of at most *sample_limit*
+    configurations drawn from every initial configuration.  Returns a
+    list of human-readable problems — empty iff the sample found the
+    declaration consistent.
+    """
+    names = list(protocol.process_names)
+    mappings = [
+        dict(zip(names, image))
+        for image in permutations(names)
+        if list(image) != names
+    ]
+    problems: list[str] = []
+    seen: set[Configuration] = set()
+    queue: list[Configuration] = list(protocol.initial_configurations())
+    for configuration in queue:
+        seen.add(configuration)
+    cursor = 0
+    while cursor < len(queue) and len(seen) <= sample_limit:
+        configuration = queue[cursor]
+        cursor += 1
+        for event in protocol.enabled_events(configuration):
+            successor = protocol.apply_event(configuration, event)
+            if successor not in seen and len(seen) < sample_limit:
+                seen.add(successor)
+                queue.append(successor)
+            for mapping in mappings:
+                image = rename_configuration(configuration, mapping)
+                image_event = Event(
+                    mapping[event.process],
+                    rename_value(event.value, mapping),
+                )
+                via_rename = rename_configuration(successor, mapping)
+                via_step = protocol.apply_event(image, image_event)
+                if via_rename != via_step:
+                    problems.append(
+                        "automorphism check failed: "
+                        f"renaming {mapping!r} does not commute with "
+                        f"{event!r} (the automata are not "
+                        "permutation-equivariant)"
+                    )
+                    return problems
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# The ample-set reducer
+# ---------------------------------------------------------------------------
+
+
+class AmpleReducer:
+    """Per-node ample-subset filter for the packed engine's edge lists.
+
+    Called by the engine inside the (node-ordered) merge, so serial,
+    parallel, and resumed explorations reduce identically.  The filter
+    is a pure function of the node, its full edge list, and the
+    deterministic sample counter — all of which the checkpoint captures.
+    """
+
+    def __init__(
+        self,
+        codec: "PackedCodec",
+        policy: ReductionPolicy,
+        stats: "GraphStats",
+    ):
+        self._codec = codec
+        self._policy = policy
+        self._stats = stats
+        #: False after a replay violation: the rest of the run expands
+        #: fully (the honest response to a protocol whose steps do not
+        #: commute the way the model promises).
+        self.active = True
+        #: Reduced nodes seen, driving the deterministic replay sample.
+        self.reduced_nodes = 0
+
+    def filter(
+        self,
+        packed: tuple[int, ...],
+        edges: list[tuple[Event, tuple[int, ...]]],
+    ) -> list[tuple[Event, tuple[int, ...]]]:
+        """The edges to record for *packed*: ample subset or all of them."""
+        if not self.active or len(edges) <= 1:
+            return edges
+        codec = self._codec
+        stats = self._stats
+        # Invisibility: a decided node, or any successor that gains a
+        # decision, pins the node to full expansion — pruning here could
+        # hide a decision value from the valency classifier.
+        if codec.has_decision(packed):
+            return edges
+        position_of = codec.position_of
+        candidate: int | None = None
+        for event, successor in edges:
+            if codec.has_decision(successor):
+                stats.ample_fallbacks += 1
+                return edges
+            if not event.is_null_delivery:
+                position = position_of(event.process)
+                if candidate is None or position < candidate:
+                    candidate = position
+        if candidate is None:
+            # Null-only phase: every process has exactly its null step,
+            # there is no interleaving to collapse.
+            return edges
+        ample = [
+            (event, successor)
+            for event, successor in edges
+            if position_of(event.process) == candidate
+        ]
+        if len(ample) == len(edges):
+            return edges
+        self.reduced_nodes += 1
+        if (
+            self.reduced_nodes == 1
+            or self.reduced_nodes % self._policy.replay_every == 0
+        ):
+            pruned = [
+                (event, successor)
+                for event, successor in edges
+                if position_of(event.process) != candidate
+            ]
+            if not self._diamonds_commute(ample, pruned):
+                stats.replay_violations += 1
+                stats.ample_fallbacks += 1
+                self.active = False
+                return edges
+        stats.por_pruned += len(edges) - len(ample)
+        return ample
+
+    def _diamonds_commute(self, ample, pruned) -> bool:
+        """Replay Lemma-1 diamonds between kept and pruned events.
+
+        Every pair steps *different* processes by construction, so the
+        lemma asserts the two orders meet at one configuration; checking
+        it concretely on packed tuples guards against step semantics
+        that break the model's commutation promise.
+        """
+        apply_packed = self._codec.apply_packed
+        stats = self._stats
+        budget = self._policy.replay_pairs
+        checked = 0
+        for kept_event, kept_successor in ample:
+            for pruned_event, pruned_successor in pruned:
+                if checked >= budget:
+                    return True
+                checked += 1
+                stats.replay_checks += 1
+                meet_via_kept = apply_packed(kept_successor, pruned_event)
+                meet_via_pruned = apply_packed(pruned_successor, kept_event)
+                if meet_via_kept != meet_via_pruned:
+                    return False
+        return True
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, object]:
+        """Picklable sample-position state (the codec snapshots itself)."""
+        return {
+            "active": self.active,
+            "reduced_nodes": self.reduced_nodes,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.active = bool(state["active"])
+        self.reduced_nodes = int(state["reduced_nodes"])
+
+
+# ---------------------------------------------------------------------------
+# The symmetry quotient
+# ---------------------------------------------------------------------------
+
+
+class SymmetryQuotient:
+    """Canonicalize packed configurations under process-name permutation.
+
+    The canonical representative of an orbit is the lexicographically
+    smallest packed image over every renaming.  All derived tables
+    (per-renaming state/buffer image memos, the orbit cache) are pure
+    functions of the codec's interning tables, so checkpoint/resume
+    rebuilds them on demand and stays byte-identical.
+
+    Construct via :meth:`build`, which enforces the declaration and the
+    automorphism validation.
+    """
+
+    def __init__(self, codec: "PackedCodec", names: list[str]):
+        self._codec = codec
+        self._names = list(names)
+        self._mappings = [
+            dict(zip(self._names, image))
+            for image in permutations(self._names)
+            if list(image) != self._names
+        ]
+        self._state_images: list[dict[int, int]] = [
+            {} for _ in self._mappings
+        ]
+        self._buffer_images: list[dict[int, int]] = [
+            {} for _ in self._mappings
+        ]
+        self._orbit: dict[tuple[int, ...], tuple[int, ...]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        protocol: "Protocol",
+        codec: "PackedCodec",
+        policy: ReductionPolicy,
+    ) -> "tuple[SymmetryQuotient | None, str | None]":
+        """``(quotient, fallback_reason)`` for *protocol*.
+
+        Raises :class:`SymmetryError` when the protocol never declared
+        symmetry (an operator error: the flag asserts something about
+        the protocol that its author did not).  A *declared* symmetry
+        that fails validation, or a roster too large to quotient, is a
+        soft failure: ``(None, reason)`` so the engine can warn and run
+        unreduced.
+        """
+        names = list(protocol.process_names)
+        if not declares_symmetry(protocol):
+            raise SymmetryError(
+                "the symmetry quotient needs every process automaton to "
+                "declare `symmetric = True`; "
+                f"{type(protocol.process(names[0])).__name__} does not — "
+                "refusing to canonicalize an asymmetric protocol"
+            )
+        if len(names) > policy.symmetry_max_processes:
+            return None, (
+                f"roster of {len(names)} processes needs "
+                f"{len(names)}! renamings per configuration; "
+                "running without the quotient"
+            )
+        problems = validate_symmetry(protocol)
+        if problems:
+            return None, problems[0]
+        return cls(codec, names), None
+
+    def canonicalize(self, packed: tuple[int, ...]) -> tuple[int, ...]:
+        """The orbit representative of *packed* (memoized)."""
+        best = self._orbit.get(packed)
+        if best is not None:
+            return best
+        best = packed
+        for k in range(len(self._mappings)):
+            candidate = self._image(packed, k)
+            if candidate < best:
+                best = candidate
+        if best is not packed and self._codec.decision_values(
+            best
+        ) != self._codec.decision_values(packed):
+            raise FLPError(
+                "symmetry canonicalization changed the decision set — "
+                "renaming must never touch output registers (model bug)"
+            )
+        self._orbit[packed] = best
+        return best
+
+    def _image(self, packed: tuple[int, ...], k: int) -> tuple[int, ...]:
+        codec = self._codec
+        mapping = self._mappings[k]
+        slots = [0] * len(packed)
+        for index, name in enumerate(self._names):
+            slots[codec.position_of(mapping[name])] = self._image_state(
+                packed[index], k
+            )
+        slots[-1] = self._image_buffer(packed[-1], k)
+        return tuple(slots)
+
+    def _image_state(self, state_id: int, k: int) -> int:
+        memo = self._state_images[k]
+        image = memo.get(state_id)
+        if image is None:
+            renamed = _rename_state(
+                self._codec.state_at(state_id), self._mappings[k]
+            )
+            image = self._codec.intern_state(renamed)
+            memo[state_id] = image
+        return image
+
+    def _image_buffer(self, buffer_id: int, k: int) -> int:
+        memo = self._buffer_images[k]
+        image = memo.get(buffer_id)
+        if image is None:
+            renamed = _rename_buffer(
+                self._codec.buffer_at(buffer_id), self._mappings[k]
+            )
+            image = self._codec.intern_buffer(renamed)
+            memo[buffer_id] = image
+        return image

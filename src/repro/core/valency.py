@@ -185,9 +185,18 @@ class ValencyAnalyzer:
     resume_from:
         Path of a checkpoint to restore the shared graph from before
         any query runs.  The snapshot decides the engine mode (*packed*
-        is ignored), and valencies are reclassified from the restored
+        is ignored) and the reduction policy (unless *reduction*
+        overrides it), and valencies are reclassified from the restored
         graph on first query — classification state is derived, not
         checkpointed.
+    reduction:
+        Optional :class:`~repro.core.reduction.ReductionPolicy` for the
+        shared engine (Lemma-1 ample sets / symmetry quotient).  Every
+        valency verdict is identical to the unreduced graph's — that is
+        the reduction's soundness contract, pinned by the zoo-wide
+        property tests — but :meth:`bivalence_witness` refuses under
+        the symmetry quotient (quotient edges connect orbit
+        representatives, so extracted paths are not replayable).
     """
 
     def __init__(
@@ -200,6 +209,7 @@ class ValencyAnalyzer:
         resilience=None,
         checkpoint=None,
         resume_from: str | None = None,
+        reduction=None,
     ):
         self.protocol = protocol
         self.max_configurations = max_configurations
@@ -216,6 +226,7 @@ class ValencyAnalyzer:
                 transitions=self.transitions,
                 resilience=resilience,
                 checkpoint=checkpoint,
+                reduction=reduction,
             )
         else:
             self.graph = GlobalConfigurationGraph(
@@ -225,6 +236,7 @@ class ValencyAnalyzer:
                 workers=workers,
                 resilience=resilience,
                 checkpoint=checkpoint,
+                reduction=reduction,
             )
         #: Valency per node id; ``None`` = not (yet) soundly determined.
         self._node_valency: list[Valency | None] = []
@@ -334,6 +346,16 @@ class ValencyAnalyzer:
         reverse reachability over recorded edges, so both witness paths
         already exist in the explored region — no re-exploration.
         """
+        if self.graph._quotient is not None:
+            from repro.core.errors import SymmetryError
+
+            raise SymmetryError(
+                "bivalence witnesses cannot be extracted from a "
+                "symmetry-quotient graph: recorded edges connect orbit "
+                "representatives, so a path read off the graph is not a "
+                "replayable schedule — rerun without --symmetry to "
+                "extract witnesses"
+            )
         if self.valency(configuration) is not Valency.BIVALENT:
             return None
         graph = self.graph

@@ -21,7 +21,7 @@ lives with the other schedulers in :mod:`repro.schedulers`.
 """
 
 from repro.faults.audit import FaultAuditVerdict, audit_run, audit_simulation
-from repro.faults.model import Drop, FaultedProtocol
+from repro.faults.model import Drop, FaultedPackedCodec, FaultedProtocol
 from repro.faults.plan import (
     Crash,
     CrashRecovery,
@@ -54,6 +54,7 @@ __all__ = [
     "FaultCounters",
     "PlanCrashView",
     "Drop",
+    "FaultedPackedCodec",
     "FaultedProtocol",
     "FaultAuditVerdict",
     "audit_run",

@@ -17,12 +17,15 @@ exhaustively:
   reachability, to a copy never sent.
 
 The wrapper subclasses :class:`~repro.core.protocol.Protocol` and
-overrides only :meth:`enabled_events` and :meth:`apply_event`, so every
+overrides :meth:`enabled_events` and :meth:`apply_event`, so every
 consumer that routes steps through the protocol (the dict exploration
 engine, simulation, schedule replay) honours the faults with no further
-wiring.  The packed engine bypasses protocol methods by design, so the
-class advertises :attr:`requires_rich_engine` and the graph builder
-downgrades to the dict engine automatically.
+wiring.  The packed engine speaks through a codec rather than protocol
+methods, so :meth:`FaultedProtocol.packed_codec` supplies
+:class:`FaultedPackedCodec` — the same fault fragment expressed at the
+packed-id level — and faulted exploration runs packed like everything
+else.  The dict engine remains reachable via ``packed=False`` and is
+kept as the cross-check in the test suite.
 """
 
 from __future__ import annotations
@@ -33,10 +36,11 @@ from repro.core.configuration import Configuration
 from repro.core.errors import ProtocolViolation, UnknownProcess
 from repro.core.events import NULL, Event
 from repro.core.messages import Message
+from repro.core.packing import PackedCodec
 from repro.core.protocol import Protocol
 from repro.faults.plan import FaultCounters, FaultPlan
 
-__all__ = ["Drop", "FaultedProtocol"]
+__all__ = ["Drop", "FaultedPackedCodec", "FaultedProtocol"]
 
 
 class Drop:
@@ -81,9 +85,10 @@ class FaultedProtocol(Protocol):
     see :class:`~repro.schedulers.faulty.FaultyScheduler`.
     """
 
-    #: Exploration must use the dict engine: the packed codec bypasses
-    #: ``enabled_events``/``apply_event`` and would ignore the faults.
-    requires_rich_engine = True
+    #: Parallel expansion workers must route every step through
+    #: :meth:`apply_event` (drop pseudo-events, send filtering) instead
+    #: of the stock worker fast path.
+    custom_step_semantics = True
 
     def __init__(self, base: Protocol, plan: FaultPlan):
         super().__init__(
@@ -170,8 +175,110 @@ class FaultedProtocol(Protocol):
         buffer = buffer.send_all(sends)
         return configuration.replace(event.process, transition.state, buffer)
 
+    def consumed_message(self, event: Event) -> Message | None:
+        """The buffered message *event* consumes — unwrapping drops."""
+        if isinstance(event.value, Drop):
+            return Message(event.process, event.value.value)
+        return super().consumed_message(event)
+
+    def packed_codec(self) -> "FaultedPackedCodec":
+        return FaultedPackedCodec(self)
+
     def __repr__(self) -> str:
         return (
             f"FaultedProtocol(N={self.num_processes}, "
             f"plan={self.plan.describe()})"
         )
+
+
+class FaultedPackedCodec(PackedCodec):
+    """Packed codec speaking :class:`FaultedProtocol`'s step semantics.
+
+    Three deviations from the base codec, each mirroring one clause of
+    the static fault fragment:
+
+    * :meth:`events_for` reproduces the faulted
+      :meth:`~FaultedProtocol.enabled_events` order exactly — dead
+      processes excluded, a :class:`Drop` edge after each delivery to a
+      lossy destination — so a packed exploration interns the same
+      successors in the same order as the dict engine and node ids
+      match across engines;
+    * :meth:`apply_packed` handles drop pseudo-events as pure buffer
+      transitions (the stepping process's state id is untouched),
+      sharing the delivery memo with the corresponding real delivery —
+      removing a copy is the same buffer operation whether the process
+      or the channel consumed it;
+    * :meth:`_outgoing` filters sends to dead destinations and across
+      severed links at step-memo misses (sound: the filter depends only
+      on the static ``(sender, destination)`` pair).
+
+    Fault counters bump on memoized paths only at miss time, so their
+    exact values differ from a dict-engine run; the invariant consumers
+    rely on — a fault clause that shaped the graph has a nonzero
+    counter — holds in both engines.
+    """
+
+    def __init__(self, protocol: FaultedProtocol):
+        super().__init__(protocol)
+        self._dead = protocol._dead
+        self._lossy = protocol._lossy
+        self._severed = protocol._severed
+        self._counters = protocol.fault_counters
+
+    def events_for(self, buffer_id: int) -> tuple[Event, ...]:
+        events = self._buffer_events[buffer_id]
+        if events is None:
+            counters = self._counters
+            enabled: list[Event] = []
+            for name in self._names:
+                if name in self._dead:
+                    counters.dead_exclusions += 1
+                    continue
+                enabled.append(Event(name, NULL))
+            for message in self._buffers[buffer_id].distinct_messages():
+                if message.destination in self._dead:
+                    counters.dead_exclusions += 1
+                    continue
+                enabled.append(Event(message.destination, message.value))
+                if message.destination in self._lossy:
+                    enabled.append(
+                        Event(message.destination, Drop(message.value))
+                    )
+            events = tuple(enabled)
+            self._buffer_events[buffer_id] = events
+        return events
+
+    def apply_packed(
+        self, packed: tuple[int, ...], event: Event
+    ) -> tuple[int, ...]:
+        if isinstance(event.value, Drop):
+            buffer_id = packed[-1]
+            message = Message(event.process, event.value.value)
+            delivery_key = (buffer_id, message)
+            delivered = self._deliveries.get(delivery_key)
+            if delivered is None:
+                delivered = self.intern_buffer(
+                    self._buffers[buffer_id].deliver(message)
+                )
+                self._deliveries[delivery_key] = delivered
+            self._counters.drop_edges += 1
+            successor = list(packed)
+            successor[-1] = delivered
+            return tuple(successor)
+        return super().apply_packed(packed, event)
+
+    def _outgoing(
+        self, sender: str, sends: tuple[Message, ...]
+    ) -> tuple[Message, ...]:
+        sends = super()._outgoing(sender, sends)
+        counters = self._counters
+        kept = []
+        for message in sends:
+            if message.destination in self._dead:
+                counters.dead_exclusions += 1
+                continue
+            if (sender, message.destination) in self._severed:
+                counters.send_blocks += 1
+                continue
+            kept.append(message)
+        return tuple(kept)

@@ -39,6 +39,12 @@ class _VotingProcess(ConsensusProcess):
     """Shared mechanics: broadcast once, collect votes, decide at a
     threshold.  Subclasses fix the threshold."""
 
+    #: Identical automata, and every name the state mentions lives in
+    #: renameable positions (the ``(sender, value)`` vote pairs and the
+    #: ``("vote", sender, value)`` message tuples) — validated by the
+    #: automorphism check before the symmetry quotient trusts it.
+    symmetric = True
+
     #: Number of votes (including one's own) required before deciding.
     def _threshold(self) -> int:
         raise NotImplementedError

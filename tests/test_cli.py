@@ -472,3 +472,75 @@ class TestSurvive:
         out = capsys.readouterr().out
         assert "stalled" in out      # the mid-run crash row
         assert "witnesses:" in out
+
+
+class TestReductionFlags:
+    def test_check_with_por_agrees_and_surfaces_counters(self, capsys):
+        assert main(["check", "wait-for-all"]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["check", "wait-for-all", "--por", "--stats"]) == 0
+        reduced = capsys.readouterr().out
+        # Same verdict lines; the reduced run adds the counter block.
+        assert baseline.splitlines()[0] in reduced
+        assert "por_pruned" in reduced
+
+    def test_check_with_symmetry_on_a_symmetric_protocol(self, capsys):
+        assert main(
+            ["check", "wait-for-all", "--symmetry", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sym_canonical_hits" in out
+
+    def test_symmetry_on_undeclared_protocol_is_one_friendly_line(
+        self, capsys
+    ):
+        assert main(["check", "arbiter", "--symmetry"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot reduce" in err
+        assert "Traceback" not in err
+
+    def test_attack_refuses_symmetry(self, capsys):
+        assert main(["attack", "parity-arbiter", "--symmetry"]) == 2
+        err = capsys.readouterr().err
+        assert "replayable schedules" in err
+
+    def test_attack_with_por_still_verifies(self, capsys):
+        assert (
+            main(["attack", "parity-arbiter", "--stages", "3", "--por"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "verified by replay: True" in out
+
+    def test_map_with_por_shrinks_but_classifies_the_same(self, capsys):
+        import re
+
+        def run(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            match = re.search(r"(\d+) configurations \((.*?)\)", out)
+            count, classes = match.groups()
+            # "0-valent=80" → the class names, sizes stripped: the
+            # reduced map covers fewer nodes but the same verdict mix.
+            return int(count), re.sub(r"=\d+", "", classes)
+
+        full_count, full_classes = run(["map", "wait-for-all"])
+        por_count, por_classes = run(["map", "wait-for-all", "--por"])
+        assert por_classes == full_classes
+        assert por_count < full_count
+
+    def test_survive_notes_reduction_does_not_apply(self, capsys):
+        assert (
+            main(
+                [
+                    "survive",
+                    "wait-for-all",
+                    "--fault-models",
+                    "none",
+                    "--por",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "runs unreduced" in out

@@ -97,13 +97,41 @@ def test_severed_links_filter_sends():
     assert faulted.fault_counters.send_blocks == 2
 
 
-def test_graph_engine_downgrades_packed_to_dict():
-    protocol = make_protocol(ArbiterProcess, 3)
-    faulted = FaultedProtocol(protocol, FaultPlan.initially_dead(["p0"]))
-    graph = GlobalConfigurationGraph(faulted, packed=True)
-    assert not graph.packed  # silently routed to the rich engine
-    plain_graph = GlobalConfigurationGraph(protocol, packed=True)
-    assert plain_graph.packed
+@pytest.mark.parametrize(
+    "plan",
+    [
+        FaultPlan.initially_dead(["p0"]),
+        FaultPlan([Omission(destination="p1", budget=None)]),
+        FaultPlan(
+            [Partition((frozenset({"p0"}), frozenset({"p1", "p2"})))]
+        ),
+    ],
+    ids=["dead", "lossy", "severed"],
+)
+def test_faulted_packed_engine_matches_the_dict_engine(plan):
+    # FaultedProtocol no longer downgrades to the dict engine: its
+    # packed codec speaks the fault semantics.  The dict engine stays
+    # available as the cross-check — same nodes, same ids, same edges.
+    protocol = make_protocol(WaitForAllProcess, 3)
+    packed = GlobalConfigurationGraph(
+        FaultedProtocol(protocol, plan), packed=True
+    )
+    assert packed.packed
+    dictg = GlobalConfigurationGraph(
+        FaultedProtocol(protocol, plan), packed=False
+    )
+    root_inputs = [1, 0, 1]
+    packed_result = packed.explore(
+        packed.protocol.initial_configuration(root_inputs)
+    )
+    dict_result = dictg.explore(
+        dictg.protocol.initial_configuration(root_inputs)
+    )
+    assert packed_result.complete and dict_result.complete
+    assert len(packed) == len(dictg)
+    for node in range(len(packed)):
+        assert packed.successors[node] == dictg.successors[node]
+        assert packed.configuration_at(node) == dictg.configurations[node]
 
 
 def test_valency_analysis_honours_the_faults_and_mirrors_counters():
