@@ -55,6 +55,7 @@ from repro.core.resilience import (
     run_chaos_suite,
 )
 from repro.core.simulation import StopCondition, simulate
+from repro.core.store import DEFAULT_SPILL_BUDGET_MB, StoreConfig
 from repro.core.valency import ValencyAnalyzer
 from repro.schedulers import CrashPlan, RandomScheduler, RoundRobinScheduler
 
@@ -108,10 +109,26 @@ def _make_analyzer(protocol, args) -> ValencyAnalyzer:
     batch_timeout = getattr(args, "batch_timeout", None)
     if batch_timeout is None and workers > 1:
         batch_timeout = DEFAULT_BATCH_TIMEOUT_S
+    store_mode = getattr(args, "store", "ram")
+    memory_mb = getattr(args, "max_memory_mb", None)
+    if store_mode == "mmap":
+        # The budget *drives the spill* instead of stopping the run:
+        # past it, the flat buffers move to mmap-backed temp files and
+        # exploration continues, so the RSS guard is not armed.
+        store = StoreConfig(
+            mode="mmap",
+            spill_budget_mb=(
+                memory_mb if memory_mb else DEFAULT_SPILL_BUDGET_MB
+            ),
+        )
+        memory_guard_mb = None
+    else:
+        store = StoreConfig(mode="ram")
+        memory_guard_mb = memory_mb
     resilience = ResilienceConfig(
         batch_timeout_s=batch_timeout,
         wall_clock_limit_s=getattr(args, "max_seconds", None),
-        memory_limit_mb=getattr(args, "max_memory_mb", None),
+        memory_limit_mb=memory_guard_mb,
     )
     checkpoint = None
     path = getattr(args, "checkpoint", None)
@@ -127,6 +144,7 @@ def _make_analyzer(protocol, args) -> ValencyAnalyzer:
         checkpoint=checkpoint,
         resume_from=getattr(args, "resume", None),
         reduction=_reduction_policy(args),
+        store=store,
     )
     _ACTIVE = analyzer
     return analyzer
@@ -545,7 +563,21 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             metavar="MB",
-            help="stop exploring gracefully once peak RSS exceeds MB",
+            help="memory budget in MB: with --store ram, stop exploring "
+            "gracefully once peak RSS exceeds it; with --store mmap, "
+            "spill the flat node/edge buffers to disk past it and keep "
+            "exploring",
+        )
+        sub.add_argument(
+            "--store",
+            choices=("ram", "mmap"),
+            default="ram",
+            metavar="MODE",
+            help="graph-store backing: 'ram' keeps the flat buffers in "
+            "memory; 'mmap' spills them to memory-mapped temp files "
+            "past the --max-memory-mb budget (default "
+            f"{DEFAULT_SPILL_BUDGET_MB:g} MB), letting multi-million-"
+            "node graphs exceed RAM (default: ram)",
         )
         sub.add_argument(
             "--batch-timeout",

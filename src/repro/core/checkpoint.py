@@ -20,9 +20,19 @@ skipped node A yet expanded a later, smaller node B at the same level,
 interning B's successors before A's — an id-allocation order no
 single-shot run reproduces.
 
-File format (version 1)::
+File format (version 2)::
 
     <one-line JSON header>\n<pickle payload>
+
+Version 2 stores the packed engine's node/edge tables as the flat-buffer
+store's raw byte snapshots (arena bytes, CSR offset/count/pair bytes,
+event table) instead of per-node Python tuples — the payload for a
+million-node graph is a few contiguous ``bytes`` blobs rather than a
+million tuple pickles.  The visited-set hash index is *not* stored; it
+is a pure function of the arena and is rebuilt on restore.  Version-1
+snapshots are refused with :class:`~repro.core.errors.CheckpointMismatch`
+(re-explore to regenerate — exploration is deterministic, so the rebuilt
+graph is byte-identical).
 
 The header carries a magic string, the format version, the engine mode,
 protocol identity (repr + process names/types), node/edge counts, and a
@@ -66,7 +76,7 @@ __all__ = [
 ]
 
 CHECKPOINT_MAGIC = "flpkit-checkpoint"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -104,14 +114,14 @@ def _snapshot(graph: "GlobalConfigurationGraph") -> dict[str, object]:
     """The picklable payload for *graph* (engine-mode dependent)."""
     state: dict[str, object] = {
         "engine": "packed" if graph.packed else "dict",
-        "successors": graph.successors,
         "expanded": bytes(graph._expanded),
         "stats": graph.stats,
     }
     if graph.packed:
-        state["packed_nodes"] = graph._packed
+        state["store"] = graph._store.snapshot()
         state["codec"] = graph.codec.snapshot_state()
     else:
+        state["successors"] = graph.successors
         state["configurations"] = graph.configurations
     if graph._reducer is not None:
         # The replay-sample position: a resumed reduced exploration must
@@ -137,7 +147,10 @@ def save_checkpoint(
     payload = pickle.dumps(
         _snapshot(graph), protocol=pickle.HIGHEST_PROTOCOL
     )
-    edges = sum(len(out) for out in graph.successors)
+    if graph.packed:
+        edges = graph._store.edges.total_pairs
+    else:
+        edges = sum(len(out) for out in graph.successors)
     header = {
         "magic": CHECKPOINT_MAGIC,
         "version": CHECKPOINT_VERSION,
@@ -249,42 +262,44 @@ def restore_checkpoint(
         )
     state = pickle.loads(payload)
 
-    graph.successors = state["successors"]
     graph._expanded = bytearray(state["expanded"])
     if graph.packed:
-        graph._packed = state["packed_nodes"]
-        graph._rich = [None] * len(graph._packed)
-        graph._index = {
-            packed: node for node, packed in enumerate(graph._packed)
-        }
+        graph._store.restore(state["store"])
+        graph._rich = {}
         graph.codec.restore_state(state["codec"])
         decisions_of = graph.codec.decision_values
-        nodes = graph._packed
+        n_nodes = len(graph._store)
+        node_at = graph._store.row
     else:
+        graph.successors = state["successors"]
         graph.configurations = state["configurations"]
         graph._index = {
             configuration: node
             for node, configuration in enumerate(graph.configurations)
         }
         decisions_of = lambda c: c.decision_values()  # noqa: E731
-        nodes = graph.configurations
-    if len(graph._expanded) != len(nodes):
+        n_nodes = len(graph.configurations)
+        node_at = graph.configurations.__getitem__
+    if len(graph._expanded) != n_nodes:
         raise CheckpointCorrupt(
             f"{path}: expanded map covers {len(graph._expanded)} nodes, "
-            f"table has {len(nodes)}"
+            f"table has {n_nodes}"
         )
 
     # Decision indexes are appended at intern time, i.e. in id order, so
     # an id-order rebuild reproduces them exactly.
     graph._decision_nodes = {}
-    for node, item in enumerate(nodes):
-        for value in decisions_of(item):
+    for node in range(n_nodes):
+        for value in decisions_of(node_at(node)):
             graph._decision_nodes.setdefault(value, []).append(node)
 
     stats = state["stats"]
     stats.workers = graph.workers
-    stats.resumed_nodes = len(nodes)
+    stats.resumed_nodes = n_nodes
     graph.stats = stats
+    # Cadence baseline: a resumed run owes its next checkpoint after
+    # *new* expansions, not immediately because of the inherited total.
+    graph._expansions_at_checkpoint = stats.expansions
     if graph._reducer is not None:
         graph._reducer._stats = stats
         reducer_state = state.get("reducer")
@@ -295,8 +310,12 @@ def restore_checkpoint(
     return CheckpointInfo(
         path=path,
         engine=mode,
-        nodes=len(nodes),
-        edges=sum(len(out) for out in graph.successors),
+        nodes=n_nodes,
+        edges=(
+            graph._store.edges.total_pairs
+            if graph.packed
+            else sum(len(out) for out in graph.successors)
+        ),
         payload_bytes=len(payload),
         sha256=header["payload_sha256"],
         elapsed_s=time.perf_counter() - started,
@@ -312,6 +331,7 @@ def load_checkpoint(
     resilience=None,
     checkpoint=None,
     reduction=None,
+    store=None,
 ):
     """Build a fresh engine for *protocol* and restore *path* into it.
 
@@ -319,10 +339,12 @@ def load_checkpoint(
     and so is the reduction policy unless *reduction* overrides it (an
     override that disagrees with the header raises
     :class:`~repro.core.errors.CheckpointMismatch` during restore);
-    *workers*, *resilience* and *checkpoint* configure the resumed
-    engine exactly like the
+    *workers*, *resilience*, *checkpoint* and *store* configure the
+    resumed engine exactly like the
     :class:`~repro.core.exploration.GlobalConfigurationGraph`
-    constructor.
+    constructor — in particular a snapshot written from a RAM-backed
+    store restores cleanly into an mmap-backed one and vice versa (the
+    snapshot is raw buffer bytes either way).
     """
     from repro.core.exploration import GlobalConfigurationGraph
 
@@ -344,6 +366,7 @@ def load_checkpoint(
         resilience=resilience,
         checkpoint=checkpoint,
         reduction=reduction,
+        store=store,
     )
     restore_checkpoint(graph, path)
     return graph

@@ -38,6 +38,7 @@ from repro.core.resilience import (
     PartialResult,
     ResilienceConfig,
 )
+from repro.core.store import GraphStore, StoreConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.reduction import ReductionPolicy
@@ -342,11 +343,18 @@ class GraphStats:
     packed_step_misses: int = 0
     #: Configured worker-pool size (0/1 = serial).
     workers: int = 0
-    #: Frontier batches shipped to the worker pool, and the total /
-    #: largest node count across them (batch-size observability).
+    #: Frontier batches shipped to the worker crew, the total / largest
+    #: node count across them, and the work-stealing chunks the crew
+    #: completed (batch-size and stealing observability).
     worker_batches: int = 0
     worker_batch_nodes: int = 0
     worker_max_batch: int = 0
+    worker_chunks: int = 0
+    #: Flat-buffer store gauges: spill events (RAM -> mmap migrations)
+    #: and live bytes in the arena / edge CSR at last measurement.
+    store_spills: int = 0
+    arena_bytes: int = 0
+    edge_bytes: int = 0
     #: BFS levels processed by the packed engine (cumulative).
     explore_levels: int = 0
     #: Recovery events: batch dispatches lost to a timeout (covers both
@@ -446,6 +454,10 @@ class GraphStats:
             "worker_batches": self.worker_batches,
             "worker_batch_nodes": self.worker_batch_nodes,
             "worker_max_batch": self.worker_max_batch,
+            "worker_chunks": self.worker_chunks,
+            "store_spills": self.store_spills,
+            "arena_bytes": self.arena_bytes,
+            "edge_bytes": self.edge_bytes,
             "worker_utilization": (
                 None
                 if (utilization := self.worker_utilization) is None
@@ -541,6 +553,49 @@ class _ConfigurationView:
             yield self._graph.configuration_at(node)
 
 
+class _SuccessorsView:
+    """Sequence view of a packed engine's edge lists, decoded on demand.
+
+    The flat-buffer store keeps edges as int64 ``(event_id, target)``
+    CSR pairs; this view preserves the historical
+    ``graph.successors[node] -> [(Event, target), ...]`` API (and list
+    equality, which the byte-identity tests lean on) without the engine
+    holding one Python list per node.
+    """
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "GlobalConfigurationGraph"):
+        self._graph = graph
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __getitem__(self, node: int) -> list[tuple[Event, int]]:
+        length = len(self._graph)
+        if isinstance(node, slice):
+            return [self[i] for i in range(*node.indices(length))]
+        if node < 0:
+            node += length
+        if not 0 <= node < length:
+            raise IndexError(node)
+        return self._graph._store.edge_list(node)
+
+    def __iter__(self) -> Iterator[list[tuple[Event, int]]]:
+        edge_list = self._graph._store.edge_list
+        for node in range(len(self._graph)):
+            yield edge_list(node)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_SuccessorsView, list)):
+            if len(self) != len(other):
+                return False
+            return all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    __hash__ = None  # mutable sequence semantics
+
+
 def _close_from_atexit(graph_ref: "weakref.ref") -> None:
     """Interpreter-exit cleanup for engines that were never closed.
 
@@ -600,6 +655,7 @@ class GlobalConfigurationGraph:
         checkpoint: CheckpointConfig | None = None,
         chaos: ChaosConfig | None = None,
         reduction: "ReductionPolicy | None" = None,
+        store: "StoreConfig | str | None" = None,
     ):
         self.protocol = protocol
         # Escape hatch for protocols whose step semantics genuinely
@@ -614,7 +670,6 @@ class GlobalConfigurationGraph:
             transitions if transitions is not None
             else TransitionCache(protocol)
         )
-        self.successors: list[list[tuple[Event, int]]] = []
         self.stats = GraphStats()
         self.workers = max(0, workers)
         self.stats.workers = self.workers
@@ -638,6 +693,7 @@ class GlobalConfigurationGraph:
         self._atexit_hook = None
         self._last_checkpoint_time: float | None = None
         self._chunks_since_checkpoint = 0
+        self._expansions_at_checkpoint = 0
         self._expanded = bytearray()
         self._decision_nodes: dict[int, list[int]] = {}
         #: Bumped on any node/edge addition; versions CSR staleness.
@@ -645,19 +701,31 @@ class GlobalConfigurationGraph:
         self._csr_version = -1
         self._rev_indptr: array | None = None
         self._rev_indices: array | None = None
+        self.store_config = StoreConfig.coerce(store)
         if packed:
             self._codec = protocol.packed_codec()
-            self._packed: list[tuple[int, ...]] = []
-            self._rich: list[Configuration | None] = []
-            self._index: dict[tuple[int, ...], int] = {}
+            self._store = GraphStore(
+                self._codec.width,
+                self.store_config,
+                on_spill=self._record_spill,
+            )
+            self._rich: dict[int, Configuration] = {}
             self.configurations = _ConfigurationView(self)
+            self.successors = _SuccessorsView(self)
             # Route shared-cache misses through the packed memos so the
             # adversary's rich-level searches reuse exploration work.
             self.transitions.codec = self._codec
         else:
+            if self.store_config.mode != "ram":
+                raise ValueError(
+                    "the flat-buffer store (mode='mmap') requires the "
+                    "packed engine"
+                )
             self._codec = None
+            self._store = None
             self._index: dict[Configuration, int] = {}
             self.configurations: list[Configuration] = []
+            self.successors: list[list[tuple[Event, int]]] = []
         #: Reduction layers (:mod:`repro.core.reduction`); both ``None``
         #: unless a :class:`ReductionPolicy` asked for them.
         self.reduction = reduction
@@ -699,6 +767,20 @@ class GlobalConfigurationGraph:
         """The packed codec (``None`` in dict mode)."""
         return self._codec
 
+    @property
+    def store(self) -> "GraphStore | None":
+        """The flat-buffer store (``None`` in dict mode)."""
+        return self._store
+
+    def _record_spill(self, nbytes: int) -> None:
+        self.stats.store_spills += 1
+        logger.info(
+            "flat-buffer store spilled %d bytes to a memory-mapped "
+            "temp file (budget %.0f MiB)",
+            nbytes,
+            self.store_config.spill_budget_mb,
+        )
+
     # -- interning ---------------------------------------------------------------
 
     def intern(self, configuration: Configuration) -> int:
@@ -711,7 +793,7 @@ class GlobalConfigurationGraph:
             # Under the symmetry quotient the node may stand for a
             # *different* orbit member; let the lazy decode produce the
             # canonical representative instead of caching this one.
-            if self._quotient is None and self._rich[node] is None:
+            if self._quotient is None and node not in self._rich:
                 self._rich[node] = configuration
             return node
         node = self._index.get(configuration)
@@ -739,13 +821,10 @@ class GlobalConfigurationGraph:
             if canonical != packed:
                 self.stats.sym_canonical_hits += 1
                 packed = canonical
-        node = self._index.get(packed)
+        store = self._store
+        node = store.find(packed)
         if node is None:
-            node = len(self._packed)
-            self._index[packed] = node
-            self._packed.append(packed)
-            self._rich.append(None)
-            self.successors.append([])
+            node = store.add(packed)
             self._expanded.append(0)
             for value in self._codec.decision_values(packed):
                 self._decision_nodes.setdefault(value, []).append(node)
@@ -763,9 +842,9 @@ class GlobalConfigurationGraph:
         """The rich configuration for *node* (decoded lazily, cached)."""
         if self._codec is None:
             return self.configurations[node]
-        rich = self._rich[node]
+        rich = self._rich.get(node)
         if rich is None:
-            rich = self._codec.decode(self._packed[node])
+            rich = self._codec.decode(self._store.row(node))
             self._rich[node] = rich
         return rich
 
@@ -773,7 +852,7 @@ class GlobalConfigurationGraph:
         """The packed tuple for *node* (packed mode only)."""
         if self._codec is None:
             raise ValueError("dict-backed engine has no packed encoding")
-        return self._packed[node]
+        return self._store.row(node)
 
     def _lookup_key(self, packed: tuple[int, ...]) -> tuple[int, ...]:
         """The index key for *packed*: its orbit representative under the
@@ -785,13 +864,17 @@ class GlobalConfigurationGraph:
     def node_id(self, configuration: Configuration) -> int:
         """The id of an already-interned configuration (KeyError if not)."""
         if self._codec is not None:
-            return self._index[self._lookup_key(self._encode(configuration))]
+            key = self._lookup_key(self._encode(configuration))
+            node = self._store.find(key)
+            if node is None:
+                raise KeyError(configuration)
+            return node
         return self._index[configuration]
 
     def find(self, configuration: Configuration) -> int | None:
         """The id of *configuration*, or ``None`` if never interned."""
         if self._codec is not None:
-            return self._index.get(
+            return self._store.find(
                 self._lookup_key(self._encode(configuration))
             )
         return self._index.get(configuration)
@@ -810,14 +893,10 @@ class GlobalConfigurationGraph:
 
     def _ensure_pool(self):
         if self._pool is None:
-            import multiprocessing
+            from repro.core.parallel import WorkStealingCrew
 
-            from repro.core.parallel import init_worker
-
-            self._pool = multiprocessing.Pool(
-                processes=self.workers,
-                initializer=init_worker,
-                initargs=(self.protocol, self.chaos),
+            self._pool = WorkStealingCrew(
+                self.workers, self.protocol, self.chaos
             )
             if self._atexit_hook is None:
                 # Registered through a weakref so the atexit table never
@@ -831,7 +910,7 @@ class GlobalConfigurationGraph:
         return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; serial = no-op)."""
+        """Shut down the worker crew (idempotent; serial = no-op)."""
         hook = self._atexit_hook
         self._atexit_hook = None
         if hook is not None:
@@ -839,8 +918,7 @@ class GlobalConfigurationGraph:
         pool = self._pool
         self._pool = None
         if pool is not None:
-            pool.terminate()
-            pool.join()
+            pool.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown path
         try:
@@ -912,6 +990,8 @@ class GlobalConfigurationGraph:
             if self._codec is not None:
                 self.stats.packed_step_hits = self._codec.step_hits
                 self.stats.packed_step_misses = self._codec.step_misses
+                self.stats.arena_bytes = self._store.arena_bytes
+                self.stats.edge_bytes = self._store.edge_bytes
 
     def _explore_packed(
         self,
@@ -955,10 +1035,11 @@ class GlobalConfigurationGraph:
                 complete = False
                 break
             next_frontier = []
+            edge_targets = self._store.edge_targets
             for node in frontier:
                 if not expanded[node]:
                     continue
-                for _event, target in self.successors[node]:
+                for target in edge_targets(node):
                     if target not in visited:
                         visited.add(target)
                         next_frontier.append(target)
@@ -992,15 +1073,17 @@ class GlobalConfigurationGraph:
 
     def _expand_batch(
         self, batch: list[int]
-    ) -> list[list[tuple[Event, tuple[int, ...]]]]:
-        """Compute every batch node's edges as packed successors.
+    ) -> Iterable[list[tuple[Event, tuple[int, ...]]]]:
+        """Produce every batch node's edges as packed successors.
 
-        Dispatches to the worker pool when it pays (enough nodes to
-        occupy every worker), else expands inline through the codec's
-        packed memos.  Either way the returned lists are aligned with
-        *batch* and each edge list is in canonical event order.
+        Dispatches to the shared-memory crew when it pays (enough nodes
+        to occupy every worker), else expands inline through the
+        codec's packed memos.  Either way the produced edge lists are
+        aligned with *batch* and in canonical event order.  The
+        parallel path is a generator: the merge consumes chunk results
+        in order *while workers are still computing later chunks*, so
+        there is no per-level map barrier.
         """
-        codec = self._codec
         threshold = self.workers * self._min_batch_per_worker
         if (
             self.workers > 1
@@ -1010,7 +1093,7 @@ class GlobalConfigurationGraph:
             # Auto-disable for this level: a batch too small to occupy
             # every worker loses more to IPC than it gains (see
             # BENCH_parallel.json), so it expands inline.  Logged once,
-            # honestly, instead of silently idling the pool.
+            # honestly, instead of silently idling the crew.
             self.stats.small_batch_levels += 1
             if not self._small_batch_logged:
                 self._small_batch_logged = True
@@ -1028,133 +1111,169 @@ class GlobalConfigurationGraph:
             and not self._pool_disabled
             and len(batch) >= threshold
         ):
-            stats = self.stats
-            configurations = [
-                self.configuration_at(node) for node in batch
-            ]
-            chunksize = max(1, len(batch) // (self.workers * 4))
-            shipped = time.perf_counter()
-            results = self._map_with_recovery(configurations, chunksize)
-            stats.parallel_time += time.perf_counter() - shipped
-            if results is None:
-                # Pool given up on for this batch; expand inline below.
-                stats.serial_fallbacks += 1
-                return self._expand_batch_serial(batch)
-            stats.worker_batches += 1
-            stats.worker_batch_nodes += len(batch)
-            stats.worker_max_batch = max(
-                stats.worker_max_batch, len(batch)
-            )
-            expansions = []
-            intern_state = codec.intern_state
-            intern_buffer = codec.intern_buffer
-            position_of = codec.position_of
-            for node, (busy, deltas) in zip(batch, results):
-                stats.worker_busy_time += busy
-                packed = self._packed[node]
-                edges = []
-                for event, state, delivered, buffer in deltas:
-                    successor = list(packed)
-                    successor[position_of(event.process)] = intern_state(
-                        state
-                    )
-                    # Intern the intermediate post-delivery buffer first:
-                    # the serial path allocates it before the post-send
-                    # buffer, and id allocation order must match exactly
-                    # for packed encodings to be byte-identical.
-                    if delivered is not None:
-                        intern_buffer(delivered)
-                    successor[-1] = intern_buffer(buffer)
-                    edges.append((event, tuple(successor)))
-                expansions.append(edges)
-            return expansions
+            return self._expand_batch_parallel(batch)
         return self._expand_batch_serial(batch)
 
     def _expand_batch_serial(
         self, batch: list[int]
     ) -> list[list[tuple[Event, tuple[int, ...]]]]:
         expand_packed = self._codec.expand_packed
-        packed = self._packed
-        return [expand_packed(packed[node]) for node in batch]
+        row = self._store.row
+        return [expand_packed(row(node)) for node in batch]
 
-    def _map_with_recovery(self, configurations, chunksize):
-        """Pool dispatch with crash/hang detection and bounded retry.
+    def _expand_batch_parallel(self, batch: list[int]):
+        """Generator over the batch's edge lists, crew-expanded.
 
-        A SIGKILLed worker leaves ``Pool.map`` waiting forever (the pool
-        respawns the process but the lost chunk never completes), so
-        dispatch goes through ``map_async`` with the policy's batch
-        timeout.  A timed-out or faulted dispatch tears the pool down,
-        backs off, rebuilds, and retries; once the retry budget (or the
-        engine-lifetime failure budget) is exhausted, returns ``None``
-        for the caller to expand inline — or raises
-        :class:`WorkerPoolError` when ``serial_fallback`` is off.
+        Frontier rows go into the crew's shared-memory block; chunk
+        descriptors go onto the stealing queue; results stream back and
+        are yielded *in chunk order* (buffering out-of-order arrivals),
+        so the merge overlaps with ongoing worker computation.
 
-        Model errors (:class:`~repro.core.errors.FLPError`) are *not*
-        recovery cases: they propagate, exactly as in serial mode.
+        Recovery: a timed-out / dead-worker wait tears the crew down,
+        backs off, rebuilds, and re-dispatches only the unfinished
+        chunks (completed results are pure functions of the frontier
+        and stay valid).  Once the retry budget — or the
+        engine-lifetime failure budget — is exhausted, the *remaining*
+        chunks expand inline through the packed memos, or
+        :class:`WorkerPoolError` is raised when ``serial_fallback`` is
+        off.  Model errors (:class:`~repro.core.errors.FLPError`)
+        propagate, exactly as in serial mode.
         """
-        import multiprocessing
+        from repro.core.parallel import CrewFailure
 
-        from repro.core.parallel import expand_configuration
-
-        config = self.resilience
+        codec = self._codec
         stats = self.stats
+        config = self.resilience
+        store = self._store
+        flat = store.arena.rows_flat(batch)
+        crew = self._ensure_pool()
+        dispatch = crew.begin(flat, len(batch), codec.width, codec)
+        attempt = 0
         attempts = max(1, config.max_retries + 1)
-        for attempt in range(attempts):
-            pool = self._ensure_pool()
-            try:
-                dispatch = pool.map_async(
-                    expand_configuration,
-                    configurations,
-                    chunksize=chunksize,
-                )
-                return dispatch.get(config.batch_timeout_s)
-            except multiprocessing.TimeoutError:
-                stats.worker_timeouts += 1
-            except (
-                OSError,
-                EOFError,
-                ConnectionError,
-                multiprocessing.ProcessError,
+        serial_chunks: set[int] = set()
+        used_workers = False
+        for idx, (start, end) in enumerate(dispatch.chunks):
+            while (
+                idx not in dispatch.results
+                and idx not in serial_chunks
             ):
-                stats.worker_faults += 1
-            # The pool is in an unknown state after a lost batch;
-            # terminate it so a stuck worker cannot wedge later levels.
-            self._pool_failures += 1
-            self.close()
-            if self._pool_failures >= config.max_pool_failures:
-                self._pool_disabled = True
-                stats.pool_disabled = 1
-                break
-            if attempt + 1 < attempts:
-                stats.pool_rebuilds += 1
-                stats.worker_retries += 1
-                delay = (
-                    config.backoff_base_s
-                    * config.backoff_factor ** attempt
+                shipped = time.perf_counter()
+                try:
+                    crew.collect(dispatch, config.batch_timeout_s)
+                    stats.parallel_time += time.perf_counter() - shipped
+                except CrewFailure as failure:
+                    stats.parallel_time += time.perf_counter() - shipped
+                    if failure.kind == "timeout":
+                        stats.worker_timeouts += 1
+                    else:
+                        stats.worker_faults += 1
+                    self._pool_failures += 1
+                    attempt += 1
+                    if self._pool_failures >= config.max_pool_failures:
+                        self._pool_disabled = True
+                        stats.pool_disabled = 1
+                    if (
+                        not self._pool_disabled
+                        and attempt < attempts
+                    ):
+                        stats.pool_rebuilds += 1
+                        stats.worker_retries += 1
+                        delay = (
+                            config.backoff_base_s
+                            * config.backoff_factor ** (attempt - 1)
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        crew.rebuild()
+                        crew.redispatch(dispatch, codec)
+                        continue
+                    # Given up on the crew for this level: tear it down
+                    # (lazily recreated next level unless disabled) and
+                    # finish the unfinished chunks inline.
+                    self.close()
+                    if not config.serial_fallback:
+                        raise WorkerPoolError(
+                            f"frontier batch of {len(batch)} "
+                            f"configurations failed after {attempt} "
+                            "dispatch attempt(s); serial fallback is "
+                            "disabled"
+                        ) from None
+                    stats.serial_fallbacks += 1
+                    serial_chunks.update(dispatch.pending)
+                    dispatch.pending.clear()
+            if idx in serial_chunks:
+                expand_packed = codec.expand_packed
+                for position in range(start, end):
+                    yield expand_packed(store.row(batch[position]))
+                continue
+            busy, payload = dispatch.results.pop(idx)
+            stats.worker_busy_time += busy
+            stats.worker_chunks += 1
+            if not used_workers:
+                # Batch-level accounting happens on the *first* consumed
+                # worker chunk: the merge's zip() stops pulling once the
+                # batch is exhausted, so code after this generator's
+                # last yield would never run.
+                used_workers = True
+                stats.worker_batches += 1
+                stats.worker_batch_nodes += len(batch)
+                stats.worker_max_batch = max(
+                    stats.worker_max_batch, len(batch)
                 )
-                if delay > 0:
-                    time.sleep(delay)
-        if config.serial_fallback:
-            return None
-        raise WorkerPoolError(
-            f"frontier batch of {len(configurations)} configurations "
-            f"failed after {attempts} dispatch attempt(s); "
-            "serial fallback is disabled"
-        )
+            for position, deltas in zip(range(start, end), payload):
+                yield self._materialize_deltas(batch[position], deltas)
+
+    def _materialize_deltas(
+        self, node: int, deltas
+    ) -> list[tuple[Event, tuple[int, ...]]]:
+        """Turn one node's worker deltas into packed successor edges.
+
+        References that were already in the synced tables arrive as
+        parent ids and need no work; novel states/buffers arrive rich
+        and are interned here, in delta order — the same first-seen
+        order the serial engine's ``apply_packed`` would have used, so
+        id allocation (hence every packed encoding) stays byte-
+        identical.
+        """
+        codec = self._codec
+        intern_state = codec.intern_state
+        intern_buffer = codec.intern_buffer
+        position_of = codec.position_of
+        packed = self._store.row(node)
+        edges = []
+        for event, state, delivered, buffer in deltas:
+            successor = list(packed)
+            successor[position_of(event.process)] = (
+                state if isinstance(state, int) else intern_state(state)
+            )
+            # Intern the intermediate post-delivery buffer first: the
+            # serial path allocates it before the post-send buffer, and
+            # id allocation order must match exactly.
+            if delivered is not None and not isinstance(delivered, int):
+                intern_buffer(delivered)
+            successor[-1] = (
+                buffer if isinstance(buffer, int)
+                else intern_buffer(buffer)
+            )
+            edges.append((event, tuple(successor)))
+        return edges
 
     def _merge_expansions(
         self,
         batch: list[int],
-        expansions: list[list[tuple[Event, tuple[int, ...]]]],
+        expansions: Iterable[list[tuple[Event, tuple[int, ...]]]],
         max_configurations: int,
     ) -> bool:
         """Intern and record the batch's edges, in node order.
 
-        Returns ``False`` if any node was left unexpanded because its
-        fresh successors no longer fit the budget (all-or-nothing per
-        node, exactly like the serial engine).
+        *expansions* may be a list (serial path) or the streaming
+        generator from :meth:`_expand_batch_parallel` — either way it is
+        consumed strictly in batch order, so the interning sequence is
+        identical.  Returns ``False`` if any node was left unexpanded
+        because its fresh successors no longer fit the budget
+        (all-or-nothing per node, exactly like the serial engine).
         """
-        index = self._index
+        store = self._store
         reducer = self._reducer
         quotient = self._quotient
         stats = self.stats
@@ -1166,7 +1285,7 @@ class GlobalConfigurationGraph:
             # guard applies real events); the quotient then reroutes
             # each kept edge to its orbit representative.
             if reducer is not None:
-                edges = reducer.filter(self._packed[node], edges)
+                edges = reducer.filter(store.row(node), edges)
             if quotient is not None:
                 rerouted = []
                 for event, packed in edges:
@@ -1178,14 +1297,18 @@ class GlobalConfigurationGraph:
             fresh = {
                 packed
                 for _event, packed in edges
-                if packed not in index
+                if store.find(packed) is None
             }
-            if len(self._packed) + len(fresh) > max_configurations:
+            if len(store) + len(fresh) > max_configurations:
                 complete = False
                 continue
-            out = self.successors[node]
-            for event, packed in edges:
-                out.append((event, self._intern_packed(packed)))
+            store.set_edges(
+                node,
+                [
+                    (event, self._intern_packed(packed))
+                    for event, packed in edges
+                ],
+            )
             self._expanded[node] = 1
             self.stats.expansions += 1
             self._version += 1
@@ -1247,8 +1370,11 @@ class GlobalConfigurationGraph:
                 # The dict engine has no level structure, so guard /
                 # checkpoint / chaos hooks run every *interval* expanded
                 # nodes; between queue pops every node is fully merged,
-                # so these are consistency points too.
-                self._chunks_since_checkpoint += 1
+                # so these are consistency points too.  Cadence is
+                # expansion-based here (``_write_checkpoint`` converts
+                # ``every_levels`` to an equivalent expansion count) —
+                # the old chunk counter survived across explore() calls
+                # and drifted from the documented interval.
                 self._write_checkpoint()
                 chaos = self.chaos
                 if (
@@ -1285,10 +1411,27 @@ class GlobalConfigurationGraph:
         if config is None:
             return
         if not force:
+            since = self.stats.expansions - self._expansions_at_checkpoint
             due = (
-                config.every_levels > 0
-                and self._chunks_since_checkpoint >= config.every_levels
+                config.every_expansions > 0
+                and since >= config.every_expansions
             )
+            if not due and config.every_levels > 0:
+                if self._codec is not None:
+                    # Packed engine: a "level" is a BFS level.
+                    due = (
+                        self._chunks_since_checkpoint
+                        >= config.every_levels
+                    )
+                else:
+                    # Dict engine: no level structure, so a "level" is
+                    # one check interval's worth of expansions.  The old
+                    # chunk counter ticked once per explore-call interval
+                    # but was never scoped to a call, so resumed runs
+                    # checkpointed at the wrong cadence; counting
+                    # expansions directly keeps the documented rate.
+                    interval = max(1, self.resilience.check_interval_nodes)
+                    due = since >= config.every_levels * interval
             if not due and config.every_seconds > 0:
                 last = self._last_checkpoint_time
                 due = (
@@ -1304,6 +1447,7 @@ class GlobalConfigurationGraph:
         self.stats.checkpoints_written += 1
         self.stats.checkpoint_time += info.elapsed_s
         self._chunks_since_checkpoint = 0
+        self._expansions_at_checkpoint = self.stats.expansions
         self._last_checkpoint_time = time.monotonic()
 
     def _record_stop(self, reason: str, guard: BudgetGuard) -> None:
@@ -1341,9 +1485,10 @@ class GlobalConfigurationGraph:
         """
         digest = hashlib.sha256()
         if self._codec is not None:
-            for packed, out in zip(self._packed, self.successors):
-                digest.update(repr(packed).encode())
-                digest.update(repr(out).encode())
+            store = self._store
+            for node in range(len(store)):
+                digest.update(repr(store.row(node)).encode())
+                digest.update(repr(store.edge_list(node)).encode())
         else:
             for configuration, out in zip(
                 self.configurations, self.successors
@@ -1377,6 +1522,9 @@ class GlobalConfigurationGraph:
 
     def iter_edges(self) -> Iterator[tuple[int, Event, int]]:
         """Iterate over all recorded edges as ``(source, event, target)``."""
+        if self._codec is not None:
+            yield from self._store.iter_edges()
+            return
         for source, out in enumerate(self.successors):
             for event, target in out:
                 yield source, event, target
@@ -1410,18 +1558,30 @@ class GlobalConfigurationGraph:
         if self._csr_version != self._version:
             n = len(self)
             counts = [0] * (n + 1)
-            for out in self.successors:
-                for _event, target in out:
-                    counts[target + 1] += 1
+            if self._codec is not None:
+                edge_targets = self._store.edge_targets
+                for source in range(n):
+                    for target in edge_targets(source):
+                        counts[target + 1] += 1
+            else:
+                for out in self.successors:
+                    for _event, target in out:
+                        counts[target + 1] += 1
             for i in range(n):
                 counts[i + 1] += counts[i]
             indptr = array("l", counts)
             indices = array("l", bytes(indptr.itemsize * indptr[n]))
             cursor = counts[:n]
-            for source, out in enumerate(self.successors):
-                for _event, target in out:
-                    indices[cursor[target]] = source
-                    cursor[target] += 1
+            if self._codec is not None:
+                for source in range(n):
+                    for target in edge_targets(source):
+                        indices[cursor[target]] = source
+                        cursor[target] += 1
+            else:
+                for source, out in enumerate(self.successors):
+                    for _event, target in out:
+                        indices[cursor[target]] = source
+                        cursor[target] += 1
             self._rev_indptr = indptr
             self._rev_indices = indices
             self._csr_version = self._version

@@ -96,6 +96,12 @@ class PackedCodec:
         """Length of a packed tuple: N state slots + 1 buffer slot."""
         return len(self._names) + 1
 
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """Process names in tuple-position order (slot ``i`` holds the
+        state id of ``process_names[i]``)."""
+        return self._names
+
     def position_of(self, process: str) -> int:
         """Tuple index of *process*'s state slot."""
         return self._position[process]
@@ -298,6 +304,31 @@ class PackedCodec:
     def iter_states(self) -> Iterator[tuple[int, ProcessState]]:
         """Iterate over ``(id, state)`` pairs (diagnostics)."""
         return iter(enumerate(self._states))
+
+    # -- worker mirror sync --------------------------------------------------
+
+    def table_sizes(self) -> tuple[int, int]:
+        """Current ``(state, buffer)`` table lengths (sync watermarks)."""
+        return len(self._states), len(self._buffers)
+
+    def table_delta(
+        self, states_from: int, buffers_from: int
+    ) -> tuple[list[ProcessState], list[MessageBuffer], int, int]:
+        """Everything interned since the given watermarks.
+
+        Shared-memory expansion workers keep a mirror of the id tables
+        so they can resolve packed rows without any per-level pickling
+        of configurations; each BFS level ships only the states and
+        buffers interned *since the previous level* — every rich object
+        crosses the process boundary at most once per run.  Returns
+        ``(new_states, new_buffers, state_total, buffer_total)``.
+        """
+        return (
+            self._states[states_from:],
+            self._buffers[buffers_from:],
+            len(self._states),
+            len(self._buffers),
+        )
 
     # -- checkpointing ------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Opt-in multiprocessing frontier expansion for the exploration engine.
+"""Opt-in shared-memory frontier expansion for the exploration engine.
 
 The configuration graph grows by expanding BFS frontiers, and each
 node's expansion is independent: enumerate the enabled events, apply the
@@ -6,31 +6,42 @@ node's expansion is independent: enumerate the enabled events, apply the
 makes frontier levels embarrassingly parallel — *provided* interning
 stays centralized.  The contract here:
 
-* Workers receive rich :class:`~repro.core.configuration.Configuration`
-  objects (picklable via ``__reduce__``; hashes are recomputed
-  worker-side, so nothing depends on cross-process ``PYTHONHASHSEED``).
+* The parent stages each level's packed rows in one
+  ``multiprocessing.shared_memory`` block that persistent workers index
+  directly — no per-level pickling of configurations.  Workers keep a
+  mirror of the codec's state/buffer interning tables, synced by delta
+  once per level, so each rich object crosses the process boundary at
+  most once per run.
+* The level is cut into chunks on a shared queue that idle workers pull
+  from (dynamic self-scheduling — work stealing), replacing the old
+  per-level ``Pool.map`` barrier whose pickle volume made ``--workers``
+  an 8x *slowdown*.
 * Workers return, per node, one *delta* per enabled event — ``(event,
   stepping process's new state, post-delivery buffer or None, final
-  buffer)`` — never packed ids.  Only the parent interns, so id
-  assignment is a single-writer sequence; the intermediate post-delivery
-  buffer is included so the parent allocates buffer ids in exactly the
-  serial engine's first-seen order, making the merged graph (packed
-  encodings included) byte-identical to a serial run.
+  buffer)`` — with already-synced states/buffers referenced by their
+  parent-assigned ids and only genuinely novel ones shipped rich.  Only
+  the parent interns, so id assignment is a single-writer sequence; the
+  intermediate post-delivery buffer is included so the parent allocates
+  buffer ids in exactly the serial engine's first-seen order, making
+  the merged graph (packed encodings included) byte-identical to a
+  serial run.
 * Expansion is all-or-nothing per node: the parent applies the budget
   while merging, discarding whole expansions that no longer fit, exactly
   like the serial path.
 
 Workers keep process-local memos for the step function and buffer
-transitions; they live for the lifetime of the pool, so repeated batches
+transitions; they live for the lifetime of the crew, so repeated levels
 amortize them.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import queue as queue_module
 import signal
 import time
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.core.configuration import Configuration
 from repro.core.errors import ProtocolViolation
@@ -40,7 +51,18 @@ from repro.core.process import ProcessState
 from repro.core.protocol import Protocol
 from repro.core.resilience import ChaosConfig
 
-__all__ = ["init_worker", "expand_configuration", "ExpansionDelta"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from array import array
+
+    from repro.core.packing import PackedCodec
+
+__all__ = [
+    "CrewFailure",
+    "ExpansionDelta",
+    "WorkStealingCrew",
+    "expand_configuration",
+    "init_worker",
+]
 
 #: One successor, as a delta against the expanded configuration: the
 #: event taken, the stepping process's new state, the intermediate
@@ -209,3 +231,364 @@ def _expand_via_protocol(
             _PROTOCOL_STEPS[key] = cached
         deltas.append((event,) + cached)
     return deltas
+
+
+# ---------------------------------------------------------------------------
+# The shared-memory work-stealing crew
+# ---------------------------------------------------------------------------
+
+
+class CrewFailure(Exception):
+    """One dispatch wait failed.
+
+    ``kind`` is ``"timeout"`` (no chunk completed in time, or a worker
+    process died — a dead worker's claimed chunk never completes, which
+    is observationally a timeout) or ``"fault"`` (the result channel
+    itself broke).  The engine maps these onto its recovery counters
+    and decides between rebuild-and-retry and serial fallback.
+    """
+
+    def __init__(self, kind: str, detail: str):
+        super().__init__(detail)
+        self.kind = kind
+
+
+def _crew_worker(protocol, chaos, task_q, result_q, sync_q) -> None:
+    """Worker loop: steal chunks, expand rows straight from shared memory.
+
+    The worker mirrors the parent codec's state/buffer tables (synced by
+    delta through ``sync_q``, cumulative and in dispatch order) and
+    reconstructs each frontier row's rich configuration locally — the
+    exact ``PackedCodec.decode`` expression — so the only per-level
+    traffic is the int64 frontier block, one sync delta, and the result
+    deltas.  Known states/buffers are reported by parent id; novel ones
+    ride along rich, exactly once each (pickle dedups repeats within a
+    chunk).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    # Workers only ever *attach* to parent-owned frontier segments, but
+    # ``SharedMemory(name=...)`` registers the segment with the resource
+    # tracker anyway (CPython gh-82300).  A worker's register message
+    # can race the parent's unlink bookkeeping in the shared tracker
+    # process, leaving phantom "leaked shared_memory" entries at
+    # shutdown — so suppress shared-memory registration in this process
+    # entirely (ownership and unlinking stay with the parent).
+    original_register = resource_tracker.register
+
+    def register_for_parent_owned_segments(name, rtype):
+        if rtype != "shared_memory":
+            original_register(name, rtype)
+
+    resource_tracker.register = register_for_parent_owned_segments
+
+    init_worker(protocol, chaos)
+    states: list[ProcessState] = []
+    buffers: list[MessageBuffer] = []
+    state_ids: dict[ProcessState, int] = {}
+    buffer_ids: dict[MessageBuffer, int] = {}
+    shm = None
+    view = None
+    shm_name = None
+    applied = -1
+    names: tuple[str, ...] = ()
+    width = 0
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            dispatch_id, chunk_idx, start, end = task
+            while applied < dispatch_id:
+                (
+                    sync_id, name, sync_width, _n_rows, sync_names,
+                    s_off, new_states, b_off, new_buffers,
+                ) = sync_q.get()
+                if s_off != len(states) or b_off != len(buffers):
+                    raise RuntimeError(
+                        "codec table sync out of order; parent will "
+                        "rebuild the crew"
+                    )
+                for offset, state in enumerate(new_states, s_off):
+                    state_ids[state] = offset
+                states.extend(new_states)
+                for offset, buffer in enumerate(new_buffers, b_off):
+                    buffer_ids[buffer] = offset
+                buffers.extend(new_buffers)
+                applied = sync_id
+                names = sync_names
+                width = sync_width
+                if name != shm_name:
+                    if view is not None:
+                        view.release()
+                    if shm is not None:
+                        shm.close()
+                    shm = shared_memory.SharedMemory(name=name)
+                    shm_name = name
+                    view = memoryview(shm.buf).cast("q")
+            busy_total = 0.0
+            payload = []
+            for r in range(start, end):
+                base = r * width
+                row = tuple(view[base:base + width])
+                configuration = Configuration(
+                    {
+                        process: states[row[position]]
+                        for position, process in enumerate(names)
+                    },
+                    buffers[row[-1]],
+                )
+                busy, deltas = expand_configuration(configuration)
+                busy_total += busy
+                payload.append([
+                    (
+                        event,
+                        state_ids.get(state, state),
+                        None if delivered is None
+                        else buffer_ids.get(delivered, delivered),
+                        buffer_ids.get(buffer, buffer),
+                    )
+                    for event, state, delivered, buffer in deltas
+                ])
+            result_q.put((dispatch_id, chunk_idx, busy_total, payload))
+    except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
+        pass  # parent teardown mid-wait; nothing to salvage
+    finally:
+        if view is not None:
+            view.release()
+        if shm is not None:
+            shm.close()
+
+
+class _Dispatch:
+    """Bookkeeping for one in-flight frontier level."""
+
+    __slots__ = ("id", "chunks", "pending", "results", "width", "n_rows")
+
+    def __init__(
+        self,
+        dispatch_id: int,
+        chunks: list[tuple[int, int]],
+        width: int,
+        n_rows: int,
+    ):
+        self.id = dispatch_id
+        self.chunks = chunks
+        self.pending = set(range(len(chunks)))
+        self.results: dict[int, tuple[float, list]] = {}
+        self.width = width
+        self.n_rows = n_rows
+
+
+class WorkStealingCrew:
+    """Persistent expansion workers fed through shared memory.
+
+    One crew per engine: spawned lazily on the first big-enough
+    frontier, reused across levels (worker memos and table mirrors
+    amortize), torn down by :meth:`close`.  The parent owns one frontier
+    segment, grown geometrically and reused — workers re-attach only
+    when its name changes.  :meth:`rebuild` replaces every process *and*
+    every queue (a worker terminated mid-``put`` can leave a queue's
+    pipe unusable) and resets the sync watermarks so the next dispatch
+    carries full tables to the fresh mirrors.
+    """
+
+    #: Liveness-check granularity while waiting on results.
+    _POLL_S = 0.05
+
+    def __init__(
+        self,
+        workers: int,
+        protocol: Protocol,
+        chaos: ChaosConfig | None = None,
+        chunks_per_worker: int = 4,
+    ):
+        self._workers = max(2, workers)
+        self._protocol = protocol
+        self._chaos = chaos
+        self._chunks_per_worker = max(1, chunks_per_worker)
+        self._ctx = multiprocessing.get_context()
+        self._seq = 0
+        self._shm = None
+        self._shm_view = None
+        self._pool: list = []
+        self._spawn()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn(self) -> None:
+        ctx = self._ctx
+        self._task_q = ctx.Queue()
+        self._result_q = ctx.Queue()
+        self._sync_qs = [ctx.Queue() for _ in range(self._workers)]
+        self._synced_states = 0
+        self._synced_buffers = 0
+        self._pool = []
+        for sync_q in self._sync_qs:
+            process = ctx.Process(
+                target=_crew_worker,
+                args=(
+                    self._protocol, self._chaos,
+                    self._task_q, self._result_q, sync_q,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._pool.append(process)
+
+    def _terminate(self) -> None:
+        for process in self._pool:
+            if process.is_alive():
+                process.terminate()
+        for process in self._pool:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck in D state
+                process.kill()
+                process.join(timeout=1.0)
+        for q in (self._task_q, self._result_q, *self._sync_qs):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+        self._pool = []
+
+    def rebuild(self) -> None:
+        """Tear everything down and respawn (post-fault recovery)."""
+        self._terminate()
+        self._spawn()
+
+    def close(self) -> None:
+        """Terminate the crew and free the frontier segment."""
+        self._terminate()
+        if self._shm_view is not None:
+            self._shm_view.release()
+            self._shm_view = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _frontier_segment(self, slots: int):
+        from multiprocessing import shared_memory
+
+        needed = max(slots * 8, 1 << 16)
+        if self._shm is None or self._shm.size < slots * 8:
+            if self._shm is not None:
+                needed = max(needed, self._shm.size * 2)
+                self._shm_view.release()
+                self._shm.close()
+                self._shm.unlink()
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=needed
+            )
+            self._shm_view = memoryview(self._shm.buf).cast("q")
+        return self._shm
+
+    def begin(
+        self,
+        flat_rows: "array",
+        n_rows: int,
+        width: int,
+        codec: "PackedCodec",
+    ) -> _Dispatch:
+        """Stage one level and enqueue its chunks; returns the handle."""
+        self._frontier_segment(len(flat_rows))
+        self._shm_view[: len(flat_rows)] = flat_rows
+        self._seq += 1
+        chunk = max(
+            1, -(-n_rows // (self._workers * self._chunks_per_worker))
+        )
+        chunks = [
+            (start, min(start + chunk, n_rows))
+            for start in range(0, n_rows, chunk)
+        ]
+        dispatch = _Dispatch(self._seq, chunks, width, n_rows)
+        self._sync(dispatch, codec)
+        self._enqueue(dispatch, dispatch.pending)
+        return dispatch
+
+    def redispatch(self, dispatch: _Dispatch, codec: "PackedCodec") -> None:
+        """Re-enqueue only the unfinished chunks after a :meth:`rebuild`.
+
+        Completed chunk results are kept — their deltas are pure
+        functions of the frontier rows, which still sit untouched in
+        the shared segment.  A new dispatch id fences out any stale
+        results the dead crew may have left in flight.
+        """
+        self._seq += 1
+        dispatch.id = self._seq
+        self._sync(dispatch, codec)
+        self._enqueue(dispatch, dispatch.pending)
+
+    def _sync(self, dispatch: _Dispatch, codec: "PackedCodec") -> None:
+        s_off, b_off = self._synced_states, self._synced_buffers
+        new_states, new_buffers, s_total, b_total = codec.table_delta(
+            s_off, b_off
+        )
+        message = (
+            dispatch.id, self._shm.name, dispatch.width, dispatch.n_rows,
+            tuple(codec.process_names),
+            s_off, new_states, b_off, new_buffers,
+        )
+        self._synced_states, self._synced_buffers = s_total, b_total
+        for sync_q in self._sync_qs:
+            sync_q.put(message)
+
+    def _enqueue(self, dispatch: _Dispatch, chunk_ids) -> None:
+        for idx in sorted(chunk_ids):
+            start, end = dispatch.chunks[idx]
+            self._task_q.put((dispatch.id, idx, start, end))
+
+    # -- collection --------------------------------------------------------
+
+    def collect(
+        self, dispatch: _Dispatch, timeout_s: float | None
+    ) -> int:
+        """Wait for any one pending chunk; record it and return its index.
+
+        *timeout_s* bounds the wait for the **next** completion (a
+        healthy crew streaming chunks keeps resetting it); ``None``
+        waits forever but still notices dead workers at poll
+        granularity.
+        """
+        deadline = (
+            None if timeout_s is None
+            else time.monotonic() + timeout_s
+        )
+        while True:
+            wait = self._POLL_S
+            if deadline is not None:
+                wait = max(0.0, min(wait, deadline - time.monotonic()))
+            try:
+                item = self._result_q.get(timeout=wait)
+            except queue_module.Empty:
+                if any(not p.is_alive() for p in self._pool):
+                    raise CrewFailure(
+                        "timeout",
+                        "expansion worker died; its chunk is lost",
+                    ) from None
+                if (
+                    deadline is not None
+                    and time.monotonic() >= deadline
+                ):
+                    raise CrewFailure(
+                        "timeout",
+                        f"no chunk completed within {timeout_s}s",
+                    ) from None
+                continue
+            except (OSError, EOFError, ConnectionError) as error:
+                raise CrewFailure(
+                    "fault", f"result channel failed: {error}"
+                ) from None
+            dispatch_id, idx, busy, payload = item
+            if dispatch_id != dispatch.id or idx not in dispatch.pending:
+                continue  # stale pre-rebuild result, or a duplicate
+            dispatch.pending.discard(idx)
+            dispatch.results[idx] = (busy, payload)
+            return idx

@@ -97,6 +97,12 @@ class CheckpointConfig:
     #: Write every this many BFS levels (packed engine) or
     #: ``check_interval_nodes``-sized chunks (dict engine); 0 = off.
     every_levels: int = 0
+    #: Write every this many *expansions* — engine-independent cadence
+    #: that means the same thing for both engines and across resumed
+    #: runs; 0 = off.  Checked at the same consistency points as
+    #: ``every_levels``, so the actual interval is "at the first
+    #: checkpoint opportunity after N expansions".
+    every_expansions: int = 0
 
 
 @dataclass(frozen=True)

@@ -210,6 +210,7 @@ class ValencyAnalyzer:
         checkpoint=None,
         resume_from: str | None = None,
         reduction=None,
+        store=None,
     ):
         self.protocol = protocol
         self.max_configurations = max_configurations
@@ -227,6 +228,7 @@ class ValencyAnalyzer:
                 resilience=resilience,
                 checkpoint=checkpoint,
                 reduction=reduction,
+                store=store,
             )
         else:
             self.graph = GlobalConfigurationGraph(
@@ -237,6 +239,7 @@ class ValencyAnalyzer:
                 resilience=resilience,
                 checkpoint=checkpoint,
                 reduction=reduction,
+                store=store,
             )
         #: Valency per node id; ``None`` = not (yet) soundly determined.
         self._node_valency: list[Valency | None] = []

@@ -1,0 +1,109 @@
+"""Regression: checkpoint cadence means what the config says.
+
+The dict engine used to advance the shared chunk counter once per
+``check_interval_nodes`` worth of expansions but never scoped it to an
+explore call, so ``every_levels`` drifted from its documented meaning
+("every N check intervals") across resumed or repeated calls.  Cadence
+is now counted in *expansions since the last checkpoint* — a baseline
+both engines share and checkpoints reset — plus the new
+engine-independent ``every_expansions`` knob.  Exploration is
+deterministic, so the exact write counts below are stable; a cadence
+regression moves them.
+"""
+
+import pytest
+
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.resilience import CheckpointConfig, ResilienceConfig
+from repro.protocols import ParityArbiterProcess, make_protocol
+
+#: parity-arbiter/3 from [0,0,1]: 154 expansions over 14 BFS levels —
+#: the fixed workload every pinned count below is measured against.
+EXPANSIONS = 154
+LEVELS = 14
+INTERVAL = 16  # dict-engine consistency points every 16 expansions
+
+
+@pytest.fixture(scope="module")
+def parity3():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+def explored(parity3, tmp_path, packed, **cadence):
+    graph = GlobalConfigurationGraph(
+        parity3,
+        packed=packed,
+        checkpoint=CheckpointConfig(
+            path=str(tmp_path / "cadence.ckpt"), **cadence
+        ),
+        resilience=ResilienceConfig(check_interval_nodes=INTERVAL),
+    )
+    graph.explore(parity3.initial_configuration([0, 0, 1]))
+    assert graph.stats.expansions == EXPANSIONS
+    return graph.stats
+
+
+class TestPackedEngineCadence:
+    def test_every_levels_writes_once_per_n_levels(
+        self, parity3, tmp_path
+    ):
+        stats = explored(parity3, tmp_path, True, every_levels=2)
+        assert stats.explore_levels == LEVELS
+        assert stats.checkpoints_written == LEVELS // 2  # = 7
+
+    def test_every_expansions_writes_at_level_boundaries(
+        self, parity3, tmp_path
+    ):
+        # Due after 40, 80, 120 expansions; written at the next level
+        # boundary each time (the engine's consistency points).
+        stats = explored(parity3, tmp_path, True, every_expansions=40)
+        assert stats.checkpoints_written == 3
+
+
+class TestDictEngineCadence:
+    def test_every_levels_means_n_check_intervals(
+        self, parity3, tmp_path
+    ):
+        # "Level" for the level-free dict engine = one check interval:
+        # due every 2 * 16 = 32 expansions -> writes at 32, 64, 96, 128.
+        stats = explored(parity3, tmp_path, False, every_levels=2)
+        assert stats.checkpoints_written == EXPANSIONS // (2 * INTERVAL)
+
+    def test_every_expansions_matches_packed_semantics(
+        self, parity3, tmp_path
+    ):
+        # Due after 40, 80, 120; written at the next interval boundary
+        # (48, 96, 144) — the same three writes the packed engine does
+        # for this cadence, which is the whole point of the knob.
+        stats = explored(parity3, tmp_path, False, every_expansions=40)
+        assert stats.checkpoints_written == 3
+
+
+class TestCadenceSurvivesRepeatedCalls:
+    def test_second_explore_call_does_not_double_count(
+        self, parity3, tmp_path
+    ):
+        """The regression case: a re-explore of covered ground expands
+        nothing, so it must write no cadence checkpoints — the old
+        call-spanning chunk counter wrote one anyway."""
+        for packed in (True, False):
+            graph = GlobalConfigurationGraph(
+                parity3,
+                packed=packed,
+                checkpoint=CheckpointConfig(
+                    path=str(tmp_path / f"repeat-{packed}.ckpt"),
+                    every_levels=2,
+                ),
+                resilience=ResilienceConfig(check_interval_nodes=INTERVAL),
+            )
+            root = parity3.initial_configuration([0, 0, 1])
+            graph.explore(root)
+            written = graph.stats.checkpoints_written
+            assert written > 0
+            graph.explore(root)  # pure walk: zero new expansions
+            if packed:
+                # The walk still crosses BFS levels, which *are* the
+                # packed engine's documented cadence unit.
+                assert graph.stats.checkpoints_written >= written
+            else:
+                assert graph.stats.checkpoints_written == written

@@ -1,0 +1,313 @@
+"""Contracts of the flat-buffer graph store.
+
+The store is a *representation* change only: node ids, edge order,
+fingerprints — everything observable — must be byte-identical whether
+the flat buffers live in RAM, in a memory-mapped temp file from the
+start, or spill mid-run when they outgrow the budget.  These tests pin
+that, plus the buffer/index primitives the guarantee rests on and the
+checkpoint/resume path into a spilled arena.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.packing import PackedCodec
+from repro.core.store import (
+    GraphStore,
+    Int64Buffer,
+    PackedArena,
+    PackedIndex,
+    StoreConfig,
+)
+from repro.protocols import (
+    ArbiterProcess,
+    BenOrProcess,
+    ParityArbiterProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+#: ~1 KB budget: the engine spills within the first few BFS levels, so
+#: every spilled-mode test actually exercises the mmap migration.
+TINY_SPILL = StoreConfig(mode="mmap", spill_budget_mb=0.001)
+
+INT64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+class TestStoreConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="ram.*mmap"):
+            StoreConfig(mode="disk")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="spill_budget_mb"):
+            StoreConfig(mode="mmap", spill_budget_mb=-1)
+
+    def test_coerce_accepts_mode_string_and_none(self):
+        assert StoreConfig.coerce(None).mode == "ram"
+        assert StoreConfig.coerce("mmap").mode == "mmap"
+        config = StoreConfig(mode="mmap", spill_budget_mb=7)
+        assert StoreConfig.coerce(config) is config
+
+    def test_dict_engine_refuses_mmap(self, arbiter3):
+        with pytest.raises(ValueError, match="packed engine"):
+            GlobalConfigurationGraph(
+                arbiter3, packed=False, store="mmap"
+            )
+
+
+class TestInt64Buffer:
+    def test_ram_round_trip(self):
+        buffer = Int64Buffer()
+        buffer.extend(range(100))
+        assert len(buffer) == 100
+        assert not buffer.spilled
+        assert buffer.read(10, 5) == (10, 11, 12, 13, 14)
+        assert buffer[99] == 99
+
+    def test_spills_past_threshold_and_preserves_contents(self):
+        spills = []
+        buffer = Int64Buffer(
+            spill_threshold_bytes=256, on_spill=spills.append
+        )
+        buffer.extend(range(1000))
+        assert buffer.spilled
+        assert buffer.ram_bytes == 0
+        assert spills  # the spill hook fired
+        assert buffer.read(0, 1000) == tuple(range(1000))
+        buffer.extend(range(1000, 2000))  # growth after the spill
+        assert buffer.read(990, 20) == tuple(range(990, 1010))
+        buffer.close()
+
+    def test_to_bytes_load_bytes_round_trip_across_backings(self):
+        source = Int64Buffer(spill_threshold_bytes=64)
+        source.extend(range(500))
+        assert source.spilled
+        blob = source.to_bytes()
+
+        ram = Int64Buffer()  # no threshold: restores into RAM
+        ram.load_bytes(blob)
+        assert not ram.spilled
+        assert ram.read(0, 500) == tuple(range(500))
+
+        spilled = Int64Buffer(spill_threshold_bytes=64)
+        spilled.load_bytes(blob)  # over threshold: re-spills on load
+        assert spilled.spilled
+        assert spilled.read(0, 500) == tuple(range(500))
+        source.close()
+        spilled.close()
+
+    @given(st.lists(INT64, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_spilled_equals_ram_for_any_values(self, values):
+        ram = Int64Buffer()
+        spilled = Int64Buffer(spill_threshold_bytes=8)
+        ram.extend(values)
+        spilled.extend(values)
+        assert ram.read(0, len(values)) == tuple(values)
+        assert spilled.read(0, len(values)) == tuple(values)
+        spilled.close()
+
+
+class TestArenaAndIndex:
+    @given(
+        st.integers(min_value=2, max_value=6).flatmap(
+            lambda stride: st.lists(
+                st.tuples(*[INT64] * stride), max_size=80
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arena_round_trip_ram_vs_spilled(self, rows):
+        stride = len(rows[0]) if rows else 3
+        for threshold in (None, 16):
+            arena = PackedArena(stride, Int64Buffer(threshold))
+            for row in rows:
+                arena.append(row)
+            assert len(arena) == len(rows)
+            for node, row in enumerate(rows):
+                assert arena.row(node) == row
+
+    def test_index_finds_exactly_the_inserted_rows(self):
+        arena = PackedArena(3, Int64Buffer())
+        index = PackedIndex(arena)
+        rows = [(i, i * 7, -i) for i in range(5000)]  # forces resizes
+        for row in rows:
+            assert index.get(row) is None
+            node = arena.append(row)
+            index.insert_new(row, node)
+        for node, row in enumerate(rows):
+            assert index.get(row) == node
+        assert index.get((1, 2, 3)) is None
+
+    def test_rebuild_reproduces_the_table(self):
+        arena = PackedArena(2, Int64Buffer())
+        index = PackedIndex(arena)
+        for i in range(100):
+            index.insert_new((i, -i), arena.append((i, -i)))
+        index.rebuild()
+        for i in range(100):
+            assert index.get((i, -i)) == i
+
+
+@pytest.fixture(scope="module")
+def parity3():
+    return make_protocol(ParityArbiterProcess, 3)
+
+
+def _explored(protocol, roots, **kwargs):
+    graph = GlobalConfigurationGraph(protocol, **kwargs)
+    try:
+        for root in roots:
+            graph.explore(root, max_configurations=20_000)
+        return graph.fingerprint(), graph
+    finally:
+        graph.close()
+
+
+class TestFingerprintIdentityAcrossStores:
+    def test_ram_mmap_and_spilled_runs_are_byte_identical(self, parity3):
+        roots = [
+            parity3.initial_configuration(inputs)
+            for inputs in ([0, 0, 1], [1, 1, 0])
+        ]
+        ram_print, _ = _explored(parity3, roots)
+        mmap_print, mmap_graph = _explored(parity3, roots, store="mmap")
+        spill_print, spill_graph = _explored(
+            parity3, roots, store=TINY_SPILL
+        )
+        assert ram_print == mmap_print == spill_print
+        # The default budget never spilled; the tiny budget really did.
+        assert not mmap_graph.store.spilled
+        assert spill_graph.store.spilled
+        assert spill_graph.stats.store_spills >= 1
+        assert spill_graph.stats.arena_bytes > 0
+        assert spill_graph.stats.edge_bytes > 0
+
+    def test_decode_and_edges_survive_the_spill(self, parity3):
+        root = parity3.initial_configuration([0, 0, 1])
+        reference = GlobalConfigurationGraph(parity3)
+        spilled = GlobalConfigurationGraph(parity3, store=TINY_SPILL)
+        reference.explore(root)
+        spilled.explore(root)
+        assert spilled.store.spilled
+        assert len(reference) == len(spilled)
+        for node in range(0, len(reference), 11):
+            assert reference.packed_at(node) == spilled.packed_at(node)
+            assert reference.successors[node] == spilled.successors[node]
+            assert reference.configuration_at(node) == (
+                spilled.configuration_at(node)
+            )
+
+
+ZOO = [
+    (ArbiterProcess, 3, [[0, 0, 1]]),
+    (ParityArbiterProcess, 3, [[0, 0, 1], [1, 1, 0]]),
+    (WaitForAllProcess, 3, [[0, 1, 1]]),
+    (BenOrProcess, 3, [[0, 1, 1]]),
+]
+
+
+class TestSerialVsSharedMemoryWorkers:
+    @pytest.mark.parametrize(
+        "process_type,n,inputs_list",
+        ZOO,
+        ids=lambda value: getattr(value, "__name__", None),
+    )
+    def test_zoo_fingerprints_match_serial(
+        self, process_type, n, inputs_list
+    ):
+        protocol = make_protocol(process_type, n)
+        roots = [
+            protocol.initial_configuration(inputs)
+            for inputs in inputs_list
+        ]
+        serial_print, _ = _explored(protocol, roots)
+        parallel_print, parallel = _explored(
+            protocol, roots, workers=2, min_batch_per_worker=1
+        )
+        assert serial_print == parallel_print
+        assert parallel.stats.worker_batches > 0
+
+    def test_workers_with_spilled_store_match_serial(self, parity3):
+        roots = [parity3.initial_configuration([0, 0, 1])]
+        serial_print, _ = _explored(parity3, roots)
+        parallel_print, parallel = _explored(
+            parity3,
+            roots,
+            workers=2,
+            min_batch_per_worker=1,
+            store=TINY_SPILL,
+        )
+        assert serial_print == parallel_print
+        assert parallel.store.spilled
+
+
+class TestResumeIntoSpilledArena:
+    def test_checkpoint_restores_into_a_spilling_store(
+        self, parity3, tmp_path
+    ):
+        roots = [
+            parity3.initial_configuration(inputs)
+            for inputs in ([0, 0, 1], [1, 1, 0])
+        ]
+        # Uninterrupted reference run (RAM store).
+        reference = GlobalConfigurationGraph(parity3)
+        for root in roots:
+            reference.explore(root)
+
+        # Interrupted run: first root only, snapshot, then resume into
+        # an engine whose store spills almost immediately.
+        first = GlobalConfigurationGraph(parity3)
+        first.explore(roots[0])
+        path = str(tmp_path / "parity.ckpt")
+        save_checkpoint(first, path)
+
+        resumed = load_checkpoint(path, parity3, store=TINY_SPILL)
+        assert len(resumed) == len(first)
+        resumed.explore(roots[0])  # pure re-walk, no new work
+        resumed.explore(roots[1])
+        assert resumed.store.spilled
+        assert resumed.fingerprint() == reference.fingerprint()
+
+    def test_spilled_graph_checkpoints_and_restores(
+        self, parity3, tmp_path
+    ):
+        root = parity3.initial_configuration([0, 0, 1])
+        spilled = GlobalConfigurationGraph(parity3, store=TINY_SPILL)
+        spilled.explore(root)
+        assert spilled.store.spilled
+        path = str(tmp_path / "spilled.ckpt")
+        save_checkpoint(spilled, path)
+        resumed = load_checkpoint(path, parity3)  # back into RAM
+        assert resumed.fingerprint() == spilled.fingerprint()
+        assert resumed.explore(root).complete
+
+
+class TestArenaAgreesWithCodec:
+    @pytest.fixture(scope="class")
+    def codec_and_rows(self, parity3):
+        graph = GlobalConfigurationGraph(parity3)
+        graph.explore(parity3.initial_configuration([0, 0, 1]))
+        rows = [graph.packed_at(node) for node in range(len(graph))]
+        return graph.codec, rows
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_arena_rows_decode_like_the_codec(self, codec_and_rows, data):
+        """Any sample of real packed rows, pushed through a (spilling)
+        arena, decodes to exactly the configurations the codec decodes
+        from the original tuples — the store never alters semantics."""
+        codec, rows = codec_and_rows
+        sample = data.draw(
+            st.lists(st.sampled_from(rows), min_size=1, max_size=40)
+        )
+        arena = PackedArena(codec.width, Int64Buffer(64))
+        nodes = [arena.append(row) for row in sample]
+        for node, row in zip(nodes, sample):
+            stored = arena.row(node)
+            assert stored == row
+            assert codec.decode(stored) == codec.decode(row)
