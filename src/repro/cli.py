@@ -95,11 +95,16 @@ def _reduction_policy(args):
     """The :class:`ReductionPolicy` requested by the command's flags."""
     por = getattr(args, "por", False)
     symmetry = getattr(args, "symmetry", False)
-    if not (por or symmetry):
+    brute = getattr(args, "symmetry_brute", False)
+    if not (por or symmetry or brute):
         return None
     from repro.core.reduction import ReductionPolicy
 
-    return ReductionPolicy(por=por, symmetry=symmetry)
+    return ReductionPolicy(
+        por=por,
+        symmetry=symmetry or brute,
+        symmetry_algorithm="brute" if brute else "refine",
+    )
 
 
 def _make_analyzer(protocol, args) -> ValencyAnalyzer:
@@ -244,18 +249,9 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_attack(args) -> int:
-    if getattr(args, "symmetry", False):
-        # The certificate is a replayable schedule; quotient edges
-        # connect orbit representatives, so no schedule can be read off
-        # the reduced graph.  Refuse up front with the reason.
-        print(
-            "attack cannot run under --symmetry: the adversary extracts "
-            "replayable schedules, and a symmetry-quotient graph has "
-            "none (its edges connect orbit representatives).  "
-            "Use --por alone, or drop --symmetry.",
-            file=sys.stderr,
-        )
-        return 2
+    # --symmetry is fine here: quotient edges record the renaming they
+    # applied, so the adversary's schedules are un-quotiented back to
+    # concrete replayable runs before they leave the engine.
     entry = registry.info(args.protocol)
     if not entry.analyzable:
         print(
@@ -525,8 +521,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--symmetry",
             action="store_true",
             help="canonicalize configurations under process renaming "
-            "(needs the protocol's automata to declare symmetric=True; "
-            "witness extraction is unavailable on the quotient graph)",
+            "via partition refinement (needs the protocol's automata "
+            "to declare symmetric=True; witnesses and attacks are "
+            "un-quotiented back to concrete replayable schedules)",
+        )
+        sub.add_argument(
+            "--symmetry-brute",
+            action="store_true",
+            help="use the n!-enumeration canonicalizer instead of "
+            "partition refinement (cross-check oracle for small "
+            "rosters; implies --symmetry)",
         )
 
     def add_resilience_flags(sub: argparse.ArgumentParser) -> None:

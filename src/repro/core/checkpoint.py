@@ -126,13 +126,15 @@ def _snapshot(graph: "GlobalConfigurationGraph") -> dict[str, object]:
     if graph._reducer is not None:
         # The replay-sample position: a resumed reduced exploration must
         # sample the same diamonds an uninterrupted one would.  (The
-        # symmetry quotient needs no snapshot — its tables are pure
-        # functions of the codec's, which are captured above.)
+        # symmetry quotient needs no snapshot of its own — its memo
+        # tables are pure functions of the codec's, which are captured
+        # above, and the per-edge renaming side table that makes orbit
+        # paths replayable rides inside the store snapshot.)
         state["reducer"] = graph._reducer.snapshot_state()
     return state
 
 
-def _reduction_stamp(graph: "GlobalConfigurationGraph") -> dict[str, bool]:
+def _reduction_stamp(graph: "GlobalConfigurationGraph") -> dict[str, object]:
     """The graph-shaping reduction switches, for header compatibility."""
     if graph.reduction is None:
         return {"por": False, "symmetry": False}
@@ -252,7 +254,12 @@ def restore_checkpoint(
     # A graph explored under one reduction policy is a *different graph*
     # from one explored under another (fewer edges, rerouted targets);
     # resuming across the boundary would silently mix them.  Headers
-    # from before the reduction stamp read as "no reductions".
+    # from before the reduction stamp read as "no reductions".  The
+    # stamp includes the canonicalization algorithm when the quotient is
+    # on: refine and brute may choose different orbit representatives,
+    # and pre-refine symmetry snapshots additionally lack the per-edge
+    # renaming side table, so a symmetry header without the algorithm
+    # key can never match and is refused here rather than mixed.
     recorded = header.get("reduction", {"por": False, "symmetry": False})
     requested = _reduction_stamp(graph)
     if recorded != requested:
@@ -357,6 +364,9 @@ def load_checkpoint(
             reduction = ReductionPolicy(
                 por=bool(stamp.get("por")),
                 symmetry=bool(stamp.get("symmetry")),
+                symmetry_algorithm=str(
+                    stamp.get("symmetry_algorithm", "refine")
+                ),
             )
     graph = GlobalConfigurationGraph(
         protocol,

@@ -402,6 +402,12 @@ class GraphStats:
     replay_violations: int = 0
     sym_canonical_hits: int = 0
     sym_fallbacks: int = 0
+    #: Distinct packed tuples the quotient actually canonicalized
+    #: (memo misses) and the packed images it materialized doing so —
+    #: the refine fast path builds at most one image per miss, the
+    #: brute oracle n!-1.  Mirrored from the quotient after explore().
+    sym_canonical_misses: int = 0
+    sym_leaf_images: int = 0
     #: Frontier levels expanded inline because the batch was too small
     #: to occupy the pool (see ``min_batch_per_worker``).
     small_batch_levels: int = 0
@@ -470,6 +476,8 @@ class GraphStats:
             "replay_checks": self.replay_checks,
             "replay_violations": self.replay_violations,
             "sym_canonical_hits": self.sym_canonical_hits,
+            "sym_canonical_misses": self.sym_canonical_misses,
+            "sym_leaf_images": self.sym_leaf_images,
             "sym_fallbacks": self.sym_fallbacks,
             "worker_timeouts": self.worker_timeouts,
             "worker_faults": self.worker_faults,
@@ -752,6 +760,10 @@ class GlobalConfigurationGraph:
                     self.stats.sym_fallbacks = 1
                 else:
                     self._quotient = quotient
+                    # Orbit edges must be replayable: track the
+                    # renaming chosen at every edge (the store is
+                    # fresh, so tracking starts aligned).
+                    self._store.enable_perm_tracking()
             if reduction.por:
                 self._reducer = AmpleReducer(
                     self._codec, reduction, self.stats
@@ -853,6 +865,27 @@ class GlobalConfigurationGraph:
         if self._codec is None:
             raise ValueError("dict-backed engine has no packed encoding")
         return self._store.row(node)
+
+    def edge_records(self, node: int) -> list[tuple[Event, int, tuple[int, ...]]]:
+        """*node*'s edges as ``(event, target, renaming)`` triples.
+
+        The renaming is what the symmetry quotient applied to the raw
+        successor before interning (identity when no quotient is
+        active) — the un-quotienting data witness extraction composes
+        back out.  Packed mode only.
+        """
+        if self._codec is None:
+            raise ValueError("dict-backed engine has no edge records")
+        store = self._store
+        edges = store.edge_list(node)
+        if store.tracking_perms:
+            perms = store.edge_perms(node)
+            return [
+                (event, target, perms[k])
+                for k, (event, target) in enumerate(edges)
+            ]
+        identity = tuple(range(self._codec.width - 1))
+        return [(event, target, identity) for event, target in edges]
 
     def _lookup_key(self, packed: tuple[int, ...]) -> tuple[int, ...]:
         """The index key for *packed*: its orbit representative under the
@@ -992,6 +1025,11 @@ class GlobalConfigurationGraph:
                 self.stats.packed_step_misses = self._codec.step_misses
                 self.stats.arena_bytes = self._store.arena_bytes
                 self.stats.edge_bytes = self._store.edge_bytes
+            if self._quotient is not None:
+                self.stats.sym_canonical_misses = (
+                    self._quotient.canonical_misses
+                )
+                self.stats.sym_leaf_images = self._quotient.leaf_images
 
     def _explore_packed(
         self,
@@ -1116,10 +1154,19 @@ class GlobalConfigurationGraph:
 
     def _expand_batch_serial(
         self, batch: list[int]
-    ) -> list[list[tuple[Event, tuple[int, ...]]]]:
+    ) -> Iterable[list[tuple[Event, tuple[int, ...]]]]:
+        # A generator, deliberately: the merge must interleave "intern
+        # this node's raw successors" with "canonicalize this node's
+        # edges" one node at a time, exactly like the parallel path
+        # streams _materialize_deltas per node.  Under the symmetry
+        # quotient the merge interns canonical images into the codec,
+        # so expanding the whole batch eagerly here would allocate
+        # codec ids in a different order than a parallel run — and
+        # fingerprints are byte-level, so allocation order is contract.
         expand_packed = self._codec.expand_packed
         row = self._store.row
-        return [expand_packed(row(node)) for node in batch]
+        for node in batch:
+            yield expand_packed(row(node))
 
     def _expand_batch_parallel(self, batch: list[int]):
         """Generator over the batch's edge lists, crew-expanded.
@@ -1286,13 +1333,18 @@ class GlobalConfigurationGraph:
             # each kept edge to its orbit representative.
             if reducer is not None:
                 edges = reducer.filter(store.row(node), edges)
+            perms = None
             if quotient is not None:
                 rerouted = []
+                perms = []
                 for event, packed in edges:
-                    canonical = quotient.canonicalize(packed)
+                    canonical, perm = quotient.canonicalize_with_perm(
+                        packed
+                    )
                     if canonical != packed:
                         stats.sym_canonical_hits += 1
                     rerouted.append((event, canonical))
+                    perms.append(perm)
                 edges = rerouted
             fresh = {
                 packed
@@ -1308,6 +1360,7 @@ class GlobalConfigurationGraph:
                     (event, self._intern_packed(packed))
                     for event, packed in edges
                 ],
+                perms=perms,
             )
             self._expanded[node] = 1
             self.stats.expansions += 1

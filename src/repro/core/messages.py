@@ -108,6 +108,18 @@ class MessageBuffer:
     # -- constructors -----------------------------------------------------
 
     @classmethod
+    def _trusted(cls, counts: dict) -> "MessageBuffer":
+        """Internal: adopt a known-valid, never-shared counts dict
+        without the validation copy.  Only for hot paths that build the
+        dict themselves (the symmetry canonicalizer's image path); all
+        public construction goes through ``__init__``."""
+        buffer = cls.__new__(cls)
+        buffer._counts = counts
+        buffer._size = sum(counts.values())
+        buffer._hash = hash(frozenset(counts.items()))
+        return buffer
+
+    @classmethod
     def empty(cls) -> "MessageBuffer":
         """The empty buffer (the buffer of every initial configuration)."""
         return _EMPTY

@@ -37,23 +37,43 @@ by the zoo-wide property tests and the ``bench_por`` CI gate.
 
 **Symmetry quotient** (:class:`SymmetryQuotient`).  For protocols whose
 automata declare ``symmetric = True``, configurations are canonicalized
-under process-name permutation before interning: the stored
-representative is the lexicographically smallest packed image over all
-``n!`` renamings (process names are rewritten both in tuple slots and
-inside state data / message values).  The declaration is *validated* —
-a transition-level automorphism check replays ``π(e(C)) == π(e)(π(C))``
-over a bounded sample before the quotient is trusted; a protocol that
-declares symmetry but fails the check falls back to the identity
-quotient with a warning, and a protocol that never declared it is
-rejected with :class:`~repro.core.errors.SymmetryError`.  Witness
-schedules are *not* available from a quotient graph (recorded edges
-connect orbit representatives, not concrete successors), so consumers
-that extract replayable runs refuse to operate under ``--symmetry``.
+under process-name permutation before interning.  Canonicalization runs
+a nauty-style *partition-refinement* canonical labeling directly on the
+packed int tuple: the partition is seeded with per-process local
+invariants (a name-scrubbed digest of the process's state and of the
+multiset of messages buffered for it), refined to equitability with a
+Weisfeiler–Lehman pass over name-scrubbed pairwise relations, and ties
+are broken by individualizing the smallest non-singleton cell with
+automorphism-discovery pruning.  In the common case the seed colors are
+already discrete and canonicalization is a single sort plus one image
+construction — polynomial (near-linear) instead of the factorial sweep
+the quotient used to pay per configuration.  The brute n! sweep
+survives only as a cross-check oracle (``symmetry_algorithm="brute"``,
+CLI ``--symmetry-brute``) for small rosters, and its permutation
+tables are built lazily on first use.
+
+The quotient is *replayable*: :meth:`~SymmetryQuotient
+.canonicalize_with_perm` reports the renaming it chose, the engine
+records that renaming per edge in the flat store's perm side table, and
+witness extraction composes the recorded renamings back out to recover
+a concrete, auditor-checkable schedule from any quotient path (see
+:func:`repro.core.valency.ValencyAnalyzer.bivalence_witness`).
+
+The declaration is *validated* — a transition-level automorphism check
+replays ``π(e(C)) == π(e)(π(C))`` over a bounded sample before the
+quotient is trusted; equivariance is checked for a generating set of
+S_n (adjacent transpositions plus one n-cycle), which suffices because
+equivariant renamings compose.  A protocol that declares symmetry but
+fails the check falls back to the identity quotient with a warning,
+and a protocol that never declared it is rejected with
+:class:`~repro.core.errors.SymmetryError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from hashlib import blake2b
 from itertools import permutations
 from typing import TYPE_CHECKING, Hashable
 
@@ -74,9 +94,15 @@ __all__ = [
     "SymmetryQuotient",
     "declares_symmetry",
     "validate_symmetry",
+    "symmetry_generator_mappings",
     "rename_value",
     "rename_configuration",
+    "perm_compose",
+    "perm_invert",
 ]
+
+#: Valid canonicalization back-ends for the symmetry quotient.
+SYMMETRY_ALGORITHMS = ("refine", "brute")
 
 
 @dataclass(frozen=True)
@@ -90,6 +116,11 @@ class ReductionPolicy:
     symmetry:
         Enable the process-permutation quotient (requires the protocol's
         automata to declare ``symmetric = True``).
+    symmetry_algorithm:
+        ``"refine"`` (default) canonicalizes by partition refinement —
+        polynomial in practice, no roster cap.  ``"brute"`` keeps the
+        historical lexicographic-minimum-over-all-n!-renamings sweep as
+        a cross-check oracle for small rosters.
     replay_every:
         Replay the commutation diamond at the first reduced node and
         every *replay_every*-th one after it.  Deterministic (a node
@@ -98,27 +129,42 @@ class ReductionPolicy:
     replay_pairs:
         Kept×pruned event pairs verified per sampled node.
     symmetry_max_processes:
-        The quotient enumerates all ``n!`` renamings; above this roster
-        size it falls back (with a warning) instead of exploding.
+        The *brute* oracle enumerates all ``n!`` renamings; above this
+        roster size it falls back (with a warning) instead of
+        exploding.  The refine algorithm ignores the cap.
     """
 
     por: bool = False
     symmetry: bool = False
+    symmetry_algorithm: str = "refine"
     replay_every: int = 64
     replay_pairs: int = 4
     symmetry_max_processes: int = 5
+
+    def __post_init__(self) -> None:
+        if self.symmetry_algorithm not in SYMMETRY_ALGORITHMS:
+            raise ValueError(
+                "symmetry_algorithm must be one of "
+                f"{SYMMETRY_ALGORITHMS}, got {self.symmetry_algorithm!r}"
+            )
 
     @property
     def enabled(self) -> bool:
         return self.por or self.symmetry
 
-    def describe(self) -> dict[str, bool]:
+    def describe(self) -> dict[str, object]:
         """The checkpoint-header form: just the graph-shaping switches.
 
         Sampling cadence does not change which nodes exist, only which
         diamonds get double-checked, so it is not part of compatibility.
+        The canonicalization algorithm *is* stamped when the quotient is
+        on: refine and brute may pick different orbit representatives,
+        so their graphs must never be mixed across a resume.
         """
-        return {"por": self.por, "symmetry": self.symmetry}
+        stamp: dict[str, object] = {"por": self.por, "symmetry": self.symmetry}
+        if self.symmetry:
+            stamp["symmetry_algorithm"] = self.symmetry_algorithm
+        return stamp
 
 
 # ---------------------------------------------------------------------------
@@ -183,6 +229,30 @@ def rename_configuration(
     )
 
 
+# ---------------------------------------------------------------------------
+# Position permutations (the replayable form of a renaming)
+# ---------------------------------------------------------------------------
+#
+# A renaming is stored as a tuple ``perm`` over codec positions:
+# ``perm[i] = j`` means the process at position ``i`` is renamed to the
+# process name at position ``j``.  ``perm_compose(a, b)`` is "apply
+# ``b``, then ``a``" — the function composition ``a ∘ b`` — so that
+# ``rename(rename(C, b), a) == rename(C, perm_compose(a, b))``.
+
+
+def perm_compose(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+    """The composite renaming ``a ∘ b`` (apply *b* first, then *a*)."""
+    return tuple(a[j] for j in b)
+
+
+def perm_invert(perm: tuple[int, ...]) -> tuple[int, ...]:
+    """The inverse renaming: ``perm_compose(perm, inverse) == identity``."""
+    inverse = [0] * len(perm)
+    for i, j in enumerate(perm):
+        inverse[j] = i
+    return tuple(inverse)
+
+
 def declares_symmetry(protocol: "Protocol") -> bool:
     """Whether every automaton in *protocol* declares ``symmetric = True``."""
     return all(
@@ -191,23 +261,40 @@ def declares_symmetry(protocol: "Protocol") -> bool:
     )
 
 
+def symmetry_generator_mappings(names: list[str]) -> list[dict[str, str]]:
+    """Renamings generating S_n: adjacent transpositions + one n-cycle.
+
+    Checking transition equivariance on a generating set suffices for
+    the whole group: if stepping commutes with renamings π and σ it
+    commutes with π∘σ, and every permutation is a product of these
+    generators.
+    """
+    mappings: list[dict[str, str]] = []
+    n = len(names)
+    for i in range(n - 1):
+        image = list(names)
+        image[i], image[i + 1] = image[i + 1], image[i]
+        mappings.append(dict(zip(names, image)))
+    if n > 2:
+        mappings.append(dict(zip(names, names[1:] + names[:1])))
+    return mappings
+
+
 def validate_symmetry(
     protocol: "Protocol", sample_limit: int = 200
 ) -> list[str]:
     """Transition-level automorphism check for a declared symmetry.
 
-    Replays ``π(e(C)) == π(e)(π(C))`` for every non-identity renaming
-    ``π`` over a breadth-first sample of at most *sample_limit*
-    configurations drawn from every initial configuration.  Returns a
-    list of human-readable problems — empty iff the sample found the
-    declaration consistent.
+    Replays ``π(e(C)) == π(e)(π(C))`` for a *generating set* of
+    renamings (adjacent transpositions plus one n-cycle — see
+    :func:`symmetry_generator_mappings`; equivariance is closed under
+    composition, so the generators carry the whole of S_n) over a
+    breadth-first sample of at most *sample_limit* configurations drawn
+    from every initial configuration.  Returns a list of human-readable
+    problems — empty iff the sample found the declaration consistent.
     """
     names = list(protocol.process_names)
-    mappings = [
-        dict(zip(names, image))
-        for image in permutations(names)
-        if list(image) != names
-    ]
+    mappings = symmetry_generator_mappings(names)
     problems: list[str] = []
     seen: set[Configuration] = set()
     queue: list[Configuration] = list(protocol.initial_configurations())
@@ -367,35 +454,162 @@ class AmpleReducer:
 # The symmetry quotient
 # ---------------------------------------------------------------------------
 
+#: Scrub tokens.  ``\x00`` cannot appear in a UTF-8 process name's
+#: first byte position without being an explicit NUL — the prefix keeps
+#: tokens disjoint from ordinary serialized strings.
+_TOKEN_SELF = b"\x00S"
+_TOKEN_FOCUS = b"\x00F"
+_TOKEN_OTHER = b"\x00O"
+
+#: A "self" that matches no process name: scrubbing with this sentinel
+#: yields the focus-only serialization shared by every non-embedded
+#: observer (process names are non-empty printable identifiers).
+_NO_NAME = "\x00"
+_NO_NAMES: frozenset[str] = frozenset()
+
+
+def _digest(data: bytes) -> int:
+    """64-bit deterministic digest (never the builtin ``hash``)."""
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_MASK63 = 0x7FFFFFFFFFFFFFFF
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a deterministic avalanche over 64 bits.
+
+    The refinement loop combines already-uniform blake2b digests, so a
+    cheap arithmetic mixer is enough there — hashing bytes again per WL
+    row tripled the canonicalization cost for no extra distinguishing
+    power.  Like the digests it mixes, collisions are possible in
+    principle, but they cannot make the quotient unsound: a canonical
+    form is always ``rename(packed, perm)`` — a genuine member of the
+    argument's orbit — so a collision can at worst make two members of
+    one orbit elect different representatives (a finer quotient, never
+    an identification of distinct orbits).
+    """
+    x &= _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    return x ^ (x >> 31)
+
 
 class SymmetryQuotient:
     """Canonicalize packed configurations under process-name permutation.
 
-    The canonical representative of an orbit is the lexicographically
-    smallest packed image over every renaming.  All derived tables
-    (per-renaming state/buffer image memos, the orbit cache) are pure
-    functions of the codec's interning tables, so checkpoint/resume
-    rebuilds them on demand and stays byte-identical.
+    Two interchangeable back-ends produce a canonical orbit member and
+    the renaming that reaches it:
+
+    * ``"refine"`` (default) — partition-refinement canonical labeling.
+      Per-process colors are seeded from name-scrubbed digests of the
+      process's state and its buffered mail (memoized per state id /
+      buffer id, so the per-configuration cost is a handful of dict
+      probes).  When the seed colors are already discrete — the common
+      case — the canonical form is one sort plus one image
+      construction.  Otherwise colors are refined to equitability with
+      a WL pass over scrubbed pairwise relations and remaining ties are
+      broken by individualize-and-refine branching with
+      automorphism-discovery pruning; the canonical form is the
+      lexicographically smallest leaf image, a well-defined function of
+      the orbit because the branching explores equivariantly chosen
+      cells exhaustively (up to discovered automorphisms, which by
+      definition do not change images).
+    * ``"brute"`` — the historical oracle: lexicographic minimum over
+      all n! renamings.  Tables are built lazily, on first use.
+
+    Both are canonical functions (constant on orbits), but they may
+    pick *different* representatives, so graphs built under one must
+    never resume under the other (the checkpoint header stamps the
+    algorithm).  All derived tables are pure functions of the codec's
+    interning tables and the packed tuples themselves — no builtin
+    string hashing, no first-seen-order interning — so canonical forms
+    are identical across processes, ``PYTHONHASHSEED`` values, and
+    checkpoint/resume boundaries.
 
     Construct via :meth:`build`, which enforces the declaration and the
     automorphism validation.
     """
 
-    def __init__(self, codec: "PackedCodec", names: list[str]):
+    def __init__(
+        self,
+        codec: "PackedCodec",
+        names: list[str],
+        algorithm: str = "refine",
+    ):
+        if algorithm not in SYMMETRY_ALGORITHMS:
+            raise ValueError(f"unknown symmetry algorithm {algorithm!r}")
         self._codec = codec
-        self._names = list(names)
-        self._mappings = [
-            dict(zip(self._names, image))
-            for image in permutations(self._names)
-            if list(image) != self._names
+        #: Process names in codec-position order: position ``i`` of a
+        #: packed tuple is ``names[i]``'s state slot.
+        self._names = sorted(names, key=codec.position_of)
+        self._name_set = frozenset(self._names)
+        self._n = len(self._names)
+        self.algorithm = algorithm
+        self.identity: tuple[int, ...] = tuple(range(self._n))
+        #: packed -> (canonical, perm) with canonical == rename(packed, perm).
+        self._orbit: dict[
+            tuple[int, ...], tuple[tuple[int, ...], tuple[int, ...]]
+        ] = {}
+        # Perm interning: mapping dicts and per-perm image memos keyed
+        # by a dense perm id.  Ids are memo bookkeeping only — they
+        # never influence canonical forms, so first-use order is safe.
+        self._perm_ids: dict[tuple[int, ...], int] = {}
+        self._perm_list: list[tuple[int, ...]] = []
+        self._perm_mappings: list[dict[str, str]] = []
+        self._perm_state_images: list[dict[int, int]] = []
+        self._perm_buffer_images: list[dict[int, int]] = []
+        #: Message-level rename memo per perm id, used by the refinement
+        #: path only.  Buffers are fresh nearly every canonicalization,
+        #: but their *messages* repeat across thousands of buffers, so
+        #: refine's one-or-two leaf images per miss become dict probes.
+        #: The brute oracle deliberately bypasses it: it exists to
+        #: cross-check orbits *and* to measure the replaced PR-5
+        #: algorithm as bench_por's n!-enumeration baseline, so its
+        #: image path stays the seed's full per-(perm, buffer) rename.
+        self._perm_message_images: list[dict[Message, Message]] = []
+        self._memoize_message_images = algorithm == "refine"
+        # Refinement memos: seed color digests per (position, state id)
+        # and per buffer id; pairwise relation digests for the WL pass;
+        # scrubbed serializations per (value, roles) — protocol values
+        # (message payloads, report sets) repeat across thousands of
+        # configurations, so the serializer is memo-dominated.
+        self._state_profiles: list[dict[int, int]] = [
+            {} for _ in range(self._n)
         ]
-        self._state_images: list[dict[int, int]] = [
-            {} for _ in self._mappings
-        ]
-        self._buffer_images: list[dict[int, int]] = [
-            {} for _ in self._mappings
-        ]
-        self._orbit: dict[tuple[int, ...], tuple[int, ...]] = {}
+        self._buffer_profiles: dict[int, tuple[int, ...]] = {}
+        self._pair_state: dict[tuple[int, int, int], int] = {}
+        self._pair_buffer: dict[tuple[int, int, int], int] = {}
+        self._sig_memo: dict[tuple, bytes] = {}
+        # Per-(message, count) precomputations: buffers are fresh nearly
+        # every canonicalization, but their *messages* repeat across
+        # thousands of buffers, so both the per-position mail profile
+        # and the pairwise mail relations reduce to dict probes.
+        self._position_of: dict[str, int] = {
+            name: i for i, name in enumerate(self._names)
+        }
+        self._message_profile_entries: dict[
+            tuple[Message, int], tuple[int | None, int]
+        ] = {}
+        self._message_pair_rows: dict[
+            tuple[Message, int],
+            tuple[int | None, int, int, dict[int, tuple[int, int]]],
+        ] = {}
+        self._embedded_memo: dict[Hashable, frozenset[str]] = {}
+        #: Lazily built list of all non-identity perms (brute only).
+        self._brute_perms: list[tuple[int, ...]] | None = None
+        # Observability (read by the engine and bench_por).
+        self.canonical_calls = 0
+        self.canonical_misses = 0
+        self.canonical_seconds = 0.0
+        self.leaf_images = 0
+        self.refine_branches = 0
+
+    @property
+    def names(self) -> list[str]:
+        """Process names in codec-position order."""
+        return list(self._names)
 
     @classmethod
     def build(
@@ -409,9 +623,9 @@ class SymmetryQuotient:
         Raises :class:`SymmetryError` when the protocol never declared
         symmetry (an operator error: the flag asserts something about
         the protocol that its author did not).  A *declared* symmetry
-        that fails validation, or a roster too large to quotient, is a
-        soft failure: ``(None, reason)`` so the engine can warn and run
-        unreduced.
+        that fails validation, or a roster too large for the brute
+        oracle, is a soft failure: ``(None, reason)`` so the engine can
+        warn and run unreduced.
         """
         names = list(protocol.process_names)
         if not declares_symmetry(protocol):
@@ -421,66 +635,588 @@ class SymmetryQuotient:
                 f"{type(protocol.process(names[0])).__name__} does not — "
                 "refusing to canonicalize an asymmetric protocol"
             )
-        if len(names) > policy.symmetry_max_processes:
+        if (
+            policy.symmetry_algorithm == "brute"
+            and len(names) > policy.symmetry_max_processes
+        ):
             return None, (
                 f"roster of {len(names)} processes needs "
-                f"{len(names)}! renamings per configuration; "
-                "running without the quotient"
+                f"{len(names)}! renamings per configuration under the "
+                "brute oracle; running without the quotient "
+                "(drop --symmetry-brute to use partition refinement)"
             )
         problems = validate_symmetry(protocol)
         if problems:
             return None, problems[0]
-        return cls(codec, names), None
+        return cls(codec, names, policy.symmetry_algorithm), None
+
+    # -- canonical forms ----------------------------------------------------
 
     def canonicalize(self, packed: tuple[int, ...]) -> tuple[int, ...]:
         """The orbit representative of *packed* (memoized)."""
-        best = self._orbit.get(packed)
-        if best is not None:
-            return best
-        best = packed
-        for k in range(len(self._mappings)):
-            candidate = self._image(packed, k)
-            if candidate < best:
-                best = candidate
-        if best is not packed and self._codec.decision_values(
+        return self.canonicalize_with_perm(packed)[0]
+
+    def canonicalize_with_perm(
+        self, packed: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """``(canonical, perm)`` with ``canonical == rename(packed, perm)``.
+
+        The perm is what the edge side table records: it is exactly the
+        renaming a witness extractor must invert to map a canonical
+        path step back onto the concrete run it stands for.
+        """
+        self.canonical_calls += 1
+        hit = self._orbit.get(packed)
+        if hit is not None:
+            return hit
+        started = time.perf_counter()
+        self.canonical_misses += 1
+        if self.algorithm == "brute":
+            best, best_perm = self._brute_canonical(packed)
+        else:
+            best, best_perm = self._refine_canonical(packed)
+        if best == packed:
+            # The search may have reached the representative through a
+            # non-trivial automorphism; normalize so "already canonical"
+            # always pairs with the identity renaming.
+            best_perm = self.identity
+        if best != packed and self._codec.decision_values(
             best
         ) != self._codec.decision_values(packed):
             raise FLPError(
                 "symmetry canonicalization changed the decision set — "
                 "renaming must never touch output registers (model bug)"
             )
-        self._orbit[packed] = best
-        return best
+        result = (best, best_perm)
+        self._orbit[packed] = result
+        if best != packed and best not in self._orbit:
+            # Canonical functions are idempotent: f(f(C)) == f(C), so
+            # the representative's own entry is free — and probed often
+            # (every lookup of an already-canonical row lands here).
+            self._orbit[best] = (best, self.identity)
+        self.canonical_seconds += time.perf_counter() - started
+        return result
 
-    def _image(self, packed: tuple[int, ...], k: int) -> tuple[int, ...]:
-        codec = self._codec
-        mapping = self._mappings[k]
-        slots = [0] * len(packed)
-        for index, name in enumerate(self._names):
-            slots[codec.position_of(mapping[name])] = self._image_state(
-                packed[index], k
+    def orbit_perm_of(self, packed: tuple[int, ...]) -> tuple[int, ...]:
+        """The renaming taking *packed* to its canonical representative."""
+        return self.canonicalize_with_perm(packed)[1]
+
+    # -- renaming helpers ---------------------------------------------------
+
+    def mapping_of(self, perm: tuple[int, ...]) -> dict[str, str]:
+        """The name-level mapping of a position permutation (memoized)."""
+        return self._perm_mappings[self._perm_id(perm)]
+
+    def rename_event(self, event: Event, perm: tuple[int, ...]) -> Event:
+        """``π(e)``: the event renamed by *perm* (identity = unchanged)."""
+        if perm == self.identity:
+            return event
+        mapping = self.mapping_of(perm)
+        return Event(
+            mapping[event.process], rename_value(event.value, mapping)
+        )
+
+    def apply_perm(
+        self, packed: tuple[int, ...], perm: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """``rename(packed, perm)`` through the codec's interning tables."""
+        if perm == self.identity:
+            return packed
+        return self._image(packed, self._perm_id(perm))
+
+    # -- internals: perm interning and images -------------------------------
+
+    def _perm_id(self, perm: tuple[int, ...]) -> int:
+        pid = self._perm_ids.get(perm)
+        if pid is None:
+            pid = len(self._perm_list)
+            self._perm_ids[perm] = pid
+            self._perm_list.append(perm)
+            names = self._names
+            self._perm_mappings.append(
+                {names[i]: names[perm[i]] for i in range(self._n)}
             )
-        slots[-1] = self._image_buffer(packed[-1], k)
+            self._perm_state_images.append({})
+            self._perm_buffer_images.append({})
+            self._perm_message_images.append({})
+        return pid
+
+    def _image(self, packed: tuple[int, ...], pid: int) -> tuple[int, ...]:
+        """The packed image of *packed* under the interned perm *pid*."""
+        self.leaf_images += 1
+        perm = self._perm_list[pid]
+        states = self._perm_state_images[pid]
+        slots = [0] * len(packed)
+        for i in range(self._n):
+            sid = packed[i]
+            image = states.get(sid)
+            if image is None:
+                image = self._image_state(sid, pid)
+            slots[perm[i]] = image
+        bid = packed[-1]
+        image = self._perm_buffer_images[pid].get(bid)
+        if image is None:
+            image = self._image_buffer(bid, pid)
+        slots[-1] = image
         return tuple(slots)
 
-    def _image_state(self, state_id: int, k: int) -> int:
-        memo = self._state_images[k]
-        image = memo.get(state_id)
-        if image is None:
-            renamed = _rename_state(
-                self._codec.state_at(state_id), self._mappings[k]
-            )
-            image = self._codec.intern_state(renamed)
-            memo[state_id] = image
+    def _image_state(self, state_id: int, pid: int) -> int:
+        renamed = _rename_state(
+            self._codec.state_at(state_id), self._perm_mappings[pid]
+        )
+        image = self._codec.intern_state(renamed)
+        self._perm_state_images[pid][state_id] = image
         return image
 
-    def _image_buffer(self, buffer_id: int, k: int) -> int:
-        memo = self._buffer_images[k]
-        image = memo.get(buffer_id)
-        if image is None:
+    def _image_buffer(self, buffer_id: int, pid: int) -> int:
+        mapping = self._perm_mappings[pid]
+        if not self._memoize_message_images:
             renamed = _rename_buffer(
-                self._codec.buffer_at(buffer_id), self._mappings[k]
+                self._codec.buffer_at(buffer_id), mapping
             )
             image = self._codec.intern_buffer(renamed)
-            memo[buffer_id] = image
+            self._perm_buffer_images[pid][buffer_id] = image
+            return image
+        message_images = self._perm_message_images[pid]
+        counts: dict[Message, int] = {}
+        for message, count in self._codec.buffer_at(buffer_id).items():
+            renamed_message = message_images.get(message)
+            if renamed_message is None:
+                renamed_message = Message(
+                    mapping.get(message.destination, message.destination),
+                    rename_value(message.value, mapping),
+                )
+                message_images[message] = renamed_message
+            counts[renamed_message] = counts.get(renamed_message, 0) + count
+        image = self._codec.intern_buffer(MessageBuffer._trusted(counts))
+        self._perm_buffer_images[pid][buffer_id] = image
         return image
+
+    # -- internals: the brute oracle ----------------------------------------
+
+    def _brute_canonical(
+        self, packed: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        if self._brute_perms is None:
+            identity = self.identity
+            self._brute_perms = [
+                perm
+                for perm in permutations(range(self._n))
+                if perm != identity
+            ]
+        best = packed
+        best_perm = self.identity
+        for perm in self._brute_perms:
+            candidate = self._image(packed, self._perm_id(perm))
+            if candidate < best:
+                best = candidate
+                best_perm = perm
+        return best, best_perm
+
+    # -- internals: partition refinement ------------------------------------
+
+    def _sig(
+        self,
+        value: Hashable,
+        self_name: str,
+        focus_name: str | None = None,
+    ) -> bytes:
+        """Renaming-equivariant serialization of a protocol value.
+
+        *self_name* scrubs to SELF, *focus_name* (pair relations) to
+        FOCUS, every other process name to OTHER — so two values that
+        differ only by a renaming consistent with those roles serialize
+        identically.  Frozensets serialize order-independently by
+        sorting member serializations (``repr`` order would follow
+        ``PYTHONHASHSEED`` for strings, which must never influence
+        canonical forms).  Containers are memoized per (value, roles):
+        message payloads and report sets repeat across thousands of
+        configurations, so serialization is dict-probe-dominated.
+        """
+        if isinstance(value, str):
+            if value == self_name:
+                return _TOKEN_SELF
+            if value == focus_name:
+                return _TOKEN_FOCUS
+            if value in self._name_set:
+                return _TOKEN_OTHER
+            return b"s" + value.encode("utf-8", "surrogatepass")
+        if isinstance(value, bool):
+            return b"b1" if value else b"b0"
+        if isinstance(value, int):
+            return b"i%d" % value
+        if isinstance(value, tuple):
+            key = (value, self_name, focus_name)
+            cached = self._sig_memo.get(key)
+            if cached is None:
+                cached = (
+                    b"("
+                    + b",".join(
+                        self._sig(item, self_name, focus_name)
+                        for item in value
+                    )
+                    + b")"
+                )
+                self._sig_memo[key] = cached
+            return cached
+        if isinstance(value, frozenset):
+            key = (value, self_name, focus_name)
+            cached = self._sig_memo.get(key)
+            if cached is None:
+                cached = (
+                    b"{"
+                    + b",".join(
+                        sorted(
+                            self._sig(item, self_name, focus_name)
+                            for item in value
+                        )
+                    )
+                    + b"}"
+                )
+                self._sig_memo[key] = cached
+            return cached
+        if value is None:
+            return b"n"
+        return b"r" + repr(value).encode("utf-8", "surrogatepass")
+
+    def _state_profile(self, position: int, state_id: int) -> int:
+        """Seed color contribution of holding *state_id* at *position*."""
+        state = self._codec.state_at(state_id)
+        name = self._names[position]
+        data = (
+            self._sig(state.input, name)
+            + b"|"
+            + self._sig(state.output, name)
+            + b"|"
+            + self._sig(state.data, name)
+        )
+        digest = _digest(data)
+        self._state_profiles[position][state_id] = digest
+        return digest
+
+    def _embedded_names(self, value: Hashable) -> frozenset[str]:
+        """Process names occurring anywhere inside *value* (memoized).
+
+        The pair-relation scrub of a value against focus ``names[k]``
+        can only differ from the focus-free scrub when ``names[k]``
+        actually occurs in the value — so knowing the embedded names
+        lets the buffer scan serialize each message O(1) times instead
+        of once per pair."""
+        if isinstance(value, str):
+            if value in self._name_set:
+                return frozenset((value,))
+            return _NO_NAMES
+        if isinstance(value, (tuple, frozenset)):
+            cached = self._embedded_memo.get(value)
+            if cached is None:
+                found: set[str] = set()
+                for item in value:
+                    found.update(self._embedded_names(item))
+                cached = frozenset(found) if found else _NO_NAMES
+                self._embedded_memo[value] = cached
+            return cached
+        return _NO_NAMES
+
+    def _buffer_profile(self, buffer_id: int) -> tuple[int, ...]:
+        """Per-position digests of the mail buffered for each process.
+
+        Each ``(message, count)`` contributes a memoized 64-bit entry
+        digest; a position's profile is the masked *sum* of its entries
+        — an order-independent multiset combine, so no per-buffer
+        sorting or re-hashing (see :func:`_mix64` on collisions).
+        """
+        buffer = self._codec.buffer_at(buffer_id)
+        sums = [0] * self._n
+        entries = self._message_profile_entries
+        for message, count in buffer.items():
+            key = (message, count)
+            entry = entries.get(key)
+            if entry is None:
+                position = self._position_of.get(message.destination)
+                entry = (
+                    position,
+                    0
+                    if position is None
+                    else _digest(
+                        self._sig(message.value, message.destination)
+                        + b"#%d" % count
+                    ),
+                )
+                entries[key] = entry
+            position, data = entry
+            if position is None:  # pragma: no cover - foreign destination
+                continue
+            sums[position] += data
+        profile = tuple(total & _MASK64 for total in sums)
+        self._buffer_profiles[buffer_id] = profile
+        return profile
+
+    def _initial_colors(self, packed: tuple[int, ...]) -> list[int]:
+        bid = packed[-1]
+        buffer_profile = self._buffer_profiles.get(bid)
+        if buffer_profile is None:
+            buffer_profile = self._buffer_profile(bid)
+        profiles = self._state_profiles
+        colors = []
+        for i in range(self._n):
+            sid = packed[i]
+            state_digest = profiles[i].get(sid)
+            if state_digest is None:
+                state_digest = self._state_profile(i, sid)
+            # Deterministic arithmetic mix — cheap, equivariant, and a
+            # pure function of the two digests.
+            colors.append(
+                (state_digest * 0x9E3779B97F4A7C15 + buffer_profile[i])
+                & 0x7FFFFFFFFFFFFFFF
+            )
+        return colors
+
+    def _perm_from_colors(self, colors: list[int]) -> tuple[int, ...]:
+        """The discrete partition's renaming: color rank = new position."""
+        order = sorted(range(self._n), key=colors.__getitem__)
+        perm = [0] * self._n
+        for rank, position in enumerate(order):
+            perm[position] = rank
+        return tuple(perm)
+
+    # The WL pass relates position *i* to position *j* through two
+    # scrubbed digests.  State part: *i*'s data with ``names[i]`` →
+    # SELF, ``names[j]`` → FOCUS, other names → OTHER (captures "my
+    # state mentions *that* process").  Buffer part: the mail addressed
+    # to either of the two, with the same scrub.  Both are equivariant:
+    # renaming the configuration and the pair together leaves the
+    # digests fixed.  The probes live inline in :meth:`_refine`; these
+    # helpers are the memo-miss slow paths.
+
+    def _pair_state_digest(self, sid: int, i: int, j: int) -> int:
+        state = self._codec.state_at(sid)
+        digest = _digest(
+            self._sig(state.data, self._names[i], self._names[j])
+        )
+        self._pair_state[(sid, i, j)] = digest
+        return digest
+
+    def _message_pair_row(
+        self, message: Message, count: int
+    ) -> tuple[int | None, int, int, dict[int, tuple[int, int]]]:
+        """``(dest, S-default, F-default, specials)`` for one message.
+
+        A message to position ``d`` contributes a SELF-scrubbed entry to
+        every pair ``(d, k)`` and a FOCUS-scrubbed entry to every pair
+        ``(k, d)``.  Those entries can only depend on ``k`` when
+        ``names[k]`` occurs *inside* the payload, so one default pair of
+        entry digests plus a ``specials`` override per embedded name
+        covers all ``2(n-1)`` cells — and the whole row is memoized per
+        ``(message, count)``, which repeat across thousands of buffers.
+        """
+        names = self._names
+        sig = self._sig
+        d = self._position_of.get(message.destination)
+        if d is None:  # pragma: no cover - foreign destination
+            row = (None, 0, 0, {})
+            self._message_pair_rows[(message, count)] = row
+            return row
+        value = message.value
+        suffix = b"#%d" % count
+        name_d = names[d]
+        s_default = _digest(b"S>" + sig(value, name_d) + suffix)
+        f_default = _digest(b"F>" + sig(value, _NO_NAME, name_d) + suffix)
+        specials: dict[int, tuple[int, int]] = {}
+        for name in self._embedded_names(value):
+            k = self._position_of[name]
+            if k == d:
+                continue
+            specials[k] = (
+                _digest(b"S>" + sig(value, name_d, name) + suffix),
+                _digest(b"F>" + sig(value, name, name_d) + suffix),
+            )
+        row = (d, s_default, f_default, specials)
+        self._message_pair_rows[(message, count)] = row
+        return row
+
+    def _fill_pair_buffer(self, buffer_id: int) -> None:
+        """All ``(i, j)`` buffer-relation digests of one buffer, in a
+        single scan (buffers are fresh nearly every canonicalization;
+        20 independent scans per configuration at n=5 dominated the WL
+        pass before this).  A cell's digest is the masked sum of its
+        memoized per-message entry digests — order-independent, so no
+        sorting and no per-cell re-hash."""
+        n = self._n
+        rows = self._message_pair_rows
+        cells = [0] * (n * n)
+        for message, count in self._codec.buffer_at(buffer_id).items():
+            row = rows.get((message, count))
+            if row is None:
+                row = self._message_pair_row(message, count)
+            d, s_default, f_default, specials = row
+            if d is None:  # pragma: no cover - foreign destination
+                continue
+            base = d * n
+            for k in range(n):
+                if k == d:
+                    continue
+                if specials:
+                    special = specials.get(k)
+                    if special is not None:
+                        s_entry, f_entry = special
+                    else:
+                        s_entry, f_entry = s_default, f_default
+                else:
+                    s_entry, f_entry = s_default, f_default
+                # Mail to i=d, seen by the (d, k) pair: d is SELF.
+                cells[base + k] += s_entry
+                # Mail to j=d, seen by the (k, d) pair: d is FOCUS.
+                cells[k * n + d] += f_entry
+        table = self._pair_buffer
+        for i in range(n):
+            base = i * n
+            for k in range(n):
+                if i != k:
+                    table[(buffer_id, i, k)] = cells[base + k] & _MASK64
+
+    def _refine(
+        self, packed: tuple[int, ...], colors: list[int]
+    ) -> list[int]:
+        """WL refinement of *colors* to equitability (or discreteness).
+
+        Each pass remixes a position's color with the multiset of
+        (neighbor color, pair relation) rows, combined as a masked sum
+        of row mixes (order-independent, so no sorting).  The pass is
+        repeated while it strictly increases the number of color
+        classes, so it terminates in at most n passes; all inputs are
+        equivariant digests, so the refined coloring is too.
+        """
+        n = self._n
+        count = len(set(colors))
+        mix = _mix64
+        # Inlined pair-relation probes: this doubly-nested loop runs on
+        # every non-fast-path miss, and the function-call overhead of
+        # going through _pair_relation per (i, j) was measurable.
+        pair_state = self._pair_state
+        pair_buffer = self._pair_buffer
+        bid = packed[-1]
+        while count < n:
+            refined = []
+            for i in range(n):
+                acc = 0
+                sid = packed[i]
+                for j in range(n):
+                    if j == i:
+                        continue
+                    state_digest = pair_state.get((sid, i, j))
+                    if state_digest is None:
+                        state_digest = self._pair_state_digest(sid, i, j)
+                    buffer_digest = pair_buffer.get((bid, i, j))
+                    if buffer_digest is None:
+                        self._fill_pair_buffer(bid)
+                        buffer_digest = pair_buffer[(bid, i, j)]
+                    acc += mix(
+                        colors[j] * 0x9E3779B97F4A7C15
+                        + state_digest * 0xC2B2AE3D27D4EB4F
+                        + buffer_digest
+                    )
+                refined.append(
+                    mix(colors[i] * 0xFF51AFD7ED558CCD + acc) & _MASK63
+                )
+            refined_count = len(set(refined))
+            if refined_count <= count:
+                return colors
+            colors = refined
+            count = refined_count
+        return colors
+
+    def _refine_canonical(
+        self, packed: tuple[int, ...]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        n = self._n
+        colors = self._initial_colors(packed)
+        if len(set(colors)) == n:
+            # Fast path: seed invariants already tell the processes
+            # apart — one sort, one image.
+            perm = self._perm_from_colors(colors)
+            if perm == self.identity:
+                return packed, perm
+            return self._image(packed, self._perm_id(perm)), perm
+        colors = self._refine(packed, colors)
+        if len(set(colors)) == n:
+            perm = self._perm_from_colors(colors)
+            if perm == self.identity:
+                return packed, perm
+            return self._image(packed, self._perm_id(perm)), perm
+        # Individualize-and-refine with automorphism pruning.
+        self.refine_branches += 1
+        best: list = [None, None]
+        automorphisms: list[tuple[int, ...]] = []
+
+        def search(colors: list[int], path: tuple[int, ...]) -> None:
+            # *colors* arrive refined (by the caller or the child
+            # individualization below) — no duplicate WL pass here.
+            cells: dict[int, list[int]] = {}
+            for position, color in enumerate(colors):
+                cells.setdefault(color, []).append(position)
+            branch: list[int] | None = None
+            for color in sorted(cells):
+                members = cells[color]
+                if len(members) > 1 and (
+                    branch is None or len(members) < len(branch)
+                ):
+                    branch = members
+            if branch is None:
+                perm = self._perm_from_colors(colors)
+                image = self._image(packed, self._perm_id(perm))
+                if best[0] is None or image < best[0]:
+                    best[0], best[1] = image, perm
+                elif image == best[0] and perm != best[1]:
+                    # Two leaf renamings with equal images compose to
+                    # an automorphism of *packed* — the pruning fuel.
+                    automorphisms.append(
+                        perm_compose(perm_invert(best[1]), perm)
+                    )
+                return
+            explored: list[int] = []
+            for position in branch:
+                if explored and self._pruned_by_automorphism(
+                    position, explored, path, automorphisms
+                ):
+                    continue
+                explored.append(position)
+                child = list(colors)
+                individualized = _mix64(
+                    colors[position] + 0xA24BAED4963EE407 * (len(path) + 1)
+                )
+                while individualized in child:
+                    individualized = _mix64(individualized + 1)
+                child[position] = individualized
+                search(self._refine(packed, child), path + (position,))
+
+        search(colors, ())
+        return best[0], best[1]
+
+    @staticmethod
+    def _pruned_by_automorphism(
+        position: int,
+        explored: list[int],
+        path: tuple[int, ...],
+        automorphisms: list[tuple[int, ...]],
+    ) -> bool:
+        """McKay pruning: skip a branch cell member whose orbit (under
+        discovered automorphisms fixing the individualized path) already
+        contains an explored member — its subtree yields the same
+        images."""
+        applicable = [
+            perm
+            for perm in automorphisms
+            if all(perm[fixed] == fixed for fixed in path)
+        ]
+        if not applicable:
+            return False
+        orbit = {position}
+        frontier = [position]
+        while frontier:
+            member = frontier.pop()
+            for perm in applicable:
+                image = perm[member]
+                if image not in orbit:
+                    orbit.add(image)
+                    frontier.append(image)
+        return any(member in orbit for member in explored)

@@ -415,14 +415,22 @@ class EdgeStore:
     stay in RAM (16 bytes/node, constantly probed); the pair buffer —
     the bulk, typically ~8 pairs/node — rides an :class:`Int64Buffer`
     and spills with it.
+
+    An optional *perm side table* rides along for symmetry-quotient
+    graphs: one interned renaming id per edge pair, kept in a parallel
+    ``Int64Buffer`` indexed by ``pair offset // 2``.  Tracking is
+    all-or-nothing — it must be enabled before the first edge is
+    recorded, so the parallel buffer is aligned with the pair buffer by
+    construction and every edge has a renaming (identity included).
     """
 
-    __slots__ = ("_flat", "_offsets", "_counts")
+    __slots__ = ("_flat", "_offsets", "_counts", "_perms")
 
-    def __init__(self, flat: Int64Buffer):
+    def __init__(self, flat: Int64Buffer, perms: Int64Buffer | None = None):
         self._flat = flat
         self._offsets = array("q")
         self._counts = array("q")
+        self._perms = perms
 
     def __len__(self) -> int:
         return len(self._offsets)
@@ -435,18 +443,62 @@ class EdgeStore:
     def total_pairs(self) -> int:
         return len(self._flat) // 2
 
+    @property
+    def tracking_perms(self) -> bool:
+        return self._perms is not None
+
+    def enable_perms(self, perms: Int64Buffer) -> None:
+        """Attach the perm side table (before any edges exist)."""
+        if self._perms is not None:
+            return
+        if len(self._flat):
+            raise ValueError(
+                "perm tracking must be enabled before edges are recorded"
+            )
+        self._perms = perms
+
     def add_node(self) -> None:
         self._offsets.append(-1)
         self._counts.append(0)
 
-    def set_edges(self, node: int, flat_pairs: Iterable[int]) -> None:
+    def set_edges(
+        self,
+        node: int,
+        flat_pairs: Iterable[int],
+        perm_ids: Iterable[int] | None = None,
+    ) -> None:
         """Record *node*'s complete edge list (exactly once)."""
         if self._offsets[node] != -1:
             raise ValueError(f"node {node} already has recorded edges")
         offset = len(self._flat)
         self._flat.extend(flat_pairs)
         self._offsets[node] = offset
-        self._counts[node] = (len(self._flat) - offset) // 2
+        count = (len(self._flat) - offset) // 2
+        self._counts[node] = count
+        if self._perms is not None:
+            if perm_ids is None:
+                raise ValueError(
+                    "perm tracking is on: every edge needs a renaming id"
+                )
+            self._perms.extend(perm_ids)
+            if len(self._perms) != len(self._flat) // 2:
+                raise ValueError(
+                    f"node {node}: {count} edges but perm side table "
+                    "is misaligned (one renaming id per edge required)"
+                )
+
+    def perm_ids(self, node: int) -> tuple[int, ...]:
+        """*node*'s per-edge renaming ids (``()`` when unexpanded).
+
+        Only meaningful with tracking on; edge ``k`` of the node pairs
+        with id ``perm_ids(node)[k]``.
+        """
+        if self._perms is None:
+            return ()
+        offset = self._offsets[node]
+        if offset < 0:
+            return ()
+        return self._perms.read(offset // 2, self._counts[node])
 
     def pairs(self, node: int) -> tuple[int, ...]:
         """*node*'s flat ``(event_id, target, ...)`` pairs (``()`` when
@@ -460,11 +512,14 @@ class EdgeStore:
         return self._counts[node]
 
     def snapshot(self) -> dict[str, bytes]:
-        return {
+        state = {
             "flat": self._flat.to_bytes(),
             "offsets": self._offsets.tobytes(),
             "counts": self._counts.tobytes(),
         }
+        if self._perms is not None:
+            state["perms"] = self._perms.to_bytes()
+        return state
 
     def restore(self, state: dict[str, bytes]) -> None:
         self._flat.load_bytes(state["flat"])
@@ -472,6 +527,8 @@ class EdgeStore:
         self._offsets.frombytes(state["offsets"])
         self._counts = array("q")
         self._counts.frombytes(state["counts"])
+        if self._perms is not None and "perms" in state:
+            self._perms.load_bytes(state["perms"])
 
 
 class GraphStore:
@@ -496,6 +553,8 @@ class GraphStore:
             threshold = int(config.spill_budget_mb * 1024 * 1024) // 2
         else:
             threshold = None
+        self._threshold = threshold
+        self._on_spill = on_spill
         self.arena = PackedArena(
             stride,
             Int64Buffer(threshold, config.spill_dir, on_spill),
@@ -506,6 +565,12 @@ class GraphStore:
         )
         self._events: list["Event"] = []
         self._event_ids: dict["Event", int] = {}
+        # Renaming interning for the per-edge perm side table (symmetry
+        # quotient only).  Ids are dense first-seen; they key memo and
+        # storage slots only, never canonical forms, so first-seen
+        # order is determinism-safe.
+        self._perm_table: list[tuple[int, ...]] = []
+        self._perm_ids: dict[tuple[int, ...], int] = {}
 
     def __len__(self) -> int:
         return len(self.arena)
@@ -538,18 +603,65 @@ class GraphStore:
     def event_at(self, eid: int) -> "Event":
         return self._events[eid]
 
+    # -- renamings (symmetry quotient) -------------------------------------
+
+    @property
+    def tracking_perms(self) -> bool:
+        return self.edges.tracking_perms
+
+    def enable_perm_tracking(self) -> None:
+        """Turn on the per-edge renaming side table.
+
+        Must happen before any edges are recorded (the engine enables
+        it right after the symmetry quotient is built, before the first
+        expansion), so every edge slot has a renaming and the parallel
+        buffer never desynchronizes.
+        """
+        self.edges.enable_perms(
+            Int64Buffer(self._threshold, self.config.spill_dir,
+                        self._on_spill)
+        )
+
+    def perm_id(self, perm: tuple[int, ...]) -> int:
+        pid = self._perm_ids.get(perm)
+        if pid is None:
+            pid = len(self._perm_table)
+            self._perm_ids[perm] = pid
+            self._perm_table.append(perm)
+        return pid
+
+    def perm_at(self, pid: int) -> tuple[int, ...]:
+        return self._perm_table[pid]
+
+    def edge_perms(self, node: int) -> list[tuple[int, ...]]:
+        """*node*'s per-edge renamings, aligned with :meth:`edge_list`."""
+        table = self._perm_table
+        return [table[pid] for pid in self.edges.perm_ids(node)]
+
     # -- edges -------------------------------------------------------------
 
     def set_edges(
-        self, node: int, edges: Iterable[tuple["Event", int]]
+        self,
+        node: int,
+        edges: Iterable[tuple["Event", int]],
+        perms: Iterable[tuple[int, ...]] | None = None,
     ) -> None:
-        """Record *node*'s ``(event, target)`` list, interning events."""
+        """Record *node*'s ``(event, target)`` list, interning events.
+
+        With perm tracking on, *perms* carries the renaming the
+        quotient applied to each edge's raw successor, aligned with
+        *edges*.
+        """
         event_id = self.event_id
         flat: list[int] = []
         for event, target in edges:
             flat.append(event_id(event))
             flat.append(target)
-        self.edges.set_edges(node, flat)
+        perm_ids = None
+        if self.edges.tracking_perms:
+            perm_id = self.perm_id
+            perm_ids = [perm_id(perm) for perm in perms or ()]
+        self.edges.set_edges(node, flat, perm_ids)
 
     def edge_list(self, node: int) -> list[tuple["Event", int]]:
         """*node*'s successors as ``[(Event, target), ...]``."""
@@ -604,13 +716,24 @@ class GraphStore:
         and is rebuilt on restore, which keeps the payload minimal and
         impossible to de-synchronize.
         """
-        return {
+        state: dict[str, object] = {
             "arena": self.arena.buffer.to_bytes(),
             "edges": self.edges.snapshot(),
             "events": list(self._events),
         }
+        if self.edges.tracking_perms:
+            state["perm_table"] = list(self._perm_table)
+        return state
 
     def restore(self, state: dict[str, object]) -> None:
+        if "perm_table" in state:
+            # Enable tracking before edges load so the perm buffer
+            # exists to receive the snapshot's side table.
+            self.enable_perm_tracking()
+            self._perm_table = list(state["perm_table"])
+            self._perm_ids = {
+                perm: pid for pid, perm in enumerate(self._perm_table)
+            }
         self.arena.load(state["arena"])
         self.index.rebuild()
         self.edges.restore(state["edges"])

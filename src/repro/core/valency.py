@@ -194,9 +194,11 @@ class ValencyAnalyzer:
         shared engine (Lemma-1 ample sets / symmetry quotient).  Every
         valency verdict is identical to the unreduced graph's — that is
         the reduction's soundness contract, pinned by the zoo-wide
-        property tests — but :meth:`bivalence_witness` refuses under
-        the symmetry quotient (quotient edges connect orbit
-        representatives, so extracted paths are not replayable).
+        property tests — and :meth:`bivalence_witness` works under the
+        quotient too: every orbit edge records the renaming it applied,
+        so a quotient path is *un-quotiented* back into a concrete
+        schedule by composing the recorded renamings out (see
+        :meth:`_unquotient_schedule`).
     """
 
     def __init__(
@@ -348,30 +350,95 @@ class ValencyAnalyzer:
         A pure lookup over the shared graph: BIVALENT was proved by
         reverse reachability over recorded edges, so both witness paths
         already exist in the explored region — no re-exploration.
-        """
-        if self.graph._quotient is not None:
-            from repro.core.errors import SymmetryError
 
-            raise SymmetryError(
-                "bivalence witnesses cannot be extracted from a "
-                "symmetry-quotient graph: recorded edges connect orbit "
-                "representatives, so a path read off the graph is not a "
-                "replayable schedule — rerun without --symmetry to "
-                "extract witnesses"
-            )
+        Under the symmetry quotient the recorded path connects orbit
+        representatives; :meth:`_unquotient_schedule` composes the
+        per-edge renamings back out so the returned schedules replay
+        concretely from *configuration* itself.
+        """
         if self.valency(configuration) is not Valency.BIVALENT:
             return None
         graph = self.graph
-        source = graph.node_id(configuration)
-        to_zero = shortest_schedule(
-            graph, source, set(graph.decision_nodes(ZERO))
-        )
-        to_one = shortest_schedule(
-            graph, source, set(graph.decision_nodes(ONE))
-        )
+        if graph._quotient is not None:
+            to_zero = self._unquotient_schedule(
+                configuration, set(graph.decision_nodes(ZERO))
+            )
+            to_one = self._unquotient_schedule(
+                configuration, set(graph.decision_nodes(ONE))
+            )
+        else:
+            source = graph.node_id(configuration)
+            to_zero = shortest_schedule(
+                graph, source, set(graph.decision_nodes(ZERO))
+            )
+            to_one = shortest_schedule(
+                graph, source, set(graph.decision_nodes(ONE))
+            )
         if to_zero is None or to_one is None:  # pragma: no cover - guarded
             return None
         return BivalenceWitness(configuration, to_zero, to_one)
+
+    def _unquotient_schedule(
+        self, configuration: Configuration, targets: set[int]
+    ) -> Schedule | None:
+        """A concrete schedule from *configuration* into *targets*.
+
+        The quotient graph stores, for each edge out of a canonical node
+        ``K``, the event ``e`` that was applied to ``K`` and the
+        renaming ``σ`` taking the raw successor ``e(K)`` to the next
+        canonical node.  Maintaining the *accumulated* renaming ``τ``
+        with the invariant ``concrete_i = rename(K_i, τ_i)`` (seeded by
+        the renaming ``ρ`` that canonicalized *configuration* itself,
+        ``τ_0 = ρ⁻¹``), each canonical step lifts to the concrete event
+        ``rename(e, τ_i)`` and ``τ`` advances by ``τ ∘ σ⁻¹`` — renaming
+        is a validated protocol automorphism, so enabledness and
+        decision values transfer step by step.  The result replays from
+        *configuration* through plain protocol semantics with no
+        reference to the quotient at all.
+        """
+        from repro.core.reduction import perm_compose, perm_invert
+
+        graph = self.graph
+        quotient = graph._quotient
+        canonical, rho = quotient.canonicalize_with_perm(
+            graph.codec.encode(configuration)
+        )
+        source = graph.store.find(canonical)
+        if source is None:
+            return None
+        # Shortest canonical path, remembering each edge's renaming.
+        path: list[tuple[Event, tuple[int, ...]]] | None = None
+        if source in targets:
+            path = []
+        else:
+            parents: dict[int, tuple[int, Event, tuple[int, ...]]] = {}
+            queue: deque[int] = deque([source])
+            seen = {source}
+            while queue and path is None:
+                node = queue.popleft()
+                for event, successor, sigma in graph.edge_records(node):
+                    if successor in seen:
+                        continue
+                    parents[successor] = (node, event, sigma)
+                    if successor in targets:
+                        path = []
+                        current = successor
+                        while current != source:
+                            parent, via, perm = parents[current]
+                            path.append((via, perm))
+                            current = parent
+                        path.reverse()
+                        break
+                    seen.add(successor)
+                    queue.append(successor)
+        if path is None:
+            return None
+        tau = perm_invert(rho)
+        events: list[Event] = []
+        for event, sigma in path:
+            events.append(quotient.rename_event(event, tau))
+            tau = perm_compose(tau, perm_invert(sigma))
+        return Schedule(events)
 
     def classify_initials(self) -> dict[tuple[int, ...], Valency]:
         """Valency of every initial configuration, keyed by input vector."""

@@ -7,9 +7,12 @@ shape, and the quick/full switch scales N in one place.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.protocol import Protocol
 from repro.protocols import (
     ArbiterProcess,
+    BenOrProcess,
     InitiallyDeadProcess,
     InputEchoProcess,
     ParityArbiterProcess,
@@ -25,6 +28,8 @@ __all__ = [
     "bivalent_zoo",
     "broken_zoo",
     "commit_zoo",
+    "symmetric_zoo",
+    "SymmetricInstance",
 ]
 
 
@@ -88,3 +93,72 @@ def commit_zoo(quick: bool = True) -> list[tuple[str, Protocol]]:
         (f"2pc/{n}", make_protocol(TwoPhaseCommitProcess, n)),
         (f"3pc/{n}", make_protocol(ThreePhaseCommitProcess, n)),
     ]
+
+
+@dataclass(frozen=True)
+class SymmetricInstance:
+    """A fully symmetric zoo member, sized for quotient exploration.
+
+    ``depth_horizon`` is the BFS ``max_levels`` bound that keeps a
+    *reduced* (``--symmetry``, optionally ``--por``) exploration inside
+    tier-1 test time on one core.  ``bench_only_unreduced`` marks the
+    rosters whose *unreduced* graph at that horizon is benchmark
+    territory — tests must not explore those without a reduction.
+    """
+
+    label: str
+    protocol: Protocol
+    depth_horizon: int
+    bench_only_unreduced: bool = False
+
+
+def symmetric_zoo(quick: bool = True) -> list[SymmetricInstance]:
+    """Protocols whose automata declare ``symmetric = True``.
+
+    The n=3 members are small enough to explore unreduced (that is what
+    the composed-reduction identity tests compare against).  The n=5
+    members are why the quotient exists: their state spaces put the
+    brute n! canonicalizer (120 renamings per configuration) and the
+    unreduced graph out of test budgets, so tests run them reduced-only
+    at the recorded horizons and ``bench_por`` owns the unreduced
+    baselines.  Ben-Or appears in its ``coin="round"`` variant — the
+    shared per-round coin removes the private tape's name dependence,
+    which is the one asymmetry in the classic protocol.
+    """
+    members = [
+        SymmetricInstance(
+            "wait-for-all/3", make_protocol(WaitForAllProcess, 3), 12
+        ),
+        SymmetricInstance(
+            "quorum-vote/3", make_protocol(QuorumVoteProcess, 3), 12
+        ),
+        SymmetricInstance(
+            "benor/3",
+            make_protocol(BenOrProcess, 3, coin="round"),
+            6,
+        ),
+    ]
+    if not quick:
+        members.extend(
+            [
+                SymmetricInstance(
+                    "wait-for-all/5",
+                    make_protocol(WaitForAllProcess, 5),
+                    6,
+                    bench_only_unreduced=True,
+                ),
+                SymmetricInstance(
+                    "quorum-vote/5",
+                    make_protocol(QuorumVoteProcess, 5),
+                    5,
+                    bench_only_unreduced=True,
+                ),
+                SymmetricInstance(
+                    "benor/5",
+                    make_protocol(BenOrProcess, 5, coin="round"),
+                    5,
+                    bench_only_unreduced=True,
+                ),
+            ]
+        )
+    return members

@@ -65,10 +65,27 @@ class BenOrProcess(ConsensusProcess):
         Defaults to the maximum, ``⌈N/2⌉ - 1``.
     seed:
         Seed of the private random tapes (vary per experiment trial).
+    coin:
+        ``"private"`` (default, Ben-Or's protocol): the coin is keyed
+        by the process name, so processes flip independently — and the
+        automaton is *not* permutation-equivariant.  ``"round"`` keys
+        the coin by the round number alone (every process flips the
+        same bit, a degenerate common coin), which makes the automaton
+        fully symmetric: the variant declares ``symmetric = True`` and
+        is what the symmetry-quotient benchmarks and the n=5 zoo
+        instances explore.  The phase-2 adoption rule is already
+        name-free — in any round all non-⊥ proposals are equal (two
+        different majorities of one broadcast multiset cannot both
+        exceed N/2), so ``concrete[0]`` is renaming-robust.
     """
 
     def __init__(
-        self, name: str, peers, f: int | None = None, seed: int = 0
+        self,
+        name: str,
+        peers,
+        f: int | None = None,
+        seed: int = 0,
+        coin: str = "private",
     ):
         super().__init__(name, peers)
         max_f = (self.n - 1) // 2
@@ -78,7 +95,15 @@ class BenOrProcess(ConsensusProcess):
                 f"Ben-Or requires 0 <= f < N/2; N={self.n} allows "
                 f"f <= {max_f}, got {self.f}"
             )
+        if coin not in ("private", "round"):
+            raise ValueError(
+                f"coin must be 'private' or 'round', got {coin!r}"
+            )
         self.seed = seed
+        self.coin = coin
+        #: A shared per-round coin removes the only name dependence in
+        #: the automaton, so the variant is safe for --symmetry.
+        self.symmetric = coin == "round"
 
     @property
     def quorum(self) -> int:
@@ -87,8 +112,11 @@ class BenOrProcess(ConsensusProcess):
 
     def _coin_flip(self, round_number: int) -> int:
         """The round's coin.  Ben-Or: a *private* bit per process (the
-        tape).  Subclasses may substitute a shared coin (see
-        :mod:`repro.protocols.common_coin`)."""
+        tape).  ``coin="round"`` drops the name from the key — one
+        shared bit per round.  Subclasses may substitute a genuine
+        shared coin (see :mod:`repro.protocols.common_coin`)."""
+        if self.coin == "round":
+            return _coin(self.seed, "", round_number)
         return _coin(self.seed, self.name, round_number)
 
     def initial_data(self, input_value: int) -> Hashable:

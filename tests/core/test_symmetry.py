@@ -3,13 +3,18 @@
 Three behaviours matter and each gets pinned:
 
 * a protocol that *is* symmetric gets a genuinely smaller graph with an
-  identical census;
+  identical census, and witnesses read off the quotient graph replay
+  concretely (each orbit edge records its renaming);
 * a protocol that never declared ``symmetric = True`` is refused loudly
   (``SymmetryError``) — the flag is an assertion about the automata,
   not a go-faster switch;
 * a protocol that declares symmetry it does not have is caught by the
   transition-level automorphism check and falls back to the identity
   quotient with a warning, never a wrong verdict.
+
+Deeper canonical-labeling properties (renaming invariance, refine/brute
+orbit agreement, composed-reduction identity) live in
+``test_symmetry_canonical.py``.
 """
 
 import pytest
@@ -25,6 +30,7 @@ from repro.core.reduction import (
 from repro.core.valency import ValencyAnalyzer
 from repro.protocols import (
     ArbiterProcess,
+    QuorumVoteProcess,
     WaitForAllProcess,
     make_protocol,
 )
@@ -76,6 +82,22 @@ class TestQuotientReduces:
         assert both == full
         assert both_nodes <= sym_nodes
 
+    def test_witness_extraction_unquotients_under_quotient(self):
+        # Quotient edges connect orbit representatives, but each edge
+        # records its renaming, so the analyzer un-quotients the path
+        # back into concrete schedules that replay from the *asked*
+        # configuration through plain protocol semantics.
+        protocol = make_protocol(QuorumVoteProcess, 3)
+        analyzer = ValencyAnalyzer(protocol, reduction=SYM)
+        try:
+            analyzer.classify_initials()
+            initial = protocol.initial_configuration([0, 1, 0])
+            witness = analyzer.bivalence_witness(initial)
+            assert witness is not None
+            assert witness.verify(protocol)
+        finally:
+            analyzer.close()
+
 
 class TestRefusals:
     def test_undeclared_protocol_is_rejected(self):
@@ -85,20 +107,6 @@ class TestRefusals:
         assert not declares_symmetry(protocol)
         with pytest.raises(SymmetryError, match="symmetric = True"):
             GlobalConfigurationGraph(protocol, reduction=SYM)
-
-    def test_witness_extraction_refused_under_quotient(self):
-        # Quotient edges connect orbit representatives, so a path read
-        # off the graph is not a replayable schedule.
-        protocol = make_protocol(WaitForAllProcess, 3)
-        analyzer = ValencyAnalyzer(protocol, reduction=SYM)
-        try:
-            with pytest.raises(SymmetryError, match="witness"):
-                analyzer.bivalence_witness(
-                    protocol.initial_configuration([0, 1, 1])
-                )
-        finally:
-            analyzer.close()
-
 
 class TestFallbacks:
     def test_declared_but_false_symmetry_warns_and_runs_full(self):
@@ -116,10 +124,21 @@ class TestFallbacks:
         plain.explore(root)
         assert graph.fingerprint() == plain.fingerprint()
 
-    def test_oversized_roster_falls_back_instead_of_exploding(self):
+    def test_oversized_roster_falls_back_under_brute_only(self):
+        # The n! cap guards the brute oracle alone: partition refinement
+        # is polynomial per configuration, so the same roster sails
+        # through under the default algorithm.
         protocol = make_protocol(WaitForAllProcess, 3)
-        policy = ReductionPolicy(symmetry=True, symmetry_max_processes=2)
+        brute = ReductionPolicy(
+            symmetry=True,
+            symmetry_algorithm="brute",
+            symmetry_max_processes=2,
+        )
         with pytest.warns(UserWarning, match="renamings"):
-            graph = GlobalConfigurationGraph(protocol, reduction=policy)
+            graph = GlobalConfigurationGraph(protocol, reduction=brute)
         assert graph._quotient is None
         assert graph.stats.sym_fallbacks == 1
+        refine = ReductionPolicy(symmetry=True, symmetry_max_processes=2)
+        graph = GlobalConfigurationGraph(protocol, reduction=refine)
+        assert graph._quotient is not None
+        assert graph.stats.sym_fallbacks == 0

@@ -499,10 +499,14 @@ class TestReductionFlags:
         assert "cannot reduce" in err
         assert "Traceback" not in err
 
-    def test_attack_refuses_symmetry(self, capsys):
+    def test_attack_symmetry_on_undeclared_protocol_refused(self, capsys):
+        # The quotient itself refuses the asymmetric automata; the
+        # attack command no longer pre-refuses --symmetry, because
+        # witnesses un-quotient into concrete replayable schedules.
         assert main(["attack", "parity-arbiter", "--symmetry"]) == 2
         err = capsys.readouterr().err
-        assert "replayable schedules" in err
+        assert "cannot reduce" in err
+        assert "Traceback" not in err
 
     def test_attack_with_por_still_verifies(self, capsys):
         assert (
