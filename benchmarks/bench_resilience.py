@@ -50,6 +50,11 @@ SMOKE_CHECKPOINT = Path(__file__).resolve().parent.parent / (
 
 BENOR_BUDGET = 50_000
 
+#: Load must sustain at least this many nodes/s — a regression floor
+#: for the v2 checkpoint reader (measured ~10.7k/s on the reference
+#: box; the margin absorbs slow shared-CI runners).
+LOAD_NODES_PER_S_FLOOR = 5_000
+
 
 # ---------------------------------------------------------------------------
 # pytest-benchmark entry points (interactive measurement)
@@ -105,6 +110,12 @@ def collect_checkpoint_throughput(scratch: Path) -> dict:
     resumed = load_checkpoint(path, protocol)
     assert resumed.fingerprint() == graph.fingerprint(), (
         "loaded snapshot diverged from the live graph"
+    )
+    load_nodes_per_s = header["nodes"] / load_s
+    assert load_nodes_per_s >= LOAD_NODES_PER_S_FLOOR, (
+        f"checkpoint load throughput regressed: "
+        f"{load_nodes_per_s:.0f} nodes/s < floor "
+        f"{LOAD_NODES_PER_S_FLOOR} nodes/s"
     )
     return {
         "protocol": f"benor/3@{BENOR_BUDGET // 1000}k",

@@ -1,0 +1,163 @@
+"""Benchmarks of the exploration service, into ``BENCH_serve.json``.
+
+Two questions:
+
+1. What does the result cache buy?  The same check job cold (daemon
+   explores) vs repeated (served from the persistent cache).  The
+   artifact records both latencies and the speedup; the cache must be
+   at least ``CACHE_SPEEDUP_FLOOR``× faster — this is the PR's
+   acceptance gate, asserted here so a regression fails the bench run
+   rather than hiding in a JSON diff.
+2. What does the daemon sustain under fan-in?  ~200 concurrent
+   clients issuing synchronous ``/query`` calls for a cached result:
+   requests per second and p50/p99 latency, all against a *real*
+   daemon subprocess over real TCP.
+
+``--smoke`` shrinks the load (parity-arbiter, 20 clients) and skips
+the artifact write — a fast local sanity check.
+"""
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.serve.chaos import start_daemon, wait_for_endpoint
+from repro.serve.client import ServeClient
+
+from artifact import best_of, write_artifact
+
+#: Acceptance floor: a cache hit must beat the cold run by this factor.
+CACHE_SPEEDUP_FLOOR = 50.0
+
+COLD_SPEC = {"verb": "check", "protocol": "benor", "n": 3, "budget": 20_000}
+SMOKE_SPEC = {"verb": "check", "protocol": "parity-arbiter", "n": 3}
+
+CLIENTS = 200
+SMOKE_CLIENTS = 20
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def collect_cold_vs_cached(client, spec) -> dict:
+    started = time.perf_counter()
+    response = client.query(spec)
+    cold_s = time.perf_counter() - started
+    assert response.status == 200, response.body
+    assert response.headers["x-repro-cache"] == "accepted"
+    cold_body = response.body
+
+    def hit():
+        warm = client.query(spec)
+        assert warm.status == 200
+        assert warm.headers["x-repro-cache"] == "cached"
+        assert warm.body == cold_body, "cache hit diverged from cold bytes"
+
+    hit_s = best_of(hit, repeat=5)
+    speedup = cold_s / hit_s
+    assert speedup >= CACHE_SPEEDUP_FLOOR, (
+        f"cache hit only {speedup:.1f}x faster than cold "
+        f"(floor {CACHE_SPEEDUP_FLOOR}x): cold={cold_s:.4f}s "
+        f"hit={hit_s:.4f}s"
+    )
+    payload = json.loads(cold_body)
+    return {
+        "spec": spec,
+        "result_nodes": payload["result"]["nodes"],
+        "cold_s": round(cold_s, 6),
+        "cache_hit_s": round(hit_s, 6),
+        "speedup": round(speedup, 1),
+        "speedup_floor": CACHE_SPEEDUP_FLOOR,
+    }
+
+
+def collect_concurrent_load(client, spec, clients: int) -> dict:
+    """*clients* threads, one synchronous cached /query each."""
+    latencies: list[float] = []
+
+    def one_query() -> float:
+        started = time.perf_counter()
+        response = client.query(spec)
+        elapsed = time.perf_counter() - started
+        assert response.status == 200, response.body
+        return elapsed
+
+    wall_started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        latencies = list(
+            pool.map(lambda _: one_query(), range(clients))
+        )
+    wall_s = time.perf_counter() - wall_started
+    return {
+        "concurrent_clients": clients,
+        "requests": len(latencies),
+        "wall_s": round(wall_s, 6),
+        "requests_per_s": round(len(latencies) / wall_s, 1),
+        "p50_s": round(statistics.median(latencies), 6),
+        "p99_s": round(_percentile(latencies, 0.99), 6),
+        "max_s": round(max(latencies), 6),
+    }
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    spec = SMOKE_SPEC if smoke else COLD_SPEC
+    clients = SMOKE_CLIENTS if smoke else CLIENTS
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as scratch:
+        daemon = start_daemon(
+            Path(scratch) / "spool",
+            checkpoint_every_s=1.0,
+            job_workers=2,
+        )
+        try:
+            probe = wait_for_endpoint(Path(scratch) / "spool", daemon)
+            client = ServeClient(probe.host, probe.port, timeout_s=300.0)
+            cache = collect_cold_vs_cached(client, spec)
+            load = collect_concurrent_load(client, spec, clients)
+            stats = client.stats()
+        finally:
+            daemon.terminate()
+            daemon.wait(30)
+
+    assert stats["counters"]["explorations_run"] == 1, (
+        "repeat queries must not re-explore"
+    )
+    sections = {
+        "cold_vs_cached": cache,
+        "concurrent_load": load,
+        "daemon_counters": {
+            key: value
+            for key, value in stats["counters"].items()
+            if value
+        },
+    }
+    print(
+        f"cold {cache['cold_s']}s vs cache hit {cache['cache_hit_s']}s "
+        f"({cache['speedup']}x, floor {CACHE_SPEEDUP_FLOOR}x)"
+    )
+    print(
+        f"{load['concurrent_clients']} concurrent clients: "
+        f"{load['requests_per_s']} req/s, "
+        f"p50 {load['p50_s']}s, p99 {load['p99_s']}s"
+    )
+    if smoke:
+        print("smoke ok (artifact not written)")
+        return 0
+    path = write_artifact(sections, name="serve")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,12 @@ Commands
     byte-identical to a clean run.
 ``experiments [ids...]``
     Alias for ``python -m repro.experiments``.
+``serve``
+    Run the exploration service: an HTTP daemon with a bounded job
+    queue, per-job deadlines, crash recovery from a spool directory,
+    and a persistent result cache.
+``query <verb> <protocol>``
+    Submit one job to a running daemon and wait for the result.
 
 The exploration-backed commands (``check``, ``attack``, ``map``) accept
 resilience flags: ``--checkpoint``/``--checkpoint-every`` snapshot the
@@ -410,6 +416,7 @@ def _cmd_chaos(args) -> int:
         workers=args.workers,
         scenarios=scenarios,
         max_configurations=args.max_configurations,
+        protocol_name=args.protocol,
     )
     print(format_table([outcome.as_row() for outcome in outcomes]))
     failed = [outcome for outcome in outcomes if not outcome.ok]
@@ -491,6 +498,79 @@ def _cmd_experiments(args) -> int:
     if args.full:
         argv.append("--full")
     return experiments_main(argv)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import logging
+
+    from repro.serve.server import ServeApp, ServeConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    app = ServeApp(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            spool=args.spool,
+            max_pending=args.max_pending,
+            job_workers=args.job_workers,
+            checkpoint_every_s=args.checkpoint_every,
+            drain_timeout_s=args.drain_timeout,
+        )
+    )
+    asyncio.run(app.run())
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient
+
+    spec: dict[str, object] = {"verb": args.verb, "protocol": args.protocol}
+    optional = {
+        "n": args.n,
+        "inputs": args.inputs,
+        "budget": args.budget,
+        "stages": args.stages,
+        "max_seconds": args.max_seconds,
+        "max_memory_mb": args.max_memory_mb,
+        "seeds": args.seeds,
+        "max_steps": args.max_steps,
+    }
+    spec.update(
+        {name: value for name, value in optional.items() if value is not None}
+    )
+    if args.por:
+        spec["por"] = True
+    if args.symmetry:
+        spec["symmetry"] = True
+    try:
+        if args.port is not None:
+            client = ServeClient(args.host, args.port, args.timeout)
+        else:
+            client = ServeClient.from_spool(args.spool, args.timeout)
+        response = client.query(spec)
+    except (ConnectionError, OSError, TimeoutError) as error:
+        print(f"cannot reach daemon: {error}", file=sys.stderr)
+        return 2
+    cache = response.headers.get("x-repro-cache", "?")
+    if response.status != 200:
+        print(
+            f"query failed ({response.status}): "
+            f"{response.body.decode(errors='replace')}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        print(json.dumps(json.loads(response.body), indent=2, sort_keys=True))
+    except ValueError:
+        sys.stdout.buffer.write(response.body + b"\n")
+    print(f"[{cache}]", file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -751,6 +831,95 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("ids", nargs="*")
     experiments.add_argument("--full", action="store_true")
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the exploration service: jobs over HTTP with admission "
+        "control, deadlines, crash recovery, and a result cache",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: pick a free port and record it "
+        "in <spool>/endpoint.json)",
+    )
+    serve.add_argument(
+        "--spool",
+        default=".repro-spool",
+        metavar="DIR",
+        help="crash-safe state directory: job records, checkpoints, "
+        "results, cache (default .repro-spool)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission limit on queued+running jobs; beyond it new "
+        "submissions get 429 (default 16)",
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent job executions (default 2)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="per-job engine checkpoint cadence (default 1.0)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max wait for running jobs to checkpoint on shutdown "
+        "(default 30)",
+    )
+
+    query = commands.add_parser(
+        "query",
+        help="submit one job to a running serve daemon and wait for "
+        "the result",
+    )
+    query.add_argument("verb", choices=("check", "attack", "map", "survive"))
+    query.add_argument("protocol", choices=registry.names())
+    query.add_argument("-n", type=int, default=None)
+    query.add_argument("--inputs", default=None, metavar="BITS")
+    query.add_argument("--budget", type=int, default=None, metavar="K")
+    query.add_argument("--stages", type=int, default=None, metavar="K")
+    query.add_argument("--max-seconds", type=float, default=None)
+    query.add_argument("--max-memory-mb", type=float, default=None)
+    query.add_argument("--seeds", type=int, default=None, metavar="K")
+    query.add_argument("--max-steps", type=int, default=None, metavar="N")
+    add_reduction_flags(query)
+    query.add_argument(
+        "--spool",
+        default=".repro-spool",
+        metavar="DIR",
+        help="find the daemon via <spool>/endpoint.json (default "
+        ".repro-spool)",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="connect directly instead of reading endpoint.json",
+    )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="client-side wait for the synchronous result (default 300)",
+    )
+
     return parser
 
 
@@ -764,6 +933,8 @@ _HANDLERS = {
     "verify": _cmd_verify,
     "survive": _cmd_survive,
     "experiments": _cmd_experiments,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

@@ -371,6 +371,9 @@ class GraphStats:
     pool_disabled: int = 0
     #: Budget-guard stops (wall-clock / memory ceilings).
     budget_stops: int = 0
+    #: Cooperative stops honored via :meth:`GlobalConfigurationGraph.
+    #: request_stop` (service drains, external deadlines).
+    stop_requests: int = 0
     #: Checkpoints written, wall time spent writing them, and the node
     #: count restored from a checkpoint at resume (0 = cold start).
     checkpoints_written: int = 0
@@ -486,6 +489,7 @@ class GraphStats:
             "serial_fallbacks": self.serial_fallbacks,
             "pool_disabled": self.pool_disabled,
             "budget_stops": self.budget_stops,
+            "stop_requests": self.stop_requests,
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_time_s": round(self.checkpoint_time, 6),
             "resumed_nodes": self.resumed_nodes,
@@ -693,6 +697,9 @@ class GlobalConfigurationGraph:
         #: :class:`~repro.core.resilience.PartialResult` of the most
         #: recent budget-guard stop or interrupt, ``None`` otherwise.
         self.last_partial: PartialResult | None = None
+        #: Reason string of a pending cooperative stop request (set from
+        #: any thread via :meth:`request_stop`), ``None`` otherwise.
+        self._stop_requested: str | None = None
         self._pool = None
         self._pool_failures = 0
         self._pool_disabled = False
@@ -961,6 +968,32 @@ class GlobalConfigurationGraph:
 
     # -- growth ------------------------------------------------------------------
 
+    def request_stop(self, reason: str = "interrupt") -> None:
+        """Ask the engine to stop growing at its next consistency point.
+
+        Safe to call from any thread (the flag is read at BFS-level /
+        check-interval boundaries, where every node is fully merged).
+        The engine reacts exactly like a budget-guard stop: it writes a
+        final checkpoint, records an honest
+        :class:`~repro.core.resilience.PartialResult` carrying *reason*,
+        and returns an incomplete :class:`GrowthResult` — no exception.
+        The request is *sticky*: later ``explore`` calls stop
+        immediately (zero new expansions) until :meth:`clear_stop` is
+        called, so a multi-root query drains as one unit.  This is the
+        graceful-degradation hook the ``repro serve`` daemon uses for
+        per-job wall-clock deadlines and shutdown drains.
+        """
+        self._stop_requested = reason
+
+    def clear_stop(self) -> None:
+        """Withdraw a pending :meth:`request_stop`."""
+        self._stop_requested = None
+
+    @property
+    def stop_requested(self) -> str | None:
+        """Reason of the pending cooperative stop, or ``None``."""
+        return self._stop_requested
+
     def explore(
         self,
         root: Configuration,
@@ -1046,6 +1079,17 @@ class GlobalConfigurationGraph:
         level = 0
 
         while frontier:
+            stop = self._stop_requested
+            if stop is not None:
+                # Cooperative stop (service drain / external deadline):
+                # every discovered node is fully merged here, so a final
+                # snapshot resumes byte-identically.  Checked *before*
+                # the batch so a sticky request halts later explore
+                # calls with zero new work.
+                self.stats.stop_requests += 1
+                self._record_stop(stop, guard)
+                complete = False
+                break
             batch = [node for node in frontier if not expanded[node]]
             if batch:
                 if not self._merge_expansions(
@@ -1384,6 +1428,12 @@ class GlobalConfigurationGraph:
         processed = 0
 
         while queue:
+            stop = self._stop_requested
+            if stop is not None:
+                self.stats.stop_requests += 1
+                self._record_stop(stop, guard)
+                complete = False
+                break
             node = queue.popleft()
             if self._expanded[node]:
                 for _event, target in self.successors[node]:
@@ -1462,6 +1512,16 @@ class GlobalConfigurationGraph:
         """
         config = self.checkpoint_config
         if config is None:
+            return
+        if (
+            force
+            and self.last_checkpoint is not None
+            and self.stats.expansions == self._expansions_at_checkpoint
+        ):
+            # Nothing expanded since the last snapshot: the file on disk
+            # is already this graph.  Skipping keeps sticky stop
+            # requests (which hit every explore call of a multi-root
+            # query) from rewriting a large snapshot once per root.
             return
         if not force:
             since = self.stats.expansions - self._expansions_at_checkpoint

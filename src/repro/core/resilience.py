@@ -223,7 +223,13 @@ class BudgetGuard:
 # ---------------------------------------------------------------------------
 
 #: Scenario names accepted by :func:`run_chaos_suite`.
-CHAOS_SCENARIOS = ("worker-kill", "worker-hang", "batch-timeout", "interrupt-resume")
+CHAOS_SCENARIOS = (
+    "worker-kill",
+    "worker-hang",
+    "batch-timeout",
+    "interrupt-resume",
+    "server-kill",
+)
 
 
 @dataclass
@@ -263,6 +269,7 @@ def run_chaos_suite(
     max_configurations: int = 200_000,
     work_dir: str | None = None,
     interrupt_levels: tuple[int, ...] | None = None,
+    protocol_name: str | None = None,
 ) -> list[ChaosOutcome]:
     """Inject faults into real explorations and verify full recovery.
 
@@ -283,6 +290,13 @@ def run_chaos_suite(
         ``KeyboardInterrupt`` at chosen BFS levels with per-level
         checkpoints; a fresh engine resumes from the snapshot and must
         finish with the clean fingerprint.
+    ``server-kill``
+        SIGKILL a real ``repro serve`` daemon subprocess mid-job; the
+        restarted daemon must resume the job from its spool checkpoint
+        and answer with the cold run's result (see
+        :func:`repro.serve.chaos.run_server_kill`).  Needs
+        ``protocol_name`` (the daemon takes a registry name over the
+        wire); skipped with a note when it is not given.
 
     Worker scenarios require ``workers > 1``; they are skipped (reported
     as recovered, with a note) when ``workers <= 1``.
@@ -347,6 +361,29 @@ def run_chaos_suite(
                     f"unknown chaos scenario {scenario!r}; "
                     f"pick from {CHAOS_SCENARIOS}"
                 )
+            if scenario == "server-kill":
+                if protocol_name is None:
+                    outcomes.append(
+                        ChaosOutcome(
+                            scenario=scenario,
+                            recovered=True,
+                            fingerprint_match=True,
+                            detail="skipped: needs protocol_name (the "
+                            "daemon takes a registry name)",
+                        )
+                    )
+                else:
+                    from repro.serve.chaos import run_server_kill
+
+                    outcomes.append(
+                        run_server_kill(
+                            protocol_name,
+                            n=len(protocol.process_names),
+                            budget=max_configurations,
+                            work_dir=work_dir,
+                        )
+                    )
+                continue
             if scenario in ("worker-kill", "worker-hang", "batch-timeout"):
                 if workers <= 1:
                     outcomes.append(

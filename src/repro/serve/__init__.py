@@ -1,0 +1,48 @@
+"""``repro serve`` — exploration as a crash-recoverable service.
+
+The CLI verbs (``check`` / ``attack`` / ``map`` / ``survive``) become
+*jobs* submitted over a minimal HTTP/1.1 interface served straight from
+``asyncio.start_server`` — no ``http.server``, no third-party web
+stack.  The subsystem is headlined by robustness rather than features:
+
+* **Admission control** — a bounded pending set; submissions beyond it
+  are refused with ``429`` + ``Retry-After`` instead of queueing
+  without bound (:mod:`repro.serve.jobs`).
+* **Deadlines that degrade, not fail** — per-job wall-clock and memory
+  ceilings stop the engine at a consistency point and return an honest
+  partial result plus a final checkpoint, via the engine's cooperative
+  :meth:`~repro.core.exploration.GlobalConfigurationGraph.request_stop`
+  hook and the PR-3 budget guards.
+* **Crash recovery** — every job persists its spec and state under a
+  spool directory and checkpoints its engine there; a restarted daemon
+  requeues interrupted jobs and resumes them fingerprint-identically
+  (:mod:`repro.serve.spool`, exercised by the ``server-kill`` chaos
+  scenario).
+* **Result cache with single-flight** — completed results are cached on
+  disk keyed by the same protocol-identity + reduction stamp the
+  checkpoint layer verifies, and concurrent identical submissions share
+  one exploration (:mod:`repro.serve.cache`, :mod:`repro.serve.jobs`).
+* **Graceful shutdown** — SIGTERM/SIGINT flips ``/readyz`` to 503,
+  drains running jobs to checkpoints, and leaves the spool resumable.
+
+Entry points: ``python -m repro serve`` (daemon) and ``python -m repro
+query`` (thin client).  See ``docs/MODEL.md`` § The exploration
+service.
+"""
+
+from repro.serve.jobs import AdmissionError, JobManager
+from repro.serve.server import ServeApp, ServeConfig
+from repro.serve.spool import Spool
+from repro.serve.wire import JobRecord, JobSpec, WireError, cache_key
+
+__all__ = [
+    "AdmissionError",
+    "JobManager",
+    "JobRecord",
+    "JobSpec",
+    "ServeApp",
+    "ServeConfig",
+    "Spool",
+    "WireError",
+    "cache_key",
+]

@@ -1,0 +1,49 @@
+"""Persistent completed-result cache.
+
+One file per :func:`repro.serve.wire.cache_key`, holding the *exact
+bytes* of the result payload.  Serving stored bytes (rather than
+re-serializing a parsed object) is what makes a cache hit — and every
+follower of a single-flight group — byte-identical to the first
+response, which the single-flight tests pin.
+
+Only *complete* results are stored: a deadline-truncated partial answer
+is honest for the client that hit the deadline, but it must never be
+served to a later client with more patience (the job manager enforces
+this before calling :meth:`ResultCache.put`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.serve.spool import atomic_write_bytes
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Directory-backed bytes cache with atomic writes."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache key must be a hex digest, got {key!r}")
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        atomic_write_bytes(self._path(key), payload)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,120 @@
+"""Tiny blocking HTTP client for the exploration daemon.
+
+Raw sockets, no dependencies — the same wire discipline the server
+hand-rolls, from the other end.  Used by ``repro query``, the serve
+tests, the chaos harness, and the benchmark's concurrent clients.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.wire import canonical_json
+
+__all__ = ["HttpResponse", "ServeClient", "http_request"]
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        return json.loads(self.body)
+
+
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    timeout_s: float = 60.0,
+) -> HttpResponse:
+    """One request/response round trip on a fresh connection."""
+    payload = body or b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(head + payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    header_blob, _, rest = raw.partition(b"\r\n\r\n")
+    lines = header_blob.decode("latin-1").split("\r\n")
+    if not lines or len(lines[0].split(" ", 2)) < 2:
+        raise ConnectionError(f"malformed response from {host}:{port}")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", len(rest)))
+    return HttpResponse(status=status, headers=headers, body=rest[:length])
+
+
+class ServeClient:
+    """Convenience wrapper bound to one daemon endpoint."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def from_spool(
+        cls, spool: str | Path, timeout_s: float = 120.0
+    ) -> "ServeClient":
+        """Connect via the endpoint.json the daemon wrote at startup."""
+        endpoint_path = Path(spool) / "endpoint.json"
+        try:
+            endpoint = json.loads(endpoint_path.read_bytes())
+        except (OSError, ValueError) as error:
+            raise ConnectionError(
+                f"no daemon endpoint at {endpoint_path}: {error}"
+            ) from None
+        return cls(str(endpoint["host"]), int(endpoint["port"]), timeout_s)
+
+    def _request(
+        self, method: str, path: str, payload: object | None = None
+    ) -> HttpResponse:
+        body = canonical_json(payload) if payload is not None else None
+        return http_request(
+            self.host, self.port, method, path, body, self.timeout_s
+        )
+
+    def healthz(self) -> HttpResponse:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> HttpResponse:
+        return self._request("GET", "/readyz")
+
+    def stats(self) -> dict[str, object]:
+        return self._request("GET", "/stats").json()
+
+    def submit(self, spec: dict[str, object]) -> HttpResponse:
+        return self._request("POST", "/jobs", spec)
+
+    def job(self, job_id: str) -> HttpResponse:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, object]]:
+        return self._request("GET", "/jobs").json()["jobs"]
+
+    def result(self, job_id: str) -> HttpResponse:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def query(self, spec: dict[str, object]) -> HttpResponse:
+        return self._request("POST", "/query", spec)

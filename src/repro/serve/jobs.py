@@ -1,0 +1,373 @@
+"""Job queue, admission control, single-flight, and recovery.
+
+The :class:`JobManager` owns every job the daemon knows about.  Its
+robustness contract:
+
+* **Bounded admission** — at most ``max_pending`` jobs may be queued or
+  running; a submission beyond that raises :class:`AdmissionError`
+  (the server answers 429 + ``Retry-After``) instead of growing an
+  unbounded queue that dies by OOM under load.
+* **Single-flight** — a submission whose cache key matches a queued or
+  running job *joins* that job instead of spawning a second identical
+  exploration; a submission whose key is already cached is answered
+  from the cache without any job at all.
+* **Deadline watchdog** — ``spec.max_seconds`` arms a timer on the
+  event loop that asks the running engine to stop gracefully; the job
+  then completes *with* a partial result and a final checkpoint rather
+  than failing (see :mod:`repro.serve.runner`).
+* **Retry with backoff** — a job that raises is retried up to
+  ``max_retries`` times with exponential backoff (the PR-3 dispatch
+  policy, applied at the job level), then marked ``failed`` with the
+  error preserved.
+* **Drain** — :meth:`drain` stops accepting, asks every running engine
+  to checkpoint and stop, and requeues the jobs in the spool so the
+  next daemon resumes them.
+* **Recovery** — :meth:`recover` (run at startup) requeues every
+  ``queued``/``running`` record found in the spool; their engines
+  resume from the per-job checkpoint byte-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import logging
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.cache import ResultCache
+from repro.serve.runner import JobHandle, JobSuspended, execute_job
+from repro.serve.spool import Spool
+from repro.serve.wire import JobRecord, JobSpec, cache_key, canonical_json
+
+__all__ = ["AdmissionError", "JobManager"]
+
+logger = logging.getLogger(__name__)
+
+
+class AdmissionError(Exception):
+    """The pending set is full; try again after ``retry_after_s``."""
+
+    def __init__(self, pending: int, limit: int, retry_after_s: float = 1.0):
+        super().__init__(
+            f"job queue full ({pending}/{limit} pending); retry later"
+        )
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+
+def _new_job_id() -> str:
+    stamp = time.strftime("%Y%m%d%H%M%S", time.gmtime())
+    return f"j{stamp}-{os.urandom(4).hex()}"
+
+
+class JobManager:
+    """All job state of one daemon instance (event-loop confined)."""
+
+    def __init__(
+        self,
+        spool: Spool,
+        *,
+        max_pending: int = 16,
+        job_workers: int = 2,
+        checkpoint_every_s: float = 1.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+    ):
+        self.spool = spool
+        self.cache = ResultCache(spool.cache_dir)
+        self.max_pending = max_pending
+        self.job_workers = max(1, job_workers)
+        self.checkpoint_every_s = checkpoint_every_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.draining = False
+        self.counters: dict[str, int] = {
+            "accepted": 0,
+            "rejected": 0,
+            "cache_hits": 0,
+            "singleflight_joins": 0,
+            "explorations_run": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "jobs_suspended": 0,
+            "job_retries": 0,
+            "jobs_recovered": 0,
+            "partial_results": 0,
+            "deadline_stops": 0,
+        }
+        self._records: dict[str, JobRecord] = {}
+        self._results: dict[str, bytes] = {}
+        self._done_events: dict[str, asyncio.Event] = {}
+        #: cache key → id of the queued/running job computing it.
+        self._inflight: dict[str, str] = {}
+        #: Jobs currently queued or running (admission accounting).
+        self._pending: set[str] = set()
+        self._handles: dict[str, JobHandle] = {}
+        self._queue: asyncio.Queue[str] = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.job_workers, thread_name_prefix="repro-job"
+        )
+        self._worker_tasks: list[asyncio.Task] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        self.recover()
+        loop = asyncio.get_running_loop()
+        self._worker_tasks = [
+            loop.create_task(self._worker(), name=f"repro-serve-worker-{i}")
+            for i in range(self.job_workers)
+        ]
+
+    def recover(self) -> None:
+        """Requeue every interrupted job found in the spool."""
+        for record in self.spool.load_records():
+            self._records[record.id] = record
+            event = asyncio.Event()
+            self._done_events[record.id] = event
+            if record.state in ("queued", "running"):
+                if record.state == "running":
+                    # The previous daemon died mid-job; its checkpoint
+                    # (if any was written) makes the re-run a resume.
+                    record.resumes += 1
+                    record.state = "queued"
+                self.spool.persist_record(record)
+                self._pending.add(record.id)
+                self._inflight.setdefault(record.key, record.id)
+                self._queue.put_nowait(record.id)
+                self.counters["jobs_recovered"] += 1
+                logger.info(
+                    "recovered job %s (%s %s, resume #%d)",
+                    record.id,
+                    record.spec.verb,
+                    record.spec.protocol,
+                    record.resumes,
+                )
+            elif record.state == "done":
+                payload = self.spool.read_result(record.id)
+                if payload is None:
+                    record.state = "failed"
+                    record.error = "result file lost"
+                    self.spool.persist_record(record)
+                else:
+                    self._results[record.id] = payload
+                event.set()
+            else:  # failed
+                event.set()
+
+    async def drain(self, timeout_s: float = 30.0) -> None:
+        """Stop accepting, checkpoint running jobs, requeue them."""
+        self.draining = True
+        for handle in list(self._handles.values()):
+            handle.request_stop("drain")
+        deadline = time.monotonic() + timeout_s
+        while self._handles and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> tuple[str, JobRecord]:
+        """Admit *spec*; returns ``(kind, record)``.
+
+        ``kind`` is ``"cached"`` (answered from the persistent cache,
+        in-memory record only), ``"joined"`` (an identical job is
+        already in flight; its record is shared), or ``"accepted"``
+        (a fresh job was queued).  Raises :class:`AdmissionError` when
+        the pending set is full — cache hits and joins are exempt, they
+        cost no exploration.
+        """
+        key = cache_key(spec)
+        payload = self.cache.get(key)
+        if payload is not None:
+            self.counters["cache_hits"] += 1
+            now = time.time()
+            record = JobRecord(
+                id=_new_job_id(),
+                spec=spec,
+                key=key,
+                state="done",
+                submitted_unix=now,
+                started_unix=now,
+                finished_unix=now,
+            )
+            # In-memory only: the answer already lives in the cache
+            # file, so persisting one spool dir per repeat query would
+            # be pure churn.
+            self._records[record.id] = record
+            self._results[record.id] = payload
+            event = asyncio.Event()
+            event.set()
+            self._done_events[record.id] = event
+            return "cached", record
+        leader_id = self._inflight.get(key)
+        if leader_id is not None:
+            leader = self._records.get(leader_id)
+            if leader is not None and leader.state in ("queued", "running"):
+                self.counters["singleflight_joins"] += 1
+                return "joined", leader
+            self._inflight.pop(key, None)
+        if self.draining:
+            raise AdmissionError(len(self._pending), self.max_pending)
+        if len(self._pending) >= self.max_pending:
+            self.counters["rejected"] += 1
+            raise AdmissionError(len(self._pending), self.max_pending)
+        record = JobRecord(
+            id=_new_job_id(),
+            spec=spec,
+            key=key,
+            state="queued",
+            submitted_unix=time.time(),
+        )
+        self._records[record.id] = record
+        self._done_events[record.id] = asyncio.Event()
+        self._inflight[key] = record.id
+        self._pending.add(record.id)
+        self.spool.persist_record(record)
+        self._queue.put_nowait(record.id)
+        self.counters["accepted"] += 1
+        return "accepted", record
+
+    # -- queries -----------------------------------------------------------------
+
+    def record(self, job_id: str) -> JobRecord | None:
+        return self._records.get(job_id)
+
+    def records(self) -> list[JobRecord]:
+        return sorted(
+            self._records.values(),
+            key=lambda record: (record.submitted_unix, record.id),
+        )
+
+    def result_bytes(self, job_id: str) -> bytes | None:
+        payload = self._results.get(job_id)
+        if payload is not None:
+            return payload
+        return self.spool.read_result(job_id)
+
+    def checkpoint_exists(self, job_id: str) -> bool:
+        return self.spool.checkpoint_path(job_id).exists()
+
+    async def wait(self, job_id: str, timeout_s: float | None = None) -> JobRecord:
+        event = self._done_events[job_id]
+        await asyncio.wait_for(event.wait(), timeout_s)
+        return self._records[job_id]
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def running(self) -> int:
+        return len(self._handles)
+
+    # -- execution ---------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            if self.draining:
+                continue
+            record = self._records.get(job_id)
+            if record is None or record.state != "queued":
+                continue
+            await self._run(record)
+
+    async def _run(self, record: JobRecord) -> None:
+        loop = asyncio.get_running_loop()
+        record.state = "running"
+        record.started_unix = time.time()
+        self.spool.persist_record(record)
+        handle = JobHandle()
+        self._handles[record.id] = handle
+        timer = None
+        if record.spec.max_seconds is not None:
+            timer = loop.call_later(
+                record.spec.max_seconds, self._deadline, handle
+            )
+        self.counters["explorations_run"] += 1
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                functools.partial(
+                    execute_job,
+                    record.spec,
+                    checkpoint_path=str(
+                        self.spool.checkpoint_path(record.id)
+                    ),
+                    handle=handle,
+                    checkpoint_every_s=self.checkpoint_every_s,
+                ),
+            )
+        except JobSuspended:
+            record.state = "queued"
+            record.resumes += 1
+            self.counters["jobs_suspended"] += 1
+            self.spool.persist_record(record)
+            if not self.draining:
+                self._queue.put_nowait(record.id)
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            record.attempts += 1
+            if record.attempts <= self.max_retries and not self.draining:
+                self.counters["job_retries"] += 1
+                record.state = "queued"
+                self.spool.persist_record(record)
+                backoff = self.backoff_base_s * (
+                    self.backoff_factor ** (record.attempts - 1)
+                )
+                logger.warning(
+                    "job %s failed (attempt %d/%d), retrying in %.2fs: %s",
+                    record.id,
+                    record.attempts,
+                    self.max_retries + 1,
+                    backoff,
+                    error,
+                )
+                await asyncio.sleep(backoff)
+                self._queue.put_nowait(record.id)
+            else:
+                record.state = "failed"
+                record.error = f"{type(error).__name__}: {error}"
+                record.finished_unix = time.time()
+                self.counters["jobs_failed"] += 1
+                logger.error("job %s failed permanently: %s", record.id, error)
+                self._finish(record)
+        else:
+            record.partial = result.get("partial")
+            payload = canonical_json(result)
+            self.spool.write_result(record.id, payload)
+            self._results[record.id] = payload
+            record.state = "done"
+            record.finished_unix = time.time()
+            self.counters["jobs_done"] += 1
+            if record.partial is None:
+                # Only complete answers enter the cache — a deadline-
+                # truncated partial must not masquerade as the result
+                # for a later, more patient client.
+                self.cache.put(record.key, payload)
+            else:
+                self.counters["partial_results"] += 1
+            self._finish(record)
+        finally:
+            if timer is not None:
+                timer.cancel()
+            self._handles.pop(record.id, None)
+
+    def _deadline(self, handle: JobHandle) -> None:
+        self.counters["deadline_stops"] += 1
+        handle.request_stop("deadline")
+
+    def _finish(self, record: JobRecord) -> None:
+        self.spool.persist_record(record)
+        self._pending.discard(record.id)
+        if self._inflight.get(record.key) == record.id:
+            self._inflight.pop(record.key, None)
+        self._done_events[record.id].set()

@@ -1,0 +1,375 @@
+"""The exploration daemon: minimal HTTP/1.1 over ``asyncio``.
+
+No web framework — requests are parsed by hand off the stream reader
+(request line, headers, ``Content-Length`` body) and every response
+closes the connection.  The surface is deliberately small:
+
+====================  ==========================================
+``GET  /healthz``     liveness (200 while the process runs)
+``GET  /readyz``      readiness (503 once draining)
+``POST /jobs``        submit a job spec; 202/200, 400, or 429
+``GET  /jobs``        list job records
+``GET  /jobs/<id>``   one record + whether a checkpoint exists
+``GET  /jobs/<id>/result``  the exact result bytes (404 until done)
+``POST /query``       submit and wait: the synchronous convenience
+``GET  /stats``       counters, queue depth, cache size
+====================  ==========================================
+
+Robustness behaviours live in :mod:`repro.serve.jobs`; this module
+only maps them onto status codes: :class:`AdmissionError` → 429 with
+``Retry-After``, :class:`WireError` → 400, draining → 503 on
+``/readyz`` and new submissions.
+
+On SIGTERM/SIGINT the daemon drains: running jobs checkpoint and
+requeue, the spool keeps them, and the next daemon started on the same
+spool resumes them — the same path a SIGKILL exercises, minus the
+courtesy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import signal
+from dataclasses import dataclass
+
+from repro.serve.jobs import AdmissionError, JobManager
+from repro.serve.spool import Spool
+from repro.serve.wire import JobRecord, JobSpec, WireError, canonical_json
+
+__all__ = ["ServeApp", "ServeConfig"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_HEADER_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 1 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon knobs; the CLI maps its flags straight onto these."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; written to endpoint.json
+    spool: str = ".repro-spool"
+    max_pending: int = 16
+    job_workers: int = 2
+    checkpoint_every_s: float = 1.0
+    drain_timeout_s: float = 30.0
+    #: How long ``POST /query`` waits before answering 504.
+    query_timeout_s: float = 300.0
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _record_view(record: JobRecord, manager: JobManager) -> dict[str, object]:
+    view = record.to_dict()
+    view["has_checkpoint"] = manager.checkpoint_exists(record.id)
+    return view
+
+
+class ServeApp:
+    """One daemon instance: spool + job manager + TCP listener."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.spool = Spool(config.spool)
+        self.manager = JobManager(
+            self.spool,
+            max_pending=config.max_pending,
+            job_workers=config.job_workers,
+            checkpoint_every_s=config.checkpoint_every_s,
+        )
+        self._server: asyncio.Server | None = None
+        self._stop = asyncio.Event()
+        self.port: int | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.spool.write_endpoint(self.config.host, self.port, os.getpid())
+        logger.info(
+            "repro serve listening on %s:%d (spool %s, %d recovered jobs)",
+            self.config.host,
+            self.port,
+            self.spool.root,
+            self.manager.counters["jobs_recovered"],
+        )
+
+    async def shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.manager.drain(self.config.drain_timeout_s)
+        logger.info(
+            "repro serve drained (%d jobs suspended to spool)",
+            self.manager.counters["jobs_suspended"],
+        )
+
+    def request_shutdown(self) -> None:
+        self._stop.set()
+
+    async def run(self) -> None:
+        """start → wait for SIGTERM/SIGINT (or request_shutdown) → drain."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self._stop.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (tests run the daemon in one) or
+                # a platform without signal support; shutdown then comes
+                # from request_shutdown().
+                pass
+        try:
+            await self._stop.wait()
+        finally:
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+            await self.shutdown()
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, headers, body = await self._respond(reader)
+        except Exception:  # noqa: BLE001 - last-ditch; never kill the loop
+            logger.exception("unhandled error while serving a request")
+            status, headers, body = 500, {}, _error_body(
+                500, "internal server error"
+            )
+        try:
+            writer.write(_render_response(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, str], bytes]:
+        try:
+            method, path, body = await _read_request(reader)
+        except _HttpError as error:
+            return error.status, {}, _error_body(error.status, error.message)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return 400, {}, _error_body(400, "truncated request")
+        try:
+            return await self._route(method, path, body)
+        except _HttpError as error:
+            return error.status, {}, _error_body(error.status, error.message)
+        except WireError as error:
+            return 400, {}, _error_body(400, str(error))
+        except AdmissionError as error:
+            headers = {"Retry-After": f"{error.retry_after_s:g}"}
+            return 429, headers, _error_body(429, str(error))
+
+    # -- routing -----------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, str], bytes]:
+        if path == "/healthz":
+            _require_method(method, "GET")
+            return 200, {}, canonical_json({"ok": True, "pid": os.getpid()})
+        if path == "/readyz":
+            _require_method(method, "GET")
+            if self.manager.draining:
+                return 503, {}, _error_body(503, "draining")
+            return 200, {}, canonical_json({"ready": True})
+        if path == "/stats":
+            _require_method(method, "GET")
+            return 200, {}, canonical_json(self._stats())
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            _require_method(method, "GET")
+            views = [
+                _record_view(record, self.manager)
+                for record in self.manager.records()
+            ]
+            return 200, {}, canonical_json({"jobs": views})
+        if path == "/query":
+            _require_method(method, "POST")
+            return await self._query(body)
+        if path.startswith("/jobs/"):
+            _require_method(method, "GET")
+            rest = path[len("/jobs/"):]
+            if rest.endswith("/result"):
+                return self._result(rest[: -len("/result")])
+            return self._job(rest)
+        raise _HttpError(404, f"no route for {path}")
+
+    def _submit(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        spec = _parse_spec(body)
+        kind, record = self.manager.submit(spec)
+        status = 200 if kind in ("cached", "joined") else 202
+        payload = {
+            "job_id": record.id,
+            "state": record.state,
+            "kind": kind,
+            "cache_key": record.key,
+        }
+        return status, {"X-Repro-Cache": kind}, canonical_json(payload)
+
+    def _job(self, job_id: str) -> tuple[int, dict[str, str], bytes]:
+        record = self.manager.record(job_id)
+        if record is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return 200, {}, canonical_json(_record_view(record, self.manager))
+
+    def _result(self, job_id: str) -> tuple[int, dict[str, str], bytes]:
+        record = self.manager.record(job_id)
+        if record is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        if record.state == "failed":
+            return 500, {}, _error_body(
+                500, record.error or "job failed"
+            )
+        payload = self.manager.result_bytes(job_id)
+        if record.state != "done" or payload is None:
+            raise _HttpError(404, f"job {job_id} not finished ({record.state})")
+        headers = {"X-Repro-Job": record.id}
+        if record.partial is not None:
+            headers["X-Repro-Partial"] = record.partial.get(
+                "reason", "partial"
+            )
+        return 200, headers, payload
+
+    async def _query(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        """Submit and wait: one round trip from spec to result bytes."""
+        spec = _parse_spec(body)
+        kind, record = self.manager.submit(spec)
+        if kind != "cached":
+            try:
+                record = await self.manager.wait(
+                    record.id, self.config.query_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise _HttpError(
+                    504,
+                    f"job {record.id} still {record.state} after "
+                    f"{self.config.query_timeout_s:g}s; poll "
+                    f"/jobs/{record.id}/result",
+                ) from None
+        status, headers, payload = self._result(record.id)
+        headers["X-Repro-Cache"] = kind
+        return status, headers, payload
+
+    def _stats(self) -> dict[str, object]:
+        return {
+            "counters": dict(self.manager.counters),
+            "pending": self.manager.pending,
+            "running": self.manager.running,
+            "max_pending": self.manager.max_pending,
+            "job_workers": self.manager.job_workers,
+            "cache_entries": len(self.manager.cache),
+            "draining": self.manager.draining,
+            "pid": os.getpid(),
+        }
+
+
+# -- HTTP plumbing ---------------------------------------------------------------
+
+
+def _parse_spec(body: bytes) -> JobSpec:
+    if not body:
+        raise WireError("request body must be a JSON job spec")
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise WireError(f"request body is not valid JSON: {error}") from None
+    return JobSpec.from_dict(payload)
+
+
+def _require_method(method: str, expected: str) -> None:
+    if method != expected:
+        raise _HttpError(405, f"method {method} not allowed; use {expected}")
+
+
+def _error_body(status: int, message: str) -> bytes:
+    return canonical_json({"error": message, "status": status})
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request: (method, path, body)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "headers too large") from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _HttpError(413, "headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0]
+    content_length = 0
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+    if content_length > _MAX_BODY_BYTES:
+        raise _HttpError(413, "body too large")
+    body = b""
+    if content_length:
+        body = await reader.readexactly(content_length)
+    return method, path, body
+
+
+def _render_response(
+    status: int, headers: dict[str, str], body: bytes
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    out = [f"HTTP/1.1 {status} {reason}"]
+    base = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    base.update(headers)
+    out.extend(f"{name}: {value}" for name, value in base.items())
+    return ("\r\n".join(out) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,290 @@
+"""Wire schema of the exploration service.
+
+Everything that crosses the HTTP boundary or lands in the spool is
+defined here: :class:`JobSpec` (the validated request), :class:`JobRecord`
+(the persisted lifecycle state), and :func:`cache_key` (the content hash
+under which completed results are cached and deduplicated).
+
+Validation is strict — unknown fields, wrong types, and unknown
+protocols raise :class:`WireError`, which the server maps to a 400
+instead of letting a malformed job into the queue.  Serialization is
+canonical (sorted keys, fixed separators) so a record or result written
+by one daemon process reads back identically in the next — the same
+discipline the checkpoint headers use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+from repro import registry
+
+__all__ = [
+    "VERBS",
+    "JOB_STATES",
+    "WireError",
+    "JobSpec",
+    "JobRecord",
+    "cache_key",
+    "canonical_json",
+]
+
+#: Service verbs, mirroring the CLI commands they wrap.
+VERBS = ("check", "attack", "map", "survive")
+
+#: Lifecycle states of a job record.  ``queued`` and ``running`` are
+#: the recoverable states — a restarted daemon requeues both.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class WireError(ValueError):
+    """A malformed request or record; the server answers 400."""
+
+
+def canonical_json(payload: object) -> bytes:
+    """Stable serialization: sorted keys, fixed separators, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireError(message)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated job request.
+
+    ``budget`` caps the total configurations the job's engine may
+    intern (the honest-partial-answer contract of ``explore``);
+    ``max_seconds`` / ``max_memory_mb`` are *deadlines*: breaching one
+    degrades the job to a partial result plus a final checkpoint
+    instead of failing it.  Deadline fields never enter the cache key —
+    a deadline-truncated answer is not cached, so two queries differing
+    only in patience share one cached complete result.
+    """
+
+    verb: str
+    protocol: str
+    n: int | None = None
+    inputs: str | None = None
+    budget: int = 100_000
+    stages: int = 20
+    por: bool = False
+    symmetry: bool = False
+    max_seconds: float | None = None
+    max_memory_mb: float | None = None
+    seeds: int = 1
+    max_steps: int = 800
+
+    def __post_init__(self) -> None:
+        _require(self.verb in VERBS, f"verb must be one of {VERBS}, got "
+                 f"{self.verb!r}")
+        _require(
+            self.protocol in registry.names(),
+            f"unknown protocol {self.protocol!r}; pick from "
+            f"{registry.names()}",
+        )
+        _require(
+            self.n is None or (isinstance(self.n, int) and self.n >= 2),
+            "n must be an int >= 2",
+        )
+        _require(
+            isinstance(self.budget, int) and self.budget >= 1,
+            "budget must be a positive int",
+        )
+        _require(
+            isinstance(self.stages, int) and self.stages >= 1,
+            "stages must be a positive int",
+        )
+        _require(
+            isinstance(self.seeds, int) and self.seeds >= 1,
+            "seeds must be a positive int",
+        )
+        _require(
+            isinstance(self.max_steps, int) and self.max_steps >= 1,
+            "max_steps must be a positive int",
+        )
+        for name in ("max_seconds", "max_memory_mb"):
+            value = getattr(self, name)
+            _require(
+                value is None
+                or (isinstance(value, (int, float)) and value > 0),
+                f"{name} must be a positive number",
+            )
+        if self.inputs is not None:
+            _require(
+                isinstance(self.inputs, str)
+                and self.inputs != ""
+                and set(self.inputs) <= {"0", "1"},
+                "inputs must be a nonempty string of 0/1 bits",
+            )
+        entry = registry.info(self.protocol)
+        if self.verb == "attack":
+            _require(
+                entry.analyzable,
+                f"{self.protocol} has an unbounded state space; the "
+                "adversary needs exact valency analysis",
+            )
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "JobSpec":
+        """Strictly validated construction from decoded JSON."""
+        if not isinstance(payload, dict):
+            raise WireError("job spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise WireError(
+                f"unknown job fields: {sorted(unknown)}; "
+                f"accepted: {sorted(known)}"
+            )
+        if "verb" not in payload or "protocol" not in payload:
+            raise WireError("job spec needs at least 'verb' and 'protocol'")
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise WireError(str(error)) from None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "verb": self.verb,
+            "protocol": self.protocol,
+            "n": self.n,
+            "inputs": self.inputs,
+            "budget": self.budget,
+            "stages": self.stages,
+            "por": self.por,
+            "symmetry": self.symmetry,
+            "max_seconds": self.max_seconds,
+            "max_memory_mb": self.max_memory_mb,
+            "seeds": self.seeds,
+            "max_steps": self.max_steps,
+        }
+
+    @property
+    def resolved_n(self) -> int:
+        """The roster size after applying the registry default."""
+        entry = registry.info(self.protocol)
+        return self.n if self.n is not None else entry.default_n
+
+    def reduction_stamp(self) -> dict[str, object]:
+        """The reduction-policy identity, as the checkpoint header
+        records it (see ``checkpoint._reduction_stamp``)."""
+        if not (self.por or self.symmetry):
+            return {"por": False, "symmetry": False}
+        from repro.core.reduction import ReductionPolicy
+
+        return ReductionPolicy(
+            por=self.por, symmetry=self.symmetry
+        ).describe()
+
+    def canonical_params(self) -> dict[str, object]:
+        """The verb-relevant, deadline-free fields of this spec.
+
+        Specs that differ only in fields their verb ignores (or in
+        deadlines) must share a cache entry, so irrelevant fields are
+        dropped before hashing.
+        """
+        params: dict[str, object] = {
+            "verb": self.verb,
+            "n": self.resolved_n,
+            "budget": self.budget,
+        }
+        if self.verb == "map":
+            params["inputs"] = self.inputs
+        if self.verb == "attack":
+            params["stages"] = self.stages
+        if self.verb == "survive":
+            params["seeds"] = self.seeds
+            params["max_steps"] = self.max_steps
+        return params
+
+
+def cache_key(spec: JobSpec) -> str:
+    """Content hash under which *spec*'s completed result is cached.
+
+    Built from the same two identities the checkpoint layer verifies
+    before resuming a snapshot: the protocol identity (repr + process
+    names/types, via ``checkpoint._protocol_identity``) and the
+    reduction stamp — plus the verb and its canonical parameters.  Two
+    submissions with equal keys are the same computation, so they may
+    share one exploration (single-flight) and one cached result.
+    """
+    from repro.core.checkpoint import _protocol_identity
+
+    entry = registry.info(spec.protocol)
+    protocol = entry.build(spec.resolved_n)
+    identity = {
+        "identity": _protocol_identity(protocol),
+        "reduction": spec.reduction_stamp(),
+        "params": spec.canonical_params(),
+    }
+    return hashlib.sha256(canonical_json(identity)).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle state of one job, persisted in the spool on every
+    transition so a SIGKILLed daemon can pick the job back up."""
+
+    id: str
+    spec: JobSpec
+    key: str
+    state: str = "queued"
+    submitted_unix: float = 0.0
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    #: Failed executions so far (drives retry-with-backoff).
+    attempts: int = 0
+    #: Times the job was resumed after a drain or daemon crash.
+    resumes: int = 0
+    error: str | None = None
+    #: ``PartialResult.as_dict()`` when a deadline degraded the job.
+    partial: dict[str, object] | None = field(default=None)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "key": self.key,
+            "state": self.state,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "attempts": self.attempts,
+            "resumes": self.resumes,
+            "error": self.error,
+            "partial": self.partial,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "JobRecord":
+        if not isinstance(payload, dict):
+            raise WireError("job record must be a JSON object")
+        try:
+            spec = JobSpec.from_dict(payload["spec"])
+            record = cls(
+                id=str(payload["id"]),
+                spec=spec,
+                key=str(payload["key"]),
+                state=str(payload["state"]),
+                submitted_unix=float(payload["submitted_unix"]),
+                attempts=int(payload.get("attempts", 0)),
+                resumes=int(payload.get("resumes", 0)),
+            )
+        except KeyError as error:
+            raise WireError(f"job record missing field {error}") from None
+        record.started_unix = payload.get("started_unix")
+        record.finished_unix = payload.get("finished_unix")
+        record.error = payload.get("error")
+        record.partial = payload.get("partial")
+        _require(
+            record.state in JOB_STATES,
+            f"state must be one of {JOB_STATES}, got {record.state!r}",
+        )
+        return record

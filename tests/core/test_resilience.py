@@ -111,3 +111,48 @@ class TestGracefulStop:
         assert row["reason"] == "memory"
         assert row["frontier"] == 6
         assert "no checkpoint configured" in partial.summary()
+
+
+class TestRequestStop:
+    """Cooperative external stop: the serve daemon's drain/deadline hook."""
+
+    @pytest.mark.parametrize("packed", [True, False], ids=["packed", "dict"])
+    def test_pre_armed_stop_halts_immediately(self, protocol, packed):
+        graph = GlobalConfigurationGraph(protocol, packed=packed)
+        graph.request_stop("drain")
+        result = graph.explore(_root(protocol), max_configurations=100_000)
+        assert not result.complete
+        assert graph.stats.stop_requests == 1
+        assert graph.last_partial.reason == "drain"
+
+    def test_stop_is_sticky_until_cleared(self, protocol):
+        graph = GlobalConfigurationGraph(protocol)
+        graph.request_stop("deadline")
+        graph.explore(_root(protocol), max_configurations=100_000)
+        nodes_after_stop = len(graph)
+        # Still armed: a second call must not make progress.
+        graph.explore(_root(protocol), max_configurations=100_000)
+        assert len(graph) == nodes_after_stop
+        assert graph.stats.stop_requests == 2
+        assert graph.stop_requested == "deadline"
+        graph.clear_stop()
+        result = graph.explore(_root(protocol), max_configurations=100_000)
+        assert result.complete
+
+    def test_stop_writes_final_checkpoint(self, protocol, tmp_path):
+        path = os.path.join(tmp_path, "stop.ckpt")
+        graph = GlobalConfigurationGraph(
+            protocol,
+            checkpoint=CheckpointConfig(path=path, every_seconds=3600.0),
+        )
+        graph.request_stop("drain")
+        graph.explore(_root(protocol), max_configurations=100_000)
+        assert os.path.exists(path)
+        resumed = load_checkpoint(path, protocol)
+        resumed.clear_stop()
+        result = resumed.explore(_root(protocol), max_configurations=100_000)
+        assert result.complete
+
+        clean = GlobalConfigurationGraph(protocol)
+        clean.explore(_root(protocol), max_configurations=100_000)
+        assert resumed.fingerprint() == clean.fingerprint()

@@ -1,0 +1,93 @@
+"""Shared fixture: an in-process serve daemon on a background thread.
+
+The daemon's event loop runs on its own thread (exactly how the chaos
+subprocess runs it, minus the process boundary), so tests drive it with
+the real blocking :class:`~repro.serve.client.ServeClient` over real
+TCP.  Shutdown goes through the drain path unless a test already
+stopped the daemon itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeApp, ServeConfig
+
+
+class InProcessDaemon:
+    """One ServeApp on a private event-loop thread."""
+
+    def __init__(self, spool, **overrides):
+        self.config = ServeConfig(spool=str(spool), port=0, **overrides)
+        self.app: ServeApp | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> "InProcessDaemon":
+        self._thread.start()
+        if not self._ready.wait(30.0):
+            raise TimeoutError("daemon thread did not become ready")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - surfaced to the test
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.app = ServeApp(self.config)
+        self.loop = asyncio.get_running_loop()
+        await self.app.start()
+        self._ready.set()
+        await self.app._stop.wait()
+        await self.app.shutdown()
+
+    @property
+    def port(self) -> int:
+        assert self.app is not None and self.app.port is not None
+        return self.app.port
+
+    @property
+    def client(self) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, timeout_s=120.0)
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        if self.loop is not None and self._thread.is_alive():
+            try:
+                self.loop.call_soon_threadsafe(self.app._stop.set)
+            except RuntimeError:
+                pass  # loop already closing; the join below settles it
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():
+            raise TimeoutError("daemon thread did not drain in time")
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """Factory fixture: ``daemon(**config_overrides) -> InProcessDaemon``.
+
+    Each call gets its own spool subdirectory unless ``spool=`` is
+    passed explicitly (restart-on-same-spool tests do that).
+    """
+    started: list[InProcessDaemon] = []
+
+    def factory(spool=None, **overrides) -> InProcessDaemon:
+        if spool is None:
+            spool = tmp_path / f"spool-{len(started)}"
+        server = InProcessDaemon(spool, **overrides)
+        started.append(server)
+        return server.start()
+
+    yield factory
+    for server in started:
+        server.stop()

@@ -1,0 +1,99 @@
+"""Single-flight dedup and the persistent result cache.
+
+The PR's contract: two concurrent identical submissions trigger exactly
+one exploration and the second response is byte-identical to the first;
+a later identical query is served from the cache (same bytes again),
+including by a *different* daemon process on the same spool.
+"""
+
+import json
+import threading
+import time
+
+
+def _query_bytes(client, spec, out, index):
+    response = client.query(spec)
+    out[index] = (response.status, response.headers, response.body)
+
+
+SPEC = {"verb": "check", "protocol": "benor", "n": 3, "budget": 15_000}
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_jobs_run_once(self, daemon):
+        client = daemon().client
+        results: dict[int, tuple] = {}
+        threads = [
+            threading.Thread(
+                target=_query_bytes, args=(client, SPEC, results, i)
+            )
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+            time.sleep(0.05)  # let the first submission take the lead
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert len(results) == 4
+
+        statuses = [results[i][0] for i in range(4)]
+        assert statuses == [200, 200, 200, 200]
+        bodies = [results[i][2] for i in range(4)]
+        # Exactly one exploration; every follower got the same bytes.
+        assert all(body == bodies[0] for body in bodies)
+        stats = client.stats()
+        assert stats["counters"]["explorations_run"] == 1
+        assert stats["counters"]["accepted"] == 1
+        joins = stats["counters"]["singleflight_joins"]
+        hits = stats["counters"]["cache_hits"]
+        # Late starters may land after completion (cache hit) instead
+        # of joining the flight; either way no second exploration.
+        assert joins + hits == 3
+
+    def test_repeat_query_is_cache_hit(self, daemon):
+        client = daemon().client
+        cold = client.query(SPEC)
+        assert cold.headers["x-repro-cache"] == "accepted"
+        warm = client.query(SPEC)
+        assert warm.headers["x-repro-cache"] == "cached"
+        assert warm.body == cold.body
+        assert client.stats()["counters"]["explorations_run"] == 1
+
+    def test_cache_survives_daemon_restart(self, daemon, tmp_path):
+        spool = tmp_path / "shared-spool"
+        first = daemon(spool=spool)
+        cold = first.client.query(SPEC)
+        assert cold.status == 200
+        first.stop()
+
+        second = daemon(spool=spool)
+        warm = second.client.query(SPEC)
+        assert warm.headers["x-repro-cache"] == "cached"
+        assert warm.body == cold.body
+        assert second.client.stats()["counters"]["explorations_run"] == 0
+
+    def test_deadline_variants_share_the_cached_answer(self, daemon):
+        client = daemon().client
+        cold = client.query(SPEC)
+        # Identical computation with a (generous) deadline attached:
+        # deadlines are not part of the cache key.
+        hurried = client.query({**SPEC, "max_seconds": 120})
+        assert hurried.headers["x-repro-cache"] == "cached"
+        assert hurried.body == cold.body
+
+    def test_distinct_specs_do_not_collide(self, daemon):
+        client = daemon().client
+        a = client.query(
+            {"verb": "check", "protocol": "parity-arbiter", "n": 3}
+        )
+        b = client.query(
+            {
+                "verb": "check",
+                "protocol": "parity-arbiter",
+                "n": 3,
+                "budget": 777,
+            }
+        )
+        assert a.headers["x-repro-cache"] == "accepted"
+        assert b.headers["x-repro-cache"] == "accepted"
+        assert json.loads(a.body)["budget"] != json.loads(b.body)["budget"]

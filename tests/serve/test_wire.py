@@ -1,0 +1,149 @@
+"""Wire schema: validation strictness and cache-key semantics."""
+
+import json
+
+import pytest
+
+from repro.serve.wire import (
+    JobRecord,
+    JobSpec,
+    WireError,
+    cache_key,
+    canonical_json,
+)
+
+
+class TestJobSpecValidation:
+    def test_minimal_spec(self):
+        spec = JobSpec(verb="check", protocol="parity-arbiter")
+        assert spec.resolved_n >= 2
+        assert spec.budget == 100_000
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(WireError, match="verb"):
+            JobSpec(verb="explode", protocol="parity-arbiter")
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(WireError, match="unknown protocol"):
+            JobSpec(verb="check", protocol="nonesuch")
+
+    def test_attack_requires_analyzable(self):
+        # benor's state space is unbounded; the adversary needs exact
+        # valency analysis, so the spec is rejected at the wire.
+        with pytest.raises(WireError, match="unbounded"):
+            JobSpec(verb="attack", protocol="benor")
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(WireError, match="inputs"):
+            JobSpec(verb="map", protocol="parity-arbiter", inputs="01x")
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(WireError, match="max_seconds"):
+            JobSpec(verb="check", protocol="parity-arbiter", max_seconds=0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(WireError, match="unknown job fields"):
+            JobSpec.from_dict(
+                {"verb": "check", "protocol": "parity-arbiter", "bogus": 1}
+            )
+
+    def test_from_dict_requires_verb_and_protocol(self):
+        with pytest.raises(WireError, match="verb"):
+            JobSpec.from_dict({"protocol": "parity-arbiter"})
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(WireError, match="JSON object"):
+            JobSpec.from_dict(["check"])
+
+    def test_roundtrip(self):
+        spec = JobSpec(
+            verb="map",
+            protocol="parity-arbiter",
+            n=3,
+            inputs="010",
+            budget=5_000,
+            por=True,
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        a = JobSpec(verb="check", protocol="parity-arbiter", n=3)
+        b = JobSpec(verb="check", protocol="parity-arbiter", n=3)
+        assert cache_key(a) == cache_key(b)
+
+    def test_deadlines_do_not_enter_the_key(self):
+        # Two queries differing only in patience are the same
+        # computation; they must share one cached complete result.
+        patient = JobSpec(verb="check", protocol="parity-arbiter", n=3)
+        hurried = JobSpec(
+            verb="check",
+            protocol="parity-arbiter",
+            n=3,
+            max_seconds=0.5,
+            max_memory_mb=64,
+        )
+        assert cache_key(patient) == cache_key(hurried)
+
+    def test_default_n_resolves_to_explicit_n(self):
+        from repro import registry
+
+        default_n = registry.info("parity-arbiter").default_n
+        implicit = JobSpec(verb="check", protocol="parity-arbiter")
+        explicit = JobSpec(
+            verb="check", protocol="parity-arbiter", n=default_n
+        )
+        assert cache_key(implicit) == cache_key(explicit)
+
+    def test_verb_irrelevant_fields_ignored(self):
+        # `stages` only matters to attack; check specs differing in it
+        # are the same computation.
+        a = JobSpec(verb="check", protocol="parity-arbiter", stages=5)
+        b = JobSpec(verb="check", protocol="parity-arbiter", stages=50)
+        assert cache_key(a) == cache_key(b)
+
+    def test_relevant_fields_split_the_key(self):
+        base = JobSpec(verb="check", protocol="parity-arbiter", n=3)
+        assert cache_key(base) != cache_key(
+            JobSpec(verb="check", protocol="parity-arbiter", n=3, budget=9)
+        )
+        assert cache_key(base) != cache_key(
+            JobSpec(verb="map", protocol="parity-arbiter", n=3)
+        )
+        assert cache_key(base) != cache_key(
+            JobSpec(verb="check", protocol="parity-arbiter", n=3, por=True)
+        )
+
+
+class TestJobRecord:
+    def test_roundtrip(self):
+        spec = JobSpec(verb="check", protocol="parity-arbiter", n=3)
+        record = JobRecord(
+            id="j1",
+            spec=spec,
+            key=cache_key(spec),
+            state="running",
+            submitted_unix=123.5,
+            attempts=1,
+            resumes=2,
+        )
+        record.partial = {"reason": "deadline", "nodes": 17}
+        restored = JobRecord.from_dict(
+            json.loads(canonical_json(record.to_dict()))
+        )
+        assert restored.id == record.id
+        assert restored.spec == spec
+        assert restored.state == "running"
+        assert restored.attempts == 1
+        assert restored.resumes == 2
+        assert restored.partial == {"reason": "deadline", "nodes": 17}
+
+    def test_bad_state_rejected(self):
+        spec = JobSpec(verb="check", protocol="parity-arbiter")
+        payload = JobRecord(
+            id="j1", spec=spec, key=cache_key(spec)
+        ).to_dict()
+        payload["state"] = "zombie"
+        with pytest.raises(WireError, match="state"):
+            JobRecord.from_dict(payload)
