@@ -1,0 +1,249 @@
+"""Benchmark + artifact for the Monte-Carlo resilience workbench.
+
+``BENCH_spectrum.json`` records the phase diagram of experiment E9 —
+the default grid's termination probabilities and rounds-to-decide with
+confidence intervals — plus the robustness claims the sweep runtime
+makes, each checked at emission time rather than merely measured:
+
+* **phase boundary** — Ben-Or decides in every sampled run for
+  ``f < n/2`` under the oblivious adversary and degrades under the
+  adaptive one; the rotating coordinator decides within ``f + 1``
+  rounds after a finite GST; the GST = ∞ deterministic cell never
+  terminates (FLP);
+* **resume identity** — a sweep assembled from a partial checkpoint
+  plus a resumed remainder fingerprints byte-identically to an
+  uninterrupted run;
+* **sweep-kill** — the subprocess SIGKILL harness recovers with a
+  matching fingerprint;
+* **parallel fan-out** — wall time serial vs 4 workers.  On a runner
+  with fewer cores than workers the timing is *skipped* with an honest
+  marker (oversubscription numbers are not data); the > 2x gate applies
+  only where the hardware can express it.
+
+Run directly to emit the artifact; ``--smoke`` checks the seconds-scale
+grid and writes nothing; ``--ci`` regenerates the artifact and fails
+the build on any violated claim.
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.spectrum.chaos import run_sweep_kill
+from repro.spectrum.montecarlo import (
+    SweepRunner,
+    check_phase_expectations,
+    default_grid,
+    smoke_grid,
+)
+
+from artifact import write_artifact
+
+#: Cells whose headline numbers the artifact calls out.
+_HEADLINES = (
+    ("benor/n5/f2 oblivious", "benor/n5/f2/oblivious"),
+    ("benor/n5/f2 adaptive", "benor/n5/f2/adaptive"),
+    ("benor/n5/f3 adaptive", "benor/n5/f3/adaptive"),
+    ("rotating gst=4 adaptive det=none",
+     "rotating/n5/f2/adaptive/p1/gst-4/det-none"),
+    ("rotating gst=inf adaptive det=none",
+     "rotating/n5/f2/adaptive/p1/gst-inf/det-none"),
+)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (interactive measurement)
+# ---------------------------------------------------------------------------
+
+
+def test_smoke_sweep(benchmark):
+    result = benchmark(lambda: SweepRunner(smoke_grid()).run())
+    assert result.complete
+    assert check_phase_expectations(result) == []
+
+
+def test_benor_cell(benchmark):
+    from repro.spectrum.montecarlo import SpectrumCell, run_cell
+
+    cell = SpectrumCell(
+        protocol="benor", n=3, f=1, grade="adaptive", samples=40, horizon=40
+    )
+    outcome = benchmark(lambda: run_cell(cell))
+    assert outcome.agreement_violations == 0
+
+
+# ---------------------------------------------------------------------------
+# Artifact sections
+# ---------------------------------------------------------------------------
+
+
+def collect_phase_diagram() -> dict:
+    """The default grid, serial, with the paper's expectations checked."""
+    started = time.perf_counter()
+    result = SweepRunner(default_grid()).run()
+    elapsed = time.perf_counter() - started
+    violations = check_phase_expectations(result)
+    headlines = {}
+    for label, prefix in _HEADLINES:
+        for key, outcome in result.outcomes.items():
+            if key.startswith(prefix):
+                headlines[label] = {
+                    "termination_rate": outcome.termination_rate,
+                    "termination_ci": [
+                        round(x, 4) for x in outcome.termination_ci
+                    ],
+                    "mean_rounds": outcome.mean_rounds,
+                    "max_post_gst": outcome.max_post_gst,
+                }
+    return {
+        "cells": result.total_cells,
+        "serial_s": round(elapsed, 3),
+        "fingerprint": result.fingerprint(),
+        "expectations_ok": not violations,
+        "violations": violations,
+        "headlines": headlines,
+        "diagram": result.to_dict()["cells"],
+    }
+
+
+def collect_resume_identity(tmp_dir: str) -> dict:
+    """Half a sweep checkpointed, the rest resumed: one fingerprint."""
+    grid = smoke_grid()
+    clean = SweepRunner(grid).run()
+    checkpoint = os.path.join(tmp_dir, "resume.ckpt")
+    SweepRunner(grid[: len(grid) // 2], checkpoint_path=checkpoint).run()
+    resumed = SweepRunner(grid, checkpoint_path=checkpoint).run()
+    return {
+        "resumed_cells": resumed.resumed_cells,
+        "clean_fingerprint": clean.fingerprint(),
+        "resumed_fingerprint": resumed.fingerprint(),
+        "match": resumed.fingerprint() == clean.fingerprint(),
+    }
+
+
+def collect_sweep_kill() -> dict:
+    """The real-SIGKILL harness, recorded rather than only tested."""
+    outcome = run_sweep_kill()
+    return {
+        "recovered": outcome.recovered,
+        "fingerprint_match": outcome.fingerprint_match,
+        **outcome.stats,
+    }
+
+
+def collect_parallel(workers: int = 4, force: bool = False) -> dict:
+    """Serial vs fan-out wall time on the default grid.
+
+    Skipped (honestly) when the machine has fewer cores than workers —
+    a 1-core container can only measure pool overhead, and recording
+    that as "speedup" would flatter nobody.
+    """
+    cpu_count = os.cpu_count() or 1
+    section: dict = {"cpu_count": cpu_count, "workers": workers}
+    if cpu_count < workers and not force:
+        section["skipped"] = "cpu_count < workers"
+        section["speedup"] = None
+        return section
+    grid = default_grid()
+    started = time.perf_counter()
+    serial = SweepRunner(grid).run()
+    section["serial_s"] = round(time.perf_counter() - started, 3)
+    started = time.perf_counter()
+    parallel = SweepRunner(grid, workers=workers).run()
+    section["parallel_s"] = round(time.perf_counter() - started, 3)
+    section["speedup"] = round(
+        section["serial_s"] / section["parallel_s"], 2
+    )
+    section["deterministic"] = (
+        parallel.fingerprint() == serial.fingerprint()
+    )
+    return section
+
+
+def _emit_artifact() -> tuple[Path, dict]:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        sections = {
+            "phase_diagram": collect_phase_diagram(),
+            "resume_identity": collect_resume_identity(tmp_dir),
+            "sweep_kill": collect_sweep_kill(),
+            "parallel": collect_parallel(),
+        }
+    assert sections["phase_diagram"]["expectations_ok"], sections[
+        "phase_diagram"
+    ]["violations"]
+    assert sections["resume_identity"]["match"], "resume diverged"
+    assert sections["sweep_kill"]["fingerprint_match"], "sweep-kill diverged"
+    path = write_artifact(sections, name="spectrum")
+    print(f"wrote {path}")
+    diagram = sections["phase_diagram"]
+    print(
+        f"phase diagram: {diagram['cells']} cells in "
+        f"{diagram['serial_s']}s, expectations_ok="
+        f"{diagram['expectations_ok']}"
+    )
+    for label, row in diagram["headlines"].items():
+        print(
+            f"  {label}: termination {row['termination_rate']:.3f} "
+            f"mean_rounds {row['mean_rounds']}"
+        )
+    parallel = sections["parallel"]
+    if parallel.get("skipped"):
+        print(f"parallel: skipped ({parallel['skipped']})")
+    else:
+        print(
+            f"parallel: {parallel['speedup']}x with "
+            f"{parallel['workers']} workers"
+        )
+    return path, sections
+
+
+def main(argv=None) -> int:
+    import tempfile
+
+    argv = sys.argv[1:] if argv is None else argv
+    if "--smoke" in argv:
+        # CI smoke: the seconds-scale grid plus resume identity; no
+        # artifact is written.
+        result = SweepRunner(smoke_grid()).run()
+        violations = check_phase_expectations(result)
+        assert result.complete and not violations, violations
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            identity = collect_resume_identity(tmp_dir)
+        assert identity["match"], "resume diverged"
+        print(
+            f"smoke ok: {result.total_cells} cells, "
+            f"fingerprint {result.fingerprint()[:16]}, "
+            f"resume match={identity['match']}"
+        )
+        return 0
+
+    if "--ci" in argv:
+        # CI gate: every recorded claim must hold; the parallel > 2x
+        # bar applies only where the hardware can express it.
+        path, sections = _emit_artifact()
+        parallel = sections["parallel"]
+        if parallel.get("skipped"):
+            print(
+                f"parallel gate skipped: cpu_count="
+                f"{parallel['cpu_count']} < {parallel['workers']}; "
+                "fan-out timing from this runner would be meaningless"
+            )
+        else:
+            assert parallel["deterministic"], "parallel sweep diverged"
+            assert parallel["speedup"] > 2.0, (
+                f"4-worker sweep speedup {parallel['speedup']}x <= 2x"
+            )
+        print(f"ci gate ok: {path}")
+        return 0
+
+    _emit_artifact()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

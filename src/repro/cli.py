@@ -491,6 +491,107 @@ def _cmd_survive(args) -> int:
     return 0
 
 
+def _cmd_spectrum(args) -> int:
+    import dataclasses
+    import json
+
+    from repro.spectrum import (
+        SweepRunner,
+        check_phase_expectations,
+        default_grid,
+        smoke_grid,
+    )
+
+    cells = smoke_grid() if args.preset == "smoke" else default_grid()
+    if args.samples is not None:
+        cells = [
+            dataclasses.replace(cell, samples=args.samples)
+            for cell in cells
+        ]
+    runner = SweepRunner(
+        cells,
+        base_seed=args.seed,
+        workers=max(1, args.workers),
+        checkpoint_path=args.checkpoint,
+        max_seconds=args.max_seconds,
+        max_memory_mb=args.max_memory_mb,
+        throttle_s=args.throttle_s,
+    )
+    try:
+        result = runner.run()
+    except KeyboardInterrupt:
+        runner.request_stop("interrupt")
+        print("interrupted", file=sys.stderr)
+        if args.checkpoint:
+            print(
+                f"resume with the same command; completed cells are in "
+                f"{args.checkpoint}",
+                file=sys.stderr,
+            )
+        return 130
+
+    rows = []
+    for key in sorted(result.outcomes):
+        outcome = result.outcomes[key]
+        cell = outcome.cell
+        low, high = outcome.termination_ci
+        rows.append(
+            {
+                "cell": (
+                    f"{cell.protocol}/n{cell.n}/f{cell.f} {cell.grade} "
+                    f"gst={'inf' if cell.gst is None else cell.gst} "
+                    f"det={cell.detector}"
+                ),
+                "samples": cell.samples,
+                "terminated": (
+                    f"{outcome.termination_rate:.3f} "
+                    f"[{low:.3f},{high:.3f}]"
+                ),
+                "rounds": (
+                    "-"
+                    if outcome.mean_rounds is None
+                    else f"{outcome.mean_rounds:.2f}"
+                ),
+                "post-GST": (
+                    "-"
+                    if outcome.max_post_gst is None
+                    else outcome.max_post_gst
+                ),
+                "violations": outcome.agreement_violations
+                + outcome.validity_violations,
+            }
+        )
+    print(format_table(rows))
+    print(
+        f"\n{len(result.outcomes)}/{result.total_cells} cells "
+        f"(resumed {result.resumed_cells}), seed={result.base_seed}"
+    )
+    print(f"fingerprint: {result.fingerprint()}")
+    if result.partial is not None:
+        print(result.partial.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    violations = check_phase_expectations(result)
+    if violations:
+        print(
+            "phase expectations FAILED:\n  " + "\n  ".join(violations),
+            file=sys.stderr,
+        )
+        if args.check:
+            return 1
+    elif args.check and not result.complete:
+        print(
+            "phase check requires a complete sweep; this one is partial",
+            file=sys.stderr,
+        )
+        return 1
+    else:
+        print("phase expectations hold on all completed cells")
+    return 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -540,6 +641,9 @@ def _cmd_query(args) -> int:
         "max_memory_mb": args.max_memory_mb,
         "seeds": args.seeds,
         "max_steps": args.max_steps,
+        "preset": args.preset,
+        "samples": args.samples,
+        "seed": args.seed,
     }
     spec.update(
         {name: value for name, value in optional.items() if value is not None}
@@ -553,7 +657,7 @@ def _cmd_query(args) -> int:
             client = ServeClient(args.host, args.port, args.timeout)
         else:
             client = ServeClient.from_spool(args.spool, args.timeout)
-        response = client.query(spec)
+        response = client.query(spec, retry=not args.no_retry)
     except (ConnectionError, OSError, TimeoutError) as error:
         print(f"cannot reach daemon: {error}", file=sys.stderr)
         return 2
@@ -825,6 +929,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_reduction_flags(survive)
 
+    spectrum = commands.add_parser(
+        "spectrum",
+        help="Monte-Carlo resilience sweep over (protocol, n, f, "
+        "adversary grade, GST, detector): termination probability and "
+        "rounds-to-decide with confidence intervals",
+    )
+    spectrum.add_argument(
+        "--preset",
+        choices=("smoke", "default"),
+        default="default",
+        help="grid preset: 'default' is the full phase diagram, "
+        "'smoke' a seconds-scale slice with the same headline cells",
+    )
+    spectrum.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="K",
+        help="override the per-cell sample count",
+    )
+    spectrum.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="base seed; every run is a pure function of "
+        "(seed, cell, sample index) (default 0)",
+    )
+    spectrum.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan cells out over N worker processes (default serial; "
+        "fingerprints are byte-identical either way)",
+    )
+    spectrum.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="checkpoint completed cells to PATH (atomic, per cell); "
+        "rerunning with the same grid and seed resumes from it",
+    )
+    spectrum.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the full sweep result (cells + fingerprint) as JSON",
+    )
+    spectrum.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the paper's phase-boundary expectations: exit 1 "
+        "on any violation or an incomplete sweep",
+    )
+    spectrum.add_argument("--max-seconds", type=float, default=None,
+                          metavar="S",
+                          help="wall-clock budget: stop at the next cell "
+                          "boundary with a partial result")
+    spectrum.add_argument("--max-memory-mb", type=float, default=None,
+                          metavar="MB",
+                          help="memory budget: stop at the next cell "
+                          "boundary once peak RSS exceeds it")
+    spectrum.add_argument(
+        "--throttle-s",
+        type=float,
+        default=0.0,
+        help=argparse.SUPPRESS,  # chaos-harness knob: sleep per cell
+    )
+
     experiments = commands.add_parser(
         "experiments", help="run the paper-reproduction experiments"
     )
@@ -887,8 +1059,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit one job to a running serve daemon and wait for "
         "the result",
     )
-    query.add_argument("verb", choices=("check", "attack", "map", "survive"))
-    query.add_argument("protocol", choices=registry.names())
+    query.add_argument(
+        "verb", choices=("check", "attack", "map", "survive", "spectrum")
+    )
+    query.add_argument(
+        "protocol",
+        choices=tuple(registry.names())
+        + tuple(
+            name
+            for name in ("all", "rotating")
+            if name not in registry.names()
+        ),
+        help="a registry protocol, or a family filter (all/benor/"
+        "rotating) for the spectrum verb",
+    )
     query.add_argument("-n", type=int, default=None)
     query.add_argument("--inputs", default=None, metavar="BITS")
     query.add_argument("--budget", type=int, default=None, metavar="K")
@@ -897,6 +1081,32 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-memory-mb", type=float, default=None)
     query.add_argument("--seeds", type=int, default=None, metavar="K")
     query.add_argument("--max-steps", type=int, default=None, metavar="N")
+    query.add_argument(
+        "--preset",
+        choices=("smoke", "default"),
+        default=None,
+        help="spectrum grid preset (spectrum verb only)",
+    )
+    query.add_argument(
+        "--samples",
+        type=int,
+        default=None,
+        metavar="K",
+        help="override Monte-Carlo samples per cell (spectrum verb only)",
+    )
+    query.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="sweep base seed (spectrum verb only)",
+    )
+    query.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail immediately on 429 instead of honoring Retry-After "
+        "with bounded jittered backoff",
+    )
     add_reduction_flags(query)
     query.add_argument(
         "--spool",
@@ -932,6 +1142,7 @@ _HANDLERS = {
     "chaos": _cmd_chaos,
     "verify": _cmd_verify,
     "survive": _cmd_survive,
+    "spectrum": _cmd_spectrum,
     "experiments": _cmd_experiments,
     "serve": _cmd_serve,
     "query": _cmd_query,

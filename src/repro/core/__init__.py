@@ -37,6 +37,7 @@ from repro.core.exploration import (
 )
 from repro.core.messages import Message, MessageBuffer
 from repro.core.packing import PackedCodec
+from repro.core.seeding import stable_rng, stable_seed
 from repro.core.process import Process, ProcessState, Transition
 from repro.core.protocol import Protocol
 from repro.core.reduction import (
@@ -89,6 +90,8 @@ __all__ = [
     "Message",
     "MessageBuffer",
     "PackedCodec",
+    "stable_rng",
+    "stable_seed",
     "Process",
     "ProcessState",
     "Transition",

@@ -229,6 +229,7 @@ CHAOS_SCENARIOS = (
     "batch-timeout",
     "interrupt-resume",
     "server-kill",
+    "sweep-kill",
 )
 
 
@@ -297,6 +298,12 @@ def run_chaos_suite(
         :func:`repro.serve.chaos.run_server_kill`).  Needs
         ``protocol_name`` (the daemon takes a registry name over the
         wire); skipped with a note when it is not given.
+    ``sweep-kill``
+        SIGKILL a ``repro spectrum`` Monte-Carlo sweep subprocess
+        mid-grid; the rerun must resume from the per-cell checkpoint
+        and finish with the clean run's aggregate fingerprint (see
+        :func:`repro.spectrum.chaos.run_sweep_kill`).  Protocol-
+        independent: it always runs on the smoke grid.
 
     Worker scenarios require ``workers > 1``; they are skipped (reported
     as recovered, with a note) when ``workers <= 1``.
@@ -361,6 +368,11 @@ def run_chaos_suite(
                     f"unknown chaos scenario {scenario!r}; "
                     f"pick from {CHAOS_SCENARIOS}"
                 )
+            if scenario == "sweep-kill":
+                from repro.spectrum.chaos import run_sweep_kill
+
+                outcomes.append(run_sweep_kill(work_dir=work_dir))
+                continue
             if scenario == "server-kill":
                 if protocol_name is None:
                     outcomes.append(

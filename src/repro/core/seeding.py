@@ -1,0 +1,67 @@
+"""Hash-salt-free seeding: deterministic RNGs from structured keys.
+
+Python's builtin ``hash()`` on strings is salted per-process by
+``PYTHONHASHSEED``, so any RNG keyed on ``hash(("seed", sender, ...))``
+produces different streams in different interpreter invocations — a
+reproducibility bug that already bit the schedulers (fixed there) and,
+until this module, lived on in :mod:`repro.synchrony`.
+
+:func:`stable_seed` derives a 64-bit integer from an arbitrary tuple of
+primitive parts via SHA-256 over a canonical, type-tagged encoding; the
+same parts give the same seed in every process, on every platform, under
+every ``PYTHONHASHSEED``.  :func:`stable_rng` wraps it into a
+``random.Random``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["stable_seed", "stable_rng"]
+
+_SeedPart = "int | str | bytes | float | bool | None | tuple"
+
+
+def _encode(part: object, out: list[bytes]) -> None:
+    # Type tags keep 1, "1", 1.0, and True from colliding.
+    if part is None:
+        out.append(b"N;")
+    elif isinstance(part, bool):
+        out.append(b"B1;" if part else b"B0;")
+    elif isinstance(part, int):
+        out.append(b"I" + str(part).encode("ascii") + b";")
+    elif isinstance(part, float):
+        out.append(b"F" + part.hex().encode("ascii") + b";")
+    elif isinstance(part, str):
+        data = part.encode("utf-8")
+        out.append(b"S" + str(len(data)).encode("ascii") + b":" + data + b";")
+    elif isinstance(part, bytes):
+        out.append(b"Y" + str(len(part)).encode("ascii") + b":" + part + b";")
+    elif isinstance(part, (tuple, list)):
+        out.append(b"T" + str(len(part)).encode("ascii") + b"[")
+        for item in part:
+            _encode(item, out)
+        out.append(b"];")
+    else:
+        raise TypeError(
+            f"stable_seed parts must be {_SeedPart}, got {type(part).__name__}"
+        )
+
+
+def stable_seed(*parts: object) -> int:
+    """A 64-bit seed that is a pure function of *parts*.
+
+    Parts may be ints, strs, bytes, floats, bools, ``None``, or
+    (nested) tuples/lists of those.  Unlike ``hash()``, the result does
+    not depend on ``PYTHONHASHSEED``, the platform, or the process.
+    """
+    out: list[bytes] = []
+    _encode(tuple(parts), out)
+    digest = hashlib.sha256(b"".join(out)).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def stable_rng(*parts: object) -> random.Random:
+    """A ``random.Random`` seeded with :func:`stable_seed` of *parts*."""
+    return random.Random(stable_seed(*parts))

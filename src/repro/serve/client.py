@@ -8,13 +8,27 @@ tests, the chaos harness, and the benchmark's concurrent clients.
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.serve.wire import canonical_json
 
-__all__ = ["HttpResponse", "ServeClient", "http_request"]
+__all__ = ["HttpResponse", "ServeClient", "http_request", "retry_after_s"]
+
+
+def retry_after_s(headers: dict[str, str]) -> float | None:
+    """Parse a ``Retry-After`` seconds value; ``None`` if absent/bad."""
+    raw = headers.get("retry-after")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
 
 
 @dataclass(frozen=True)
@@ -116,5 +130,39 @@ class ServeClient:
     def result(self, job_id: str) -> HttpResponse:
         return self._request("GET", f"/jobs/{job_id}/result")
 
-    def query(self, spec: dict[str, object]) -> HttpResponse:
-        return self._request("POST", "/query", spec)
+    def query(
+        self,
+        spec: dict[str, object],
+        *,
+        retry: bool = True,
+        max_retries: int = 4,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 8.0,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+    ) -> HttpResponse:
+        """POST the spec to ``/query``, riding out admission pushback.
+
+        A saturated daemon answers 429 with a ``Retry-After`` hint; the
+        client honors the hint (falling back to exponential backoff when
+        it is absent or malformed), jitters it so a herd of clients does
+        not re-collide, and gives up after ``max_retries`` re-attempts —
+        the final 429 is returned, never raised.  ``retry=False``
+        (``repro query --no-retry``) restores the old single-shot
+        behavior.  ``sleep``/``rng`` are injectable for tests.
+        """
+        rng = rng if rng is not None else random.Random()
+        attempt = 0
+        while True:
+            response = self._request("POST", "/query", spec)
+            if response.status != 429 or not retry or attempt >= max_retries:
+                return response
+            hinted = retry_after_s(response.headers)
+            delay = (
+                hinted
+                if hinted is not None
+                else backoff_base_s * (2.0 ** attempt)
+            )
+            delay = min(backoff_cap_s, delay) * (1.0 + 0.25 * rng.random())
+            sleep(delay)
+            attempt += 1

@@ -142,6 +142,13 @@ def execute_job(
     resumed node counts) and is excluded from determinism comparisons.
     """
     started = time.perf_counter()
+    if spec.verb == "spectrum":
+        return _run_spectrum(
+            spec,
+            started,
+            checkpoint_path=checkpoint_path,
+            handle=handle,
+        )
     entry = registry.info(spec.protocol)
     protocol = entry.build(spec.resolved_n)
     base = {
@@ -310,6 +317,72 @@ def _run_attack(
         "fairness": admissibility.summary(),
         "verified": certificate.verify(protocol),
         **_graph_block(analyzer),
+    }
+
+
+def _run_spectrum(
+    spec: JobSpec,
+    started: float,
+    *,
+    checkpoint_path: str | None,
+    handle: JobHandle | None,
+) -> dict[str, object]:
+    """Monte-Carlo sweep job: cell-granular checkpoints in the job's
+    spool slot, drain suspension at the next cell boundary, deadline
+    degradation to a partial covering the completed cells."""
+    import dataclasses
+
+    from repro.spectrum import (
+        SweepRunner,
+        check_phase_expectations,
+        default_grid,
+        smoke_grid,
+    )
+
+    cells = smoke_grid() if spec.preset == "smoke" else default_grid()
+    if spec.protocol != "all":
+        cells = [cell for cell in cells if cell.protocol == spec.protocol]
+    if spec.samples is not None:
+        cells = [
+            dataclasses.replace(cell, samples=spec.samples)
+            for cell in cells
+        ]
+    runner = SweepRunner(
+        cells,
+        base_seed=spec.seed,
+        checkpoint_path=checkpoint_path,
+        max_seconds=spec.max_seconds,
+        max_memory_mb=spec.max_memory_mb,
+    )
+    if handle is not None:
+        handle.attach(runner)
+    sweep = runner.run()
+    if sweep.partial is not None and sweep.partial.reason in SUSPEND_REASONS:
+        raise JobSuspended(sweep.partial.reason)
+    violations = check_phase_expectations(sweep)
+    return {
+        "verb": spec.verb,
+        "protocol": spec.protocol,
+        "preset": spec.preset,
+        "seed": spec.seed,
+        "result": {
+            "fingerprint": sweep.fingerprint(),
+            "total_cells": sweep.total_cells,
+            "completed_cells": len(sweep.outcomes),
+            "cells": {
+                key: outcome.to_dict()
+                for key, outcome in sorted(sweep.outcomes.items())
+            },
+            "phase_ok": not violations,
+            "phase_violations": violations,
+        },
+        "partial": (
+            None if sweep.partial is None else sweep.partial.as_dict()
+        ),
+        "meta": {
+            "elapsed_s": round(time.perf_counter() - started, 6),
+            "resumed_cells": sweep.resumed_cells,
+        },
     }
 
 

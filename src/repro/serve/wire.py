@@ -32,7 +32,14 @@ __all__ = [
 ]
 
 #: Service verbs, mirroring the CLI commands they wrap.
-VERBS = ("check", "attack", "map", "survive")
+VERBS = ("check", "attack", "map", "survive", "spectrum")
+
+#: ``spectrum`` jobs take a protocol *family* (or "all"), not a
+#: registry name — the grid spans families.
+SPECTRUM_PROTOCOLS = ("all", "benor", "rotating")
+
+#: Grid presets a ``spectrum`` job may request.
+SPECTRUM_PRESETS = ("smoke", "default")
 
 #: Lifecycle states of a job record.  ``queued`` and ``running`` are
 #: the recoverable states — a restarted daemon requeues both.
@@ -80,14 +87,38 @@ class JobSpec:
     max_memory_mb: float | None = None
     seeds: int = 1
     max_steps: int = 800
+    preset: str = "smoke"
+    samples: int | None = None
+    seed: int = 0
 
     def __post_init__(self) -> None:
         _require(self.verb in VERBS, f"verb must be one of {VERBS}, got "
                  f"{self.verb!r}")
+        if self.verb == "spectrum":
+            _require(
+                self.protocol in SPECTRUM_PROTOCOLS,
+                f"spectrum takes a protocol family from "
+                f"{SPECTRUM_PROTOCOLS}, got {self.protocol!r}",
+            )
+        else:
+            _require(
+                self.protocol in registry.names(),
+                f"unknown protocol {self.protocol!r}; pick from "
+                f"{registry.names()}",
+            )
         _require(
-            self.protocol in registry.names(),
-            f"unknown protocol {self.protocol!r}; pick from "
-            f"{registry.names()}",
+            self.preset in SPECTRUM_PRESETS,
+            f"preset must be one of {SPECTRUM_PRESETS}, "
+            f"got {self.preset!r}",
+        )
+        _require(
+            self.samples is None
+            or (isinstance(self.samples, int) and self.samples >= 1),
+            "samples must be a positive int",
+        )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            "seed must be an int",
         )
         _require(
             self.n is None or (isinstance(self.n, int) and self.n >= 2),
@@ -123,6 +154,8 @@ class JobSpec:
                 and set(self.inputs) <= {"0", "1"},
                 "inputs must be a nonempty string of 0/1 bits",
             )
+        if self.verb == "spectrum":
+            return
         entry = registry.info(self.protocol)
         if self.verb == "attack":
             _require(
@@ -164,11 +197,18 @@ class JobSpec:
             "max_memory_mb": self.max_memory_mb,
             "seeds": self.seeds,
             "max_steps": self.max_steps,
+            "preset": self.preset,
+            "samples": self.samples,
+            "seed": self.seed,
         }
 
     @property
     def resolved_n(self) -> int:
         """The roster size after applying the registry default."""
+        if self.verb == "spectrum":
+            # Grid cells carry their own rosters; there is no registry
+            # default to resolve against.
+            return self.n if self.n is not None else 0
         entry = registry.info(self.protocol)
         return self.n if self.n is not None else entry.default_n
 
@@ -190,6 +230,14 @@ class JobSpec:
         deadlines) must share a cache entry, so irrelevant fields are
         dropped before hashing.
         """
+        if self.verb == "spectrum":
+            return {
+                "verb": self.verb,
+                "protocol": self.protocol,
+                "preset": self.preset,
+                "samples": self.samples,
+                "seed": self.seed,
+            }
         params: dict[str, object] = {
             "verb": self.verb,
             "n": self.resolved_n,
@@ -215,6 +263,15 @@ def cache_key(spec: JobSpec) -> str:
     submissions with equal keys are the same computation, so they may
     share one exploration (single-flight) and one cached result.
     """
+    if spec.verb == "spectrum":
+        # Sweep results are a pure function of the canonical params —
+        # there is no engine-side protocol identity to stamp.
+        identity = {
+            "identity": {"kind": "spectrum-sweep"},
+            "params": spec.canonical_params(),
+        }
+        return hashlib.sha256(canonical_json(identity)).hexdigest()
+
     from repro.core.checkpoint import _protocol_identity
 
     entry = registry.info(spec.protocol)

@@ -1,0 +1,394 @@
+"""Graded message adversaries over the FaultPlan clause algebra.
+
+Aspnes' "Randomized Protocols for Asynchronous Consensus" orders
+adversaries by what they may *inspect* before choosing the schedule,
+and Gafni/Losa's "Time is not a Healer" shows that this information
+order — not clocks — is what moves the impossibility boundary.  The
+three grades here realize that hierarchy for the phased partial-
+synchrony executor:
+
+* :class:`ObliviousAdversary` — sees only envelope metadata (sender,
+  receiver, round, phase); drops are seeded coin flips.
+* :class:`ContentAwareAdversary` — additionally reads message
+  payloads and spends its loss budget on the most consequential ones
+  (decisions before proposals before reports).
+* :class:`AdaptiveAdversary` — full information: reads payloads *and*
+  process states, and picks the drops that best prevent any receiver
+  from assembling a decisive set — the adversary of the FLP proof
+  itself, which is why the GST = ∞ cell under this grade never
+  terminates.
+
+All three are driven by :class:`repro.faults.FaultPlan` omission and
+partition clauses, so Monte-Carlo sweeps, single-run injection, and
+exhaustive exploration share one fault vocabulary: budgets bound how
+many copies may be lost, probabilities gate each loss, and every drop
+is recorded in :class:`repro.faults.FaultCounters` plus a
+:class:`repro.faults.FaultAction` ledger for audit.
+
+A ``per_receiver_cap`` enforces the classic "waits for ``n - f``
+messages" envelope: no receiver loses more than the cap's worth of
+distinct senders in one phase, so a protocol that tolerates ``f``
+silent peers keeps its guarantees under any grade.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import AbstractSet, Hashable, Sequence
+
+from repro.core.messages import Message
+from repro.core.seeding import stable_rng, stable_seed
+from repro.faults.plan import FaultAction, FaultCounters, FaultPlan, Omission
+from repro.synchrony.partial import AdversaryView, Envelope, PhaseAdversary
+
+__all__ = [
+    "ADVERSARY_GRADES",
+    "GradedAdversary",
+    "ObliviousAdversary",
+    "ContentAwareAdversary",
+    "AdaptiveAdversary",
+    "make_adversary",
+]
+
+#: Grade names in increasing information order.
+ADVERSARY_GRADES = ("oblivious", "content", "adaptive")
+
+#: How damaging a payload kind is, for the inspecting grades.  Kinds are
+#: the first element of tuple payloads used by the phased protocols
+#: (rotating coordinator: est/prop/ack/decide; Ben-Or: R/P).
+_IMPORTANCE = {
+    "decide": 5,
+    "prop": 4,
+    "P": 3,
+    "est": 2,
+    "R": 2,
+    "ack": 1,
+}
+
+
+def _payload_kind(payload: Hashable) -> str:
+    if (
+        isinstance(payload, tuple)
+        and payload
+        and isinstance(payload[0], str)
+    ):
+        return payload[0]
+    return ""
+
+
+def _payload_value(payload: Hashable) -> Hashable:
+    """The consensus value a payload carries, or ``None``."""
+    if isinstance(payload, tuple) and len(payload) >= 2:
+        kind = _payload_kind(payload)
+        if kind in ("decide", "prop", "P", "est", "R"):
+            return payload[1]
+    return None
+
+
+class GradedAdversary(PhaseAdversary):
+    """Base class: clause bookkeeping shared by all grades.
+
+    Subclasses implement :meth:`_ranked`, which orders the phase's
+    envelopes by how much the grade *wants* to drop them (most wanted
+    first); the base class then walks that order spending omission
+    budgets, drawing per-clause probabilities, and honoring the
+    per-receiver cap.  Partition clauses (keyed on round number) force
+    drops outside any budget, mirroring the exploration engine's
+    partition-freeze semantics.
+    """
+
+    GRADE = "abstract"
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        *,
+        seed: int = 0,
+        per_receiver_cap: int | None = None,
+    ):
+        if plan is None:
+            plan = FaultPlan([Omission(budget=None, probability=1.0)])
+        if per_receiver_cap is not None and per_receiver_cap < 0:
+            raise ValueError(
+                f"per_receiver_cap must be >= 0, got {per_receiver_cap}"
+            )
+        self.plan = plan
+        self.seed = seed
+        self.per_receiver_cap = per_receiver_cap
+        self.counters = FaultCounters()
+        self.actions: list[FaultAction] = []
+        self._budgets: list[int | None] = []
+        self._run_seed = 0
+        self.begin_run(seed)
+
+    # -- PhaseAdversary ----------------------------------------------------
+
+    def begin_run(self, run_seed: int) -> None:
+        """Reset budgets, counters, and the audit ledger for a new run."""
+        self._run_seed = run_seed
+        self._budgets = [c.budget for c in self.plan.omissions]
+        self.counters = FaultCounters()
+        self.actions = []
+
+    def filter_phase(
+        self, envelopes: Sequence[Envelope], view: AdversaryView
+    ) -> AbstractSet[tuple[str, str]]:
+        dropped: set[tuple[str, str]] = set()
+        per_receiver: dict[str, int] = {}
+
+        # Partition clauses force drops, outside budgets and the cap:
+        # a severed link loses the copy no matter what the protocol
+        # tolerates — that is the point of a partition.
+        for envelope in envelopes:
+            for clause in self.plan.partitions:
+                if clause.active_at(view.round_number) and clause.separates(
+                    envelope.sender, envelope.receiver
+                ):
+                    edge = (envelope.sender, envelope.receiver)
+                    if edge not in dropped:
+                        dropped.add(edge)
+                        self.counters.partition_blocks += 1
+                        self._record(
+                            "partition-freeze", envelope, view
+                        )
+                    break
+
+        for envelope in self._ranked(envelopes, view):
+            edge = (envelope.sender, envelope.receiver)
+            if edge in dropped:
+                continue
+            cap = self.per_receiver_cap
+            if cap is not None and per_receiver.get(envelope.receiver, 0) >= cap:
+                continue
+            clause_index = self._matching_clause(envelope)
+            if clause_index is None:
+                continue
+            if not self._wants(envelope, view, clause_index):
+                continue
+            budget = self._budgets[clause_index]
+            if budget is not None:
+                self._budgets[clause_index] = budget - 1
+            dropped.add(edge)
+            per_receiver[envelope.receiver] = (
+                per_receiver.get(envelope.receiver, 0) + 1
+            )
+            self.counters.omission_drops += 1
+            self._record("omission-drop", envelope, view)
+
+        return dropped
+
+    # -- grade hooks -------------------------------------------------------
+
+    def _ranked(
+        self, envelopes: Sequence[Envelope], view: AdversaryView
+    ) -> list[Envelope]:
+        """Envelopes in the order the grade spends its budget on them."""
+        raise NotImplementedError
+
+    def _wants(
+        self, envelope: Envelope, view: AdversaryView, clause_index: int
+    ) -> bool:
+        """Whether to actually drop a budget-eligible envelope."""
+        return self._draw(envelope, view, clause_index)
+
+    # -- shared machinery --------------------------------------------------
+
+    def _matching_clause(self, envelope: Envelope) -> int | None:
+        """First omission clause matching this copy with budget left."""
+        for index, clause in enumerate(self.plan.omissions):
+            if (
+                clause.destination is not None
+                and clause.destination != envelope.receiver
+            ):
+                continue
+            if clause.sender is not None and clause.sender != envelope.sender:
+                continue
+            budget = self._budgets[index]
+            if budget is not None and budget <= 0:
+                continue
+            return index
+        return None
+
+    def _draw(
+        self, envelope: Envelope, view: AdversaryView, clause_index: int
+    ) -> bool:
+        probability = self.plan.omissions[clause_index].probability
+        if probability >= 1.0:
+            return True
+        if probability <= 0.0:
+            return False
+        rng = stable_rng(
+            "spectrum-adversary",
+            self.GRADE,
+            self._run_seed,
+            envelope.sender,
+            envelope.receiver,
+            view.round_number,
+            view.phase,
+        )
+        return rng.random() < probability
+
+    def _record(
+        self, kind: str, envelope: Envelope, view: AdversaryView
+    ) -> None:
+        self.actions.append(
+            FaultAction(
+                step=view.round_number,
+                kind=kind,
+                process=envelope.receiver,
+                message=Message(
+                    envelope.receiver, (envelope.sender, envelope.payload)
+                ),
+                detail=(
+                    f"{self.GRADE} r{view.round_number}p{view.phase} "
+                    f"{envelope.sender}->{envelope.receiver}"
+                ),
+            )
+        )
+
+    @staticmethod
+    def _stable_order(envelopes: Sequence[Envelope]) -> list[Envelope]:
+        return sorted(envelopes, key=lambda e: (e.receiver, e.sender))
+
+
+class ObliviousAdversary(GradedAdversary):
+    """Weakest grade: sees metadata only; every drop is a seeded coin.
+
+    The budget is spent in a fixed (receiver, sender) order so runs are
+    reproducible, and each eligible copy is lost with its clause's
+    probability — exactly the behavior the ad-hoc ``random_drops`` rule
+    used to give, now expressed in the shared fault vocabulary.
+    """
+
+    GRADE = "oblivious"
+
+    def _ranked(self, envelopes, view):
+        return self._stable_order(envelopes)
+
+
+class ContentAwareAdversary(GradedAdversary):
+    """Reads payloads; spends the budget on the most damaging ones.
+
+    Decisions are silenced before proposals, proposals before reports,
+    and value-free payloads (a Ben-Or ``("P", None)``) are not worth a
+    budget unit at all.  It cannot see process states, so it cannot
+    tell *which* value to starve — that is the adaptive grade's edge.
+    """
+
+    GRADE = "content"
+
+    def _ranked(self, envelopes, view):
+        def score(envelope: Envelope) -> int:
+            kind = _payload_kind(envelope.payload)
+            importance = _IMPORTANCE.get(kind, 0)
+            if (
+                kind in ("P", "prop", "est", "R", "decide")
+                and _payload_value(envelope.payload) is None
+            ):
+                importance = 0
+            return importance
+
+        ordered = self._stable_order(envelopes)
+        ordered.sort(key=score, reverse=True)
+        return ordered
+
+    def _wants(self, envelope, view, clause_index):
+        kind = _payload_kind(envelope.payload)
+        if _IMPORTANCE.get(kind, 0) == 0 or (
+            kind in ("P", "prop", "est", "R", "decide")
+            and _payload_value(envelope.payload) is None
+        ):
+            # Never waste budget on a payload that moves nothing.
+            return False
+        return self._draw(envelope, view, clause_index)
+
+
+class AdaptiveAdversary(GradedAdversary):
+    """Full information: payloads, states, and decisions.
+
+    Deterministic (a full-information adversary needs no coin): per
+    receiver, it drops the copies whose loss best prevents a decisive
+    set from assembling — decision gossip first, then proposals, then
+    the reports carrying the value currently *leading* at that receiver
+    (starving the leader is what keeps a majority from forming, which
+    is how the FLP adversary maintains bivalence forever).
+    """
+
+    GRADE = "adaptive"
+
+    def _ranked(self, envelopes, view):
+        leading: dict[str, Hashable] = {}
+        tallies: dict[str, dict[Hashable, int]] = {}
+        for envelope in envelopes:
+            value = _payload_value(envelope.payload)
+            if value is None:
+                continue
+            counts = tallies.setdefault(envelope.receiver, {})
+            counts[value] = counts.get(value, 0) + 1
+        for receiver, counts in tallies.items():
+            leading[receiver] = max(
+                counts.items(), key=lambda item: (item[1], repr(item[0]))
+            )[0]
+
+        def score(envelope: Envelope) -> tuple[int, int]:
+            kind = _payload_kind(envelope.payload)
+            importance = _IMPORTANCE.get(kind, 0)
+            value = _payload_value(envelope.payload)
+            if kind in ("P", "prop", "est", "R", "decide") and value is None:
+                importance = 0
+            is_leading = int(
+                value is not None
+                and leading.get(envelope.receiver) == value
+            )
+            return (importance, is_leading)
+
+        ordered = self._stable_order(envelopes)
+        ordered.sort(key=score, reverse=True)
+        return ordered
+
+    def _wants(self, envelope, view, clause_index):
+        kind = _payload_kind(envelope.payload)
+        importance = _IMPORTANCE.get(kind, 0)
+        if importance == 0 or (
+            kind in ("P", "prop", "est", "R", "decide")
+            and _payload_value(envelope.payload) is None
+        ):
+            return False
+        # Full information means no coin: the clause probability only
+        # scales how often this adversary is *allowed* to act.
+        return self._draw(envelope, view, clause_index)
+
+
+_GRADES = {
+    cls.GRADE: cls
+    for cls in (ObliviousAdversary, ContentAwareAdversary, AdaptiveAdversary)
+}
+
+
+def make_adversary(
+    grade: str,
+    *,
+    plan: FaultPlan | None = None,
+    seed: int = 0,
+    per_receiver_cap: int | None = None,
+    drop_probability: float | None = None,
+) -> GradedAdversary:
+    """Build a graded adversary by name.
+
+    With no explicit *plan*, an unbounded any-link omission clause is
+    used (probability *drop_probability*, default 1.0) — the grade and
+    the cap then fully determine behavior.
+    """
+    if grade not in _GRADES:
+        raise ValueError(
+            f"unknown adversary grade {grade!r}; "
+            f"expected one of {ADVERSARY_GRADES}"
+        )
+    if plan is None:
+        probability = 1.0 if drop_probability is None else drop_probability
+        plan = FaultPlan([Omission(budget=None, probability=probability)])
+    elif drop_probability is not None:
+        raise ValueError("pass either plan or drop_probability, not both")
+    return _GRADES[grade](
+        plan, seed=seed, per_receiver_cap=per_receiver_cap
+    )

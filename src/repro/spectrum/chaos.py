@@ -1,0 +1,149 @@
+"""Sweep-kill chaos: SIGKILL a Monte-Carlo sweep mid-grid, resume, compare.
+
+The sweep runtime's recovery claim mirrors the exploration engine's: a
+sweep killed with no warning resumes from its per-cell checkpoint and
+finishes with an aggregate fingerprint byte-identical to an
+uninterrupted run.  This harness proves it with a real subprocess:
+
+1. compute a clean reference fingerprint in-process (no checkpoint);
+2. launch ``python -m repro spectrum`` as a subprocess with a
+   checkpoint path and a per-cell throttle that widens the kill window;
+3. poll the checkpoint until at least one cell has landed, then
+   ``SIGKILL`` the subprocess;
+4. rerun the identical command — it must *resume* (skip the completed
+   cells) and write a result whose fingerprint equals the reference.
+
+Exposed through ``repro chaos --scenarios sweep-kill`` and pinned by
+``tests/spectrum/test_sweep_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.resilience import ChaosOutcome
+from repro.spectrum.montecarlo import SweepRunner, smoke_grid
+
+__all__ = ["run_sweep_kill"]
+
+
+def _spectrum_command(
+    checkpoint: Path, out_json: Path, base_seed: int, throttle_s: float
+) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "spectrum",
+        "--preset",
+        "smoke",
+        "--seed",
+        str(base_seed),
+        "--checkpoint",
+        str(checkpoint),
+        "--json",
+        str(out_json),
+        "--throttle-s",
+        str(throttle_s),
+    ]
+
+
+def _completed_cells(checkpoint: Path) -> int:
+    try:
+        with open(checkpoint, encoding="utf-8") as handle:
+            return len(json.load(handle).get("completed", {}))
+    except (OSError, json.JSONDecodeError):
+        return 0
+
+
+def run_sweep_kill(
+    *,
+    base_seed: int = 0,
+    work_dir: str | None = None,
+    throttle_s: float = 0.4,
+    timeout_s: float = 120.0,
+) -> ChaosOutcome:
+    """SIGKILL a smoke-grid sweep subprocess mid-grid; the rerun must
+    resume from the checkpoint and match the clean fingerprint."""
+    reference = SweepRunner(
+        smoke_grid(), base_seed=base_seed
+    ).run().fingerprint()
+
+    own_dir = None
+    if work_dir is None:
+        own_dir = tempfile.TemporaryDirectory(prefix="flpkit-sweep-kill-")
+        work_dir = own_dir.name
+    checkpoint = Path(work_dir) / "sweep.ckpt"
+    out_json = Path(work_dir) / "sweep.json"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = _spectrum_command(checkpoint, out_json, base_seed, throttle_s)
+
+    try:
+        first = subprocess.Popen(
+            command,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        # Kill only once the sweep is demonstrably mid-grid: at least
+        # one cell checkpointed, none of them the last (the throttle
+        # guarantees a wide window between cells).
+        deadline = time.monotonic() + timeout_s
+        mid_grid = False
+        while time.monotonic() < deadline:
+            if first.poll() is not None:
+                break  # finished before we could kill; still comparable
+            if _completed_cells(checkpoint) >= 1:
+                mid_grid = True
+                break
+            time.sleep(0.02)
+        if first.poll() is None:
+            os.kill(first.pid, signal.SIGKILL)
+        first.wait()
+
+        killed_at = _completed_cells(checkpoint)
+        second = subprocess.run(
+            command,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=timeout_s,
+        )
+        if second.returncode != 0:
+            return ChaosOutcome(
+                scenario="sweep-kill",
+                recovered=False,
+                fingerprint_match=False,
+                detail=f"resumed sweep exited {second.returncode}",
+            )
+        with open(out_json, encoding="utf-8") as handle:
+            result = json.load(handle)
+        match = result["fingerprint"] == reference
+        resumed = result["resumed_cells"]
+        return ChaosOutcome(
+            scenario="sweep-kill",
+            recovered=result["completed_cells"] == result["total_cells"],
+            fingerprint_match=match,
+            detail=(
+                f"mid_grid={mid_grid} killed_at_cell={killed_at} "
+                f"resumed_cells={resumed} fingerprint_match={match}"
+            ),
+            stats={
+                "mid_grid": mid_grid,
+                "killed_at_cell": killed_at,
+                "resumed_cells": resumed,
+            },
+        )
+    finally:
+        if own_dir is not None:
+            own_dir.cleanup()

@@ -1,0 +1,128 @@
+"""Phased Ben-Or: the randomization escape hatch, executor-ready.
+
+The conclusion's first escape from impossibility is Ben-Or's
+coin-flipping consensus ("Another Advantage of Free Choice"): safety is
+deterministic, termination is only probabilistic — which is exactly
+what sidesteps FLP, since the impossibility only forbids *deterministic*
+termination.  This implementation runs under
+:func:`repro.synchrony.run_partial_sync`, so the same graded
+adversaries drive it and the rotating coordinator alike.
+
+Round structure (two phases, binary values):
+
+0. **Report**: broadcast ``("R", estimate)``.
+1. **Propose**: a process whose reports show a strict majority of the
+   full roster for one value broadcasts ``("P", v)``; otherwise
+   ``("P", None)``.  On receipt: any ``f + 1`` matching non-``None``
+   proposals decide ``v``; a single one adopts ``v`` as the new
+   estimate; none at all flips a seeded local coin.
+
+Safety is the majority-intersection argument: two conflicting values
+cannot both win a strict majority of reports, so all non-``None``
+proposals in a round agree.  If any process decides ``v`` on ``f + 1``
+proposals, every process that loses at most ``f`` of them still hears
+one, adopts ``v``, and the next round is unanimous — which is why the
+per-receiver drop cap of ``f`` in the Monte-Carlo cells preserves
+termination for ``f < n/2`` under the oblivious adversary, while an
+adaptive adversary (or ``f ≥ n/2``) can starve majorities and push the
+protocol onto the slow all-coins-agree path.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.core.seeding import stable_rng
+from repro.synchrony.partial import PhasedProcess
+
+__all__ = ["BenOrPhasedProcess"]
+
+
+class BenOrPhasedProcess(PhasedProcess):
+    """One Ben-Or process.  Tolerates ``f`` silent peers per phase.
+
+    ``f`` may be any value in ``[0, n)`` — cells beyond the ``f < n/2``
+    boundary are deliberately constructible so the sweep can chart the
+    termination collapse, not just the safe region.  Safety (agreement
+    + validity) holds for every ``f``; only the termination guarantee
+    has the ``n > 2f`` precondition.
+    """
+
+    PHASES = 2
+
+    def __init__(self, name: str, peers: Sequence[str], f: int, seed: int = 0):
+        super().__init__(name, peers)
+        if not 0 <= f < self.n:
+            raise ValueError(f"need 0 <= f < n={self.n}, got f={f}")
+        self.f = f
+        self.seed = seed
+
+    def initial_state(self, input_value: int) -> Hashable:
+        if input_value not in (0, 1):
+            raise ValueError(f"Ben-Or is binary; got input {input_value!r}")
+        # (estimate, decided value or None, reports, proposals) where the
+        # scratch sets hold (sender, value) pairs for the current round.
+        return (input_value, None, frozenset(), frozenset())
+
+    def outgoing(
+        self, state: Hashable, round_number: int, phase: int
+    ) -> Mapping[str, Hashable]:
+        estimate, decided, reports, _proposals = state
+        if phase == 0:
+            return {peer: ("R", estimate) for peer in self.peers}
+        if phase == 1:
+            if decided is not None:
+                # A decided process proposes its value forever, so
+                # laggards keep receiving deciding evidence.
+                return {peer: ("P", decided) for peer in self.peers}
+            counts: dict[int, int] = {}
+            for _sender, value in reports:
+                counts[value] = counts.get(value, 0) + 1
+            for value, count in sorted(counts.items()):
+                if count > self.n / 2:
+                    return {peer: ("P", value) for peer in self.peers}
+            return {peer: ("P", None) for peer in self.peers}
+        return {}
+
+    def update(
+        self,
+        state: Hashable,
+        round_number: int,
+        phase: int,
+        received: Mapping[str, Hashable],
+    ) -> Hashable:
+        estimate, decided, reports, proposals = state
+        if phase == 0:
+            for sender, payload in received.items():
+                if payload[0] == "R":
+                    reports = reports | {(sender, payload[1])}
+            return (estimate, decided, reports, proposals)
+
+        for sender, payload in received.items():
+            if payload[0] == "P":
+                proposals = proposals | {(sender, payload[1])}
+
+        if decided is None:
+            counts: dict[int, int] = {}
+            for _sender, value in proposals:
+                if value is not None:
+                    counts[value] = counts.get(value, 0) + 1
+            if counts:
+                # All non-None proposals agree (majority intersection);
+                # the deterministic max is for paranoia, not choice.
+                value = max(counts, key=lambda v: (counts[v], v))
+                if counts[value] >= self.f + 1:
+                    decided = value
+                    estimate = value
+                else:
+                    estimate = value
+            else:
+                estimate = stable_rng(
+                    "benor-coin", self.seed, self.name, round_number
+                ).randrange(2)
+
+        # End of round: clear the scratch sets.
+        return (estimate, decided, frozenset(), frozenset())
+
+    def decision(self, state: Hashable) -> int | None:
+        return state[1]

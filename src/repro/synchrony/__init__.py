@@ -23,7 +23,10 @@ from repro.synchrony.detectors import (
     check_strong_completeness,
 )
 from repro.synchrony.partial import (
+    AdversaryView,
+    Envelope,
     PartialSyncResult,
+    PhaseAdversary,
     PhasedProcess,
     RotatingCoordinatorProcess,
     always_deliver,
@@ -46,7 +49,10 @@ __all__ = [
     "check_eventual_weak_accuracy",
     "check_strong_accuracy",
     "check_strong_completeness",
+    "AdversaryView",
+    "Envelope",
     "PartialSyncResult",
+    "PhaseAdversary",
     "PhasedProcess",
     "RotatingCoordinatorProcess",
     "always_deliver",

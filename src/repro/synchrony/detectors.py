@@ -27,10 +27,10 @@ in miniature.
 
 from __future__ import annotations
 
-import random
 from abc import ABC, abstractmethod
 from typing import Hashable, Mapping, Sequence
 
+from repro.core.seeding import stable_rng
 from repro.synchrony.partial import RotatingCoordinatorProcess
 
 __all__ = [
@@ -114,8 +114,8 @@ class EventuallyStrongDetector(FailureDetector):
         for name in self.processes:
             if name == observer:
                 continue
-            key = hash((self.seed, observer, name, time))
-            if random.Random(key).random() < self.noise:
+            rng = stable_rng("evstrong-noise", self.seed, observer, name, time)
+            if rng.random() < self.noise:
                 suspected.add(name)
         return frozenset(suspected - {observer})
 

@@ -29,16 +29,20 @@ This module supplies:
 
 from __future__ import annotations
 
-import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Hashable, Mapping, Sequence
+from typing import AbstractSet, Callable, Hashable, Mapping, Sequence
+
+from repro.core.seeding import stable_rng
 
 __all__ = [
     "DropRule",
     "random_drops",
     "coordinator_blackout",
     "always_deliver",
+    "Envelope",
+    "AdversaryView",
+    "PhaseAdversary",
     "PhasedProcess",
     "PartialSyncResult",
     "run_partial_sync",
@@ -70,8 +74,10 @@ def random_drops(seed: int, deliver_probability: float = 0.5) -> DropRule:
         )
 
     def rule(sender: str, receiver: str, round_number: int, phase: int) -> bool:
-        key = hash((seed, sender, receiver, round_number, phase))
-        return random.Random(key).random() < deliver_probability
+        rng = stable_rng(
+            "random-drops", seed, sender, receiver, round_number, phase
+        )
+        return rng.random() < deliver_probability
 
     return rule
 
@@ -91,6 +97,55 @@ def coordinator_blackout(
         return sender != coordinator and receiver != coordinator
 
     return rule
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight inter-process message, visible to an adversary."""
+
+    sender: str
+    receiver: str
+    payload: Hashable
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """What a full-information adversary may inspect before a phase.
+
+    Graded adversaries restrict themselves: an oblivious adversary looks
+    only at envelope metadata, a content-aware one additionally reads
+    ``Envelope.payload``, and only the adaptive full-information grade
+    touches ``states`` and ``decisions``.
+    """
+
+    round_number: int
+    phase: int
+    gst: int
+    active: tuple[str, ...]
+    states: Mapping[str, Hashable]
+    decisions: Mapping[str, int]
+
+
+class PhaseAdversary(ABC):
+    """A message adversary consulted once per pre-GST phase.
+
+    Where a :data:`DropRule` answers one message at a time, a
+    ``PhaseAdversary`` sees the whole phase's traffic at once — which is
+    what "picks the next delivery to maximize disagreement" requires —
+    and returns the set of ``(sender, receiver)`` edges to silence.
+    Self-addressed messages are never offered to it, and from GST on it
+    is not consulted at all, so no adversary can violate the model's
+    delivery guarantee.
+    """
+
+    def begin_run(self, run_seed: int) -> None:
+        """Reset per-run state (budgets, RNG streams) for a new run."""
+
+    @abstractmethod
+    def filter_phase(
+        self, envelopes: Sequence[Envelope], view: AdversaryView
+    ) -> AbstractSet[tuple[str, str]]:
+        """Edges ``(sender, receiver)`` to drop this phase."""
 
 
 class PhasedProcess(ABC):
@@ -163,9 +218,10 @@ def run_partial_sync(
     processes: Sequence[PhasedProcess],
     inputs: Mapping[str, int],
     gst: int,
-    drop_rule: DropRule,
+    drop_rule: DropRule = always_deliver,
     crash_rounds: Mapping[str, int] | None = None,
     max_rounds: int = 64,
+    adversary: PhaseAdversary | None = None,
 ) -> PartialSyncResult:
     """Execute a phased protocol under the GST model.
 
@@ -181,6 +237,11 @@ def run_partial_sync(
         ``name -> round``: the process takes no part in that round or
         any later one (clean round-boundary crashes; mid-round crash
         adversaries live in :mod:`repro.synchrony.rounds`).
+    adversary:
+        Optional :class:`PhaseAdversary` consulted once per pre-GST
+        phase with the whole phase's traffic.  A message is delivered
+        only if both the drop rule and the adversary allow it.  The
+        caller is responsible for :meth:`PhaseAdversary.begin_run`.
     """
     crashes = dict(crash_rounds or {})
     roster = {p.name: p for p in processes}
@@ -208,16 +269,33 @@ def run_partial_sync(
                 outbox[name] = dict(
                     roster[name].outgoing(states[name], round_number, phase)
                 )
+            silenced: AbstractSet[tuple[str, str]] = frozenset()
+            if adversary is not None and round_number < gst:
+                envelopes = [
+                    Envelope(sender, receiver, payload)
+                    for sender in active
+                    for receiver, payload in outbox[sender].items()
+                    if receiver != sender and receiver in roster
+                ]
+                if envelopes:
+                    view = AdversaryView(
+                        round_number=round_number,
+                        phase=phase,
+                        gst=gst,
+                        active=tuple(active),
+                        states=dict(states),
+                        decisions=dict(decisions),
+                    )
+                    silenced = adversary.filter_phase(envelopes, view)
             for name in active:
                 received: dict[str, Hashable] = {}
                 for sender in active:
                     payload = outbox[sender].get(name)
                     if payload is None:
                         continue
-                    delivered = (
-                        sender == name
-                        or round_number >= gst
-                        or drop_rule(sender, name, round_number, phase)
+                    delivered = sender == name or round_number >= gst or (
+                        drop_rule(sender, name, round_number, phase)
+                        and (sender, name) not in silenced
                     )
                     if delivered:
                         received[sender] = payload

@@ -1,0 +1,147 @@
+"""Client-side admission backoff: 429 + Retry-After handling.
+
+A saturated daemon pushes back with 429 and a Retry-After hint;
+``ServeClient.query`` must honor the hint with bounded, jittered
+retries (and ``retry=False`` must restore the old single-shot
+behavior).  The daemon tests reuse the admission-control saturation
+pattern: one slow job fills the ``max_pending=1`` queue, a *distinct*
+spec then bounces.
+"""
+
+import random
+import time
+
+from repro.serve.client import HttpResponse, ServeClient, retry_after_s
+
+SLOW_SPEC = {"verb": "check", "protocol": "benor", "n": 3, "budget": 30_000}
+OTHER_SPEC = {"verb": "check", "protocol": "parity-arbiter", "n": 3}
+
+
+def _wait_done(client, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        view = client.job(job_id).json()
+        if view["state"] in ("done", "failed"):
+            return view
+        time.sleep(0.02)
+    raise TimeoutError(f"job {job_id} not done within {timeout_s}s")
+
+
+class TestRetryAfterParsing:
+    def test_parses_seconds(self):
+        assert retry_after_s({"retry-after": "1.5"}) == 1.5
+        assert retry_after_s({"retry-after": "0"}) == 0.0
+
+    def test_absent_or_malformed_is_none(self):
+        assert retry_after_s({}) is None
+        assert retry_after_s({"retry-after": "soon"}) is None
+        assert retry_after_s({"retry-after": "-3"}) is None
+
+
+class _ScriptedClient(ServeClient):
+    """A client whose wire is a canned list of responses."""
+
+    def __init__(self, responses):
+        super().__init__("127.0.0.1", 1)
+        self._responses = list(responses)
+        self.requests = 0
+
+    def _request(self, method, path, payload=None):
+        self.requests += 1
+        return self._responses.pop(0)
+
+
+def _throttled(retry_after=None):
+    headers = {} if retry_after is None else {"retry-after": retry_after}
+    return HttpResponse(status=429, headers=headers, body=b'{"error":"full"}')
+
+
+OK = HttpResponse(status=200, headers={}, body=b'{"result":{}}')
+
+
+class TestBackoffPolicy:
+    def test_honors_retry_after_hint_with_jitter(self):
+        client = _ScriptedClient([_throttled("1.5"), OK])
+        delays = []
+        response = client.query(
+            {}, sleep=delays.append, rng=random.Random(0)
+        )
+        assert response.status == 200
+        assert client.requests == 2
+        assert len(delays) == 1
+        # hint * [1.0, 1.25) jitter band
+        assert 1.5 <= delays[0] < 1.5 * 1.25
+
+    def test_exponential_fallback_without_hint(self):
+        client = _ScriptedClient([_throttled(), _throttled(), OK])
+        delays = []
+        response = client.query(
+            {}, sleep=delays.append, rng=random.Random(7)
+        )
+        assert response.status == 200
+        # base 0.25 doubling per attempt, each inside its jitter band
+        assert 0.25 <= delays[0] < 0.25 * 1.25
+        assert 0.5 <= delays[1] < 0.5 * 1.25
+
+    def test_delay_capped(self):
+        client = _ScriptedClient([_throttled("3600"), OK])
+        delays = []
+        client.query(
+            {},
+            sleep=delays.append,
+            rng=random.Random(1),
+            backoff_cap_s=2.0,
+        )
+        assert delays[0] < 2.0 * 1.25
+
+    def test_bounded_attempts_return_final_429(self):
+        client = _ScriptedClient([_throttled("0.1")] * 3)
+        delays = []
+        response = client.query(
+            {}, sleep=delays.append, rng=random.Random(2), max_retries=2
+        )
+        assert response.status == 429
+        assert client.requests == 3  # initial try + 2 retries
+        assert len(delays) == 2
+
+    def test_no_retry_is_single_shot(self):
+        client = _ScriptedClient([_throttled("0.1")])
+        delays = []
+        response = client.query({}, retry=False, sleep=delays.append)
+        assert response.status == 429
+        assert client.requests == 1
+        assert delays == []
+
+
+class TestAgainstSaturatedDaemon:
+    def test_query_rides_out_saturation(self, daemon):
+        client = daemon(max_pending=1, job_workers=1).client
+        first = client.submit(SLOW_SPEC)
+        assert first.status == 202
+        job_id = first.json()["job_id"]
+
+        delays = []
+
+        def sleep(delay):
+            # Stand in for wall-clock patience: wait for the queue to
+            # actually drain, then let the retry fire.
+            delays.append(delay)
+            _wait_done(client, job_id)
+
+        response = client.query(
+            OTHER_SPEC, sleep=sleep, rng=random.Random(0)
+        )
+        assert response.status == 200
+        assert response.headers["x-repro-cache"] == "accepted"
+        assert len(delays) >= 1
+        # The daemon's hint (1s) reached the client and was jittered.
+        assert 1.0 <= delays[0] < 1.25
+
+    def test_no_retry_surfaces_429(self, daemon):
+        client = daemon(max_pending=1, job_workers=1).client
+        first = client.submit(SLOW_SPEC)
+        assert first.status == 202
+        response = client.query(OTHER_SPEC, retry=False)
+        assert response.status == 429
+        assert "retry-after" in response.headers
+        _wait_done(client, first.json()["job_id"])

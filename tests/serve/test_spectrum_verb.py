@@ -1,0 +1,120 @@
+"""The ``spectrum`` serve verb: cached sweeps, family filters, drain.
+
+A spectrum job is a Monte-Carlo sweep, not an exploration — but it
+rides the same job machinery: content-keyed cache, single-flight
+dedup, per-cell checkpoint into the job's spool slot, and drain →
+suspend → resume on a successor daemon with a byte-identical
+fingerprint.
+"""
+
+import json
+import time
+
+from repro.serve.wire import JobSpec, cache_key
+from repro.spectrum import SweepRunner, smoke_grid
+
+SMOKE = {"verb": "spectrum", "protocol": "all", "preset": "smoke"}
+
+
+def _wait_for(predicate, timeout_s=120.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    raise TimeoutError("condition not met in time")
+
+
+class TestSpectrumQuery:
+    def test_smoke_sweep_round_trip(self, daemon):
+        client = daemon().client
+        response = client.query(SMOKE)
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["verb"] == "spectrum"
+        assert payload["partial"] is None
+        result = payload["result"]
+        assert result["completed_cells"] == result["total_cells"] == 6
+        assert result["phase_ok"] is True
+        reference = SweepRunner(smoke_grid()).run().fingerprint()
+        assert result["fingerprint"] == reference
+
+    def test_second_query_is_a_cache_hit(self, daemon):
+        client = daemon().client
+        first = client.query(SMOKE)
+        assert first.headers["x-repro-cache"] == "accepted"
+        second = client.query(SMOKE)
+        assert second.headers["x-repro-cache"] == "cached"
+        assert second.body == first.body
+
+    def test_family_filter_narrows_grid_and_cache_key(self, daemon):
+        benor = dict(SMOKE, protocol="benor")
+        assert cache_key(JobSpec.from_dict(SMOKE)) != cache_key(
+            JobSpec.from_dict(benor)
+        )
+        client = daemon().client
+        payload = json.loads(client.query(benor).body)
+        cells = payload["result"]["cells"]
+        assert payload["result"]["total_cells"] == len(cells) == 4
+        assert all(
+            outcome["cell"]["protocol"] == "benor"
+            for outcome in cells.values()
+        )
+
+    def test_deadline_fields_share_cache_entry(self, daemon):
+        client = daemon().client
+        first = client.query(SMOKE)
+        patient = client.query(dict(SMOKE, max_seconds=600.0))
+        assert patient.headers["x-repro-cache"] == "cached"
+        assert patient.body == first.body
+
+    def test_bad_spectrum_spec_is_400(self, daemon):
+        client = daemon().client
+        response = client.submit(dict(SMOKE, protocol="parity-arbiter"))
+        assert response.status == 400
+        assert "protocol family" in response.json()["error"]
+
+
+class TestSpectrumDrainResume:
+    def test_drain_mid_sweep_resumes_with_identical_fingerprint(
+        self, daemon, tmp_path
+    ):
+        # Inflate the per-cell cost so the drain lands mid-grid.
+        spec = dict(SMOKE, samples=3000)
+        spool_dir = tmp_path / "spectrum-spool"
+        first = daemon(spool=spool_dir, checkpoint_every_s=0.05)
+        client = first.client
+        job_id = client.submit(spec).json()["job_id"]
+        _wait_for(
+            lambda: client.job(job_id).json()["state"] == "running"
+            and client.job(job_id).json()["has_checkpoint"]
+        )
+        first.stop()  # drain: the sweep suspends at a cell boundary
+
+        second = daemon(spool=spool_dir, checkpoint_every_s=0.05)
+        view = _wait_for(
+            lambda: (
+                second.client.job(job_id).json()["state"] == "done"
+                and second.client.job(job_id).json()
+            )
+        )
+        assert view["resumes"] >= 1
+        payload = json.loads(second.client.result(job_id).body)
+        assert payload["partial"] is None
+        assert payload["meta"]["resumed_cells"] >= 1
+        reference = (
+            SweepRunner(smoke_grid(), base_seed=0)
+            .run()
+            .fingerprint()
+        )
+        # Same grid, different samples → different fingerprint from the
+        # smoke reference, but identical to an uninterrupted run of the
+        # same spec.
+        assert payload["result"]["fingerprint"] != reference
+        from repro.serve.runner import execute_job
+
+        cold = execute_job(JobSpec.from_dict(spec))
+        assert payload["result"]["fingerprint"] == (
+            cold["result"]["fingerprint"]
+        )

@@ -1,0 +1,190 @@
+"""Graded adversaries: budgets, caps, grades, and the audit ledger."""
+
+import pytest
+
+from repro.faults.plan import FaultPlan, Omission, Partition
+from repro.spectrum.adversary import (
+    ADVERSARY_GRADES,
+    AdaptiveAdversary,
+    ContentAwareAdversary,
+    ObliviousAdversary,
+    make_adversary,
+)
+from repro.synchrony.partial import AdversaryView, Envelope
+
+
+def _view(round_number=1, phase=0, gst=10, active=("a", "b", "c")):
+    return AdversaryView(
+        round_number=round_number,
+        phase=phase,
+        gst=gst,
+        active=tuple(active),
+        states={name: 0 for name in active},
+        decisions={},
+    )
+
+
+def _mesh(names=("a", "b", "c"), payload=("R", 1)):
+    return [
+        Envelope(sender=s, receiver=r, payload=payload)
+        for s in names
+        for r in names
+        if s != r
+    ]
+
+
+class TestFactory:
+    def test_builds_every_grade(self):
+        for grade in ADVERSARY_GRADES:
+            adversary = make_adversary(grade)
+            assert adversary.GRADE == grade
+
+    def test_unknown_grade_raises(self):
+        with pytest.raises(ValueError, match="unknown adversary grade"):
+            make_adversary("omniscient")
+
+    def test_plan_and_drop_probability_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            make_adversary(
+                "oblivious",
+                plan=FaultPlan([Omission()]),
+                drop_probability=0.5,
+            )
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="per_receiver_cap"):
+            make_adversary("oblivious", per_receiver_cap=-1)
+
+
+class TestBudgetsAndCaps:
+    def test_unbounded_certain_clause_drops_everything(self):
+        adversary = ObliviousAdversary()
+        dropped = adversary.filter_phase(_mesh(), _view())
+        assert len(dropped) == 6
+        assert adversary.counters.omission_drops == 6
+        assert len(adversary.actions) == 6
+        assert all(a.kind == "omission-drop" for a in adversary.actions)
+
+    def test_budget_limits_total_drops_across_phases(self):
+        adversary = ObliviousAdversary(FaultPlan([Omission(budget=4)]))
+        first = adversary.filter_phase(_mesh(), _view(phase=0))
+        second = adversary.filter_phase(_mesh(), _view(phase=1))
+        assert len(first) + len(second) == 4
+
+    def test_begin_run_resets_budget_and_ledger(self):
+        adversary = ObliviousAdversary(FaultPlan([Omission(budget=2)]))
+        adversary.filter_phase(_mesh(), _view())
+        assert adversary.counters.omission_drops == 2
+        adversary.begin_run(run_seed=99)
+        assert adversary.counters.omission_drops == 0
+        assert adversary.actions == []
+        assert len(adversary.filter_phase(_mesh(), _view())) == 2
+
+    def test_per_receiver_cap_bounds_each_receiver(self):
+        adversary = ObliviousAdversary(per_receiver_cap=1)
+        dropped = adversary.filter_phase(_mesh(), _view())
+        per_receiver = {}
+        for _, receiver in dropped:
+            per_receiver[receiver] = per_receiver.get(receiver, 0) + 1
+        assert per_receiver == {"a": 1, "b": 1, "c": 1}
+
+    def test_zero_cap_silences_nothing(self):
+        adversary = ObliviousAdversary(per_receiver_cap=0)
+        assert adversary.filter_phase(_mesh(), _view()) == set()
+
+    def test_clause_destination_filter(self):
+        plan = FaultPlan([Omission(destination="b", budget=None)])
+        adversary = ObliviousAdversary(plan)
+        dropped = adversary.filter_phase(_mesh(), _view())
+        assert dropped == {("a", "b"), ("c", "b")}
+
+
+class TestDeterminism:
+    def test_same_run_seed_same_drops(self):
+        results = []
+        for _ in range(2):
+            adversary = make_adversary("oblivious", drop_probability=0.5)
+            adversary.begin_run(1234)
+            results.append(adversary.filter_phase(_mesh(), _view()))
+        assert results[0] == results[1]
+
+    def test_different_run_seed_can_differ(self):
+        outcomes = set()
+        for run_seed in range(8):
+            adversary = make_adversary("oblivious", drop_probability=0.5)
+            adversary.begin_run(run_seed)
+            outcomes.add(
+                frozenset(adversary.filter_phase(_mesh(), _view()))
+            )
+        assert len(outcomes) > 1
+
+
+class TestContentAwareGrade:
+    def test_spends_budget_on_most_damaging_payload(self):
+        envelopes = [
+            Envelope("a", "b", ("R", 0)),
+            Envelope("a", "c", ("decide", 1)),
+            Envelope("b", "c", ("ack", 3)),
+        ]
+        adversary = ContentAwareAdversary(FaultPlan([Omission(budget=1)]))
+        dropped = adversary.filter_phase(envelopes, _view())
+        assert dropped == {("a", "c")}
+
+    def test_refuses_value_free_payloads(self):
+        envelopes = [
+            Envelope("a", "b", ("P", None)),
+            Envelope("b", "a", ("P", None)),
+        ]
+        adversary = ContentAwareAdversary()
+        assert adversary.filter_phase(envelopes, _view()) == set()
+        assert adversary.counters.omission_drops == 0
+
+
+class TestAdaptiveGrade:
+    def test_starves_the_leading_value(self):
+        # Receiver r hears 0 twice and 1 once: the adversary must spend
+        # its single budget unit on a copy carrying the leader (0).
+        envelopes = [
+            Envelope("a", "r", ("R", 0)),
+            Envelope("b", "r", ("R", 0)),
+            Envelope("c", "r", ("R", 1)),
+        ]
+        adversary = AdaptiveAdversary(FaultPlan([Omission(budget=1)]))
+        dropped = adversary.filter_phase(envelopes, _view())
+        assert len(dropped) == 1
+        ((sender, receiver),) = dropped
+        assert receiver == "r" and sender in ("a", "b")
+
+    def test_deterministic_without_any_coin(self):
+        envelopes = [
+            Envelope("a", "r", ("R", 0)),
+            Envelope("b", "r", ("R", 1)),
+        ]
+        results = {
+            frozenset(
+                AdaptiveAdversary(
+                    FaultPlan([Omission(budget=1)]), seed=seed
+                ).filter_phase(envelopes, _view())
+            )
+            for seed in range(5)
+        }
+        assert len(results) == 1
+
+
+class TestPartitionClauses:
+    def test_partition_forces_drops_outside_budget(self):
+        plan = FaultPlan(
+            [Partition(groups=(("a",), ("b", "c")), start=0)]
+        )
+        adversary = ObliviousAdversary(plan)
+        dropped = adversary.filter_phase(_mesh(), _view(round_number=2))
+        assert dropped == {("a", "b"), ("a", "c"), ("b", "a"), ("c", "a")}
+        assert adversary.counters.partition_blocks == 4
+        assert {a.kind for a in adversary.actions} == {"partition-freeze"}
+
+    def test_healed_partition_stops_forcing(self):
+        plan = FaultPlan(
+            [Partition(groups=(("a",), ("b", "c")), start=0, heal_at=3)]
+        )
+        adversary = ObliviousAdversary(plan)
+        assert adversary.filter_phase(_mesh(), _view(round_number=5)) == set()

@@ -1,0 +1,117 @@
+"""Phased Ben-Or under the partial-synchrony executor."""
+
+import pytest
+
+from repro.spectrum.adversary import make_adversary
+from repro.spectrum.protocols import BenOrPhasedProcess
+from repro.synchrony.partial import run_partial_sync
+
+NAMES = ["p0", "p1", "p2"]
+
+
+def _processes(f=1, seed=0, names=NAMES):
+    return [BenOrPhasedProcess(name, names, f, seed=seed) for name in names]
+
+
+class TestConstruction:
+    def test_rejects_f_out_of_range(self):
+        with pytest.raises(ValueError, match="0 <= f < n"):
+            BenOrPhasedProcess("p0", NAMES, f=3)
+
+    def test_rejects_non_binary_input(self):
+        process = BenOrPhasedProcess("p0", NAMES, f=1)
+        with pytest.raises(ValueError, match="binary"):
+            process.initial_state(2)
+
+
+class TestSynchronousRuns:
+    def test_unanimous_inputs_decide_in_one_round(self):
+        result = run_partial_sync(
+            _processes(), {name: 1 for name in NAMES}, gst=1, max_rounds=5
+        )
+        assert result.all_live_decided
+        assert set(result.decisions.values()) == {1}
+        assert all(r == 1 for r in result.decision_rounds.values())
+
+    def test_majority_input_wins_without_faults(self):
+        inputs = {"p0": 0, "p1": 0, "p2": 1}
+        result = run_partial_sync(
+            _processes(), inputs, gst=1, max_rounds=5
+        )
+        assert result.all_live_decided
+        assert result.agreement_holds
+        assert set(result.decisions.values()) == {0}
+
+    def test_survives_f_crashes(self):
+        result = run_partial_sync(
+            _processes(),
+            {name: 1 for name in NAMES},
+            gst=1,
+            crash_rounds={"p2": 1},
+            max_rounds=10,
+        )
+        assert result.agreement_holds
+        assert all(
+            result.decisions[name] == 1 for name in result.live
+        )
+
+
+class TestSafetyMechanics:
+    def test_decided_process_proposes_its_value_forever(self):
+        process = BenOrPhasedProcess("p0", NAMES, f=1)
+        state = (1, 1, frozenset(), frozenset())
+        outgoing = process.outgoing(state, round_number=7, phase=1)
+        assert outgoing == {name: ("P", 1) for name in NAMES}
+
+    def test_no_strict_majority_proposes_none(self):
+        process = BenOrPhasedProcess("p0", ["p0", "p1", "p2", "p3"], f=1)
+        reports = frozenset({("p0", 0), ("p1", 0), ("p2", 1), ("p3", 1)})
+        state = (0, None, reports, frozenset())
+        outgoing = process.outgoing(state, round_number=1, phase=1)
+        assert outgoing["p1"] == ("P", None)
+
+    def test_coin_is_seed_deterministic(self):
+        process = BenOrPhasedProcess("p0", NAMES, f=1, seed=42)
+        state = (0, None, frozenset(), frozenset())
+        flips = {
+            process.update(state, 3, 1, {})[0] for _ in range(5)
+        }
+        assert len(flips) == 1
+
+    def test_f_plus_one_matching_proposals_decide(self):
+        process = BenOrPhasedProcess("p0", NAMES, f=1)
+        state = (0, None, frozenset(), frozenset())
+        received = {"p1": ("P", 1), "p2": ("P", 1)}
+        estimate, decided, _, _ = process.update(state, 1, 1, received)
+        assert decided == 1 and estimate == 1
+
+    def test_single_proposal_adopts_without_deciding(self):
+        process = BenOrPhasedProcess("p0", NAMES, f=1)
+        state = (0, None, frozenset(), frozenset())
+        received = {"p1": ("P", 1), "p2": ("P", None)}
+        estimate, decided, _, _ = process.update(state, 1, 1, received)
+        assert decided is None and estimate == 1
+
+
+class TestUnderAdversary:
+    def test_terminates_under_capped_oblivious_adversary(self):
+        # f < n/2 with the per-receiver cap at f: every sampled run must
+        # decide — the termination half of the phase diagram.
+        for run_seed in range(10):
+            adversary = make_adversary(
+                "oblivious", seed=run_seed, per_receiver_cap=1
+            )
+            adversary.begin_run(run_seed)
+            inputs = {
+                name: (run_seed >> i) & 1 for i, name in enumerate(NAMES)
+            }
+            result = run_partial_sync(
+                _processes(seed=run_seed),
+                inputs,
+                gst=41,
+                max_rounds=40,
+                adversary=adversary,
+            )
+            assert result.agreement_holds
+            assert result.all_live_decided, f"run_seed={run_seed} stuck"
+            assert set(result.decisions.values()) <= set(inputs.values())

@@ -1,0 +1,24 @@
+"""Sweep-kill chaos: SIGKILL mid-grid, resume, byte-identical answer."""
+
+from repro.core.resilience import CHAOS_SCENARIOS
+from repro.spectrum.chaos import run_sweep_kill
+
+
+class TestScenarioRegistration:
+    def test_sweep_kill_is_a_chaos_scenario(self):
+        assert "sweep-kill" in CHAOS_SCENARIOS
+
+
+class TestSweepKill:
+    def test_killed_sweep_resumes_identically(self, tmp_path):
+        outcome = run_sweep_kill(
+            work_dir=str(tmp_path), throttle_s=0.4
+        )
+        assert outcome.scenario == "sweep-kill"
+        assert outcome.recovered
+        assert outcome.fingerprint_match
+        # The kill really landed mid-grid and the rerun really resumed
+        # rather than recomputing from scratch.
+        assert outcome.stats["mid_grid"] is True
+        assert outcome.stats["killed_at_cell"] >= 1
+        assert outcome.stats["resumed_cells"] >= 1

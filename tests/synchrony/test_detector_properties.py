@@ -1,0 +1,153 @@
+"""Property tests: detector axioms and safety under graded adversaries.
+
+The Chandra-Toueg axioms are universally quantified over crash
+schedules and noise seeds, and the rotating coordinator's safety claim
+is universally quantified over *adversaries* — so both get hypothesis
+treatment rather than a handful of worked examples.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spectrum.adversary import ADVERSARY_GRADES, make_adversary
+from repro.synchrony.detectors import (
+    EventuallyStrongDetector,
+    PerfectDetector,
+    check_eventual_weak_accuracy,
+    check_strong_accuracy,
+    check_strong_completeness,
+)
+from repro.synchrony.partial import (
+    RotatingCoordinatorProcess,
+    run_partial_sync,
+)
+
+
+def _roster_and_crashes(rng, n=None, max_crash_round=10):
+    n = n if n is not None else rng.choice([3, 5, 7])
+    f = (n - 1) // 2
+    names = tuple(f"p{i}" for i in range(n))
+    crash_rounds = {
+        victim: rng.randint(1, max_crash_round)
+        for victim in rng.sample(list(names), rng.randint(0, f))
+    }
+    return names, f, crash_rounds
+
+
+class TestPerfectDetectorAxioms:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_satisfies_p_axioms_for_any_crash_schedule(self, seed):
+        rng = random.Random(seed)
+        names, _, crash_rounds = _roster_and_crashes(rng)
+        horizon = rng.randint(1, 20)
+        detector = PerfectDetector(names, crash_rounds)
+        assert check_strong_completeness(detector, horizon)
+        assert check_strong_accuracy(detector, horizon)
+        assert check_eventual_weak_accuracy(detector, horizon) is not None
+
+
+class TestEventuallyStrongDetectorAxioms:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_satisfies_diamond_s_after_stabilization(self, seed):
+        rng = random.Random(seed)
+        names, _, crash_rounds = _roster_and_crashes(
+            rng, max_crash_round=5
+        )
+        stabilization = rng.randint(1, 8)
+        horizon = stabilization + rng.randint(1, 8)
+        detector = EventuallyStrongDetector(
+            names,
+            crash_rounds,
+            stabilization_time=stabilization,
+            seed=seed,
+            noise=rng.random(),
+        )
+        assert check_strong_completeness(detector, horizon)
+        stabilized_by = check_eventual_weak_accuracy(detector, horizon)
+        assert stabilized_by is not None
+        assert stabilized_by <= stabilization
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_noise_can_violate_strong_accuracy_before_stabilization(
+        self, seed
+    ):
+        # Not an axiom check but a sanity bound: ◇S is allowed to be
+        # wrong early, and with full noise on a live roster it is.
+        names = ("p0", "p1", "p2")
+        detector = EventuallyStrongDetector(
+            names, {}, stabilization_time=50, seed=seed, noise=1.0
+        )
+        assert not check_strong_accuracy(detector, 10)
+
+
+class TestRotatingCoordinatorSafetyUnderAdversaries:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        grade=st.sampled_from(ADVERSARY_GRADES),
+    )
+    def test_agreement_and_validity_under_any_graded_adversary(
+        self, seed, grade
+    ):
+        """Safety must hold for *any* pre-GST drop pattern a graded
+        adversary produces — including unbounded certain drops — with
+        termination owed only after GST."""
+        rng = random.Random(seed)
+        names, f, crash_rounds = _roster_and_crashes(rng)
+        inputs = {name: rng.randint(0, 1) for name in names}
+        gst = rng.choice([1, 4, 9, 10**9])
+        adversary = make_adversary(
+            grade,
+            seed=seed,
+            drop_probability=rng.choice([0.3, 0.7, 1.0]),
+        )
+        adversary.begin_run(seed)
+        result = run_partial_sync(
+            [RotatingCoordinatorProcess(n, names, f=f) for n in names],
+            inputs,
+            gst=gst,
+            crash_rounds=crash_rounds,
+            max_rounds=20,
+            adversary=adversary,
+        )
+        assert result.agreement_holds
+        assert result.decision_values <= set(inputs.values())
+        # Drops respected the audit contract: every silenced edge was
+        # ledgered with a kind the fault vocabulary knows.
+        assert all(
+            action.kind in ("omission-drop", "partition-freeze")
+            for action in adversary.actions
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_liveness_after_gst_despite_pre_gst_adversary(self, seed):
+        """An adversary silenced at GST cannot stop the f+1 round
+        decision envelope afterwards."""
+        rng = random.Random(seed)
+        n, f = 5, 2
+        names = tuple(f"p{i}" for i in range(n))
+        inputs = {name: rng.randint(0, 1) for name in names}
+        gst = rng.randint(1, 6)
+        crash_rounds = {
+            victim: rng.randint(1, gst)
+            for victim in rng.sample(list(names), rng.randint(0, f))
+        }
+        adversary = make_adversary("adaptive", seed=seed)
+        adversary.begin_run(seed)
+        result = run_partial_sync(
+            [RotatingCoordinatorProcess(n_, names, f=f) for n_ in names],
+            inputs,
+            gst=gst,
+            crash_rounds=crash_rounds,
+            max_rounds=gst + f + 2,
+            adversary=adversary,
+        )
+        assert result.all_live_decided
+        assert max(
+            result.decision_rounds[name] for name in result.live
+        ) <= gst + f

@@ -1,0 +1,131 @@
+"""Seed-determinism audit of the synchrony stack.
+
+Every random draw in ``repro.synchrony`` and the spectrum sweep goes
+through :func:`repro.core.seeding.stable_seed`, which hashes its inputs
+with SHA-256 instead of Python's per-process salted ``hash()``.  The
+tests here pin that property two ways: in-process (same inputs → same
+draws, across objects and call sites) and across subprocesses launched
+with *different* ``PYTHONHASHSEED`` values — the salt that would make
+any accidental ``hash()``-based seeding diverge between runs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.core.seeding import stable_rng, stable_seed
+from repro.synchrony.detectors import EventuallyStrongDetector
+from repro.synchrony.partial import random_drops
+
+NAMES = ["p0", "p1", "p2"]
+
+
+def probe() -> dict:
+    """Every seeded draw the synchrony stack makes, as one JSON blob.
+
+    Imported by the subprocess half below, so the in-process and
+    cross-hashseed tests exercise the identical surface.
+    """
+    drop_rule = random_drops(seed=5, deliver_probability=0.5)
+    drops = [
+        [s, r, t, p, drop_rule(s, r, t, p)]
+        for s in NAMES
+        for r in NAMES
+        if s != r
+        for t in (1, 2)
+        for p in (0, 1)
+    ]
+    detector = EventuallyStrongDetector(
+        NAMES, {"p2": 1}, stabilization_time=4, noise=0.3, seed=11
+    )
+    suspects = [
+        [observer, time, sorted(detector.suspects(observer, time))]
+        for observer in NAMES
+        for time in (1, 2, 3, 4, 5)
+    ]
+    from repro.spectrum.montecarlo import SpectrumCell, run_cell
+
+    cell = SpectrumCell(
+        protocol="benor",
+        n=3,
+        f=1,
+        grade="adaptive",
+        samples=10,
+        horizon=40,
+    )
+    return {
+        "stable_seed": [
+            stable_seed("audit"),
+            stable_seed("audit", 1, "p0", 2.5, None, True),
+            stable_seed("audit", ("nested", (0, 1))),
+        ],
+        "stable_rng": stable_rng("audit", 3).random(),
+        "drops": drops,
+        "suspects": suspects,
+        "cell": run_cell(cell, base_seed=9).to_dict(),
+    }
+
+
+class TestInProcess:
+    def test_probe_is_reproducible(self):
+        assert probe() == probe()
+
+    def test_stable_seed_distinguishes_types(self):
+        # "1" vs 1 vs True vs 1.0 must all hash apart — type confusion
+        # is how seeding bugs hide.
+        seeds = {
+            stable_seed("x", 1),
+            stable_seed("x", "1"),
+            stable_seed("x", 1.0),
+            stable_seed("x", True),
+        }
+        assert len(seeds) == 4
+
+    def test_random_drops_is_call_site_independent(self):
+        one = random_drops(seed=5)
+        two = random_drops(seed=5)
+        assert one("a", "b", 3, 1) == two("a", "b", 3, 1)
+
+
+# Runs `probe()` under an explicit PYTHONHASHSEED and prints the blob.
+_CHILD = textwrap.dedent(
+    """
+    import json
+    from tests.synchrony.test_seed_determinism import probe
+    print(json.dumps(probe(), sort_keys=True))
+    """
+)
+
+
+def _probe_under_hashseed(seed: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(repo_root, "src"), repo_root]
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD],
+        check=True,
+        env=env,
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(completed.stdout)
+
+
+class TestCrossHashseed:
+    def test_draws_agree_across_hash_salts(self):
+        baseline = _probe_under_hashseed("0")
+        for seed in ("1", "424242"):
+            assert _probe_under_hashseed(seed) == baseline
+
+    def test_parent_process_agrees_with_children(self):
+        assert json.loads(json.dumps(probe(), sort_keys=True)) == (
+            _probe_under_hashseed("77")
+        )
