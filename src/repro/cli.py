@@ -156,6 +156,7 @@ def _make_analyzer(protocol, args) -> ValencyAnalyzer:
         resume_from=getattr(args, "resume", None),
         reduction=_reduction_policy(args),
         store=store,
+        kernel=getattr(args, "kernel", True),
     )
     _ACTIVE = analyzer
     return analyzer
@@ -777,6 +778,25 @@ def build_parser() -> argparse.ArgumentParser:
             f"{DEFAULT_BATCH_TIMEOUT_S:g} when --workers > 1)",
         )
 
+    def add_engine_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--no-kernel",
+            dest="kernel",
+            action="store_false",
+            default=True,
+            help="disable the batched transition kernel and expand "
+            "frontiers through the scalar per-configuration step path "
+            "(slower; results are byte-identical either way)",
+        )
+        sub.add_argument(
+            "--profile",
+            type=int,
+            default=0,
+            metavar="N",
+            help="run under cProfile and print the top N functions by "
+            "cumulative time after the command finishes",
+        )
+
     check = commands.add_parser("check", help="correctness + valency census")
     check.add_argument("protocol", choices=registry.names())
     check.add_argument("-n", type=int, default=None)
@@ -786,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_reduction_flags(check)
     add_resilience_flags(check)
+    add_engine_flags(check)
 
     attack = commands.add_parser("attack", help="run the FLP adversary")
     attack.add_argument("protocol", choices=registry.names())
@@ -816,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_reduction_flags(attack)
     add_resilience_flags(attack)
+    add_engine_flags(attack)
 
     verify = commands.add_parser(
         "verify",
@@ -856,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_reduction_flags(vmap)
     add_resilience_flags(vmap)
+    add_engine_flags(vmap)
 
     chaos = commands.add_parser(
         "chaos",
@@ -1170,10 +1193,29 @@ def _interrupt_summary() -> str:
     return "\n".join(lines)
 
 
+def _run_profiled(handler, args) -> int:
+    """Run *handler* under cProfile, then print the top-N cumulative."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(handler, args)
+    finally:
+        print()
+        print(f"profile (top {args.profile} by cumulative time):")
+        pstats.Stats(profiler, stream=sys.stdout).sort_stats(
+            "cumulative"
+        ).print_stats(args.profile)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return _HANDLERS[args.command](args)
+        handler = _HANDLERS[args.command]
+        if getattr(args, "profile", 0) > 0:
+            return _run_profiled(handler, args)
+        return handler(args)
     except CheckpointError as error:
         # A checkpoint from another protocol / engine mode (or a
         # damaged file) is an operator mistake, not a crash: one line,

@@ -120,6 +120,13 @@ def _snapshot(graph: "GlobalConfigurationGraph") -> dict[str, object]:
     if graph.packed:
         state["store"] = graph._store.snapshot()
         state["codec"] = graph.codec.snapshot_state()
+        if graph.kernel is not None:
+            # The batched kernel's dense tables: optional (an engine
+            # restored with kernel=False ignores them; a kernel engine
+            # restoring an older snapshot just refills lazily), and
+            # payload-checksummed with everything else under the same
+            # header scheme — resumed runs rebuild nothing.
+            state["kernel"] = graph.kernel.snapshot_state()
     else:
         state["successors"] = graph.successors
         state["configurations"] = graph.configurations
@@ -274,6 +281,25 @@ def restore_checkpoint(
         graph._store.restore(state["store"])
         graph._rich = {}
         graph.codec.restore_state(state["codec"])
+        kernel_state = state.get("kernel")
+        if graph.kernel is not None:
+            if kernel_state is not None:
+                # After the codec: kernel ids resolve against the
+                # restored interning tables.
+                graph.kernel.restore_state(kernel_state)
+                graph._kernel_store_eids = []
+            else:
+                # A scalar-written checkpoint under a kernel engine:
+                # rebuild rep coverage over the restored buffer table so
+                # lazy allocation stays sound.
+                graph.reset_kernel()
+        elif kernel_state is not None:
+            # A kernel-written checkpoint resumed with kernel=False:
+            # placeholder buffer slots have no kernel to materialize
+            # them, so fill every slot rich now, from the snapshot reps.
+            from repro.core.kernel import materialize_checkpoint_buffers
+
+            materialize_checkpoint_buffers(graph.codec, kernel_state)
         decisions_of = graph.codec.decision_values
         n_nodes = len(graph._store)
         node_at = graph._store.row
@@ -339,6 +365,7 @@ def load_checkpoint(
     checkpoint=None,
     reduction=None,
     store=None,
+    kernel: bool = True,
 ):
     """Build a fresh engine for *protocol* and restore *path* into it.
 
@@ -377,6 +404,7 @@ def load_checkpoint(
         checkpoint=checkpoint,
         reduction=reduction,
         store=store,
+        kernel=kernel,
     )
     restore_checkpoint(graph, path)
     return graph

@@ -341,6 +341,15 @@ class GraphStats:
     #: fresh through the rich transition function (packed mode only).
     packed_step_hits: int = 0
     packed_step_misses: int = 0
+    #: Batched-kernel counters (packed engine with the kernel enabled):
+    #: rows expanded through the kernel, edges whose step component was
+    #: a dense-table gather hit, scalar-oracle fills (step-table misses
+    #: plus rich-buffer materializations), and resident bytes of the
+    #: flat transition tables.
+    kernel_batch_expansions: int = 0
+    kernel_table_hits: int = 0
+    kernel_fallback_steps: int = 0
+    kernel_table_bytes: int = 0
     #: Configured worker-pool size (0/1 = serial).
     workers: int = 0
     #: Frontier batches shipped to the worker crew, the total / largest
@@ -459,6 +468,10 @@ class GraphStats:
             "transition_misses": self.transition_misses,
             "packed_step_hits": self.packed_step_hits,
             "packed_step_misses": self.packed_step_misses,
+            "kernel_batch_expansions": self.kernel_batch_expansions,
+            "kernel_table_hits": self.kernel_table_hits,
+            "kernel_fallback_steps": self.kernel_fallback_steps,
+            "kernel_table_bytes": self.kernel_table_bytes,
             "workers": self.workers,
             "worker_batches": self.worker_batches,
             "worker_batch_nodes": self.worker_batch_nodes,
@@ -661,6 +674,7 @@ class GlobalConfigurationGraph:
         transitions: TransitionCache | None = None,
         *,
         packed: bool = True,
+        kernel: bool = True,
         workers: int = 0,
         min_batch_per_worker: int = 4,
         resilience: ResilienceConfig | None = None,
@@ -724,6 +738,21 @@ class GlobalConfigurationGraph:
                 self.store_config,
                 on_spill=self._record_spill,
             )
+            # The batched transition kernel (on by default; kernel=False
+            # keeps the scalar per-edge path, retained as the fill
+            # oracle and the A/B baseline).  Either way the recorded
+            # graph is byte-identical — the kernel only changes how fast
+            # successors are computed, never which ids they get.
+            if kernel:
+                from repro.core.kernel import TransitionKernel
+
+                self._kernel = TransitionKernel(self._codec)
+            else:
+                self._kernel = None
+            #: Lazy kernel-event-id -> store-event-id map, filled in
+            #: edge-write order so store event ids allocate exactly as
+            #: the scalar merge would have.
+            self._kernel_store_eids: list[int] = []
             self._rich: dict[int, Configuration] = {}
             self.configurations = _ConfigurationView(self)
             self.successors = _SuccessorsView(self)
@@ -738,6 +767,7 @@ class GlobalConfigurationGraph:
                 )
             self._codec = None
             self._store = None
+            self._kernel = None
             self._index: dict[Configuration, int] = {}
             self.configurations: list[Configuration] = []
             self.successors: list[list[tuple[Event, int]]] = []
@@ -785,6 +815,22 @@ class GlobalConfigurationGraph:
     def codec(self):
         """The packed codec (``None`` in dict mode)."""
         return self._codec
+
+    @property
+    def kernel(self):
+        """The batched transition kernel (``None`` when disabled)."""
+        return self._kernel
+
+    def reset_kernel(self) -> None:
+        """Replace the kernel with a fresh one bound to the current
+        codec tables — the checkpoint-restore path for snapshots written
+        without kernel state (attach re-derives rep coverage, so lazy
+        allocation stays sound over the restored buffers)."""
+        if self._kernel is not None:
+            from repro.core.kernel import TransitionKernel
+
+            self._kernel = TransitionKernel(self._codec)
+            self._kernel_store_eids = []
 
     @property
     def store(self) -> "GraphStore | None":
@@ -936,7 +982,10 @@ class GlobalConfigurationGraph:
             from repro.core.parallel import WorkStealingCrew
 
             self._pool = WorkStealingCrew(
-                self.workers, self.protocol, self.chaos
+                self.workers,
+                self.protocol,
+                self.chaos,
+                kernel=self._kernel is not None,
             )
             if self._atexit_hook is None:
                 # Registered through a weakref so the atexit table never
@@ -1058,6 +1107,14 @@ class GlobalConfigurationGraph:
                 self.stats.packed_step_misses = self._codec.step_misses
                 self.stats.arena_bytes = self._store.arena_bytes
                 self.stats.edge_bytes = self._store.edge_bytes
+            if self._kernel is not None:
+                kernel = self._kernel
+                self.stats.kernel_batch_expansions = (
+                    kernel.batch_expansions
+                )
+                self.stats.kernel_table_hits = kernel.table_hits
+                self.stats.kernel_fallback_steps = kernel.fallback_steps
+                self.stats.kernel_table_bytes = kernel.table_bytes
             if self._quotient is not None:
                 self.stats.sym_canonical_misses = (
                     self._quotient.canonical_misses
@@ -1092,9 +1149,26 @@ class GlobalConfigurationGraph:
                 break
             batch = [node for node in frontier if not expanded[node]]
             if batch:
-                if not self._merge_expansions(
-                    batch, self._expand_batch(batch), max_configurations
+                expansions, kernel_edges = self._expand_batch(batch)
+                if (
+                    kernel_edges
+                    and self._reducer is None
+                    and self._quotient is None
                 ):
+                    merged = self._merge_expansions_kernel(
+                        batch, expansions, max_configurations
+                    )
+                else:
+                    if kernel_edges:
+                        # Reduction layers consume (Event, packed)
+                        # edges; rehydrate the kernel's event ids.
+                        expansions = self._kernel_edges_to_events(
+                            batch, expansions
+                        )
+                    merged = self._merge_expansions(
+                        batch, expansions, max_configurations
+                    )
+                if not merged:
                     complete = False
             level += 1
             self.stats.explore_levels += 1
@@ -1155,16 +1229,20 @@ class GlobalConfigurationGraph:
 
     def _expand_batch(
         self, batch: list[int]
-    ) -> Iterable[list[tuple[Event, tuple[int, ...]]]]:
-        """Produce every batch node's edges as packed successors.
+    ) -> tuple[Iterable[list], bool]:
+        """Produce every batch node's edges: ``(expansions, kernel_edges)``.
 
         Dispatches to the shared-memory crew when it pays (enough nodes
-        to occupy every worker), else expands inline through the
+        to occupy every worker), else expands inline — through the
+        batched transition kernel when enabled, else through the
         codec's packed memos.  Either way the produced edge lists are
-        aligned with *batch* and in canonical event order.  The
-        parallel path is a generator: the merge consumes chunk results
-        in order *while workers are still computing later chunks*, so
-        there is no per-level map barrier.
+        aligned with *batch* and in canonical event order.
+        ``kernel_edges`` tells the merge which shape the lists carry:
+        ``(kernel_event_id, packed)`` pairs from the kernel, or rich
+        ``(Event, packed)`` pairs otherwise.  The parallel path is a
+        generator: the merge consumes chunk results in order *while
+        workers are still computing later chunks*, so there is no
+        per-level map barrier.
         """
         threshold = self.workers * self._min_batch_per_worker
         if (
@@ -1193,8 +1271,35 @@ class GlobalConfigurationGraph:
             and not self._pool_disabled
             and len(batch) >= threshold
         ):
-            return self._expand_batch_parallel(batch)
-        return self._expand_batch_serial(batch)
+            return self._expand_batch_parallel(batch), False
+        if self._kernel is not None:
+            return self._expand_batch_kernel(batch), True
+        return self._expand_batch_serial(batch), False
+
+    def _expand_batch_kernel(
+        self, batch: list[int]
+    ) -> Iterable[list[tuple[int, tuple[int, ...]]]]:
+        # A generator for the same reason as _expand_batch_serial: the
+        # merge must interleave interning with expansion per node so id
+        # allocation matches the parallel path exactly.
+        expand_row = self._kernel.expand_row
+        row = self._store.row
+        for node in batch:
+            yield expand_row(row(node))
+
+    def _kernel_edges_to_events(
+        self, batch: list[int], expansions: Iterable[list]
+    ) -> Iterable[list[tuple[Event, tuple[int, ...]]]]:
+        # Reduction layers want rich (Event, packed) pairs; the kernel's
+        # self-loop sentinel rehydrates to the node's own row.
+        event_at = self._kernel.event_at
+        row = self._store.row
+        for node, edges in zip(batch, expansions):
+            packed_row = row(node)
+            yield [
+                (event_at(eid), packed if packed is not None else packed_row)
+                for eid, packed in edges
+            ]
 
     def _expand_batch_serial(
         self, batch: list[int]
@@ -1408,6 +1513,85 @@ class GlobalConfigurationGraph:
             )
             self._expanded[node] = 1
             self.stats.expansions += 1
+            self._version += 1
+        return complete
+
+    def _merge_expansions_kernel(
+        self,
+        batch: list[int],
+        expansions: Iterable[list[tuple[int, tuple[int, ...]]]],
+        max_configurations: int,
+    ) -> bool:
+        """Fast-path merge for kernel-shaped edges (no reductions).
+
+        Same observable behavior as :meth:`_merge_expansions` — one
+        all-or-nothing budget decision per node, first-seen-in-edge-order
+        interning, store event ids allocated at first edge write — but
+        each *distinct* successor is probed against the index at most
+        once per level: a batch-wide cache of resolved ids short-circuits
+        the converging-edge duplicates BFS levels are full of, and the
+        kernel's ``None`` self-loop sentinel resolves to the node itself
+        with no probe at all.  Edges append as pre-interned flat pairs.
+        """
+        store = self._store
+        find = store.find
+        add = store.add
+        decision_values = self._codec.decision_values
+        decision_nodes = self._decision_nodes
+        stats = self.stats
+        expanded = self._expanded
+        eid_map = self._kernel_store_eids
+        event_at = self._kernel.event_at
+        event_id = store.event_id
+        complete = True
+        cache: dict[tuple[int, ...], int] = {}
+        cache_get = cache.get
+        for node, edges in zip(batch, expansions):
+            probed = []
+            probe = probed.append
+            pending: dict[tuple[int, ...], int] = {}
+            for eid, packed in edges:
+                if packed is None:
+                    probe((eid, None, node))
+                    continue
+                target = cache_get(packed)
+                if target is None and packed not in pending:
+                    target = find(packed)
+                    if target is None:
+                        pending[packed] = -1
+                    else:
+                        cache[packed] = target
+                probe((eid, packed, target))
+            if len(store) + len(pending) > max_configurations:
+                # Budget refusal discards ``pending`` uncached — the
+                # node stays unexpanded and nothing was interned, same
+                # as the scalar merge.
+                complete = False
+                continue
+            for packed in pending:
+                fresh = add(packed)
+                expanded.append(0)
+                for value in decision_values(packed):
+                    decision_nodes.setdefault(value, []).append(fresh)
+                pending[packed] = fresh
+                cache[packed] = fresh
+                stats.interned += 1
+                self._version += 1
+            flat: list[int] = []
+            for eid, packed, target in probed:
+                if eid >= len(eid_map):
+                    eid_map.extend([-1] * (eid + 1 - len(eid_map)))
+                store_eid = eid_map[eid]
+                if store_eid < 0:
+                    store_eid = event_id(event_at(eid))
+                    eid_map[eid] = store_eid
+                flat.append(store_eid)
+                flat.append(
+                    pending[packed] if target is None else target
+                )
+            store.set_edges_flat(node, flat)
+            expanded[node] = 1
+            stats.expansions += 1
             self._version += 1
         return complete
 

@@ -75,9 +75,13 @@ class PackedCodec:
         self._state_ids: dict[ProcessState, int] = {}
         self._state_output: list[int | None] = []
         # Buffer interning, plus the per-buffer enabled-event cache.
-        self._buffers: list[MessageBuffer] = []
+        # With a transition kernel attached, ``_buffers`` slots may hold
+        # ``None``: the kernel allocated the id from a flat rep and the
+        # rich buffer materializes on first ``buffer_at``.
+        self._buffers: list[MessageBuffer | None] = []
         self._buffer_ids: dict[MessageBuffer, int] = {}
         self._buffer_events: list[tuple[Event, ...] | None] = []
+        self._kernel = None
         # Transition memos (see module docstring).
         self._steps: dict[
             tuple[int, int, Hashable], tuple[int, tuple[Message, ...]]
@@ -119,22 +123,39 @@ class PackedCodec:
         return sid
 
     def intern_buffer(self, buffer: MessageBuffer) -> int:
-        """The dense id of *buffer*, allocating one if new."""
+        """The dense id of *buffer*, allocating one if new.
+
+        With a kernel attached, a rich-side miss routes through the
+        kernel's rep index: the multiset may already own an id as an
+        unmaterialized placeholder, and allocating a second id would
+        break the first-seen-order contract every fingerprint rests on.
+        """
         bid = self._buffer_ids.get(buffer)
         if bid is None:
+            if self._kernel is not None:
+                return self._kernel.intern_rich_buffer(buffer)
             bid = len(self._buffers)
             self._buffer_ids[buffer] = bid
             self._buffers.append(buffer)
             self._buffer_events.append(None)
         return bid
 
+    def attach_kernel(self, kernel) -> None:
+        """Bind a :class:`~repro.core.kernel.TransitionKernel` as this
+        codec's lazy-buffer owner (at most one per codec)."""
+        self._kernel = kernel
+
     def state_at(self, state_id: int) -> ProcessState:
         """The rich state interned at *state_id*."""
         return self._states[state_id]
 
     def buffer_at(self, buffer_id: int) -> MessageBuffer:
-        """The rich buffer interned at *buffer_id*."""
-        return self._buffers[buffer_id]
+        """The rich buffer interned at *buffer_id*, materializing a
+        kernel-allocated placeholder on demand."""
+        buffer = self._buffers[buffer_id]
+        if buffer is None:
+            buffer = self._kernel.materialize_buffer(buffer_id)
+        return buffer
 
     def __len__(self) -> int:
         """Distinct interned states (buffers tracked separately)."""
@@ -169,7 +190,7 @@ class PackedCodec:
                 name: states[sid]
                 for name, sid in zip(self._names, packed)
             },
-            self._buffers[packed[-1]],
+            self.buffer_at(packed[-1]),
         )
 
     def decision_values(self, packed: tuple[int, ...]) -> frozenset[int]:
@@ -206,7 +227,7 @@ class PackedCodec:
             enabled = [Event(name, NULL) for name in self._names]
             enabled.extend(
                 Event(message.destination, message.value)
-                for message in self._buffers[buffer_id].distinct_messages()
+                for message in self.buffer_at(buffer_id).distinct_messages()
             )
             events = tuple(enabled)
             self._buffer_events[buffer_id] = events
@@ -230,6 +251,46 @@ class PackedCodec:
                     f"unknown process {message.destination!r}"
                 )
         return sends
+
+    # -- batched-kernel hooks ----------------------------------------------
+
+    def kernel_step(
+        self, position: int, state_id: int, event: Event
+    ) -> tuple[int, tuple[Message, ...]]:
+        """The step component of *event*: ``(new_state_id, sends)``.
+
+        The :class:`~repro.core.kernel.TransitionKernel`'s fill oracle
+        for its dense step tables.  Shares ``_steps`` with
+        :meth:`apply_packed`, so scalar and kernel expansion fill each
+        other's memo and state-id allocation order is engine-independent.
+        Fault-aware codecs override this for their pseudo-events.
+        """
+        step_key = (position, state_id, event.value)
+        step = self._steps.get(step_key)
+        if step is None:
+            self.step_misses += 1
+            transition = self._automata[position].apply(
+                self._states[state_id], event.value
+            )
+            step = (
+                self.intern_state(transition.state),
+                self._outgoing(event.process, transition.sends),
+            )
+            self._steps[step_key] = step
+        else:
+            self.step_hits += 1
+        return step
+
+    def kernel_null_events(self) -> tuple[Event, ...]:
+        """The null-delivery events, in enabled-event order — the fixed
+        prefix of every :meth:`events_for` row."""
+        return tuple(Event(name, NULL) for name in self._names)
+
+    def kernel_message_events(self, message: Message) -> tuple[Event, ...]:
+        """The events one distinct buffered *message* contributes to the
+        enabled-event row (fault-aware codecs add drop edges / exclude
+        dead destinations here)."""
+        return (Event(message.destination, message.value),)
 
     def apply_packed(
         self, packed: tuple[int, ...], event: Event
@@ -263,7 +324,7 @@ class PackedCodec:
             delivered = self._deliveries.get(delivery_key)
             if delivered is None:
                 delivered = self.intern_buffer(
-                    self._buffers[buffer_id].deliver(message)
+                    self.buffer_at(buffer_id).deliver(message)
                 )
                 self._deliveries[delivery_key] = delivered
             buffer_id = delivered
@@ -272,7 +333,7 @@ class PackedCodec:
             sent = self._sends.get(send_key)
             if sent is None:
                 sent = self.intern_buffer(
-                    self._buffers[buffer_id].send_all(sends)
+                    self.buffer_at(buffer_id).send_all(sends)
                 )
                 self._sends[send_key] = sent
             buffer_id = sent
@@ -322,10 +383,19 @@ class PackedCodec:
         buffers interned *since the previous level* — every rich object
         crosses the process boundary at most once per run.  Returns
         ``(new_states, new_buffers, state_total, buffer_total)``.
+        Kernel-allocated placeholders materialize here — the mirror on
+        the far side has no rep index to resolve them from.
         """
+        buffers = self._buffers[buffers_from:]
+        if self._kernel is not None and None in buffers:
+            buffer_at = self.buffer_at
+            buffers = [
+                buffer_at(bid)
+                for bid in range(buffers_from, len(self._buffers))
+            ]
         return (
             self._states[states_from:],
-            self._buffers[buffers_from:],
+            buffers,
             len(self._states),
             len(self._buffers),
         )
@@ -340,7 +410,9 @@ class PackedCodec:
         continue the same first-seen-order allocation for resumed
         explorations to stay byte-identical with uninterrupted ones.
         The transition memos are included too so a resume does not pay
-        the rich-object cost again for already-seen steps.
+        the rich-object cost again for already-seen steps.  Buffer slots
+        a kernel allocated lazily snapshot as ``None``; the kernel's own
+        snapshot carries their reps.
         """
         return {
             "states": list(self._states),
@@ -366,7 +438,12 @@ class PackedCodec:
             s.output if s.decided else None for s in self._states
         ]
         self._buffers = list(state["buffers"])
-        self._buffer_ids = {b: i for i, b in enumerate(self._buffers)}
+        # Placeholder slots (a kernel checkpoint's lazily-allocated
+        # buffers) stay out of the rich index; the kernel's restored rep
+        # index is their identity until they materialize.
+        self._buffer_ids = {
+            b: i for i, b in enumerate(self._buffers) if b is not None
+        }
         self._buffer_events = [None] * len(self._buffers)
         self._steps = dict(state["steps"])
         self._deliveries = dict(state["deliveries"])

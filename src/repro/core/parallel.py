@@ -253,17 +253,37 @@ class CrewFailure(Exception):
         self.kind = kind
 
 
-def _crew_worker(protocol, chaos, task_q, result_q, sync_q) -> None:
+def _kernel_capable(protocol: Protocol) -> bool:
+    """Whether workers may expand *protocol* through a local kernel.
+
+    True for stock protocols, and for custom-step protocols that supply
+    their own packed codec (the faulted model: its codec speaks the
+    fault fragment, so the kernel's fill oracle does too).  A
+    custom-step protocol with only the generic codec must keep routing
+    every step through ``apply_event`` — the rich fallback path.
+    """
+    return (
+        not getattr(protocol, "custom_step_semantics", False)
+        or type(protocol).packed_codec is not Protocol.packed_codec
+    )
+
+
+def _crew_worker(
+    protocol, chaos, use_kernel, task_q, result_q, sync_q
+) -> None:
     """Worker loop: steal chunks, expand rows straight from shared memory.
 
     The worker mirrors the parent codec's state/buffer tables (synced by
-    delta through ``sync_q``, cumulative and in dispatch order) and
-    reconstructs each frontier row's rich configuration locally — the
-    exact ``PackedCodec.decode`` expression — so the only per-level
-    traffic is the int64 frontier block, one sync delta, and the result
-    deltas.  Known states/buffers are reported by parent id; novel ones
-    ride along rich, exactly once each (pickle dedups repeats within a
-    chunk).
+    delta through ``sync_q``, cumulative and in dispatch order).  With
+    *use_kernel* (and a kernel-capable protocol) each frontier row is
+    translated to worker-local ids and expanded through a local
+    :class:`~repro.core.kernel.TransitionKernel` — the same dense-table
+    gathers as serial kernel expansion, no rich configuration built per
+    row.  Otherwise the row's rich configuration is reconstructed — the
+    exact ``PackedCodec.decode`` expression — and expanded through the
+    protocol.  Either way the wire format is identical: known
+    states/buffers are reported by parent id; novel ones ride along
+    rich, exactly once each (pickle dedups repeats within a chunk).
     """
     from multiprocessing import resource_tracker, shared_memory
 
@@ -283,10 +303,25 @@ def _crew_worker(protocol, chaos, task_q, result_q, sync_q) -> None:
     resource_tracker.register = register_for_parent_owned_segments
 
     init_worker(protocol, chaos)
+    local_kernel = None
+    local_codec = None
+    if use_kernel and _kernel_capable(protocol):
+        from repro.core.kernel import TransitionKernel
+
+        local_codec = protocol.packed_codec()
+        local_kernel = TransitionKernel(local_codec)
+    # Rich-path mirrors (parent id -> rich object and back) ...
     states: list[ProcessState] = []
     buffers: list[MessageBuffer] = []
     state_ids: dict[ProcessState, int] = {}
     buffer_ids: dict[MessageBuffer, int] = {}
+    # ... and kernel-path translation tables: parent id -> local codec
+    # id (dense, synced in parent allocation order) and local id ->
+    # parent id (-1 until the parent has interned and synced it back).
+    p2l_state: list[int] = []
+    p2l_buffer: list[int] = []
+    l2p_state: list[int] = []
+    l2p_buffer: list[int] = []
     shm = None
     view = None
     shm_name = None
@@ -304,17 +339,41 @@ def _crew_worker(protocol, chaos, task_q, result_q, sync_q) -> None:
                     sync_id, name, sync_width, _n_rows, sync_names,
                     s_off, new_states, b_off, new_buffers,
                 ) = sync_q.get()
-                if s_off != len(states) or b_off != len(buffers):
+                if local_kernel is not None:
+                    synced = (len(p2l_state), len(p2l_buffer))
+                else:
+                    synced = (len(states), len(buffers))
+                if (s_off, b_off) != synced:
                     raise RuntimeError(
                         "codec table sync out of order; parent will "
                         "rebuild the crew"
                     )
-                for offset, state in enumerate(new_states, s_off):
-                    state_ids[state] = offset
-                states.extend(new_states)
-                for offset, buffer in enumerate(new_buffers, b_off):
-                    buffer_ids[buffer] = offset
-                buffers.extend(new_buffers)
+                if local_kernel is not None:
+                    intern_state = local_codec.intern_state
+                    intern_buffer = local_codec.intern_buffer
+                    for state in new_states:
+                        lid = intern_state(state)
+                        if lid >= len(l2p_state):
+                            l2p_state.extend(
+                                [-1] * (lid + 1 - len(l2p_state))
+                            )
+                        l2p_state[lid] = len(p2l_state)
+                        p2l_state.append(lid)
+                    for buffer in new_buffers:
+                        lid = intern_buffer(buffer)
+                        if lid >= len(l2p_buffer):
+                            l2p_buffer.extend(
+                                [-1] * (lid + 1 - len(l2p_buffer))
+                            )
+                        l2p_buffer[lid] = len(p2l_buffer)
+                        p2l_buffer.append(lid)
+                else:
+                    for offset, state in enumerate(new_states, s_off):
+                        state_ids[state] = offset
+                    states.extend(new_states)
+                    for offset, buffer in enumerate(new_buffers, b_off):
+                        buffer_ids[buffer] = offset
+                    buffers.extend(new_buffers)
                 applied = sync_id
                 names = sync_names
                 width = sync_width
@@ -328,28 +387,78 @@ def _crew_worker(protocol, chaos, task_q, result_q, sync_q) -> None:
                     view = memoryview(shm.buf).cast("q")
             busy_total = 0.0
             payload = []
-            for r in range(start, end):
-                base = r * width
-                row = tuple(view[base:base + width])
-                configuration = Configuration(
-                    {
-                        process: states[row[position]]
-                        for position, process in enumerate(names)
-                    },
-                    buffers[row[-1]],
-                )
-                busy, deltas = expand_configuration(configuration)
-                busy_total += busy
-                payload.append([
-                    (
-                        event,
-                        state_ids.get(state, state),
-                        None if delivered is None
-                        else buffer_ids.get(delivered, delivered),
-                        buffer_ids.get(buffer, buffer),
+            if local_kernel is not None:
+                expand_deltas = local_kernel.expand_row_deltas
+                event_at = local_kernel.event_at
+                state_at = local_codec.state_at
+                buffer_at = local_codec.buffer_at
+                n_len = width - 1
+                for r in range(start, end):
+                    _maybe_inject_fault()
+                    started = time.perf_counter()
+                    base = r * width
+                    local_row = [
+                        p2l_state[view[base + i]] for i in range(n_len)
+                    ]
+                    local_row.append(p2l_buffer[view[base + n_len]])
+                    deltas = expand_deltas(tuple(local_row))
+                    entries = []
+                    n_l2p_s = len(l2p_state)
+                    n_l2p_b = len(l2p_buffer)
+                    for eid, new_sid, delivered, b in deltas:
+                        # Novel components (no parent id yet — locally
+                        # allocated beyond the synced watermark, or
+                        # synced-slot -1) ship rich, exactly once per
+                        # object: materialize caches, so repeats are
+                        # the same object and pickle's memo collapses
+                        # them on the wire.
+                        state_out = (
+                            l2p_state[new_sid] if new_sid < n_l2p_s
+                            else -1
+                        )
+                        if state_out < 0:
+                            state_out = state_at(new_sid)
+                        if delivered < 0:
+                            delivered_out = None
+                        else:
+                            delivered_out = (
+                                l2p_buffer[delivered]
+                                if delivered < n_l2p_b else -1
+                            )
+                            if delivered_out < 0:
+                                delivered_out = buffer_at(delivered)
+                        buffer_out = l2p_buffer[b] if b < n_l2p_b else -1
+                        if buffer_out < 0:
+                            buffer_out = buffer_at(b)
+                        entries.append(
+                            (event_at(eid), state_out,
+                             delivered_out, buffer_out)
+                        )
+                    payload.append(entries)
+                    busy_total += time.perf_counter() - started
+            else:
+                for r in range(start, end):
+                    base = r * width
+                    row = tuple(view[base:base + width])
+                    configuration = Configuration(
+                        {
+                            process: states[row[position]]
+                            for position, process in enumerate(names)
+                        },
+                        buffers[row[-1]],
                     )
-                    for event, state, delivered, buffer in deltas
-                ])
+                    busy, deltas = expand_configuration(configuration)
+                    busy_total += busy
+                    payload.append([
+                        (
+                            event,
+                            state_ids.get(state, state),
+                            None if delivered is None
+                            else buffer_ids.get(delivered, delivered),
+                            buffer_ids.get(buffer, buffer),
+                        )
+                        for event, state, delivered, buffer in deltas
+                    ])
             result_q.put((dispatch_id, chunk_idx, busy_total, payload))
     except (KeyboardInterrupt, EOFError, OSError):  # pragma: no cover
         pass  # parent teardown mid-wait; nothing to salvage
@@ -402,11 +511,13 @@ class WorkStealingCrew:
         protocol: Protocol,
         chaos: ChaosConfig | None = None,
         chunks_per_worker: int = 4,
+        kernel: bool = True,
     ):
         self._workers = max(2, workers)
         self._protocol = protocol
         self._chaos = chaos
         self._chunks_per_worker = max(1, chunks_per_worker)
+        self._kernel = kernel
         self._ctx = multiprocessing.get_context()
         self._seq = 0
         self._shm = None
@@ -428,7 +539,7 @@ class WorkStealingCrew:
             process = ctx.Process(
                 target=_crew_worker,
                 args=(
-                    self._protocol, self._chaos,
+                    self._protocol, self._chaos, self._kernel,
                     self._task_q, self._result_q, sync_q,
                 ),
                 daemon=True,

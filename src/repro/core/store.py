@@ -663,6 +663,19 @@ class GraphStore:
             perm_ids = [perm_id(perm) for perm in perms or ()]
         self.edges.set_edges(node, flat, perm_ids)
 
+    def set_edges_flat(self, node: int, flat_pairs: list[int]) -> None:
+        """Record *node*'s edges from pre-interned ``(event_id, target)``
+        pairs — the batched kernel's append run, which skips the
+        per-edge Event hashing of :meth:`set_edges`.  Not available with
+        perm tracking (the symmetry quotient routes through the rich
+        merge, which carries the per-edge renamings)."""
+        if self.edges.tracking_perms:
+            raise ValueError(
+                "flat edge appends cannot carry per-edge renamings; "
+                "use set_edges when perm tracking is on"
+            )
+        self.edges.set_edges(node, flat_pairs, None)
+
     def edge_list(self, node: int) -> list[tuple["Event", int]]:
         """*node*'s successors as ``[(Event, target), ...]``."""
         pairs = self.edges.pairs(node)

@@ -213,6 +213,7 @@ class ValencyAnalyzer:
         resume_from: str | None = None,
         reduction=None,
         store=None,
+        kernel: bool = True,
     ):
         self.protocol = protocol
         self.max_configurations = max_configurations
@@ -231,6 +232,7 @@ class ValencyAnalyzer:
                 checkpoint=checkpoint,
                 reduction=reduction,
                 store=store,
+                kernel=kernel,
             )
         else:
             self.graph = GlobalConfigurationGraph(
@@ -242,6 +244,7 @@ class ValencyAnalyzer:
                 checkpoint=checkpoint,
                 reduction=reduction,
                 store=store,
+                kernel=kernel,
             )
         #: Valency per node id; ``None`` = not (yet) soundly determined.
         self._node_valency: list[Valency | None] = []

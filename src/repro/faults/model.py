@@ -235,7 +235,7 @@ class FaultedPackedCodec(PackedCodec):
                     counters.dead_exclusions += 1
                     continue
                 enabled.append(Event(name, NULL))
-            for message in self._buffers[buffer_id].distinct_messages():
+            for message in self.buffer_at(buffer_id).distinct_messages():
                 if message.destination in self._dead:
                     counters.dead_exclusions += 1
                     continue
@@ -248,6 +248,37 @@ class FaultedPackedCodec(PackedCodec):
             self._buffer_events[buffer_id] = events
         return events
 
+    def kernel_step(
+        self, position: int, state_id: int, event: Event
+    ) -> "tuple[int, tuple[Message, ...]]":
+        """Drop pseudo-events are pure buffer transitions: the stepping
+        process's state id is unchanged and nothing is sent, so their
+        dense step-table rows are the identity with the empty batch.
+        Like the scalar path, the drop counter bumps at fill time only."""
+        if isinstance(event.value, Drop):
+            self._counters.drop_edges += 1
+            return state_id, ()
+        return super().kernel_step(position, state_id, event)
+
+    def kernel_null_events(self) -> tuple[Event, ...]:
+        counters = self._counters
+        enabled: list[Event] = []
+        for name in self._names:
+            if name in self._dead:
+                counters.dead_exclusions += 1
+                continue
+            enabled.append(Event(name, NULL))
+        return tuple(enabled)
+
+    def kernel_message_events(self, message: Message) -> tuple[Event, ...]:
+        if message.destination in self._dead:
+            self._counters.dead_exclusions += 1
+            return ()
+        events = [Event(message.destination, message.value)]
+        if message.destination in self._lossy:
+            events.append(Event(message.destination, Drop(message.value)))
+        return tuple(events)
+
     def apply_packed(
         self, packed: tuple[int, ...], event: Event
     ) -> tuple[int, ...]:
@@ -258,7 +289,7 @@ class FaultedPackedCodec(PackedCodec):
             delivered = self._deliveries.get(delivery_key)
             if delivered is None:
                 delivered = self.intern_buffer(
-                    self._buffers[buffer_id].deliver(message)
+                    self.buffer_at(buffer_id).deliver(message)
                 )
                 self._deliveries[delivery_key] = delivered
             self._counters.drop_edges += 1

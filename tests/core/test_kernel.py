@@ -1,0 +1,282 @@
+"""Batched transition kernel: parity with scalar ``step()``, everywhere.
+
+The kernel is a performance feature with a one-line correctness
+contract: every graph it produces is byte-identical (same packed
+tuples under the same ids, same edges in the same order — the
+``fingerprint()`` invariant) to the one the scalar per-configuration
+path produces.  These tests pin that contract across the protocol zoo,
+both engines' id spaces, fault wrappers, the reducers, the worker
+pool, and checkpoint/resume — including resumes that cross the
+kernel/scalar boundary in either direction mid-table-build.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.exploration import GlobalConfigurationGraph
+from repro.core.reduction import ReductionPolicy
+from repro.faults.model import FaultedProtocol
+from repro.faults.plan import Crash, FaultPlan, Omission
+from repro.protocols import (
+    ArbiterProcess,
+    BenOrProcess,
+    ParityArbiterProcess,
+    TwoPhaseCommitProcess,
+    WaitForAllProcess,
+    make_protocol,
+)
+
+#: The parity zoo: (factory, budget).  ``None`` = explore to closure.
+#: Budgets keep the hypothesis suite fast while still crossing table
+#: growth boundaries (each instance interns hundreds of states).
+_ZOO = [
+    (lambda: make_protocol(ArbiterProcess, 3), None),
+    (lambda: make_protocol(ParityArbiterProcess, 3), None),
+    (lambda: make_protocol(WaitForAllProcess, 3), 800),
+    (lambda: make_protocol(TwoPhaseCommitProcess, 3), 800),
+    (lambda: make_protocol(BenOrProcess, 3), 800),
+]
+
+
+def _explore(protocol, root, *, budget, kernel, **kwargs):
+    graph = GlobalConfigurationGraph(protocol, kernel=kernel, **kwargs)
+    try:
+        graph.explore(
+            root,
+            **({} if budget is None else {"max_configurations": budget}),
+        )
+        return graph.fingerprint(), len(graph), graph
+    finally:
+        graph.close()
+
+
+class TestScalarParity:
+    """Kernel-expanded successor sets == scalar ``step()`` sets.
+
+    The fingerprint hashes every packed node and its successor list in
+    id order, so fingerprint identity *is* successor-set identity plus
+    interning-order identity — the strongest form of the claim.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_kernel_matches_scalar_across_zoo(self, seed):
+        rng = random.Random(seed)
+        factory, budget = rng.choice(_ZOO)
+        protocol = factory()
+        n = len(protocol.process_names)
+        inputs = [rng.randint(0, 1) for _ in range(n)]
+        root = protocol.initial_configuration(inputs)
+        scalar_fp, scalar_n, _ = _explore(
+            protocol, root, budget=budget, kernel=False
+        )
+        kernel_fp, kernel_n, _ = _explore(
+            protocol, root, budget=budget, kernel=True
+        )
+        assert kernel_n == scalar_n
+        assert kernel_fp == scalar_fp
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_kernel_graph_matches_dict_engine_successors(self, seed):
+        """Cross-engine: the kernel's packed graph decodes to the same
+        configurations with the same successor structure as the
+        dict-backed engine (ids are first-seen-order in both)."""
+        rng = random.Random(seed)
+        factory, budget = rng.choice(_ZOO[:2])  # closed instances only
+        protocol = factory()
+        inputs = [rng.randint(0, 1) for _ in range(3)]
+        root = protocol.initial_configuration(inputs)
+        _, _, kernel_graph = _explore(
+            protocol, root, budget=budget, kernel=True
+        )
+        dict_graph = GlobalConfigurationGraph(protocol, packed=False)
+        dict_graph.explore(root)
+        assert len(kernel_graph) == len(dict_graph)
+        assert kernel_graph.successors == dict_graph.successors
+        for node in range(len(dict_graph)):
+            assert (
+                kernel_graph.configuration_at(node)
+                == dict_graph.configuration_at(node)
+            )
+
+    def test_faulted_protocol_parity(self):
+        """Drop pseudo-events and dead-process filtering go through the
+        kernel's tables too — faulted graphs stay byte-identical."""
+        base = make_protocol(BenOrProcess, 3)
+        plan = FaultPlan(
+            [Crash("p0", 0), Omission(destination="p2", budget=None)]
+        )
+
+        def faulted():
+            return FaultedProtocol(make_protocol(BenOrProcess, 3), plan)
+
+        root_inputs = [0, 1, 1]
+        fps = {}
+        for kernel in (False, True):
+            protocol = faulted()
+            root = protocol.initial_configuration(root_inputs)
+            fps[kernel], _, graph = _explore(
+                protocol, root, budget=2000, kernel=kernel
+            )
+            # The fault fragment must actually shape the graph for this
+            # test to mean anything.
+            assert protocol.fault_counters.drop_edges > 0
+            assert protocol.fault_counters.dead_exclusions > 0
+        assert fps[True] == fps[False]
+        del base
+
+
+class TestReducerParity:
+    def test_por_parity(self, arbiter3):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        fps = {
+            kernel: _explore(
+                arbiter3,
+                root,
+                budget=None,
+                kernel=kernel,
+                reduction=ReductionPolicy(por=True),
+            )[0]
+            for kernel in (False, True)
+        }
+        assert fps[True] == fps[False]
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ReductionPolicy(symmetry=True),
+            ReductionPolicy(por=True, symmetry=True),
+        ],
+        ids=["symmetry", "por+symmetry"],
+    )
+    def test_symmetry_parity(self, policy):
+        protocol = make_protocol(BenOrProcess, 3, coin="round")
+        root = protocol.initial_configuration([0, 0, 1])
+        fps = {
+            kernel: _explore(
+                protocol, root, budget=2000, kernel=kernel,
+                reduction=policy,
+            )[0]
+            for kernel in (False, True)
+        }
+        assert fps[True] == fps[False]
+
+
+class TestParallelParity:
+    """The acceptance pin: serial, parallel, resumed, and reduced runs
+    all produce the same bytes with the kernel enabled."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_match_serial_kernel(self, parity_arbiter3, workers):
+        root = parity_arbiter3.initial_configuration([0, 0, 1])
+        serial_fp, _, _ = _explore(
+            parity_arbiter3, root, budget=None, kernel=True
+        )
+        parallel_fp, _, _ = _explore(
+            parity_arbiter3, root, budget=None, kernel=True,
+            workers=workers,
+        )
+        assert parallel_fp == serial_fp
+
+    def test_parallel_scalar_and_kernel_agree(self, arbiter3):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        fps = {
+            kernel: _explore(
+                arbiter3, root, budget=None, kernel=kernel, workers=2
+            )[0]
+            for kernel in (False, True)
+        }
+        assert fps[True] == fps[False]
+
+
+class TestCheckpointResume:
+    def _uninterrupted(self, protocol, root, budget, kernel=True):
+        fp, _, _ = _explore(protocol, root, budget=budget, kernel=kernel)
+        return fp
+
+    def _partial(self, protocol, root, tmp_path, *, kernel, budget=150):
+        graph = GlobalConfigurationGraph(protocol, kernel=kernel)
+        graph.explore(root, max_configurations=budget)
+        path = str(tmp_path / "partial.ckpt")
+        save_checkpoint(graph, path)
+        graph.close()
+        return path
+
+    def test_resume_mid_table_build(self, protocol_parity3, tmp_path):
+        """A checkpoint taken while the step tables are half-filled
+        restores table bytes and placeholder buffer reps, and the
+        resumed run finishes byte-identical to an uninterrupted one."""
+        protocol = protocol_parity3
+        root = protocol.initial_configuration([0, 0, 1])
+        clean = self._uninterrupted(protocol, root, 5000)
+        path = self._partial(protocol, root, tmp_path, kernel=True)
+        resumed = load_checkpoint(path, protocol)
+        assert resumed.kernel is not None
+        # The snapshot restored real table state, not a cold kernel.
+        assert resumed.kernel.table_bytes > 0
+        resumed.explore(root, max_configurations=5000)
+        assert resumed.fingerprint() == clean
+
+    def test_kernel_checkpoint_resumes_on_scalar_engine(
+        self, protocol_parity3, tmp_path
+    ):
+        """kernel -> scalar: placeholder buffers materialize from the
+        snapshot's flat reps and the scalar run continues identically."""
+        protocol = protocol_parity3
+        root = protocol.initial_configuration([0, 0, 1])
+        clean = self._uninterrupted(protocol, root, 5000, kernel=False)
+        path = self._partial(protocol, root, tmp_path, kernel=True)
+        resumed = load_checkpoint(path, protocol, kernel=False)
+        assert resumed.kernel is None
+        resumed.explore(root, max_configurations=5000)
+        assert resumed.fingerprint() == clean
+
+    def test_scalar_checkpoint_resumes_on_kernel_engine(
+        self, protocol_parity3, tmp_path
+    ):
+        """scalar -> kernel: the fresh kernel reindexes the restored
+        codec (every buffer gets a rep) before its first batch."""
+        protocol = protocol_parity3
+        root = protocol.initial_configuration([0, 0, 1])
+        clean = self._uninterrupted(protocol, root, 5000)
+        path = self._partial(protocol, root, tmp_path, kernel=False)
+        resumed = load_checkpoint(path, protocol, kernel=True)
+        assert resumed.kernel is not None
+        resumed.explore(root, max_configurations=5000)
+        assert resumed.fingerprint() == clean
+
+    @pytest.fixture()
+    def protocol_parity3(self):
+        return make_protocol(ParityArbiterProcess, 3)
+
+
+class TestObservability:
+    def test_kernel_counters_move(self, arbiter3):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        graph = GlobalConfigurationGraph(arbiter3, kernel=True)
+        graph.explore(root)
+        stats = graph.stats
+        assert stats.kernel_batch_expansions > 0
+        assert stats.kernel_table_hits > 0
+        assert stats.kernel_fallback_steps > 0
+        assert stats.kernel_table_bytes > 0
+        as_dict = stats.as_dict()
+        for key in (
+            "kernel_batch_expansions",
+            "kernel_table_hits",
+            "kernel_fallback_steps",
+            "kernel_table_bytes",
+        ):
+            assert key in as_dict
+
+    def test_no_kernel_leaves_counters_zero(self, arbiter3):
+        root = arbiter3.initial_configuration([0, 0, 1])
+        graph = GlobalConfigurationGraph(arbiter3, kernel=False)
+        graph.explore(root)
+        assert graph.kernel is None
+        assert graph.stats.kernel_batch_expansions == 0
+        assert graph.stats.kernel_table_bytes == 0

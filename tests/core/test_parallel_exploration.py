@@ -191,5 +191,8 @@ class TestStatsCounters:
         analyzer.valency(parity3.initial_configuration([0, 0, 1]))
         stats = analyzer.stats
         assert stats.packed_step_misses > 0
-        assert stats.packed_step_hits > 0
+        # With the batched kernel (the default), hot-path reuse lands in
+        # the dense table counters; scalar memo hits only accumulate on
+        # the fill-on-miss oracle path.
+        assert stats.packed_step_hits + stats.kernel_table_hits > 0
         assert stats.encode_time >= 0.0
